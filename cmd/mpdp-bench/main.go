@@ -1,0 +1,77 @@
+// Command mpdp-bench regenerates the tables and figures of the paper's
+// evaluation section. Each experiment prints an aligned text table; see
+// EXPERIMENTS.md for the mapping to the paper and the recorded outputs.
+//
+// Usage:
+//
+//	mpdp-bench -experiment fig6 -timeout 60s -queries 15
+//	mpdp-bench -experiment all -timeout 5s -queries 2 -maxrels 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+var registry = []struct {
+	name string
+	run  func(w io.Writer, cfg experiments.Config) error
+}{
+	{"fig2", experiments.Fig2},
+	{"fig4", experiments.Fig4},
+	{"fig6", experiments.Fig6},
+	{"fig7", experiments.Fig7},
+	{"fig8", experiments.Fig8},
+	{"fig9", experiments.Fig9},
+	{"fig10", experiments.Fig10},
+	{"fig11", experiments.Fig11},
+	{"fig12", experiments.Fig12},
+	{"fig13", experiments.Fig13},
+	{"table1", experiments.Table1},
+	{"table2", experiments.Table2},
+	{"ablation", experiments.Ablation},
+}
+
+func main() {
+	var (
+		name    = flag.String("experiment", "all", "experiment to run (fig2, fig4, fig6-fig13, table1, table2, ablation, all)")
+		timeout = flag.Duration("timeout", 10*time.Second, "per-optimization timeout (paper: 1m)")
+		queries = flag.Int("queries", 3, "queries per (workload, size) cell (paper: 15 for fig9, 100 for tables)")
+		threads = flag.Int("threads", runtime.GOMAXPROCS(0), "threads for parallel CPU algorithms (paper: 24)")
+		seed    = flag.Int64("seed", 1, "workload generation seed")
+		maxRels = flag.Int("maxrels", 0, "cap the largest query size (0 = paper scale)")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Timeout: *timeout,
+		Queries: *queries,
+		Threads: *threads,
+		Seed:    *seed,
+		MaxRels: *maxRels,
+	}
+
+	ran := false
+	for _, e := range registry {
+		if *name != "all" && *name != e.name {
+			continue
+		}
+		ran = true
+		fmt.Printf("=== %s ===\n", e.name)
+		if err := e.run(os.Stdout, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "mpdp-bench: %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "mpdp-bench: unknown experiment %q\n", *name)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,78 @@
+// Command queryzgen emits generated workload queries as JSON for
+// inspection: relations with statistics and the join graph with per-edge
+// selectivities. Useful for debugging workload generation and for feeding
+// external tools.
+//
+// Usage:
+//
+//	queryzgen -workload snowflake -rels 30 -count 2
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/cost"
+	"repro/internal/workload"
+)
+
+type jsonRelation struct {
+	Name  string  `json:"name"`
+	Rows  float64 `json:"rows"`
+	Pages float64 `json:"pages"`
+	Width int     `json:"width"`
+	PK    bool    `json:"pk_index"`
+}
+
+type jsonEdge struct {
+	A   int     `json:"a"`
+	B   int     `json:"b"`
+	Sel float64 `json:"selectivity"`
+}
+
+type jsonQuery struct {
+	Workload  string         `json:"workload"`
+	Relations []jsonRelation `json:"relations"`
+	Edges     []jsonEdge     `json:"edges"`
+}
+
+func toJSON(kind string, q *cost.Query) jsonQuery {
+	out := jsonQuery{Workload: kind}
+	for _, r := range q.Cat.Rels {
+		out.Relations = append(out.Relations, jsonRelation{
+			Name: r.Name, Rows: r.Rows, Pages: r.Pages, Width: r.Width, PK: r.HasPKIndex,
+		})
+	}
+	for _, e := range q.G.Edges {
+		out.Edges = append(out.Edges, jsonEdge{A: e.A, B: e.B, Sel: e.Sel})
+	}
+	return out
+}
+
+func main() {
+	var (
+		kind  = flag.String("workload", "star", "workload family (star, snowflake, chain, cycle, clique, musicbrainz)")
+		rels  = flag.Int("rels", 12, "number of relations")
+		count = flag.Int("count", 1, "number of queries to generate")
+		seed  = flag.Int64("seed", 1, "generation seed")
+	)
+	flag.Parse()
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	for i := 0; i < *count; i++ {
+		rng := rand.New(rand.NewSource(*seed + int64(i)))
+		q, err := workload.Generate(workload.Kind(*kind), *rels, rng)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "queryzgen:", err)
+			os.Exit(2)
+		}
+		if err := enc.Encode(toJSON(*kind, q)); err != nil {
+			fmt.Fprintln(os.Stderr, "queryzgen:", err)
+			os.Exit(1)
+		}
+	}
+}

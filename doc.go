@@ -1,0 +1,10 @@
+// Package repro is a from-scratch Go reproduction of "Efficient Massively
+// Parallel Join Optimization for Large Queries" (SIGMOD 2022): the MPDP
+// join-order algorithm, every baseline it is evaluated against, the IDP2 and
+// UnionDP heuristics built on top of it, a SIMT GPU execution model standing
+// in for the paper's CUDA implementation, and a benchmark harness that
+// regenerates every table and figure of the evaluation section.
+//
+// Start with internal/core for the public optimizer API, cmd/mpdp-bench for
+// the experiment driver, and DESIGN.md for the system inventory.
+package repro

@@ -1,0 +1,45 @@
+// Counters: reproduce the paper's Figure 2 analysis on a MusicBrainz query —
+// how many join pairs each enumeration strategy evaluates relative to the
+// number of valid (CCP) pairs, the quantity that separates MPDP from the
+// vertex-based DPSub/DPSize family.
+//
+//	go run ./examples/counters [-rels 20]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/cost"
+	"repro/internal/dp"
+	"repro/internal/workload"
+)
+
+func main() {
+	rels := flag.Int("rels", 20, "query size (random-walk over the MusicBrainz schema)")
+	flag.Parse()
+
+	q := workload.MusicBrainzQuery(*rels, rand.New(rand.NewSource(3)))
+	rep, err := dp.Counters(dp.Input{Q: q, M: cost.DefaultModel()})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("MusicBrainz random-walk query: %d relations, %d predicates\n", q.N(), len(q.G.Edges))
+	fmt.Printf("connected subsets (DP lattice size): %d\n", rep.ConnectedSets)
+	fmt.Printf("CCP-Counter (valid join pairs):      %d\n\n", rep.CCP)
+
+	fmt.Printf("%-8s %16s %14s\n", "", "EvaluatedCounter", "× valid pairs")
+	row := func(name string, v uint64) {
+		fmt.Printf("%-8s %16d %13.1fx\n", name, v, float64(v)/float64(rep.CCP))
+	}
+	row("DPCCP", rep.DPCCPEvaluated)
+	row("MPDP", rep.MPDPEvaluated)
+	row("DPSub", rep.DPSubEvaluated)
+	row("DPSize", rep.DPSizeEvaluated)
+
+	fmt.Println("\nDPCCP meets the bound but is sequential; DPSub/DPSize parallelize but")
+	fmt.Println("waste orders of magnitude of work; MPDP keeps both properties (Fig. 2).")
+}

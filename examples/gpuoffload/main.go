@@ -1,0 +1,71 @@
+// Gpuoffload: walk through the GPU execution model of §5 on a snowflake
+// query — per-level kernels (unrank → filter → evaluate → prune → scatter),
+// the effect of the paper's two enhancements (fused pruning and
+// Collaborative Context Collection), and the resulting simulated device
+// times for MPDP vs DPSub.
+//
+//	go run ./examples/gpuoffload [-rels 18]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/cost"
+	"repro/internal/dp"
+	"repro/internal/gpusim"
+	"repro/internal/workload"
+)
+
+func main() {
+	rels := flag.Int("rels", 18, "snowflake query size")
+	flag.Parse()
+
+	q := workload.Snowflake(*rels, rand.New(rand.NewSource(11)))
+	in := dp.Input{Q: q, M: cost.DefaultModel()}
+
+	fmt.Printf("snowflake query: %d relations on a simulated %s\n\n", q.N(), gpusim.GTX1080().Name)
+
+	show := func(label string, gs gpusim.Stats) {
+		fmt.Printf("%-34s %10.3f ms  kernels=%-4d candidates=%-10d valid=%-8d writes=%d\n",
+			label, gs.SimTimeMS, gs.KernelLaunches, gs.CandidatePairs, gs.ValidPairs, gs.GlobalWrites)
+	}
+
+	full := gpusim.Config{Device: gpusim.GTX1080(), FusedPrune: true, CCC: true}
+	plain := gpusim.Config{Device: gpusim.GTX1080()}
+
+	_, _, gs, err := gpusim.MPDPGPU(in, full)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("MPDP (GPU, fused prune + CCC)", gs)
+	phases := gs.PhaseMS(gpusim.GTX1080())
+	fmt.Print("  kernel time by phase:")
+	for p := gpusim.PhaseUnrank; p <= gpusim.PhaseScatter; p++ {
+		fmt.Printf("  %s=%.4fms", p, phases[p])
+	}
+	fmt.Println()
+
+	_, _, gs, err = gpusim.MPDPGPU(in, plain)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("MPDP (GPU, baseline kernels [23])", gs)
+
+	_, _, gs, err = gpusim.DPSubGPU(in, full)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("DPSub (GPU, fused prune + CCC)", gs)
+
+	_, _, gs, err = gpusim.DPSizeGPU(in, full)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("DPSize (GPU)", gs)
+
+	fmt.Println("\nMPDP's candidate volume tracks the valid-pair count, so its kernels do")
+	fmt.Println("less lockstep work; CCC compacts what divergence remains (§5, §7.2.5).")
+}

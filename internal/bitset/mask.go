@@ -1,0 +1,156 @@
+// Package bitset provides the relation-set representations used throughout
+// the optimizer: a fixed-width 64-bit Mask for dynamic-programming inner
+// loops (queries and partitions of up to 64 relations) and a dynamic Set for
+// the heuristic layer, which must address graphs with 1000+ relations.
+//
+// The paper (§2.2.1, §5) represents all relation sets and adjacency lists as
+// bitmap sets; subset enumeration relies on the parallel-bit-deposit (PDEP)
+// instruction, which Deposit reimplements in portable Go.
+package bitset
+
+import (
+	"math/bits"
+	"strconv"
+	"strings"
+)
+
+// Mask is a set of up to 64 relations, one bit per relation index.
+// The zero value is the empty set.
+type Mask uint64
+
+// MaskOf returns the set containing exactly the given relation indices.
+func MaskOf(indices ...int) Mask {
+	var m Mask
+	for _, i := range indices {
+		m |= 1 << uint(i)
+	}
+	return m
+}
+
+// Single returns the singleton set {i}.
+func Single(i int) Mask { return 1 << uint(i) }
+
+// Full returns the set {0, 1, ..., n-1}.
+func Full(n int) Mask {
+	if n >= 64 {
+		return ^Mask(0)
+	}
+	return (1 << uint(n)) - 1
+}
+
+// Has reports whether relation i is in the set.
+func (m Mask) Has(i int) bool { return m&(1<<uint(i)) != 0 }
+
+// Add returns m ∪ {i}.
+func (m Mask) Add(i int) Mask { return m | 1<<uint(i) }
+
+// Remove returns m \ {i}.
+func (m Mask) Remove(i int) Mask { return m &^ (1 << uint(i)) }
+
+// Union returns m ∪ o.
+func (m Mask) Union(o Mask) Mask { return m | o }
+
+// Intersect returns m ∩ o.
+func (m Mask) Intersect(o Mask) Mask { return m & o }
+
+// Diff returns m \ o.
+func (m Mask) Diff(o Mask) Mask { return m &^ o }
+
+// Empty reports whether the set is empty.
+func (m Mask) Empty() bool { return m == 0 }
+
+// Count returns the cardinality |m|.
+func (m Mask) Count() int { return bits.OnesCount64(uint64(m)) }
+
+// Lowest returns the smallest relation index in m.
+// It must not be called on the empty set.
+func (m Mask) Lowest() int { return bits.TrailingZeros64(uint64(m)) }
+
+// LowestBit returns the singleton set containing the smallest element of m,
+// or the empty set if m is empty.
+func (m Mask) LowestBit() Mask { return m & -m }
+
+// Highest returns the largest relation index in m.
+// It must not be called on the empty set.
+func (m Mask) Highest() int { return 63 - bits.LeadingZeros64(uint64(m)) }
+
+// Disjoint reports whether m ∩ o = ∅.
+func (m Mask) Disjoint(o Mask) bool { return m&o == 0 }
+
+// SubsetOf reports whether m ⊆ o.
+func (m Mask) SubsetOf(o Mask) bool { return m&^o == 0 }
+
+// Elements returns the relation indices in m in increasing order.
+func (m Mask) Elements() []int {
+	out := make([]int, 0, m.Count())
+	for s := m; s != 0; s &= s - 1 {
+		out = append(out, s.Lowest())
+	}
+	return out
+}
+
+// ForEach calls f for every relation index in m in increasing order.
+func (m Mask) ForEach(f func(i int)) {
+	for s := m; s != 0; s &= s - 1 {
+		f(s.Lowest())
+	}
+}
+
+// NextSubset steps through the non-empty subsets of super in increasing
+// numeric order. Starting from sub = 0, repeated application
+//
+//	sub = sub.NextSubset(super)
+//
+// yields every non-empty subset of super exactly once and returns 0 after the
+// last one. This is the standard (sub - super) & super trick used by the
+// subset-precedence enumeration of DPSub.
+func (m Mask) NextSubset(super Mask) Mask {
+	return (m - super) & super
+}
+
+// String renders the set as "{i, j, ...}".
+func (m Mask) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	m.ForEach(func(i int) {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		b.WriteString(strconv.Itoa(i))
+	})
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Deposit implements PDEP (parallel bit deposit): the low bits of src are
+// scattered, in order, to the positions of the set bits of mask. It is the
+// software equivalent of the x86 BMI2 PDEP instruction the paper uses to
+// expand a dense local subset rank into a sparse relation mask (§2.2.1).
+func Deposit(src uint64, mask Mask) Mask {
+	var out Mask
+	bit := uint64(1)
+	for mm := mask; mm != 0; mm &= mm - 1 {
+		if src&bit != 0 {
+			out |= mm.LowestBit()
+		}
+		bit <<= 1
+	}
+	return out
+}
+
+// Extract implements PEXT (parallel bit extract), the inverse of Deposit:
+// the bits of src at the positions selected by mask are gathered into the
+// low bits of the result.
+func Extract(src, mask Mask) uint64 {
+	var out uint64
+	bit := uint64(1)
+	for mm := mask; mm != 0; mm &= mm - 1 {
+		if src&mm.LowestBit() != 0 {
+			out |= bit
+		}
+		bit <<= 1
+	}
+	return out
+}

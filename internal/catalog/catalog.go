@@ -1,0 +1,64 @@
+// Package catalog models the statistics the optimizer consumes: per-relation
+// row counts, page counts and tuple widths, plus primary-key/foreign-key
+// metadata. It also ships the synthetic schema builders (star, snowflake,
+// chain, cycle, clique) and a 56-table MusicBrainz catalog mirroring the
+// real-world dataset used in the paper's evaluation (§7.2.2).
+//
+// No tuple data exists anywhere in this repository: join-order optimization
+// only ever reads statistics, which is why a synthetic catalog preserves the
+// paper's behaviour exactly (see DESIGN.md, substitutions).
+package catalog
+
+import "fmt"
+
+// Relation describes one base relation's optimizer-visible statistics.
+type Relation struct {
+	Name  string
+	Rows  float64 // estimated tuple count after applying local selections
+	Pages float64 // heap pages
+	Width int     // average tuple width in bytes
+
+	// HasPKIndex marks relations with a usable primary-key index, enabling
+	// the index-nested-loop path in the cost model.
+	HasPKIndex bool
+}
+
+// PageSize is the assumed heap page size in bytes (PostgreSQL default 8KiB).
+const PageSize = 8192
+
+// NewRelation derives page count from rows and width.
+func NewRelation(name string, rows float64, width int) Relation {
+	if rows < 1 {
+		rows = 1
+	}
+	tuplesPerPage := float64(PageSize) / float64(width+24) // 24B header overhead
+	if tuplesPerPage < 1 {
+		tuplesPerPage = 1
+	}
+	return Relation{
+		Name:  name,
+		Rows:  rows,
+		Pages: rows/tuplesPerPage + 1,
+		Width: width,
+	}
+}
+
+// Catalog is an ordered collection of relations addressed by index.
+type Catalog struct {
+	Rels []Relation
+}
+
+// Add appends a relation and returns its index.
+func (c *Catalog) Add(r Relation) int {
+	c.Rels = append(c.Rels, r)
+	return len(c.Rels) - 1
+}
+
+// Len returns the number of relations.
+func (c *Catalog) Len() int { return len(c.Rels) }
+
+// Rel returns the i-th relation.
+func (c *Catalog) Rel(i int) Relation { return c.Rels[i] }
+
+// numbered produces "prefix_i" names.
+func numbered(prefix string, i int) string { return fmt.Sprintf("%s_%d", prefix, i) }

@@ -1,0 +1,93 @@
+package catalog
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestNewRelationDerivesPages(t *testing.T) {
+	r := NewRelation("t", 1e6, 100)
+	if r.Pages <= 0 {
+		t.Fatal("pages must be positive")
+	}
+	// ~66 tuples per 8KiB page at width 100+24.
+	if r.Pages < 1e6/100 || r.Pages > 1e6/10 {
+		t.Errorf("pages = %v, implausible for 1e6 rows", r.Pages)
+	}
+	tiny := NewRelation("t", 0, 10)
+	if tiny.Rows != 1 {
+		t.Errorf("rows clamped to %v, want 1", tiny.Rows)
+	}
+}
+
+func TestMusicBrainzSchemaShape(t *testing.T) {
+	s := MusicBrainz()
+	if got := s.Catalog.Len(); got != 56 {
+		t.Fatalf("MusicBrainz has %d tables, want 56 (as in the paper)", got)
+	}
+	for i, r := range s.Catalog.Rels {
+		if r.Rows <= 0 || r.Pages <= 0 {
+			t.Errorf("table %d (%s) has invalid stats", i, r.Name)
+		}
+		if !r.HasPKIndex {
+			t.Errorf("table %s should have a PK index", r.Name)
+		}
+	}
+	// Every FK edge references valid tables and no self-references.
+	for _, fk := range s.FKs {
+		if fk.From < 0 || fk.From >= 56 || fk.To < 0 || fk.To >= 56 || fk.From == fk.To {
+			t.Errorf("bad FK edge %+v", fk)
+		}
+	}
+	if s.Index("artist") < 0 || s.Index("release") < 0 {
+		t.Error("Index lookup broken")
+	}
+}
+
+func TestMusicBrainzLargestComponentIsLarge(t *testing.T) {
+	s := MusicBrainz()
+	uf := graph.NewUnionFind(s.Catalog.Len())
+	for _, fk := range s.FKs {
+		uf.Union(fk.From, fk.To)
+	}
+	largest := 0
+	for _, members := range uf.Groups() {
+		if len(members) > largest {
+			largest = len(members)
+		}
+	}
+	// Random walks need room: the giant component must span most tables.
+	if largest < 40 {
+		t.Errorf("largest FK component has %d tables; random-walk queries need ≥40", largest)
+	}
+}
+
+func TestMusicBrainzIndexPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for unknown table")
+		}
+	}()
+	MusicBrainz().Index("definitely_not_a_table")
+}
+
+func TestSyntheticCatalogs(t *testing.T) {
+	star := StarCatalog(20)
+	if star.Len() != 20 {
+		t.Fatalf("star catalog size %d", star.Len())
+	}
+	if star.Rels[0].Rows < star.Rels[1].Rows {
+		t.Error("fact table should dominate dimension 1")
+	}
+	snow := SnowflakeCatalog(30, 4)
+	if snow.Len() != 30 {
+		t.Fatalf("snowflake catalog size %d", snow.Len())
+	}
+	uni := UniformCatalog(10)
+	for i, r := range uni.Rels {
+		if r.Rows <= 0 {
+			t.Errorf("uniform catalog rel %d empty", i)
+		}
+	}
+}

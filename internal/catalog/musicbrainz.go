@@ -1,0 +1,196 @@
+package catalog
+
+// MusicBrainz returns a 56-table catalog mirroring the MusicBrainz open music
+// encyclopedia schema used in the paper (§7.2.2): artists, release groups,
+// releases, recordings, works, labels and their many link/attribute tables.
+// Row counts approximate the public database's published table sizes; the
+// PK-FK edges returned alongside define the join graph for the random-walk
+// query generator.
+//
+// FKEdge declares "From.column references To's primary key".
+type FKEdge struct {
+	From, To int
+}
+
+// MusicBrainzSchema bundles the catalog with its foreign-key topology.
+type MusicBrainzSchema struct {
+	Catalog Catalog
+	FKs     []FKEdge
+	byName  map[string]int
+}
+
+// Index returns the relation index for a table name, panicking on unknown
+// names (schema is static; a typo is a programming error).
+func (s *MusicBrainzSchema) Index(name string) int {
+	i, ok := s.byName[name]
+	if !ok {
+		panic("catalog: unknown MusicBrainz table " + name)
+	}
+	return i
+}
+
+// MusicBrainz constructs the schema.
+func MusicBrainz() *MusicBrainzSchema {
+	type t struct {
+		name  string
+		rows  float64
+		width int
+	}
+	tables := []t{
+		{"area", 120e3, 40}, {"area_type", 10, 20}, {"artist", 2.1e6, 90},
+		{"artist_alias", 250e3, 60}, {"artist_credit", 2.4e6, 40},
+		{"artist_credit_name", 3.4e6, 40}, {"artist_type", 6, 20},
+		{"gender", 5, 20}, {"label", 240e3, 70}, {"label_type", 10, 20},
+		{"release", 3.6e6, 90}, {"release_group", 3.1e6, 60},
+		{"release_group_primary_type", 5, 20}, {"release_status", 6, 20},
+		{"release_packaging", 10, 20}, {"release_country", 3.2e6, 24},
+		{"release_label", 2.1e6, 24}, {"medium", 3.9e6, 40},
+		{"medium_format", 80, 20}, {"track", 42e6, 60},
+		{"recording", 33e6, 70}, {"work", 1.9e6, 60}, {"work_type", 30, 20},
+		{"url", 9.5e6, 80}, {"place", 60e3, 70}, {"place_type", 10, 20},
+		{"event", 80e3, 70}, {"event_type", 10, 20}, {"series", 20e3, 50},
+		{"series_type", 12, 20}, {"instrument", 1100, 40},
+		{"instrument_type", 6, 20}, {"language", 7800, 24}, {"script", 200, 24},
+		{"country_area", 260, 16}, {"isrc", 3.1e6, 30}, {"iswc", 1.2e6, 30},
+		{"annotation", 700e3, 120}, {"tag", 200e3, 30},
+		{"artist_tag", 800e3, 20}, {"recording_tag", 900e3, 20},
+		{"release_tag", 600e3, 20}, {"release_group_tag", 500e3, 20},
+		{"work_tag", 150e3, 20}, {"label_tag", 60e3, 20},
+		{"l_artist_artist", 300e3, 30}, {"l_artist_recording", 2.8e6, 30},
+		{"l_artist_release", 900e3, 30}, {"l_artist_work", 1.4e6, 30},
+		{"l_recording_work", 2.3e6, 30}, {"l_release_url", 1.1e6, 30},
+		{"link", 2.5e6, 30}, {"link_type", 800, 40},
+		{"editor", 2.3e6, 60}, {"edit", 70e6, 80}, {"vote", 15e6, 24},
+	}
+	s := &MusicBrainzSchema{byName: make(map[string]int, len(tables))}
+	for _, tb := range tables {
+		r := NewRelation(tb.name, tb.rows, tb.width)
+		r.HasPKIndex = true
+		s.byName[tb.name] = s.Catalog.Add(r)
+	}
+	fk := func(from, to string) {
+		s.FKs = append(s.FKs, FKEdge{From: s.Index(from), To: s.Index(to)})
+	}
+	// Core entity topology (PK-FK references as in the MusicBrainz schema).
+	fk("area", "area_type")
+	fk("artist", "area")
+	fk("artist", "artist_type")
+	fk("artist", "gender")
+	fk("artist_alias", "artist")
+	fk("artist_credit_name", "artist_credit")
+	fk("artist_credit_name", "artist")
+	fk("label", "area")
+	fk("label", "label_type")
+	fk("release", "artist_credit")
+	fk("release", "release_group")
+	fk("release", "release_status")
+	fk("release", "release_packaging")
+	fk("release", "language")
+	fk("release", "script")
+	fk("release_group", "artist_credit")
+	fk("release_group", "release_group_primary_type")
+	fk("release_country", "release")
+	fk("release_country", "country_area")
+	fk("release_label", "release")
+	fk("release_label", "label")
+	fk("medium", "release")
+	fk("medium", "medium_format")
+	fk("track", "medium")
+	fk("track", "recording")
+	fk("track", "artist_credit")
+	fk("recording", "artist_credit")
+	fk("work", "work_type")
+	fk("place", "area")
+	fk("place", "place_type")
+	fk("event", "event_type")
+	fk("series", "series_type")
+	fk("instrument", "instrument_type")
+	fk("country_area", "area")
+	fk("isrc", "recording")
+	fk("iswc", "work")
+	fk("artist_tag", "artist")
+	fk("artist_tag", "tag")
+	fk("recording_tag", "recording")
+	fk("recording_tag", "tag")
+	fk("release_tag", "release")
+	fk("release_tag", "tag")
+	fk("release_group_tag", "release_group")
+	fk("release_group_tag", "tag")
+	fk("work_tag", "work")
+	fk("work_tag", "tag")
+	fk("label_tag", "label")
+	fk("label_tag", "tag")
+	fk("l_artist_artist", "artist")
+	fk("l_artist_artist", "link")
+	fk("l_artist_recording", "artist")
+	fk("l_artist_recording", "recording")
+	fk("l_artist_recording", "link")
+	fk("l_artist_release", "artist")
+	fk("l_artist_release", "release")
+	fk("l_artist_release", "link")
+	fk("l_artist_work", "artist")
+	fk("l_artist_work", "work")
+	fk("l_artist_work", "link")
+	fk("l_recording_work", "recording")
+	fk("l_recording_work", "work")
+	fk("l_recording_work", "link")
+	fk("l_release_url", "release")
+	fk("l_release_url", "url")
+	fk("l_release_url", "link")
+	fk("link", "link_type")
+	fk("edit", "editor")
+	fk("vote", "editor")
+	fk("vote", "edit")
+	fk("annotation", "editor")
+	return s
+}
+
+// StarCatalog returns a catalog for an n-relation star query: one large fact
+// table plus n-1 dimensions with varied sizes so that join orders
+// meaningfully differ in cost.
+func StarCatalog(n int) Catalog {
+	var c Catalog
+	fact := NewRelation("fact", 10e6, 80)
+	fact.HasPKIndex = true
+	c.Add(fact)
+	for i := 1; i < n; i++ {
+		// Dimension sizes cycle over several orders of magnitude.
+		rows := []float64{50, 1e3, 2e4, 3e5, 5e6}[i%5] * (1 + float64(i%7)/10)
+		d := NewRelation(numbered("dim", i), rows, 40)
+		d.HasPKIndex = true
+		c.Add(d)
+	}
+	return c
+}
+
+// SnowflakeCatalog returns a catalog for an n-relation snowflake query whose
+// arm depth matches graph.SnowflakeN(n, depth): sizes shrink with distance
+// from the fact table, as in a normalized dimensional model.
+func SnowflakeCatalog(n, depth int) Catalog {
+	var c Catalog
+	fact := NewRelation("fact", 10e6, 80)
+	fact.HasPKIndex = true
+	c.Add(fact)
+	level := 0
+	for i := 1; i < n; i++ {
+		rows := []float64{8e5, 5e4, 3e3, 150}[level%4] * (1 + float64(i%5)/10)
+		d := NewRelation(numbered("dim", i), rows, 40)
+		d.HasPKIndex = true
+		c.Add(d)
+		level = (level + 1) % depth
+	}
+	return c
+}
+
+// UniformCatalog returns n relations with sizes cycling over a few orders of
+// magnitude; used for chain, cycle and clique workloads.
+func UniformCatalog(n int) Catalog {
+	var c Catalog
+	for i := 0; i < n; i++ {
+		rows := []float64{1e3, 1e4, 1e5, 1e6}[i%4] * (1 + float64(i%3)/4)
+		r := NewRelation(numbered("rel", i), rows, 50)
+		r.HasPKIndex = true
+		c.Add(r)
+	}
+	return c
+}

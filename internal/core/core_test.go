@@ -1,0 +1,122 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+func TestEveryAlgorithmOptimizesAStarQuery(t *testing.T) {
+	q := workload.Star(10, rand.New(rand.NewSource(1)))
+	var optimal float64
+	for _, alg := range Algorithms() {
+		res, err := Optimize(q, Options{Algorithm: alg, Timeout: 30 * time.Second, K: 5})
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if res.Plan == nil {
+			t.Fatalf("%s: nil plan", alg)
+		}
+		if alg.IsExact() {
+			if optimal == 0 {
+				optimal = res.Plan.Cost
+			} else if math.Abs(res.Plan.Cost-optimal) > 1e-6*optimal {
+				t.Errorf("%s: exact cost %.4f differs from %.4f", alg, res.Plan.Cost, optimal)
+			}
+		} else if res.Plan.Cost < optimal*(1-1e-9) {
+			t.Errorf("%s: heuristic cost %.4f beats optimal %.4f", alg, res.Plan.Cost, optimal)
+		}
+		if err := res.Plan.Validate([]int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}); err != nil {
+			t.Errorf("%s: invalid plan: %v", alg, err)
+		}
+	}
+}
+
+func TestGPUAlgorithmsReportDeviceStats(t *testing.T) {
+	q := workload.Snowflake(12, rand.New(rand.NewSource(2)))
+	for _, alg := range []Algorithm{AlgMPDPGPU, AlgDPSubGPU, AlgDPSizeGPU} {
+		res, err := Optimize(q, Options{Algorithm: alg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.GPU == nil || res.GPU.SimTimeMS <= 0 || res.GPU.KernelLaunches == 0 {
+			t.Errorf("%s: missing GPU stats: %+v", alg, res.GPU)
+		}
+	}
+	res, err := Optimize(q, Options{Algorithm: AlgMPDP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GPU != nil {
+		t.Error("CPU algorithm must not report GPU stats")
+	}
+}
+
+func TestAutoPolicySwitchesAtFallbackLimit(t *testing.T) {
+	small := workload.Star(8, rand.New(rand.NewSource(3)))
+	res, err := Optimize(small, Options{Algorithm: AlgAuto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GPU == nil {
+		t.Error("Auto below the fall-back limit must plan exactly (GPU MPDP)")
+	}
+	big := workload.Snowflake(40, rand.New(rand.NewSource(4)))
+	res, err = Optimize(big, Options{Algorithm: AlgAuto, Timeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GPU != nil {
+		t.Error("Auto above the fall-back limit must use the heuristic")
+	}
+	// A custom limit flips the decision.
+	res, err = Optimize(small, Options{Algorithm: AlgAuto, FallbackLimit: 4, Timeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GPU != nil {
+		t.Error("lowered fall-back limit ignored")
+	}
+}
+
+func TestUnknownAlgorithmRejected(t *testing.T) {
+	q := workload.Star(5, rand.New(rand.NewSource(5)))
+	if _, err := Optimize(q, Options{Algorithm: "nope"}); err == nil {
+		t.Error("unknown algorithm must error")
+	}
+}
+
+func TestExplainUsesRelationNames(t *testing.T) {
+	q := workload.MusicBrainzQuery(6, rand.New(rand.NewSource(6)))
+	res, err := Optimize(q, Options{Algorithm: AlgMPDP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Explain(q, res.Plan)
+	found := false
+	for _, name := range q.Names() {
+		if strings.Contains(out, name) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Errorf("Explain output has no relation names:\n%s", out)
+	}
+}
+
+func TestTimeoutPropagates(t *testing.T) {
+	q := workload.Clique(18, rand.New(rand.NewSource(7)))
+	start := time.Now()
+	_, err := Optimize(q, Options{Algorithm: AlgDPSub, Timeout: 50 * time.Millisecond})
+	if err == nil {
+		t.Skip("machine fast enough to finish; nothing to assert")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("timeout ignored")
+	}
+}

@@ -1,0 +1,170 @@
+package cost
+
+import (
+	"math"
+
+	"repro/internal/plan"
+)
+
+// Model holds the cost constants, mirroring PostgreSQL's planner GUCs.
+// The zero value is unusable; use DefaultModel.
+type Model struct {
+	SeqPageCost       float64
+	RandomPageCost    float64
+	CPUTupleCost      float64
+	CPUIndexTupleCost float64
+	CPUOperatorCost   float64
+
+	// DisableNestLoop / DisableMerge let ablation benchmarks restrict the
+	// operator space (a simpler cost function, cf. Meister & Saake [22],
+	// "cost-function complexity matters").
+	DisableNestLoop bool
+	DisableMerge    bool
+}
+
+// DefaultModel returns PostgreSQL 12's default cost constants.
+func DefaultModel() *Model {
+	return &Model{
+		SeqPageCost:       1.0,
+		RandomPageCost:    4.0,
+		CPUTupleCost:      0.01,
+		CPUIndexTupleCost: 0.005,
+		CPUOperatorCost:   0.0025,
+	}
+}
+
+// Scan returns the plan node for a sequential scan of relation i.
+func (m *Model) Scan(q *Query, i int) *plan.Node {
+	rel := q.Cat.Rels[i]
+	return &plan.Node{
+		Set:   1 << uint(i),
+		RelID: i,
+		Op:    plan.OpScan,
+		Rows:  rel.Rows,
+		Cost:  rel.Pages*m.SeqPageCost + rel.Rows*m.CPUTupleCost,
+	}
+}
+
+// JoinCost computes the cheapest operator for joining l and r producing
+// outRows tuples, given whether the right input is a base relation with a
+// usable PK index (enables index nested loop). It returns the operator and
+// the total cost including both children.
+func (m *Model) JoinCost(l, r *plan.Node, outRows float64, rightIndexed bool) (plan.Op, float64) {
+	childCost := l.Cost + r.Cost
+
+	// Hash join: build on the smaller input, probe with the larger.
+	build, probe := r, l
+	if build.Rows > probe.Rows {
+		build, probe = probe, build
+	}
+	hash := childCost +
+		build.Rows*(m.CPUOperatorCost+m.CPUTupleCost) + // build phase
+		probe.Rows*m.CPUOperatorCost + // probe phase
+		outRows*m.CPUTupleCost
+	bestOp, bestCost := plan.OpHashJoin, hash
+
+	if !m.DisableNestLoop {
+		// Materialized nested loop: rescan the (cheaper-to-rescan) inner.
+		rescan := r.Rows * m.CPUOperatorCost
+		nl := childCost + l.Rows*rescan + outRows*m.CPUTupleCost
+		if nl < bestCost {
+			bestOp, bestCost = plan.OpNestLoop, nl
+		}
+		if rightIndexed && r.IsLeaf() {
+			// Index nested loop into the inner PK index.
+			lookups := math.Log2(r.Rows+2) * m.CPUIndexTupleCost * 4
+			perMatch := m.RandomPageCost / 2
+			matched := outRows / math.Max(l.Rows, 1)
+			inl := l.Cost + l.Rows*(lookups+matched*perMatch) + outRows*m.CPUTupleCost
+			if inl < bestCost {
+				bestOp, bestCost = plan.OpIndexNestLoop, inl
+			}
+		}
+	}
+
+	if !m.DisableMerge {
+		sortCost := func(n *plan.Node) float64 {
+			rows := math.Max(n.Rows, 2)
+			return rows * math.Log2(rows) * m.CPUOperatorCost * 2
+		}
+		merge := childCost + sortCost(l) + sortCost(r) +
+			(l.Rows+r.Rows)*m.CPUOperatorCost + outRows*m.CPUTupleCost
+		if merge < bestCost {
+			bestOp, bestCost = plan.OpMergeJoin, merge
+		}
+	}
+
+	return bestOp, bestCost
+}
+
+// Join builds the best join node over l and r for query q. The caller
+// guarantees l and r are connected, disjoint relation sets (a CCP pair).
+// Valid for queries of <= 64 relations (uses Mask sets).
+func (m *Model) Join(q *Query, l, r *plan.Node) *plan.Node {
+	op, rows, cost := m.JoinEval(q, l, r)
+	return m.MakeJoin(l, r, op, rows, cost)
+}
+
+// JoinEval is the allocation-free core of Join: it returns the cheapest
+// operator, output cardinality and total cost of l ⋈ r. The DP inner loops
+// call it per candidate pair and materialize a node only for the winner.
+func (m *Model) JoinEval(q *Query, l, r *plan.Node) (plan.Op, float64, float64) {
+	outRows := l.Rows * r.Rows * q.SelBetween(l.Set, r.Set)
+	rightIndexed := r.IsLeaf() && q.Cat.Rels[r.RelID].HasPKIndex
+	op, cost := m.JoinCost(l, r, outRows, rightIndexed)
+	return op, outRows, cost
+}
+
+// JoinEvalRows is JoinEval with a precomputed output cardinality, letting
+// callers that evaluate both orientations of a pair share the selectivity
+// computation.
+func (m *Model) JoinEvalRows(q *Query, l, r *plan.Node, outRows float64) (plan.Op, float64) {
+	rightIndexed := r.IsLeaf() && q.Cat.Rels[r.RelID].HasPKIndex
+	return m.JoinCost(l, r, outRows, rightIndexed)
+}
+
+// MakeJoin materializes a join node from a JoinEval result.
+func (m *Model) MakeJoin(l, r *plan.Node, op plan.Op, rows, cost float64) *plan.Node {
+	return &plan.Node{
+		Set:   l.Set.Union(r.Set),
+		Left:  l,
+		Right: r,
+		Op:    op,
+		Rows:  rows,
+		Cost:  cost,
+	}
+}
+
+// JoinWithRows is Join with a precomputed output cardinality, used by the
+// heuristic layer on large graphs where Mask sets are unavailable.
+func (m *Model) JoinWithRows(q *Query, l, r *plan.Node, outRows float64) *plan.Node {
+	rightIndexed := r.IsLeaf() && q.Cat.Rels[r.RelID].HasPKIndex
+	op, cost := m.JoinCost(l, r, outRows, rightIndexed)
+	return &plan.Node{
+		Set:   l.Set.Union(r.Set),
+		Left:  l,
+		Right: r,
+		Op:    op,
+		Rows:  outRows,
+		Cost:  cost,
+	}
+}
+
+// Cout returns the Cout cost of a plan: the sum of intermediate result
+// sizes. IKKBZ and LinDP rank relations with Cout, exactly as in the paper
+// (§7.3, "It uses the Cout cost function").
+func Cout(n *plan.Node) float64 {
+	if n == nil || n.IsLeaf() {
+		return 0
+	}
+	return n.Rows + Cout(n.Left) + Cout(n.Right)
+}
+
+// EstimatedExecTimeMS converts a plan's cost into an estimated execution
+// time in milliseconds. PostgreSQL cost units are calibrated so that
+// seq_page_cost=1.0 corresponds to roughly 0.005 ms of work on the paper's
+// hardware class; Fig. 10 uses this conversion (see EXPERIMENTS.md for the
+// substitution note).
+func EstimatedExecTimeMS(planCost float64) float64 {
+	return planCost * 0.005
+}

@@ -1,0 +1,29 @@
+package dp
+
+import "repro/internal/plan"
+
+// bestWin tracks the winning join candidate of a per-set evaluation without
+// allocating: the DP inner loops evaluate millions of losing candidates and
+// only the winner is materialized as a plan node.
+type bestWin struct {
+	l, r  *plan.Node
+	op    plan.Op
+	rows  float64
+	cost  float64
+	found bool
+}
+
+// offer records the candidate if it beats the current winner.
+func (b *bestWin) offer(l, r *plan.Node, op plan.Op, rows, cost float64) {
+	if !b.found || cost < b.cost {
+		b.l, b.r, b.op, b.rows, b.cost, b.found = l, r, op, rows, cost, true
+	}
+}
+
+// node materializes the winner, or returns nil if no candidate was offered.
+func (b *bestWin) node(in Input) *plan.Node {
+	if !b.found {
+		return nil
+	}
+	return in.M.MakeJoin(b.l, b.r, b.op, b.rows, b.cost)
+}

@@ -1,0 +1,163 @@
+package dp
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/graph"
+)
+
+// TestCountersMatchInstrumentedRuns cross-checks the census-based counter
+// report against the counters measured by actually running each algorithm.
+func TestCountersMatchInstrumentedRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	m := cost.DefaultModel()
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(9)
+		q := randomQuery(n, rng.Intn(n), rng)
+		rep, err := Counters(Input{Q: q, M: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, subStats, err := DPSub(Input{Q: q, M: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.DPSubEvaluated != subStats.Evaluated {
+			t.Errorf("trial %d: census DPSub=%d, run=%d", trial, rep.DPSubEvaluated, subStats.Evaluated)
+		}
+		if rep.CCP != subStats.CCP {
+			t.Errorf("trial %d: census CCP=%d, run=%d", trial, rep.CCP, subStats.CCP)
+		}
+		_, mpdpStats, err := MPDP(Input{Q: q, M: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.MPDPEvaluated != mpdpStats.Evaluated {
+			t.Errorf("trial %d: census MPDP=%d, run=%d", trial, rep.MPDPEvaluated, mpdpStats.Evaluated)
+		}
+		_, sizeStats, err := DPSize(Input{Q: q, M: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.DPSizeEvaluated != sizeStats.Evaluated {
+			t.Errorf("trial %d: census DPSize=%d, run=%d", trial, rep.DPSizeEvaluated, sizeStats.Evaluated)
+		}
+	}
+}
+
+// TestCountersStarClosedForm pins the star-graph counters to their closed
+// forms: cnt[i] = C(n-1, i-1), CCP = 2(n-1)·2^(n-2),
+// DPSubEvaluated = Σ C(n-1, i-1)·2^i = 2·3^(n-1) - 2n - ... (computed
+// directly), which is what makes Fig. 4's ratio grow as (3/2)^n.
+func TestCountersStarClosedForm(t *testing.T) {
+	for _, n := range []int{5, 10, 15} {
+		q := topoQuery(graph.Star(n), rand.New(rand.NewSource(1)))
+		rep, err := Counters(Input{Q: q, M: cost.DefaultModel()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Closed-form CCP for a star: connected sets of size i contain the
+		// hub and any i-1 dimensions; the only valid bipartitions cut off a
+		// single dimension (2(i-1) ordered pairs per set).
+		var ccp, sub uint64
+		binom := func(a, b int) uint64 {
+			r := uint64(1)
+			for i := 0; i < b; i++ {
+				r = r * uint64(a-i) / uint64(i+1)
+			}
+			return r
+		}
+		for i := 2; i <= n; i++ {
+			cnt := binom(n-1, i-1)
+			ccp += cnt * uint64(2*(i-1))
+			sub += cnt << uint(i)
+		}
+		if rep.CCP != ccp {
+			t.Errorf("n=%d: CCP=%d, closed form %d", n, rep.CCP, ccp)
+		}
+		if rep.DPSubEvaluated != sub {
+			t.Errorf("n=%d: DPSub=%d, closed form %d", n, rep.DPSubEvaluated, sub)
+		}
+		if rep.MPDPEvaluated != ccp {
+			t.Errorf("n=%d: MPDP=%d must meet the CCP bound on trees", n, rep.MPDPEvaluated)
+		}
+	}
+}
+
+func TestCountersRejectsOversizedQuery(t *testing.T) {
+	q := &cost.Query{G: graph.New(65)}
+	if _, err := Counters(Input{Q: q, M: cost.DefaultModel()}); err != ErrTooLarge {
+		t.Errorf("got %v, want ErrTooLarge", err)
+	}
+}
+
+func TestRunPartialFindsOptimalKSubplans(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	m := cost.DefaultModel()
+	for trial := 0; trial < 15; trial++ {
+		n := 6 + rng.Intn(5)
+		k := 3 + rng.Intn(3)
+		q := randomQuery(n, rng.Intn(n), rng)
+		memo, buckets, _, err := RunPartial(Input{Q: q, M: m}, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Every memoized plan of size <= k must equal the optimum for its
+		// set, per the full MPDP memo.
+		fullPlan, _, err := MPDPGeneral(Input{Q: q, M: m})
+		_ = fullPlan
+		if err != nil {
+			t.Fatal(err)
+		}
+		fullMemo, fullBuckets, _, err := RunPartial(Input{Q: q, M: m}, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = fullBuckets
+		for size := 2; size <= k; size++ {
+			for _, s := range buckets[size] {
+				got := memo.Get(s)
+				want := fullMemo.Get(s)
+				if (got == nil) != (want == nil) {
+					t.Fatalf("size %d set %v: presence mismatch", size, s)
+				}
+				if got != nil && got.Cost != want.Cost {
+					t.Errorf("size %d set %v: cost %v, want %v", size, s, got.Cost, want.Cost)
+				}
+			}
+		}
+		// No bucket may exceed k.
+		for size := k + 1; size <= n; size++ {
+			if len(buckets[size]) > 0 {
+				t.Errorf("RunPartial(k=%d) materialized sets of size %d", k, size)
+			}
+		}
+	}
+}
+
+func TestBoundedConnectedSetsMatchesFullEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + rng.Intn(8)
+		q := randomQuery(n, rng.Intn(n), rng)
+		in := Input{Q: q, M: cost.DefaultModel()}
+		full, err := ConnectedBuckets(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 2; k <= n; k++ {
+			bounded, err := boundedConnectedSets(in, k, NewDeadline(in.Deadline))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for size := 1; size <= k; size++ {
+				if len(bounded[size]) != len(full[size]) {
+					t.Fatalf("n=%d k=%d size=%d: bounded %d sets, full %d",
+						n, k, size, len(bounded[size]), len(full[size]))
+				}
+			}
+		}
+	}
+}

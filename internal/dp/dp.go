@@ -1,0 +1,183 @@
+// Package dp implements the exact join-order optimizers evaluated in the
+// paper: the vertex-based DPSize and DPSub baselines, the edge-based DPCCP
+// baseline, and the paper's contribution MPDP (tree-specialised Algorithm 2
+// and the general block-based hybrid enumeration of Algorithm 3).
+//
+// Every algorithm is instrumented with the paper's two efficiency counters
+// (§2.1): EvaluatedCounter (join pairs examined) and CCPCounter (valid
+// csg-cmp pairs, counting both orientations), and all of them return the
+// same optimal bushy no-cross-product plan, which the test suite enforces.
+package dp
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/bitset"
+	"repro/internal/cost"
+	"repro/internal/graph"
+	"repro/internal/plan"
+)
+
+// Stats carries the instrumentation counters of one optimizer run.
+type Stats struct {
+	// Evaluated is the paper's EvaluatedCounter: the number of join pairs
+	// the algorithm examined, valid or not.
+	Evaluated uint64
+	// CCP is the paper's CCP-Counter: the number of valid join pairs
+	// (connected-subgraph complement pairs), including symmetric ones.
+	CCP uint64
+	// ConnectedSets is the number of connected subsets the algorithm
+	// materialized (the size of the DP lattice actually visited).
+	ConnectedSets uint64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Evaluated += other.Evaluated
+	s.CCP += other.CCP
+	s.ConnectedSets += other.ConnectedSets
+}
+
+// Errors returned by the optimizers.
+var (
+	// ErrTooLarge is returned for queries beyond the Mask width.
+	ErrTooLarge = errors.New("dp: exact optimization supports at most 64 relations")
+	// ErrDisconnected is returned when the join graph is disconnected and
+	// no cross-product-free plan exists.
+	ErrDisconnected = errors.New("dp: join graph is disconnected (cross products are not considered)")
+	// ErrTimeout is returned when the optimizer exceeded its deadline.
+	ErrTimeout = errors.New("dp: optimization timed out")
+)
+
+// Input is one optimization task over a (sub)query of at most 64 relations.
+type Input struct {
+	Q *cost.Query
+	M *cost.Model
+
+	// Leaves optionally overrides the base plans for each relation; the
+	// heuristic layer passes materialized composite plans here (IDP2 temp
+	// tables, UnionDP partition plans). When nil, sequential scans are used.
+	// Leaf nodes are used as-is; their Set field is rewritten to the local
+	// singleton.
+	Leaves []*plan.Node
+
+	// Deadline, when non-zero, bounds the optimization time; algorithms
+	// return ErrTimeout once it passes.
+	Deadline time.Time
+
+	// Threads requests CPU parallelism for the algorithms that support it
+	// (0 means all available cores, 1 means sequential).
+	Threads int
+}
+
+// Func is the common signature of every exact optimizer.
+type Func func(in Input) (*plan.Node, Stats, error)
+
+// Deadline is a cheap cooperative timeout checker: Expired polls the clock
+// only every few thousand iterations.
+type Deadline struct {
+	at time.Time
+	n  uint
+}
+
+// NewDeadline wraps at; the zero time means "no deadline".
+func NewDeadline(at time.Time) *Deadline {
+	return &Deadline{at: at}
+}
+
+const deadlinePollInterval = 8192
+
+// Expired reports whether the deadline passed, polling the clock sparsely.
+func (d *Deadline) Expired() bool {
+	if d.at.IsZero() {
+		return false
+	}
+	d.n++
+	if d.n%deadlinePollInterval != 0 {
+		return false
+	}
+	return time.Now().After(d.at)
+}
+
+// SetEvaluator computes the best plan for one connected set S given a memo
+// holding the best plans for all smaller connected sets. The parallel and
+// GPU-model drivers share these with the sequential algorithms so that
+// plans and counters agree exactly across variants.
+type SetEvaluator func(in Input, memo *plan.Memo, s bitset.Mask, dl *Deadline) (*plan.Node, Stats, error)
+
+// Prepared holds the common setup of an optimization run.
+type Prepared struct {
+	Leaves []*plan.Node
+	Memo   *plan.Memo
+}
+
+// Prepare validates the input, materializes the per-relation base plans and
+// seeds the memo with them.
+func Prepare(in Input) (*Prepared, error) {
+	leaves, err := in.leaves()
+	if err != nil {
+		return nil, err
+	}
+	memo := plan.NewMemo(in.Q.N())
+	for i, leaf := range leaves {
+		memo.Put(bitset.Single(i), leaf)
+	}
+	return &Prepared{Leaves: leaves, Memo: memo}, nil
+}
+
+// ConnectedBuckets enumerates every connected subset of the query graph and
+// buckets them by cardinality (result[i] holds the size-i sets). It returns
+// ErrTimeout if the deadline expires mid-enumeration.
+func ConnectedBuckets(in Input) ([][]bitset.Mask, error) {
+	dl := NewDeadline(in.Deadline)
+	buckets := connectedSetsBySize(in.Q.G, dl)
+	if buckets == nil {
+		return nil, ErrTimeout
+	}
+	return buckets, nil
+}
+
+// CCPPairsSeq runs the sequential csg-cmp enumeration, invoking emit once
+// per unordered valid join pair. It returns false when the deadline expired.
+func CCPPairsSeq(g *graph.Graph, dl *Deadline, emit func(s1, s2 bitset.Mask)) bool {
+	return ccpPairs(g, dl, emit)
+}
+
+// Finish extracts the full-query plan from the memo.
+func Finish(in Input, memo *plan.Memo, stats *Stats) (*plan.Node, Stats, error) {
+	best, err := finish(in, memo)
+	return best, *stats, err
+}
+
+// leaves materializes the per-relation base plans.
+func (in *Input) leaves() ([]*plan.Node, error) {
+	n := in.Q.N()
+	if n > 64 {
+		return nil, ErrTooLarge
+	}
+	if n == 0 {
+		return nil, errors.New("dp: empty query")
+	}
+	out := make([]*plan.Node, n)
+	for i := 0; i < n; i++ {
+		if in.Leaves != nil && in.Leaves[i] != nil {
+			l := *in.Leaves[i] // shallow copy so Set rewrite is local
+			l.Set = bitset.Single(i)
+			out[i] = &l
+		} else {
+			out[i] = in.M.Scan(in.Q, i)
+		}
+	}
+	return out, nil
+}
+
+// finish extracts the full-query plan from the memo.
+func finish(in Input, memo *plan.Memo) (*plan.Node, error) {
+	full := bitset.Full(in.Q.N())
+	best := memo.Get(full)
+	if best == nil {
+		return nil, ErrDisconnected
+	}
+	return best, nil
+}

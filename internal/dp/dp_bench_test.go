@@ -1,0 +1,89 @@
+package dp
+
+import (
+	"fmt"
+
+	"math/rand"
+	"repro/internal/bitset"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/graph"
+)
+
+// Per-algorithm micro-benchmarks on a fixed random cyclic graph; the
+// repository-level bench_test.go sweeps the paper's workloads.
+func BenchmarkExactAlgorithms(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	q := randomQuery(13, 6, rng)
+	m := cost.DefaultModel()
+	algs := []struct {
+		name string
+		f    Func
+	}{
+		{"DPSize", DPSize},
+		{"DPSub", DPSub},
+		{"DPCCP", DPCCP},
+		{"MPDP", MPDPGeneral},
+	}
+	for _, alg := range algs {
+		b.Run(alg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := alg.f(Input{Q: q, M: m}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkMPDPTreeVsGeneralOnTrees(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{12, 16} {
+		q := topoQuery(graph.SnowflakeN(n, 4), rng)
+		m := cost.DefaultModel()
+		b.Run(fmt.Sprintf("Tree/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := MPDPTree(Input{Q: q, M: m}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("General/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := MPDPGeneral(Input{Q: q, M: m}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkConnectedSetEnumeration(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{16, 20} {
+		q := topoQuery(graph.Star(n), rng)
+		b.Run(fmt.Sprintf("star-%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				buckets := connectedSetsBySize(q.G, NewDeadline(noDeadline()))
+				if buckets == nil {
+					b.Fatal("enumeration aborted")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkCCPEnumeration(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	q := randomQuery(16, 6, rng)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		count := uint64(0)
+		ccpPairs(q.G, NewDeadline(noDeadline()), func(_, _ bitset.Mask) { count++ })
+		if count == 0 {
+			b.Fatal("no pairs")
+		}
+	}
+}

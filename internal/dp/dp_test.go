@@ -1,0 +1,292 @@
+package dp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/catalog"
+	"repro/internal/cost"
+	"repro/internal/graph"
+	"repro/internal/plan"
+)
+
+// randomQuery builds a random connected query with random statistics.
+func randomQuery(n, extraEdges int, rng *rand.Rand) *cost.Query {
+	g := graph.RandomConnected(n, extraEdges, rng)
+	for i := range g.Edges {
+		g.Edges[i].Sel = math.Pow(10, -1-3*rng.Float64())
+	}
+	// Rebuild the selectivity index to match mutated edges.
+	g2 := graph.New(n)
+	for _, e := range g.Edges {
+		g2.AddEdge(e.A, e.B, e.Sel)
+	}
+	var cat catalog.Catalog
+	for i := 0; i < n; i++ {
+		r := catalog.NewRelation("r", math.Pow(10, 1+4*rng.Float64()), 40+rng.Intn(100))
+		r.HasPKIndex = rng.Intn(2) == 0
+		cat.Add(r)
+	}
+	return &cost.Query{Cat: cat, G: g2}
+}
+
+func topoQuery(g *graph.Graph, rng *rand.Rand) *cost.Query {
+	var cat catalog.Catalog
+	for i := 0; i < g.N; i++ {
+		r := catalog.NewRelation("r", math.Pow(10, 1+4*rng.Float64()), 50)
+		r.HasPKIndex = true
+		cat.Add(r)
+	}
+	g2 := graph.New(g.N)
+	for _, e := range g.Edges {
+		g2.AddEdge(e.A, e.B, math.Pow(10, -1-3*rng.Float64()))
+	}
+	return &cost.Query{Cat: cat, G: g2}
+}
+
+// bruteForce is an independent reference optimizer: memoized recursion over
+// all bipartitions of each connected set.
+func bruteForce(q *cost.Query, m *cost.Model) *plan.Node {
+	n := q.N()
+	memo := map[bitset.Mask]*plan.Node{}
+	var best func(s bitset.Mask) *plan.Node
+	best = func(s bitset.Mask) *plan.Node {
+		if p, ok := memo[s]; ok {
+			return p
+		}
+		if s.Count() == 1 {
+			p := m.Scan(q, s.Lowest())
+			memo[s] = p
+			return p
+		}
+		var b *plan.Node
+		for lb := s.LowestBit(); !lb.Empty(); lb = lb.NextSubset(s) {
+			rb := s.Diff(lb)
+			if rb.Empty() || !q.G.Connected(lb) || !q.G.Connected(rb) || !q.G.ConnectedTo(lb, rb) {
+				continue
+			}
+			l, r := best(lb), best(rb)
+			if l == nil || r == nil {
+				continue
+			}
+			if j := m.Join(q, l, r); b == nil || j.Cost < b.Cost {
+				b = j
+			}
+		}
+		memo[s] = b
+		return b
+	}
+	return best(bitset.Full(n))
+}
+
+var allAlgorithms = []struct {
+	name string
+	f    Func
+}{
+	{"DPSize", DPSize},
+	{"DPSub", DPSub},
+	{"DPCCP", DPCCP},
+	{"MPDP", MPDP},
+	{"MPDPGeneral", MPDPGeneral},
+}
+
+func almostEqual(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	return diff <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestAllAlgorithmsAgreeOnRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	m := cost.DefaultModel()
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(9)
+		extra := rng.Intn(n)
+		q := randomQuery(n, extra, rng)
+		ref := bruteForce(q, m)
+		if ref == nil {
+			t.Fatalf("trial %d: brute force found no plan", trial)
+		}
+		for _, alg := range allAlgorithms {
+			p, _, err := alg.f(Input{Q: q, M: m})
+			if err != nil {
+				t.Fatalf("trial %d: %s: %v", trial, alg.name, err)
+			}
+			if !almostEqual(p.Cost, ref.Cost) {
+				t.Errorf("trial %d (n=%d extra=%d): %s cost %.6f, brute force %.6f",
+					trial, n, extra, alg.name, p.Cost, ref.Cost)
+			}
+			if err := p.Validate(allRels(n)); err != nil {
+				t.Errorf("trial %d: %s produced invalid plan: %v", trial, alg.name, err)
+			}
+			if !almostEqual(p.Rows, ref.Rows) {
+				t.Errorf("trial %d: %s rows %.3f, want %.3f", trial, alg.name, p.Rows, ref.Rows)
+			}
+		}
+	}
+}
+
+func allRels(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestCCPCountersAgreeAcrossAlgorithms(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := cost.DefaultModel()
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(9)
+		q := randomQuery(n, rng.Intn(n), rng)
+		var want uint64
+		for i, alg := range allAlgorithms {
+			_, st, err := alg.f(Input{Q: q, M: m})
+			if err != nil {
+				t.Fatalf("%s: %v", alg.name, err)
+			}
+			if i == 0 {
+				want = st.CCP
+				continue
+			}
+			if st.CCP != want {
+				t.Errorf("trial %d: %s CCP=%d, %s CCP=%d", trial, alg.name, st.CCP, allAlgorithms[0].name, want)
+			}
+		}
+		cnt, err := CCPCount(Input{Q: q, M: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cnt != want {
+			t.Errorf("trial %d: CCPCount=%d, want %d", trial, cnt, want)
+		}
+	}
+}
+
+func TestMPDPTreeMeetsLowerBound(t *testing.T) {
+	// Theorem 3: on tree join graphs EvaluatedCounter == CCPCounter.
+	rng := rand.New(rand.NewSource(3))
+	m := cost.DefaultModel()
+	graphs := []*graph.Graph{
+		graph.Star(8), graph.Chain(9), graph.SnowflakeN(10, 3),
+		graph.RandomTree(11, rng),
+	}
+	for _, g := range graphs {
+		q := topoQuery(g, rng)
+		_, st, err := MPDP(Input{Q: q, M: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Evaluated != st.CCP {
+			t.Errorf("tree graph n=%d: Evaluated=%d != CCP=%d", g.N, st.Evaluated, st.CCP)
+		}
+	}
+}
+
+func TestMPDPCliqueMeetsLowerBound(t *testing.T) {
+	// Lemma 9: fully-connected blocks make every evaluated pair a CCP pair.
+	rng := rand.New(rand.NewSource(4))
+	m := cost.DefaultModel()
+	for _, n := range []int{3, 5, 7} {
+		q := topoQuery(graph.Clique(n), rng)
+		_, st, err := MPDPGeneral(Input{Q: q, M: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Evaluated != st.CCP {
+			t.Errorf("clique n=%d: Evaluated=%d != CCP=%d", n, st.Evaluated, st.CCP)
+		}
+	}
+}
+
+func TestMPDPEvaluatesFarFewerPairsThanDPSubOnStar(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := cost.DefaultModel()
+	q := topoQuery(graph.Star(14), rng)
+	_, stSub, err := DPSub(Input{Q: q, M: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stMPDP, err := MPDP(Input{Q: q, M: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stMPDP.Evaluated > stSub.Evaluated/10 {
+		t.Errorf("expected order-of-magnitude gap: MPDP=%d DPSub=%d", stMPDP.Evaluated, stSub.Evaluated)
+	}
+	if stMPDP.CCP != stSub.CCP {
+		t.Errorf("CCP mismatch: %d vs %d", stMPDP.CCP, stSub.CCP)
+	}
+}
+
+func TestDisconnectedGraphRejected(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1, 0.1)
+	g.AddEdge(2, 3, 0.1)
+	q := &cost.Query{Cat: catalog.UniformCatalog(4), G: g}
+	for _, alg := range allAlgorithms {
+		if _, _, err := alg.f(Input{Q: q, M: cost.DefaultModel()}); err != ErrDisconnected {
+			t.Errorf("%s: got %v, want ErrDisconnected", alg.name, err)
+		}
+	}
+}
+
+func TestSingleRelationQuery(t *testing.T) {
+	q := &cost.Query{Cat: catalog.UniformCatalog(1), G: graph.New(1)}
+	for _, alg := range allAlgorithms {
+		p, _, err := alg.f(Input{Q: q, M: cost.DefaultModel()})
+		if err != nil {
+			t.Fatalf("%s: %v", alg.name, err)
+		}
+		if !p.IsLeaf() || p.RelID != 0 {
+			t.Errorf("%s: expected single scan, got %v", alg.name, p)
+		}
+	}
+}
+
+func TestCustomLeavesRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	q := randomQuery(5, 2, rng)
+	m := cost.DefaultModel()
+	leaves := make([]*plan.Node, 5)
+	for i := range leaves {
+		leaves[i] = &plan.Node{RelID: i, Rows: q.Rows(i), Cost: 12345 + float64(i)}
+	}
+	p, _, err := MPDP(Input{Q: q, M: m, Leaves: leaves})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Total cost must include each custom leaf cost exactly once.
+	var leafSum float64
+	var walk func(n *plan.Node)
+	walk = func(n *plan.Node) {
+		if n.IsLeaf() {
+			leafSum += n.Cost
+			return
+		}
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(p)
+	want := 12345.0*5 + 0 + 1 + 2 + 3 + 4
+	if math.Abs(leafSum-want) > 1e-6 {
+		t.Errorf("leaf cost sum %.1f, want %.1f", leafSum, want)
+	}
+}
+
+func TestTimeout(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	q := topoQuery(graph.Clique(16), rng)
+	deadline := timeNowMinusForever()
+	for _, alg := range allAlgorithms {
+		_, _, err := alg.f(Input{Q: q, M: cost.DefaultModel(), Deadline: deadline})
+		if err != ErrTimeout {
+			t.Errorf("%s: got %v, want ErrTimeout", alg.name, err)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package dp
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/plan"
+)
+
+// DPCCP is the edge-based enumerator of Moerkotte & Neumann [24]: it walks
+// the join graph to emit exactly the csg-cmp pairs, evaluating no invalid
+// join pair at all. It is the strongest sequential baseline (Fig. 2's
+// bottom-left corner) but its enumeration is inherently order-dependent,
+// which is what limits its parallelizability.
+func DPCCP(in Input) (*plan.Node, Stats, error) {
+	var stats Stats
+	leaves, err := in.leaves()
+	if err != nil {
+		return nil, stats, err
+	}
+	n := in.Q.N()
+	dl := NewDeadline(in.Deadline)
+
+	memo := plan.NewMemo(n)
+	for i, leaf := range leaves {
+		memo.Put(bitset.Single(i), leaf)
+	}
+	stats.ConnectedSets = uint64(n)
+
+	ok := ccpPairs(in.Q.G, dl, func(s1, s2 bitset.Mask) {
+		// Each unordered pair is emitted once; both orientations are
+		// costed, and both count toward the symmetric CCP counter.
+		stats.Evaluated += 2
+		stats.CCP += 2
+		l, r := memo.Get(s1), memo.Get(s2)
+		union := s1.Union(s2)
+		cur := memo.Get(union)
+		if cur == nil {
+			stats.ConnectedSets++
+		}
+		rows := l.Rows * r.Rows * in.Q.SelBetween(s1, s2)
+		var bw bestWin
+		op, c := in.M.JoinEvalRows(in.Q, l, r, rows)
+		bw.offer(l, r, op, rows, c)
+		op, c = in.M.JoinEvalRows(in.Q, r, l, rows)
+		bw.offer(r, l, op, rows, c)
+		if cur == nil || bw.cost < cur.Cost {
+			memo.Put(union, bw.node(in))
+		}
+	})
+	if !ok {
+		return nil, stats, ErrTimeout
+	}
+
+	best, err := finish(in, memo)
+	return best, stats, err
+}
+
+// CCPCount runs only the csg-cmp enumeration and returns the query's
+// CCP-Counter (symmetric count) without building any plans. The Fig. 2 and
+// Fig. 4 experiments use it as the per-query lower bound.
+func CCPCount(in Input) (uint64, error) {
+	dl := NewDeadline(in.Deadline)
+	var count uint64
+	ok := ccpPairs(in.Q.G, dl, func(_, _ bitset.Mask) { count += 2 })
+	if !ok {
+		return count, ErrTimeout
+	}
+	return count, nil
+}

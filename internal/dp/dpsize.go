@@ -1,0 +1,66 @@
+package dp
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/plan"
+)
+
+// DPSize is the Selinger-style size-driven dynamic program [27] used by
+// PostgreSQL: plans are built in increasing result size by pairing every
+// memoized plan of size s1 with every memoized plan of size s2 = s - s1.
+// Its weakness (§2, Fig. 2) is evaluating the full cross product of the two
+// size classes, most of which overlap or are not connected.
+func DPSize(in Input) (*plan.Node, Stats, error) {
+	var stats Stats
+	leaves, err := in.leaves()
+	if err != nil {
+		return nil, stats, err
+	}
+	n := in.Q.N()
+	dl := NewDeadline(in.Deadline)
+
+	memo := plan.NewMemo(n)
+	bySize := make([][]bitset.Mask, n+1)
+	for i, leaf := range leaves {
+		s := bitset.Single(i)
+		memo.Put(s, leaf)
+		bySize[1] = append(bySize[1], s)
+		stats.ConnectedSets++
+	}
+
+	for size := 2; size <= n; size++ {
+		for s1 := 1; s1 < size; s1++ {
+			s2 := size - s1
+			for _, a := range bySize[s1] {
+				pa := memo.Get(a)
+				for _, b := range bySize[s2] {
+					if dl.Expired() {
+						return nil, stats, ErrTimeout
+					}
+					stats.Evaluated++
+					if !a.Disjoint(b) {
+						continue
+					}
+					if !in.Q.G.ConnectedTo(a, b) {
+						continue
+					}
+					stats.CCP++
+					union := a.Union(b)
+					pb := memo.Get(b)
+					op, rows, c := in.M.JoinEval(in.Q, pa, pb)
+					cur := memo.Get(union)
+					if cur == nil {
+						bySize[size] = append(bySize[size], union)
+						stats.ConnectedSets++
+					}
+					if cur == nil || c < cur.Cost {
+						memo.Put(union, in.M.MakeJoin(pa, pb, op, rows, c))
+					}
+				}
+			}
+		}
+	}
+
+	best, err := finish(in, memo)
+	return best, stats, err
+}

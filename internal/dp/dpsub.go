@@ -1,0 +1,52 @@
+package dp
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/plan"
+)
+
+// DPSub is the subset-driven dynamic program of Vance & Maier [34] as
+// presented in the paper's Algorithm 1: for every connected set S of each
+// size, every one of the 2^|S| subsets S_left is evaluated as a potential
+// join pair (S_left, S \ S_left) and checked against the four CCP
+// conditions of §2.1. Highly parallelizable, but EvaluatedCounter can
+// exceed CCPCounter by orders of magnitude (Fig. 4).
+func DPSub(in Input) (*plan.Node, Stats, error) {
+	return runLevels(in, EvaluateSetDPSub)
+}
+
+// EvaluateSetDPSub performs the per-set body of Algorithm 1 (lines 8-23):
+// exhaustive subset enumeration with the four-condition CCP block.
+func EvaluateSetDPSub(in Input, memo *plan.Memo, s bitset.Mask, dl *Deadline) (*plan.Node, Stats, error) {
+	var stats Stats
+	g := in.Q.G
+	// Line 8 of Algorithm 1 walks every S_left ⊆ S; the empty and full
+	// subsets fail the CCP block immediately but still count.
+	stats.Evaluated += uint64(1) << uint(s.Count())
+	var bw bestWin
+	for lb := s.LowestBit(); !lb.Empty(); lb = lb.NextSubset(s) {
+		if dl != nil && dl.Expired() {
+			return nil, stats, ErrTimeout
+		}
+		rb := s.Diff(lb)
+		// CCP block (lines 12-16): non-empty, connected sides, disjoint
+		// (by construction), edge between them.
+		if rb.Empty() {
+			continue
+		}
+		if !g.Connected(lb) {
+			continue
+		}
+		if !g.Connected(rb) {
+			continue
+		}
+		if !g.ConnectedTo(lb, rb) {
+			continue
+		}
+		stats.CCP++
+		l, r := memo.Get(lb), memo.Get(rb)
+		op, rows, c := in.M.JoinEval(in.Q, l, r)
+		bw.offer(l, r, op, rows, c)
+	}
+	return bw.node(in), stats, nil
+}

@@ -1,0 +1,142 @@
+package dp
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/cost"
+	"repro/internal/graph"
+)
+
+// This file implements the Moerkotte–Neumann connected-subgraph enumeration
+// [24] used twice: DPCCP consumes csg-cmp pairs directly, and the
+// vertex-based algorithms (DPSub, MPDP) use the csg side alone to collect
+// the connected sets S_i of each size without touching the C(n,i)
+// disconnected ones (the GPU model accounts for the unrank+filter cost of
+// those separately; see internal/gpusim).
+
+// enumerateCsg calls emit for every connected subset of g exactly once.
+// Enumeration follows EnumerateCsg/EnumerateCsgRec of [24]: subsets are
+// seeded from each vertex v (excluding all smaller-numbered vertices) and
+// grown through the neighbourhood.
+func enumerateCsg(g *graph.Graph, emit func(s bitset.Mask)) {
+	n := g.N
+	for v := n - 1; v >= 0; v-- {
+		s := bitset.Single(v)
+		emit(s)
+		enumerateCsgRec(g, s, bitset.Full(v+1), emit)
+	}
+}
+
+// enumerateCsgRec grows s by every non-empty subset of its neighbourhood
+// outside the exclusion set x, emitting each grown set and recursing.
+func enumerateCsgRec(g *graph.Graph, s, x bitset.Mask, emit func(bitset.Mask)) {
+	nb := g.NeighborhoodOf(s).Diff(x)
+	if nb.Empty() {
+		return
+	}
+	for sub := nb.LowestBit(); !sub.Empty(); sub = sub.NextSubset(nb) {
+		emit(s.Union(sub))
+	}
+	for sub := nb.LowestBit(); !sub.Empty(); sub = sub.NextSubset(nb) {
+		enumerateCsgRec(g, s.Union(sub), x.Union(nb), emit)
+	}
+}
+
+// connectedSetsBySize buckets every connected subset of g by cardinality:
+// result[i] holds the connected sets of size i (result[0] is empty). This
+// is the "S_i" collection of Algorithms 1–3. The deadline is polled during
+// enumeration; a nil return signals expiry.
+func connectedSetsBySize(g *graph.Graph, dl *Deadline) [][]bitset.Mask {
+	buckets := make([][]bitset.Mask, g.N+1)
+	expired := false
+	total := 0
+	enumerateCsg(g, func(s bitset.Mask) {
+		if expired {
+			return
+		}
+		total++
+		if dl.Expired() || total > maxConnectedSets {
+			expired = true
+			return
+		}
+		c := s.Count()
+		buckets[c] = append(buckets[c], s)
+	})
+	if expired {
+		return nil
+	}
+	return buckets
+}
+
+// maxConnectedSets bounds how many connected sets the enumeration will
+// materialize (512 MiB of masks). Queries beyond it cannot finish within
+// any realistic time budget anyway, so the overflow is reported as a
+// timeout instead of exhausting memory first.
+const maxConnectedSets = 64 << 20
+
+// enumerateCmp calls emit for every complement csg of s1: connected sets s2
+// disjoint from s1, connected to s1, with the canonical ordering of [24]
+// guaranteeing each unordered csg-cmp pair is produced exactly once across
+// the full EnumerateCsg × EnumerateCmp sweep.
+func enumerateCmp(g *graph.Graph, s1 bitset.Mask, emit func(s2 bitset.Mask)) {
+	x := bitset.Full(s1.Lowest() + 1).Union(s1)
+	nb := g.NeighborhoodOf(s1).Diff(x)
+	if nb.Empty() {
+		return
+	}
+	// Descending vertex order over the neighbourhood.
+	verts := nb.Elements()
+	for i := len(verts) - 1; i >= 0; i-- {
+		v := verts[i]
+		s2 := bitset.Single(v)
+		emit(s2)
+		// B_v ∩ nb: smaller-or-equal neighbourhood vertices are excluded
+		// from the recursion so each complement is generated once.
+		bv := bitset.Full(v + 1).Intersect(nb)
+		enumerateCsgRec(g, s2, x.Union(bv), emit)
+	}
+}
+
+// ccpPairs invokes emit(s1, s2) for every csg-cmp pair of the query graph,
+// each unordered pair exactly once. It returns false if the deadline expired.
+func ccpPairs(g *graph.Graph, dl *Deadline, emit func(s1, s2 bitset.Mask)) bool {
+	n := g.N
+	expired := false
+	for v := n - 1; v >= 0 && !expired; v-- {
+		s1 := bitset.Single(v)
+		sub := func(s bitset.Mask) {
+			if expired || dl.Expired() {
+				expired = true
+				return
+			}
+			enumerateCmp(g, s, func(s2 bitset.Mask) { emit(s, s2) })
+		}
+		sub(s1)
+		if !expired {
+			enumerateCsgRec(g, s1, bitset.Full(v+1), sub)
+		}
+	}
+	return !expired
+}
+
+// subsetRowsCached evaluates output cardinalities for joined sets with
+// memoization, keeping cardinality estimation O(1) per reuse. All exact
+// algorithms share this so their cost computations are bit-identical.
+type cardCache struct {
+	q *cost.Query
+	m map[bitset.Mask]float64
+}
+
+func newCardCache(q *cost.Query) *cardCache {
+	return &cardCache{q: q, m: make(map[bitset.Mask]float64, 1024)}
+}
+
+// joinRows returns |l ⋈ r| given the two sides' cardinalities.
+func (c *cardCache) joinRows(l, r bitset.Mask, lRows, rRows float64) float64 {
+	s := l.Union(r)
+	if v, ok := c.m[s]; ok {
+		return v
+	}
+	v := lRows * rRows * c.q.SelBetween(l, r)
+	c.m[s] = v
+	return v
+}

@@ -1,0 +1,11 @@
+package dp
+
+import "time"
+
+// timeNowMinusForever returns a deadline that is already long past.
+func timeNowMinusForever() time.Time {
+	return time.Now().Add(-time.Hour)
+}
+
+// noDeadline returns the zero time (no deadline).
+func noDeadline() time.Time { return time.Time{} }

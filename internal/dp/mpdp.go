@@ -1,0 +1,141 @@
+package dp
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/plan"
+)
+
+// MPDPTree is Algorithm 2: the tree-join-graph specialisation of MPDP. For a
+// connected set S inducing a tree, the CCP pairs of S are exactly the
+// bipartitions produced by removing each of its |S|-1 edges, so they are
+// enumerated directly with no CCP checking at all and EvaluatedCounter
+// meets the CCPCounter lower bound (Theorem 3).
+func MPDPTree(in Input) (*plan.Node, Stats, error) {
+	return runLevels(in, EvaluateSetMPDPTree)
+}
+
+// MPDP is the paper's general algorithm (Algorithm 3): a hybrid of vertex-
+// and edge-based enumeration. For each connected set S it finds the
+// biconnected components (blocks) of the induced subgraph; the expensive
+// exhaustive subset enumeration is confined to each block (vertex-based),
+// and each block-level CCP pair (lb, rb) is expanded to the unique CCP pair
+// of S via the grow function (edge-based along the cut edges). Per-set work
+// drops from O(2^|S|) to O(B · 2^maxBlock) while the level-synchronous
+// structure keeps DPSub's parallelizability.
+//
+// When the whole join graph is a tree, MPDP dispatches to MPDPTree.
+func MPDP(in Input) (*plan.Node, Stats, error) {
+	if in.Q.G.IsTree() {
+		return MPDPTree(in)
+	}
+	return MPDPGeneral(in)
+}
+
+// MPDPGeneral runs Algorithm 3 regardless of graph shape. Exported so tests
+// and benches can exercise the block machinery on trees too.
+func MPDPGeneral(in Input) (*plan.Node, Stats, error) {
+	return runLevels(in, EvaluateSetMPDP)
+}
+
+// runLevels is the sequential level-by-level driver shared by the DPSub and
+// MPDP family: enumerate connected sets bucketed by size, then evaluate each
+// set of each level with the supplied evaluator.
+func runLevels(in Input, evaluate SetEvaluator) (*plan.Node, Stats, error) {
+	var stats Stats
+	prep, err := Prepare(in)
+	if err != nil {
+		return nil, stats, err
+	}
+	n := in.Q.N()
+	dl := NewDeadline(in.Deadline)
+	buckets := connectedSetsBySize(in.Q.G, dl)
+	if buckets == nil {
+		return nil, stats, ErrTimeout
+	}
+	memo := prep.Memo
+	stats.ConnectedSets = uint64(n)
+
+	for size := 2; size <= n; size++ {
+		for _, s := range buckets[size] {
+			stats.ConnectedSets++
+			best, st, err := evaluate(in, memo, s, dl)
+			stats.Add(st)
+			if err != nil {
+				return nil, stats, err
+			}
+			if best != nil {
+				memo.Put(s, best)
+			}
+		}
+	}
+	return Finish(in, memo, &stats)
+}
+
+// EvaluateSetMPDP performs the per-set body of Algorithm 3 (lines 4-23):
+// block discovery, block-level CCP enumeration, grow-based expansion and
+// join costing. It is shared by the sequential, CPU-parallel and GPU-model
+// variants so their plans and counters agree exactly.
+func EvaluateSetMPDP(in Input, memo *plan.Memo, s bitset.Mask, dl *Deadline) (*plan.Node, Stats, error) {
+	var stats Stats
+	g := in.Q.G
+	var bw bestWin
+	for _, block := range g.FindBlocks(s) {
+		// Proper, non-empty subsets lb ⊂ block (line 6).
+		for lb := block.LowestBit(); !lb.Empty(); lb = lb.NextSubset(block) {
+			rb := block.Diff(lb)
+			if rb.Empty() {
+				continue // lb == block is not a proper subset
+			}
+			if dl != nil && dl.Expired() {
+				return nil, stats, ErrTimeout
+			}
+			stats.Evaluated++
+			// CCP block at block level (lines 10-14); disjointness holds
+			// by construction.
+			if !g.Connected(lb) {
+				continue
+			}
+			if !g.Connected(rb) {
+				continue
+			}
+			if !g.ConnectedTo(lb, rb) {
+				continue
+			}
+			stats.CCP++
+			// Expand the block pair to the set-level pair (lines 17-18).
+			left := g.Grow(lb, s.Diff(rb))
+			right := s.Diff(left)
+			l, r := memo.Get(left), memo.Get(right)
+			op, rows, c := in.M.JoinEval(in.Q, l, r)
+			bw.offer(l, r, op, rows, c)
+		}
+	}
+	return bw.node(in), stats, nil
+}
+
+// EvaluateSetMPDPTree performs the per-set body of Algorithm 2: one join
+// pair per edge of the tree induced by S, costed in both orientations.
+func EvaluateSetMPDPTree(in Input, memo *plan.Memo, s bitset.Mask, dl *Deadline) (*plan.Node, Stats, error) {
+	var stats Stats
+	g := in.Q.G
+	var bw bestWin
+	for _, e := range g.Edges {
+		if !s.Has(e.A) || !s.Has(e.B) {
+			continue
+		}
+		if dl != nil && dl.Expired() {
+			return nil, stats, ErrTimeout
+		}
+		left := g.Grow(bitset.Single(e.A), s.Remove(e.B))
+		right := s.Diff(left)
+		stats.Evaluated += 2
+		stats.CCP += 2
+		l, r := memo.Get(left), memo.Get(right)
+		rows := l.Rows * r.Rows * in.Q.SelBetween(left, right)
+		op, c := in.M.JoinEvalRows(in.Q, l, r, rows)
+		bw.offer(l, r, op, rows, c)
+		op, c = in.M.JoinEvalRows(in.Q, r, l, rows)
+		bw.offer(r, l, op, rows, c)
+	}
+	return bw.node(in), stats, nil
+}

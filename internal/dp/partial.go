@@ -1,0 +1,89 @@
+package dp
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/plan"
+)
+
+// RunPartial runs the MPDP dynamic program only up to sets of maxSize
+// relations and returns the memo together with the connected-set buckets.
+// IDP1 uses it to find the best plan of exactly k relations at each
+// materialization step without paying for the full lattice.
+func RunPartial(in Input, maxSize int) (*plan.Memo, [][]bitset.Mask, Stats, error) {
+	var stats Stats
+	prep, err := Prepare(in)
+	if err != nil {
+		return nil, nil, stats, err
+	}
+	n := in.Q.N()
+	if maxSize > n {
+		maxSize = n
+	}
+	dl := NewDeadline(in.Deadline)
+	buckets, err := boundedConnectedSets(in, maxSize, dl)
+	if err != nil {
+		return nil, nil, stats, err
+	}
+	memo := prep.Memo
+	stats.ConnectedSets = uint64(n)
+	for size := 2; size <= maxSize; size++ {
+		for _, s := range buckets[size] {
+			stats.ConnectedSets++
+			best, st, err := EvaluateSetMPDP(in, memo, s, dl)
+			stats.Add(st)
+			if err != nil {
+				return nil, nil, stats, err
+			}
+			if best != nil {
+				memo.Put(s, best)
+			}
+		}
+	}
+	return memo, buckets, stats, nil
+}
+
+// boundedConnectedSets enumerates connected sets of at most maxSize
+// relations. The csg recursion is pruned as soon as a set exceeds the
+// bound, keeping IDP1 polynomial for fixed k.
+func boundedConnectedSets(in Input, maxSize int, dl *Deadline) ([][]bitset.Mask, error) {
+	g := in.Q.G
+	buckets := make([][]bitset.Mask, g.N+1)
+	expired := false
+	var rec func(s, x bitset.Mask)
+	rec = func(s, x bitset.Mask) {
+		if expired || s.Count() >= maxSize {
+			return
+		}
+		nb := g.NeighborhoodOf(s).Diff(x)
+		if nb.Empty() {
+			return
+		}
+		for sub := nb.LowestBit(); !sub.Empty(); sub = sub.NextSubset(nb) {
+			if dl.Expired() {
+				expired = true
+				return
+			}
+			grown := s.Union(sub)
+			if c := grown.Count(); c <= maxSize {
+				buckets[c] = append(buckets[c], grown)
+			}
+		}
+		for sub := nb.LowestBit(); !sub.Empty(); sub = sub.NextSubset(nb) {
+			if grown := s.Union(sub); grown.Count() < maxSize {
+				rec(grown, x.Union(nb))
+			}
+			if expired {
+				return
+			}
+		}
+	}
+	for v := g.N - 1; v >= 0; v-- {
+		s := bitset.Single(v)
+		buckets[1] = append(buckets[1], s)
+		rec(s, bitset.Full(v+1))
+		if expired {
+			return nil, ErrTimeout
+		}
+	}
+	return buckets, nil
+}

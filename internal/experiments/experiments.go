@@ -1,0 +1,202 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (§7) on top of the repository's optimizers and
+// workloads. Each experiment writes an aligned text table to the supplied
+// writer; cmd/mpdp-bench is the CLI front end.
+//
+// Timing convention (see DESIGN.md): CPU algorithms report wall-clock
+// optimization time on this machine; the *-gpu algorithms report the
+// simulated device time of the GPU execution model, since no physical GPU is
+// available to a pure-Go reproduction. Comparisons across the two groups
+// therefore reproduce the paper's *shape* (who wins, where curves cross),
+// not its absolute milliseconds.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/workload"
+)
+
+// Config tunes experiment scale so the full suite can run in minutes
+// (defaults) or at full paper scale (flags of cmd/mpdp-bench).
+type Config struct {
+	// Timeout per optimization run (paper: 1 minute).
+	Timeout time.Duration
+	// Queries per (workload, size) cell (paper: 15 for Fig. 9, 100 for
+	// Tables 1-2).
+	Queries int
+	// Threads for the parallel CPU algorithms (paper: 24).
+	Threads int
+	// Seed for workload generation.
+	Seed int64
+	// MaxRels optionally caps the largest query size per experiment,
+	// trading fidelity for runtime.
+	MaxRels int
+}
+
+// DefaultConfig returns a configuration that finishes the whole suite in
+// a few minutes on a laptop-class machine.
+func DefaultConfig() Config {
+	return Config{
+		Timeout: 10 * time.Second,
+		Queries: 3,
+		Threads: runtime.GOMAXPROCS(0),
+		Seed:    1,
+	}
+}
+
+func (c Config) queries() int {
+	if c.Queries > 0 {
+		return c.Queries
+	}
+	return 3
+}
+
+func (c Config) timeout() time.Duration {
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	return 10 * time.Second
+}
+
+func (c Config) cap(sizes []int) []int {
+	if c.MaxRels <= 0 {
+		return sizes
+	}
+	out := sizes[:0:0]
+	for _, n := range sizes {
+		if n <= c.MaxRels {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// exactSuite is the algorithm lineup of Figs. 6-9 and 11, in the paper's
+// legend order.
+func exactSuite(threads int) []suiteEntry {
+	return []suiteEntry{
+		{"Postgres (1CPU)", core.AlgDPSize, 1},
+		{"DPCCP (1CPU)", core.AlgDPCCP, 1},
+		{fmt.Sprintf("DPE (%dCPU)", threads), core.AlgDPE, threads},
+		{"DPSub (GPU)", core.AlgDPSubGPU, 0},
+		{"DPSize (GPU)", core.AlgDPSizeGPU, 0},
+		{fmt.Sprintf("MPDP (%dCPU)", threads), core.AlgMPDPParallel, threads},
+		{"MPDP (GPU)", core.AlgMPDPGPU, 0},
+	}
+}
+
+type suiteEntry struct {
+	label   string
+	alg     core.Algorithm
+	threads int
+}
+
+// measure runs one optimization and returns the reported time in
+// milliseconds (simulated device time for GPU algorithms, wall time
+// otherwise) and whether it finished within the timeout.
+func measure(q *cost.Query, alg core.Algorithm, threads int, timeout time.Duration) (float64, bool) {
+	res, err := core.Optimize(q, core.Options{
+		Algorithm: alg,
+		Timeout:   timeout,
+		Threads:   threads,
+	})
+	if err != nil {
+		return 0, false
+	}
+	if res.GPU != nil {
+		return res.GPU.SimTimeMS, true
+	}
+	return float64(res.Elapsed.Microseconds()) / 1e3, true
+}
+
+// runTimingFigure drives one optimization-time figure: all suite algorithms
+// across the given sizes, averaging cfg.Queries queries per size. A curve
+// stops (like in the paper's plots) once its algorithm times out at a size.
+func runTimingFigure(w io.Writer, cfg Config, title string, sizes []int,
+	gen func(n int, rng *rand.Rand) *cost.Query) error {
+
+	sizes = cfg.cap(sizes)
+	suite := exactSuite(cfg.Threads)
+	dead := make([]bool, len(suite))
+
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "(times in ms; GPU entries are simulated device time; '-' = exceeded %v; averaged over %d queries)\n\n",
+		cfg.timeout(), cfg.queries())
+	tw := tabwriter.NewWriter(w, 4, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprint(tw, "rels")
+	for _, s := range suite {
+		fmt.Fprintf(tw, "\t%s", s.label)
+	}
+	fmt.Fprint(tw, "\t\n")
+
+	for _, n := range sizes {
+		fmt.Fprintf(tw, "%d", n)
+		for si, s := range suite {
+			if dead[si] {
+				fmt.Fprint(tw, "\t-")
+				continue
+			}
+			var sum float64
+			ok := true
+			for qi := 0; qi < cfg.queries() && ok; qi++ {
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(qi)*7919 + int64(n)))
+				q := gen(n, rng)
+				ms, done := measure(q, s.alg, s.threads, cfg.timeout())
+				if !done || ms > float64(cfg.timeout().Milliseconds()) {
+					ok = false
+					break
+				}
+				sum += ms
+			}
+			if !ok {
+				dead[si] = true
+				fmt.Fprint(tw, "\t-")
+				continue
+			}
+			fmt.Fprintf(tw, "\t%.2f", sum/float64(cfg.queries()))
+		}
+		fmt.Fprint(tw, "\t\n")
+	}
+	return tw.Flush()
+}
+
+// percentile returns the p-th percentile (0..100) of xs.
+func percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	idx := int(math.Ceil(p/100*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// mbGen adapts the MusicBrainz generator to the figure driver signature.
+func mbGen(n int, rng *rand.Rand) *cost.Query { return workload.MusicBrainzQuery(n, rng) }

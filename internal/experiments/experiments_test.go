@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+// smallConfig keeps every experiment to a sub-second smoke run.
+func smallConfig() Config {
+	return Config{
+		Timeout: 2 * time.Second,
+		Queries: 1,
+		Threads: 4,
+		Seed:    1,
+		MaxRels: 10,
+	}
+}
+
+func TestEveryExperimentProducesOutput(t *testing.T) {
+	experiments := []struct {
+		name string
+		run  func(w io.Writer, cfg Config) error
+		want string
+	}{
+		{"fig2", Fig2, "parallelizability"},
+		{"fig4", Fig4, "EvaluatedCounter"},
+		{"fig6", Fig6, "star"},
+		{"fig7", Fig7, "snowflake"},
+		{"fig8", Fig8, "clique"},
+		{"fig9", Fig9, "MusicBrainz"},
+		{"fig10", Fig10, "exec/opt"},
+		{"fig11", Fig11, "JOB"},
+		{"fig12", Fig12, "scalability"},
+		{"fig13", Fig13, "AWS"},
+		{"table1", Table1, "snowflake"},
+		{"table2", Table2, "star"},
+		{"ablation", Ablation, "CCC"},
+	}
+	for _, e := range experiments {
+		e := e
+		t.Run(e.name, func(t *testing.T) {
+			t.Parallel()
+			var sb strings.Builder
+			if err := e.run(&sb, smallConfig()); err != nil {
+				t.Fatalf("%s: %v", e.name, err)
+			}
+			out := sb.String()
+			if !strings.Contains(out, e.want) {
+				t.Errorf("%s output missing %q:\n%s", e.name, e.want, out)
+			}
+			if strings.Count(out, "\n") < 3 {
+				t.Errorf("%s output suspiciously short:\n%s", e.name, out)
+			}
+		})
+	}
+}
+
+func TestPercentileAndMean(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := percentile(xs, 95); got != 10 {
+		t.Errorf("p95 = %v", got)
+	}
+	if got := percentile(xs, 50); got != 5 {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := mean(xs); got != 5.5 {
+		t.Errorf("mean = %v", got)
+	}
+}
+
+func TestConfigCap(t *testing.T) {
+	cfg := Config{MaxRels: 12}
+	got := cfg.cap([]int{4, 8, 12, 16, 20})
+	if len(got) != 3 || got[2] != 12 {
+		t.Errorf("cap = %v", got)
+	}
+	uncapped := Config{}
+	if got := uncapped.cap([]int{4, 8}); len(got) != 2 {
+		t.Errorf("uncapped cap = %v", got)
+	}
+}

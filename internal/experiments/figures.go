@@ -1,0 +1,336 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/dp"
+	"repro/internal/gpusim"
+	"repro/internal/parallel"
+	"repro/internal/workload"
+)
+
+// Fig2 reproduces Figure 2: the number of join pairs each technique
+// evaluates on a 20-relation MusicBrainz query, normalized to the query's
+// CCP-Counter, against the technique's parallelizability class.
+func Fig2(w io.Writer, cfg Config) error {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := 20
+	if cfg.MaxRels > 0 && cfg.MaxRels < n {
+		n = cfg.MaxRels
+	}
+	q := workload.MusicBrainzQuery(n, rng)
+	rep, err := dp.Counters(dp.Input{Q: q, M: cost.DefaultModel(),
+		Deadline: time.Now().Add(cfg.timeout() * 6)})
+	if err != nil {
+		return err
+	}
+	norm := func(v uint64) float64 { return float64(v) / float64(rep.CCP) }
+	fmt.Fprintf(w, "Figure 2: normalized evaluated join pairs vs parallelizability (%d-rel MusicBrainz query)\n", q.N())
+	fmt.Fprintf(w, "CCP-Counter (valid join pairs) = %d\n\n", rep.CCP)
+	tw := tabwriter.NewWriter(w, 4, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "technique\tevaluated/valid\tparallelizability\t")
+	fmt.Fprintf(tw, "DPSize\t%.1f\tmedium\t\n", norm(rep.DPSizeEvaluated))
+	fmt.Fprintf(tw, "DPSub\t%.1f\tmedium\t\n", norm(rep.DPSubEvaluated))
+	fmt.Fprintf(tw, "DPCCP\t%.1f\tsequential\t\n", norm(rep.DPCCPEvaluated))
+	fmt.Fprintf(tw, "DPE\t%.1f\tmedium\t\n", norm(rep.DPCCPEvaluated))
+	fmt.Fprintf(tw, "PDP\t%.1f\tmedium\t\n", norm(rep.DPSizeEvaluated))
+	fmt.Fprintf(tw, "DPSize-GPU\t%.1f\thigh\t\n", norm(rep.DPSizeEvaluated))
+	fmt.Fprintf(tw, "DPSub-GPU\t%.1f\thigh\t\n", norm(rep.DPSubEvaluated))
+	fmt.Fprintf(tw, "MPDP\t%.1f\thigh\t\n", norm(rep.MPDPEvaluated))
+	return tw.Flush()
+}
+
+// Fig4 reproduces Figure 4: EvaluatedCounter vs CCP-Counter of DPSub on
+// star queries of 2..25 relations.
+func Fig4(w io.Writer, cfg Config) error {
+	maxN := 25
+	if cfg.MaxRels > 0 && cfg.MaxRels < maxN {
+		maxN = cfg.MaxRels
+	}
+	fmt.Fprintln(w, "Figure 4: DPSub EvaluatedCounter vs CCP-Counter, star join queries")
+	tw := tabwriter.NewWriter(w, 4, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "rels\tCCP-Counter\tEvaluatedCounter\tratio\t")
+	for n := 2; n <= maxN; n++ {
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		q := workload.Star(n, rng)
+		rep, err := dp.Counters(dp.Input{Q: q, M: cost.DefaultModel(),
+			Deadline: time.Now().Add(cfg.timeout() * 6)})
+		if err != nil {
+			fmt.Fprintf(tw, "%d\t-\t-\t-\t\n", n)
+			break
+		}
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%.0f\t\n",
+			n, rep.CCP, rep.DPSubEvaluated, float64(rep.DPSubEvaluated)/float64(rep.CCP))
+	}
+	return tw.Flush()
+}
+
+// Fig6 reproduces Figure 6: optimization times on star join graphs.
+func Fig6(w io.Writer, cfg Config) error {
+	return runTimingFigure(w, cfg, "Figure 6: optimization times on star graph",
+		[]int{4, 6, 8, 10, 12, 14, 16, 18, 20, 21, 22, 23, 24, 25, 26, 28, 30},
+		func(n int, rng *rand.Rand) *cost.Query { return workload.Star(n, rng) })
+}
+
+// Fig7 reproduces Figure 7: optimization times on snowflake join graphs.
+func Fig7(w io.Writer, cfg Config) error {
+	return runTimingFigure(w, cfg, "Figure 7: optimization times on snowflake graph",
+		[]int{4, 6, 8, 10, 12, 14, 16, 18, 20, 22, 24, 26, 28, 30, 32, 35},
+		func(n int, rng *rand.Rand) *cost.Query { return workload.Snowflake(n, rng) })
+}
+
+// Fig8 reproduces Figure 8: optimization times on clique join graphs.
+func Fig8(w io.Writer, cfg Config) error {
+	return runTimingFigure(w, cfg, "Figure 8: optimization times on clique graph",
+		[]int{4, 6, 8, 10, 12, 14, 15, 16, 17, 18, 19, 20},
+		func(n int, rng *rand.Rand) *cost.Query { return workload.Clique(n, rng) })
+}
+
+// Fig9 reproduces Figure 9: optimization times on MusicBrainz random-walk
+// queries.
+func Fig9(w io.Writer, cfg Config) error {
+	return runTimingFigure(w, cfg, "Figure 9: optimization times on MusicBrainz queries",
+		[]int{4, 6, 8, 10, 12, 14, 16, 18, 20, 22, 24, 26, 28, 30}, mbGen)
+}
+
+// Fig10 reproduces Figure 10: the ratio of (estimated) execution time to
+// optimization time on MusicBrainz queries, for the PostgreSQL optimizer
+// (DPSize, 1 CPU) and MPDP (GPU). Execution time is the cost model's
+// estimate for the produced plan (see EXPERIMENTS.md for this substitution).
+func Fig10(w io.Writer, cfg Config) error {
+	sizes := cfg.cap([]int{5, 8, 10, 12, 14, 16, 18, 20, 22, 25})
+	for _, part := range []struct {
+		title string
+		gen   func(n int, rng *rand.Rand) *cost.Query
+	}{
+		{"Figure 10a: exec/opt ratio, PK-FK joins (MusicBrainz)", mbGen},
+		{"Figure 10b: exec/opt ratio, non PK-FK joins (MusicBrainz)",
+			func(n int, rng *rand.Rand) *cost.Query { return workload.MusicBrainzNonPKFK(n, rng) }},
+	} {
+		fmt.Fprintln(w, part.title)
+		tw := tabwriter.NewWriter(w, 4, 0, 2, ' ', tabwriter.AlignRight)
+		fmt.Fprintln(tw, "rels\tPostgres (1CPU)\tMPDP (GPU)\t")
+		pgDead := false
+		for _, n := range sizes {
+			var pgR, gpuR []float64
+			for qi := 0; qi < cfg.queries(); qi++ {
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(qi)*131 + int64(n)))
+				q := part.gen(n, rng)
+				// MPDP (GPU): optimal plan, simulated optimization time.
+				res, err := core.Optimize(q, core.Options{
+					Algorithm: core.AlgMPDPGPU, Timeout: cfg.timeout(),
+				})
+				if err != nil {
+					continue
+				}
+				exec := cost.EstimatedExecTimeMS(res.Plan.Cost)
+				gpuR = append(gpuR, exec/res.GPU.SimTimeMS)
+				if !pgDead {
+					pg, err := core.Optimize(q, core.Options{
+						Algorithm: core.AlgDPSize, Timeout: cfg.timeout(), Threads: 1,
+					})
+					if err != nil {
+						// Conservative convention of §7.2.3: count the
+						// timeout value as the optimization time.
+						pgR = append(pgR, exec/float64(cfg.timeout().Milliseconds()))
+						pgDead = true
+					} else {
+						pgMS := float64(pg.Elapsed.Microseconds()) / 1e3
+						pgR = append(pgR, cost.EstimatedExecTimeMS(pg.Plan.Cost)/pgMS)
+					}
+				}
+			}
+			fmt.Fprintf(tw, "%d\t%.3g\t%.3g\t\n", n, mean(pgR), mean(gpuR))
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// Fig11 reproduces Figure 11: optimization times on the (JOB-shaped) Join
+// Order Benchmark queries, grouped by relation count.
+func Fig11(w io.Writer, cfg Config) error {
+	queries := workload.JOBQueries(cfg.Seed)
+	bySize := map[int][]*cost.Query{}
+	for _, jq := range queries {
+		bySize[jq.Rels] = append(bySize[jq.Rels], jq.Query)
+	}
+	var sizes []int
+	for n := range bySize {
+		sizes = append(sizes, n)
+	}
+	sortInts(sizes)
+	sizes = cfg.cap(sizes)
+
+	suite := exactSuite(cfg.Threads)
+	fmt.Fprintln(w, "Figure 11: JOB query optimization times (JOB-shaped workload, see DESIGN.md)")
+	fmt.Fprintf(w, "(times in ms; GPU entries are simulated device time; '-' = exceeded %v)\n\n", cfg.timeout())
+	tw := tabwriter.NewWriter(w, 4, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprint(tw, "rels")
+	for _, s := range suite {
+		fmt.Fprintf(tw, "\t%s", s.label)
+	}
+	fmt.Fprint(tw, "\t\n")
+	for _, n := range sizes {
+		fmt.Fprintf(tw, "%d", n)
+		for _, s := range suite {
+			var sum float64
+			count := 0
+			ok := true
+			for _, q := range bySize[n] {
+				ms, done := measure(q, s.alg, s.threads, cfg.timeout())
+				if !done {
+					ok = false
+					break
+				}
+				sum += ms
+				count++
+			}
+			if !ok || count == 0 {
+				fmt.Fprint(tw, "\t-")
+				continue
+			}
+			fmt.Fprintf(tw, "\t%.2f", sum/float64(count))
+		}
+		fmt.Fprint(tw, "\t\n")
+	}
+	return tw.Flush()
+}
+
+// Fig12 reproduces Figure 12: CPU scalability of MPDP vs DPE on a
+// 20-relation MusicBrainz query, speedup over single-thread execution.
+func Fig12(w io.Writer, cfg Config) error {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := 20
+	if cfg.MaxRels > 0 && cfg.MaxRels < n {
+		n = cfg.MaxRels
+	}
+	q := workload.MusicBrainzQuery(n, rng)
+	m := cost.DefaultModel()
+	maxThreads := cfg.Threads
+	if maxThreads < 2 {
+		maxThreads = 2
+	}
+
+	timeOf := func(f dp.Func, threads int) (float64, error) {
+		start := time.Now()
+		_, _, err := f(dp.Input{Q: q, M: m, Threads: threads,
+			Deadline: time.Now().Add(cfg.timeout() * 6)})
+		return time.Since(start).Seconds(), err
+	}
+
+	fmt.Fprintf(w, "Figure 12: CPU scalability on a %d-rel MusicBrainz query (speedup over 1 thread)\n", q.N())
+	tw := tabwriter.NewWriter(w, 4, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "threads\tMPDP (CPU)\tDPE (CPU)\t")
+	mpdp1, err := timeOf(parallel.MPDP, 1)
+	if err != nil {
+		return err
+	}
+	dpe1, err := timeOf(parallel.DPE, 1)
+	if err != nil {
+		return err
+	}
+	for t := 1; t <= maxThreads; t++ {
+		if t > 4 && t%2 != 0 {
+			continue
+		}
+		mp, err := timeOf(parallel.MPDP, t)
+		if err != nil {
+			return err
+		}
+		de, err := timeOf(parallel.DPE, t)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%d\t%.2f\t%.2f\t\n", t, mpdp1/mp, dpe1/de)
+	}
+	return tw.Flush()
+}
+
+// awsInstance pairs an algorithm with the cheapest effective instance type
+// of §7.5 and its 2021 on-demand hourly price in cents.
+type awsInstance struct {
+	label        string
+	alg          core.Algorithm
+	threads      int
+	instance     string
+	centsPerHour float64
+	gpu          *gpusim.Config
+}
+
+// Fig13 reproduces Figure 13: the monetary cost of optimizing one star
+// query on AWS, obtained by multiplying measured (or simulated-device)
+// optimization time by the instance's per-hour price.
+func Fig13(w io.Writer, cfg Config) error {
+	t4 := gpusim.Config{Device: gpusim.TeslaT4(), FusedPrune: true, CCC: true}
+	suite := []awsInstance{
+		{"Postgres (1CPU)", core.AlgDPSize, 1, "c5.large", 8.5, nil},
+		{"DPCCP (1CPU)", core.AlgDPCCP, 1, "c5.large", 8.5, nil},
+		{"DPE (4CPU)", core.AlgDPE, 4, "c5.xlarge", 17.0, nil},
+		{"DPSub (GPU)", core.AlgDPSubGPU, 0, "g4dn.xlarge", 52.6, &t4},
+		{"DPSize (GPU)", core.AlgDPSizeGPU, 0, "g4dn.xlarge", 52.6, &t4},
+		{"MPDP (4CPU)", core.AlgMPDPParallel, 4, "c5.xlarge", 17.0, nil},
+		{"MPDP (GPU)", core.AlgMPDPGPU, 0, "g4dn.xlarge", 52.6, &t4},
+	}
+	sizes := cfg.cap([]int{5, 10, 15, 18, 20, 22, 23, 24, 25, 26, 28, 30})
+
+	fmt.Fprintln(w, "Figure 13: cost of optimization on AWS (US cents per query, star graph)")
+	fmt.Fprintln(w, "(price = reported optimization time × instance $/hour; '-' = exceeded timeout)")
+	fmt.Fprintln(w)
+	tw := tabwriter.NewWriter(w, 4, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprint(tw, "rels")
+	for _, s := range suite {
+		fmt.Fprintf(tw, "\t%s", s.label)
+	}
+	fmt.Fprint(tw, "\t\n")
+	dead := make([]bool, len(suite))
+	for _, n := range sizes {
+		fmt.Fprintf(tw, "%d", n)
+		for si, s := range suite {
+			if dead[si] {
+				fmt.Fprint(tw, "\t-")
+				continue
+			}
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(n)))
+			q := workload.Star(n, rng)
+			res, err := core.Optimize(q, core.Options{
+				Algorithm: s.alg, Timeout: cfg.timeout(), Threads: s.threads, GPU: s.gpu,
+			})
+			if err != nil {
+				dead[si] = true
+				fmt.Fprint(tw, "\t-")
+				continue
+			}
+			ms := float64(res.Elapsed.Microseconds()) / 1e3
+			if res.GPU != nil {
+				ms = res.GPU.SimTimeMS
+			}
+			cents := ms / 3600.0 / 1000.0 * s.centsPerHour
+			fmt.Fprintf(tw, "\t%.7f", cents)
+		}
+		fmt.Fprint(tw, "\t\n")
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "instances: c5.large ($0.085/h), c5.xlarge ($0.17/h), g4dn.xlarge ($0.526/h, NVIDIA T4)")
+	return nil
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

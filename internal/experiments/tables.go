@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/dp"
+	"repro/internal/gpusim"
+	"repro/internal/workload"
+)
+
+// heuristicSuite is the lineup of Tables 1 and 2, in the paper's row order.
+func heuristicSuite() []suiteEntry {
+	return []suiteEntry{
+		{"GE-QO", core.AlgGEQO, 0},
+		{"GOO", core.AlgGOO, 0},
+		{"LinDP", core.AlgLinDP, 0},
+		{"IKKBZ", core.AlgIKKBZ, 0},
+		{"IDP2-MPDP(15)", core.AlgIDP2, 0},
+		{"IDP2-MPDP(25)", core.AlgIDP2, 0},
+		{"UnionDP-MPDP(15)", core.AlgUnionDP, 0},
+	}
+}
+
+func kFor(label string) int {
+	switch label {
+	case "IDP2-MPDP(25)":
+		return 25
+	default:
+		return 15
+	}
+}
+
+// runQualityTable drives one heuristic plan-quality table (Tables 1 and 2):
+// for each query size, cfg.Queries queries are optimized by every heuristic,
+// each plan's cost is normalized by the best plan found by any of them for
+// that query, and the mean and 95th percentile of the normalized cost are
+// reported. '-' marks heuristics that exceeded the timeout at that size.
+func runQualityTable(w io.Writer, cfg Config, title string, sizes []int,
+	gen func(n int, rng *rand.Rand) *cost.Query) error {
+
+	sizes = cfg.cap(sizes)
+	suite := heuristicSuite()
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "(normalized plan cost: best found = 1.0; avg and p95 over %d queries; timeout %v)\n\n",
+		cfg.queries(), cfg.timeout())
+	tw := tabwriter.NewWriter(w, 4, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprint(tw, "technique")
+	for _, n := range sizes {
+		fmt.Fprintf(tw, "\t%d avg\t%d p95", n, n)
+	}
+	fmt.Fprint(tw, "\t\n")
+
+	// results[si][ni] collects normalized costs.
+	results := make([][][]float64, len(suite))
+	for si := range results {
+		results[si] = make([][]float64, len(sizes))
+	}
+	dead := make([][]bool, len(suite))
+	for si := range dead {
+		dead[si] = make([]bool, len(sizes))
+	}
+
+	for ni, n := range sizes {
+		for qi := 0; qi < cfg.queries(); qi++ {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(qi)*104729 + int64(n)))
+			q := gen(n, rng)
+			costs := make([]float64, len(suite))
+			best := 0.0
+			for si, s := range suite {
+				if ni > 0 && dead[si][ni-1] {
+					dead[si][ni] = true
+					continue
+				}
+				res, err := core.Optimize(q, core.Options{
+					Algorithm: s.alg,
+					Timeout:   cfg.timeout(),
+					Threads:   cfg.Threads,
+					K:         kFor(s.label),
+					Seed:      cfg.Seed + int64(qi),
+				})
+				if err != nil {
+					dead[si][ni] = true
+					continue
+				}
+				costs[si] = res.Plan.Cost
+				if best == 0 || res.Plan.Cost < best {
+					best = res.Plan.Cost
+				}
+			}
+			for si := range suite {
+				if costs[si] > 0 && best > 0 {
+					results[si][ni] = append(results[si][ni], costs[si]/best)
+				}
+			}
+		}
+	}
+
+	for si, s := range suite {
+		fmt.Fprint(tw, s.label)
+		for ni := range sizes {
+			xs := results[si][ni]
+			if len(xs) == 0 {
+				fmt.Fprint(tw, "\t-\t-")
+				continue
+			}
+			fmt.Fprintf(tw, "\t%.1f\t%.1f", mean(xs), percentile(xs, 95))
+		}
+		fmt.Fprint(tw, "\t\n")
+	}
+	return tw.Flush()
+}
+
+// Table1 reproduces Table 1: heuristic plan quality on snowflake queries of
+// 30 to 1000 relations.
+func Table1(w io.Writer, cfg Config) error {
+	return runQualityTable(w, cfg,
+		"Table 1: heuristic cost comparison, snowflake schema",
+		[]int{30, 40, 50, 60, 80, 100, 200, 400, 500, 600, 800, 1000},
+		func(n int, rng *rand.Rand) *cost.Query { return workload.Snowflake(n, rng) })
+}
+
+// Table2 reproduces Table 2: heuristic plan quality on star queries of 30
+// to 600 relations.
+func Table2(w io.Writer, cfg Config) error {
+	return runQualityTable(w, cfg,
+		"Table 2: heuristic cost comparison, star schema",
+		[]int{30, 40, 50, 60, 80, 100, 200, 300, 400, 500, 600},
+		func(n int, rng *rand.Rand) *cost.Query { return workload.Star(n, rng) })
+}
+
+// Ablation reproduces §7.2.5: the impact of the two GPU implementation
+// enhancements (kernel-fused pruning and Collaborative Context Collection)
+// on the modeled device time of MPDP-GPU and DPSub-GPU.
+func Ablation(w io.Writer, cfg Config) error {
+	type variant struct {
+		label string
+		cfg   gpusim.Config
+	}
+	variants := []variant{
+		{"baseline [23] (no fuse, no CCC)", gpusim.Config{Device: gpusim.GTX1080()}},
+		{"+fused prune", gpusim.Config{Device: gpusim.GTX1080(), FusedPrune: true}},
+		{"+CCC", gpusim.Config{Device: gpusim.GTX1080(), CCC: true}},
+		{"+both (paper)", gpusim.Config{Device: gpusim.GTX1080(), FusedPrune: true, CCC: true}},
+	}
+	gens := []struct {
+		label string
+		gen   func(n int, rng *rand.Rand) *cost.Query
+		n     int
+	}{
+		{"star", func(n int, rng *rand.Rand) *cost.Query { return workload.Star(n, rng) }, 16},
+		{"snowflake", func(n int, rng *rand.Rand) *cost.Query { return workload.Snowflake(n, rng) }, 18},
+		{"musicbrainz", mbGen, 16},
+	}
+	fmt.Fprintln(w, "GPU enhancement ablation (§7.2.5): simulated device time of MPDP (GPU), ms")
+	tw := tabwriter.NewWriter(w, 4, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprint(tw, "configuration")
+	for _, g := range gens {
+		fmt.Fprintf(tw, "\t%s(%d)", g.label, g.n)
+	}
+	fmt.Fprint(tw, "\t\n")
+	for _, v := range variants {
+		fmt.Fprint(tw, v.label)
+		for _, g := range gens {
+			n := g.n
+			if cfg.MaxRels > 0 && cfg.MaxRels < n {
+				n = cfg.MaxRels
+			}
+			rng := rand.New(rand.NewSource(cfg.Seed))
+			q := g.gen(n, rng)
+			_, _, gs, err := gpusim.MPDPGPU(dp.Input{
+				Q: q, M: cost.DefaultModel(),
+				Deadline: time.Now().Add(cfg.timeout()),
+			}, v.cfg)
+			if err != nil {
+				fmt.Fprint(tw, "\t-")
+				continue
+			}
+			fmt.Fprintf(tw, "\t%.3f", gs.SimTimeMS)
+		}
+		fmt.Fprint(tw, "\t\n")
+	}
+	return tw.Flush()
+}

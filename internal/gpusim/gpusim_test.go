@@ -1,0 +1,160 @@
+package gpusim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/cost"
+	"repro/internal/dp"
+	"repro/internal/graph"
+)
+
+func randomQuery(n, extraEdges int, rng *rand.Rand) *cost.Query {
+	g := graph.RandomConnected(n, extraEdges, rng)
+	g2 := graph.New(n)
+	for _, e := range g.Edges {
+		g2.AddEdge(e.A, e.B, math.Pow(10, -1-3*rng.Float64()))
+	}
+	var cat catalog.Catalog
+	for i := 0; i < n; i++ {
+		r := catalog.NewRelation("r", math.Pow(10, 1+4*rng.Float64()), 60)
+		r.HasPKIndex = true
+		cat.Add(r)
+	}
+	return &cost.Query{Cat: cat, G: g2}
+}
+
+func starQuery(n int, rng *rand.Rand) *cost.Query {
+	g := graph.Star(n)
+	g2 := graph.New(n)
+	for _, e := range g.Edges {
+		g2.AddEdge(e.A, e.B, math.Pow(10, -1-2*rng.Float64()))
+	}
+	var cat catalog.Catalog
+	for i := 0; i < n; i++ {
+		cat.Add(catalog.NewRelation("r", math.Pow(10, 2+3*rng.Float64()), 60))
+	}
+	return &cost.Query{Cat: cat, G: g2}
+}
+
+func TestGPUAlgorithmsProduceOptimalPlans(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	m := cost.DefaultModel()
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + rng.Intn(8)
+		q := randomQuery(n, rng.Intn(n), rng)
+		ref, _, err := dp.MPDPGeneral(dp.Input{Q: q, M: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Direct calls (kept simple to avoid interface gymnastics).
+		p1, st1, _, err := MPDPGPU(dp.Input{Q: q, M: m}, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, st2, _, err := DPSubGPU(dp.Input{Q: q, M: m}, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		p3, st3, _, err := DPSizeGPU(dp.Input{Q: q, M: m}, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, p := range []float64{p1.Cost, p2.Cost, p3.Cost} {
+			if math.Abs(p-ref.Cost) > 1e-9*math.Max(1, ref.Cost) {
+				t.Errorf("trial %d alg %d: cost %.6f, want %.6f", trial, i, p, ref.Cost)
+			}
+		}
+		if st1.CCP != st2.CCP || st2.CCP != st3.CCP {
+			t.Errorf("trial %d: CCP counters differ: %d %d %d", trial, st1.CCP, st2.CCP, st3.CCP)
+		}
+	}
+}
+
+func TestCandidatePairOrdering(t *testing.T) {
+	// On a star query: MPDP candidates == CCP (tree); DPSub explodes;
+	// DPSize is even worse per the paper.
+	rng := rand.New(rand.NewSource(32))
+	q := starQuery(14, rng)
+	m := cost.DefaultModel()
+	_, stM, gsM, err := MPDPGPU(dp.Input{Q: q, M: m}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stS, gsS, err := DPSubGPU(dp.Input{Q: q, M: m}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, gsZ, err := DPSizeGPU(dp.Input{Q: q, M: m}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stM.Evaluated != stM.CCP {
+		t.Errorf("MPDP-GPU on star: Evaluated=%d != CCP=%d", stM.Evaluated, stM.CCP)
+	}
+	if gsS.CandidatePairs < 10*gsM.CandidatePairs {
+		t.Errorf("DPSub candidates %d not ≫ MPDP %d", gsS.CandidatePairs, gsM.CandidatePairs)
+	}
+	if gsZ.CandidatePairs < gsS.CandidatePairs {
+		t.Errorf("DPSize candidates %d < DPSub %d on star", gsZ.CandidatePairs, gsS.CandidatePairs)
+	}
+	if stS.CCP != stM.CCP {
+		t.Errorf("CCP differs: %d vs %d", stS.CCP, stM.CCP)
+	}
+	if gsM.SimTimeMS >= gsS.SimTimeMS {
+		t.Errorf("MPDP-GPU sim time %.3fms not faster than DPSub-GPU %.3fms", gsM.SimTimeMS, gsS.SimTimeMS)
+	}
+}
+
+func TestEnhancementAblation(t *testing.T) {
+	// §7.2.5: fused pruning and CCC each reduce modeled time; CCC matters
+	// most when the valid fraction is low (star topology).
+	rng := rand.New(rand.NewSource(33))
+	q := starQuery(13, rng)
+	m := cost.DefaultModel()
+	in := dp.Input{Q: q, M: m}
+
+	full := Config{Device: GTX1080(), FusedPrune: true, CCC: true}
+	noCCC := Config{Device: GTX1080(), FusedPrune: true, CCC: false}
+	noFuse := Config{Device: GTX1080(), FusedPrune: false, CCC: true}
+
+	_, _, gsFull, err := DPSubGPU(in, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, gsNoCCC, err := DPSubGPU(in, noCCC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, gsNoFuse, err := DPSubGPU(in, noFuse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gsNoCCC.SimTimeMS <= gsFull.SimTimeMS {
+		t.Errorf("disabling CCC should cost time: %.4f <= %.4f", gsNoCCC.SimTimeMS, gsFull.SimTimeMS)
+	}
+	if gsNoFuse.GlobalWrites <= gsFull.GlobalWrites {
+		t.Errorf("unfused prune should add global writes: %d <= %d", gsNoFuse.GlobalWrites, gsFull.GlobalWrites)
+	}
+	ratio := gsNoCCC.SimTimeMS / gsFull.SimTimeMS
+	if ratio > 3.5 {
+		t.Errorf("CCC speedup %.2f exceeds the paper's ≤3x envelope", ratio)
+	}
+}
+
+func TestSmallQueryTransferOverheadDominates(t *testing.T) {
+	// For < 10 relations the paper notes GPU variants are not competitive
+	// because of per-level transfers; the model must reflect a time floor.
+	rng := rand.New(rand.NewSource(34))
+	q := starQuery(5, rng)
+	_, _, gs, err := MPDPGPU(dp.Input{Q: q, M: cost.DefaultModel()}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	floor := float64(gs.Levels) * GTX1080().LevelTransferUS * 1e-3
+	if gs.SimTimeMS < floor {
+		t.Errorf("sim time %.4fms below transfer floor %.4fms", gs.SimTimeMS, floor)
+	}
+}

@@ -1,0 +1,153 @@
+package graph
+
+import "repro/internal/bitset"
+
+// FindBlocks returns the biconnected components (blocks, §2.4) of the
+// subgraph induced by s, each as a Mask of the vertices it spans. A bridge
+// edge forms a 2-vertex block; isolated vertices of the induced subgraph
+// form no block. s must induce a graph of at most 64 vertices.
+//
+// The implementation is the iterative Hopcroft–Tarjan DFS [12]: vertices are
+// assigned discovery numbers and low-links; when a child subtree cannot reach
+// above its parent, the edges accumulated since the child was entered form a
+// block. MPDP (Alg. 3, line 4) calls this once per connected set S.
+func (g *Graph) FindBlocks(s bitset.Mask) []bitset.Mask {
+	if s.Count() < 2 {
+		return nil
+	}
+
+	// Fixed-size scratch: Mask graphs have at most 64 vertices, so DFS
+	// state lives on the stack (this is the hottest loop of MPDP — one
+	// call per connected set).
+	var disc, low [64]int32
+	for i := range disc {
+		disc[i] = -1
+	}
+	time := int32(0)
+	var blocks []bitset.Mask
+	var edgeStack [][2]int
+
+	type frame struct {
+		v, parent int
+		nbrs      []int
+		next      int
+	}
+
+	popBlock := func(u, v int) {
+		var block bitset.Mask
+		for len(edgeStack) > 0 {
+			e := edgeStack[len(edgeStack)-1]
+			edgeStack = edgeStack[:len(edgeStack)-1]
+			block = block.Add(e[0]).Add(e[1])
+			if e[0] == u && e[1] == v {
+				break
+			}
+		}
+		if !block.Empty() {
+			blocks = append(blocks, block)
+		}
+	}
+
+	for root := s; !root.Empty(); {
+		r := root.Lowest()
+		if disc[r] >= 0 {
+			root = root.Remove(r)
+			continue
+		}
+		stack := []frame{{v: r, parent: -1, nbrs: g.adjList[r]}}
+		disc[r] = time
+		low[r] = time
+		time++
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			advanced := false
+			for f.next < len(f.nbrs) {
+				w := f.nbrs[f.next]
+				f.next++
+				if !s.Has(w) || w == f.parent {
+					continue
+				}
+				if dw := disc[w]; dw >= 0 {
+					// Back edge.
+					if dw < disc[f.v] {
+						edgeStack = append(edgeStack, [2]int{f.v, w})
+						if dw < low[f.v] {
+							low[f.v] = dw
+						}
+					}
+					continue
+				}
+				// Tree edge: descend.
+				edgeStack = append(edgeStack, [2]int{f.v, w})
+				disc[w] = time
+				low[w] = time
+				time++
+				stack = append(stack, frame{v: w, parent: f.v, nbrs: g.adjList[w]})
+				advanced = true
+				break
+			}
+			if advanced {
+				continue
+			}
+			// Done with f.v: propagate low-link and detect block roots.
+			stack = stack[:len(stack)-1]
+			if len(stack) > 0 {
+				p := &stack[len(stack)-1]
+				if low[f.v] < low[p.v] {
+					low[p.v] = low[f.v]
+				}
+				if low[f.v] >= disc[p.v] {
+					popBlock(p.v, f.v)
+				}
+			}
+		}
+		root = root.Remove(r)
+	}
+	return blocks
+}
+
+// CutVertices returns the cut vertices (§2.4) of the subgraph induced by s:
+// vertices whose removal increases the number of connected components.
+func (g *Graph) CutVertices(s bitset.Mask) bitset.Mask {
+	var cuts bitset.Mask
+	blocks := g.FindBlocks(s)
+	// A vertex is a cut vertex of the induced subgraph iff it belongs to at
+	// least two blocks.
+	count := make(map[int]int)
+	for _, b := range blocks {
+		b.ForEach(func(v int) { count[v]++ })
+	}
+	for v, c := range count {
+		if c >= 2 {
+			cuts = cuts.Add(v)
+		}
+	}
+	return cuts
+}
+
+// BlockCutTree is the bipartite tree of blocks and cut vertices (§2.4).
+type BlockCutTree struct {
+	Blocks []bitset.Mask // block vertex sets
+	Cuts   []int         // cut vertices
+	// BlockCuts[i] lists indices into Cuts for the cut vertices inside
+	// Blocks[i]; the tree edges are exactly (block i, cut BlockCuts[i][j]).
+	BlockCuts [][]int
+}
+
+// BuildBlockCutTree computes the block-cut tree of the subgraph induced by s.
+func (g *Graph) BuildBlockCutTree(s bitset.Mask) BlockCutTree {
+	blocks := g.FindBlocks(s)
+	cutsMask := g.CutVertices(s)
+	cuts := cutsMask.Elements()
+	cutIndex := make(map[int]int, len(cuts))
+	for i, v := range cuts {
+		cutIndex[v] = i
+	}
+	bc := make([][]int, len(blocks))
+	for i, b := range blocks {
+		b.Intersect(cutsMask).ForEach(func(v int) {
+			bc[i] = append(bc[i], cutIndex[v])
+		})
+	}
+	return BlockCutTree{Blocks: blocks, Cuts: cuts, BlockCuts: bc}
+}

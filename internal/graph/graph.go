@@ -1,0 +1,239 @@
+// Package graph implements the join-graph machinery the optimizers are built
+// on: G(R, E) with relations as vertices and inner-join predicates as edges
+// (§2.1), subset connectivity tests, the grow function (§3.2.1), biconnected
+// components / blocks via Hopcroft–Tarjan (§2.4), the block-cut tree, and a
+// union-find used by the UnionDP partition phase (§4.2).
+//
+// Two vertex-set representations are supported: bitset.Mask for graphs of at
+// most 64 vertices (the exact-DP fast path) and bitset.Set for the large
+// graphs (1000+ relations) handled by the heuristic layer.
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+)
+
+// Edge is an undirected join edge between relations A and B annotated with
+// the selectivity of the corresponding join predicate.
+type Edge struct {
+	A, B int
+	Sel  float64
+}
+
+// Graph is an undirected join graph over vertices 0..N-1.
+type Graph struct {
+	N     int
+	Edges []Edge
+
+	adjList [][]int
+	adjMask []bitset.Mask // valid only when N <= 64
+	adjSet  []bitset.Set  // adjacency as dynamic sets, built lazily
+	selAt   map[[2]int]float64
+}
+
+// New returns an empty graph on n vertices.
+func New(n int) *Graph {
+	return &Graph{
+		N:       n,
+		adjList: make([][]int, n),
+		adjMask: makeAdjMask(n),
+		selAt:   make(map[[2]int]float64),
+	}
+}
+
+func makeAdjMask(n int) []bitset.Mask {
+	if n > 64 {
+		return nil
+	}
+	return make([]bitset.Mask, n)
+}
+
+// AddEdge inserts the undirected edge (a, b) with join selectivity sel.
+// Parallel edges are merged by multiplying selectivities (conjunctive
+// predicates between the same pair of relations).
+func (g *Graph) AddEdge(a, b int, sel float64) {
+	if a == b {
+		panic(fmt.Sprintf("graph: self edge on vertex %d", a))
+	}
+	if a > b {
+		a, b = b, a
+	}
+	if old, ok := g.selAt[[2]int{a, b}]; ok {
+		g.selAt[[2]int{a, b}] = old * sel
+		for i := range g.Edges {
+			if g.Edges[i].A == a && g.Edges[i].B == b {
+				g.Edges[i].Sel *= sel
+			}
+		}
+		return
+	}
+	g.selAt[[2]int{a, b}] = sel
+	g.Edges = append(g.Edges, Edge{A: a, B: b, Sel: sel})
+	g.adjList[a] = append(g.adjList[a], b)
+	g.adjList[b] = append(g.adjList[b], a)
+	if g.adjMask != nil {
+		g.adjMask[a] = g.adjMask[a].Add(b)
+		g.adjMask[b] = g.adjMask[b].Add(a)
+	}
+	g.adjSet = nil
+}
+
+// HasEdge reports whether (a, b) is an edge.
+func (g *Graph) HasEdge(a, b int) bool {
+	if a > b {
+		a, b = b, a
+	}
+	_, ok := g.selAt[[2]int{a, b}]
+	return ok
+}
+
+// EdgeSel returns the selectivity of edge (a, b), or 1 if absent.
+func (g *Graph) EdgeSel(a, b int) float64 {
+	if a > b {
+		a, b = b, a
+	}
+	if s, ok := g.selAt[[2]int{a, b}]; ok {
+		return s
+	}
+	return 1
+}
+
+// Neighbors returns the adjacency list of v. The caller must not modify it.
+func (g *Graph) Neighbors(v int) []int { return g.adjList[v] }
+
+// AdjMask returns the neighbourhood of v as a Mask. Valid only for N <= 64.
+func (g *Graph) AdjMask(v int) bitset.Mask { return g.adjMask[v] }
+
+// NeighborhoodOf returns the union of neighbourhoods of the vertices of s,
+// excluding s itself. Valid only for N <= 64.
+func (g *Graph) NeighborhoodOf(s bitset.Mask) bitset.Mask {
+	var nb bitset.Mask
+	s.ForEach(func(v int) { nb |= g.adjMask[v] })
+	return nb.Diff(s)
+}
+
+// ConnectedTo reports whether some edge joins a vertex of l to a vertex of r.
+// Valid only for N <= 64.
+func (g *Graph) ConnectedTo(l, r bitset.Mask) bool {
+	return !g.NeighborhoodOf(l).Disjoint(r)
+}
+
+// Grow implements the grow function of §3.2.1 on Mask sets: starting from
+// src, it repeatedly adds every vertex of restrict adjacent to the current
+// frontier and returns all vertices of restrict reachable from src.
+// src must be a subset of restrict. Valid only for N <= 64.
+func (g *Graph) Grow(src, restrict bitset.Mask) bitset.Mask {
+	reach := src
+	frontier := src
+	for !frontier.Empty() {
+		var next bitset.Mask
+		frontier.ForEach(func(v int) { next |= g.adjMask[v] })
+		next = next.Intersect(restrict).Diff(reach)
+		reach = reach.Union(next)
+		frontier = next
+	}
+	return reach
+}
+
+// Connected reports whether the subgraph induced by s is connected
+// (the empty set and singletons are connected). Valid only for N <= 64.
+func (g *Graph) Connected(s bitset.Mask) bool {
+	if s.Empty() {
+		return true
+	}
+	return g.Grow(s.LowestBit(), s) == s
+}
+
+// ConnectedComponents returns the connected components of the subgraph
+// induced by s. Valid only for N <= 64.
+func (g *Graph) ConnectedComponents(s bitset.Mask) []bitset.Mask {
+	var comps []bitset.Mask
+	for !s.Empty() {
+		c := g.Grow(s.LowestBit(), s)
+		comps = append(comps, c)
+		s = s.Diff(c)
+	}
+	return comps
+}
+
+// ensureAdjSet builds the dynamic-set adjacency on demand.
+func (g *Graph) ensureAdjSet() {
+	if g.adjSet != nil {
+		return
+	}
+	g.adjSet = make([]bitset.Set, g.N)
+	for v := 0; v < g.N; v++ {
+		s := bitset.NewSet(g.N)
+		for _, w := range g.adjList[v] {
+			s.Add(w)
+		}
+		g.adjSet[v] = s
+	}
+}
+
+// GrowSet is Grow for dynamic sets (graphs of any size).
+func (g *Graph) GrowSet(src, restrict bitset.Set) bitset.Set {
+	g.ensureAdjSet()
+	reach := src.Clone()
+	frontier := src.Clone()
+	for !frontier.Empty() {
+		next := bitset.NewSet(g.N)
+		frontier.ForEach(func(v int) { next.UnionWith(g.adjSet[v]) })
+		next.IntersectWith(restrict)
+		next.DiffWith(reach)
+		reach.UnionWith(next)
+		frontier = next
+	}
+	return reach
+}
+
+// ConnectedSet reports whether the subgraph induced by s is connected,
+// for graphs of any size.
+func (g *Graph) ConnectedSet(s bitset.Set) bool {
+	lo := s.Lowest()
+	if lo < 0 {
+		return true
+	}
+	return g.GrowSet(bitset.SetOf(g.N, lo), s).Equal(s)
+}
+
+// Subgraph extracts the subgraph induced by the given global vertex ids and
+// returns it together with the local→global vertex mapping. Edge
+// selectivities are preserved. The ids order defines local indices.
+func (g *Graph) Subgraph(ids []int) (*Graph, []int) {
+	local := make(map[int]int, len(ids))
+	for li, gi := range ids {
+		local[gi] = li
+	}
+	sub := New(len(ids))
+	for _, e := range g.Edges {
+		la, okA := local[e.A]
+		lb, okB := local[e.B]
+		if okA && okB {
+			sub.AddEdge(la, lb, e.Sel)
+		}
+	}
+	toGlobal := make([]int, len(ids))
+	copy(toGlobal, ids)
+	return sub, toGlobal
+}
+
+// IsTree reports whether the whole graph is connected and acyclic.
+func (g *Graph) IsTree() bool {
+	if g.N == 0 {
+		return true
+	}
+	if len(g.Edges) != g.N-1 {
+		return false
+	}
+	if g.N <= 64 {
+		return g.Connected(bitset.Full(g.N))
+	}
+	full := bitset.NewSet(g.N)
+	for v := 0; v < g.N; v++ {
+		full.Add(v)
+	}
+	return g.ConnectedSet(full)
+}

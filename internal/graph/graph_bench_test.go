@@ -1,0 +1,59 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+)
+
+// FindBlocks is MPDP's per-set hot path (one call per connected set); these
+// benchmarks track its cost on the topologies of §7.2.1.
+func BenchmarkFindBlocks(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	cases := []struct {
+		name string
+		g    *Graph
+	}{
+		{"tree-16", RandomTree(16, rng)},
+		{"cycle-16", Cycle(16)},
+		{"clique-12", Clique(12)},
+		{"random-20", RandomConnected(20, 10, rng)},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			s := bitset.Full(c.g.N)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if blocks := c.g.FindBlocks(s); len(blocks) == 0 {
+					b.Fatal("no blocks")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkGrow(b *testing.B) {
+	g := SnowflakeN(24, 4)
+	s := bitset.Full(24)
+	src := bitset.Single(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if g.Grow(src, s) != s {
+			b.Fatal("grow incomplete")
+		}
+	}
+}
+
+func BenchmarkConnected(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	g := RandomConnected(24, 12, rng)
+	masks := make([]bitset.Mask, 1024)
+	for i := range masks {
+		masks[i] = bitset.Mask(rng.Uint64()) & bitset.Full(24)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Connected(masks[i%len(masks)])
+	}
+}

@@ -1,0 +1,113 @@
+package graph
+
+import "math/rand"
+
+// The constructors below build the join-graph topologies used throughout the
+// paper's evaluation (§7.2.1): star, snowflake, chain, cycle and clique, plus
+// random connected graphs for property testing. Edge selectivities default
+// to 1 and are overwritten by the workload layer, which derives them from
+// catalog statistics.
+
+// Star returns a star join graph: vertex 0 is the fact relation, vertices
+// 1..n-1 are dimensions joined to it.
+func Star(n int) *Graph {
+	g := New(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(0, i, 1)
+	}
+	return g
+}
+
+// Chain returns a chain join graph 0-1-2-...-(n-1).
+func Chain(n int) *Graph {
+	g := New(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(i-1, i, 1)
+	}
+	return g
+}
+
+// Cycle returns a cycle join graph 0-1-...-(n-1)-0.
+func Cycle(n int) *Graph {
+	g := Chain(n)
+	if n >= 3 {
+		g.AddEdge(n-1, 0, 1)
+	}
+	return g
+}
+
+// Clique returns a complete join graph on n vertices.
+func Clique(n int) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(i, j, 1)
+		}
+	}
+	return g
+}
+
+// Snowflake returns a snowflake join graph: a star whose dimension arms are
+// chains of the given depth (paper uses depth <= 4). fanout arms hang off
+// the central fact vertex 0; the total vertex count is 1 + fanout*depth.
+func Snowflake(fanout, depth int) *Graph {
+	n := 1 + fanout*depth
+	g := New(n)
+	v := 1
+	for a := 0; a < fanout; a++ {
+		prev := 0
+		for d := 0; d < depth; d++ {
+			g.AddEdge(prev, v, 1)
+			prev = v
+			v++
+		}
+	}
+	return g
+}
+
+// SnowflakeN returns a snowflake join graph with exactly n vertices by
+// distributing n-1 dimension vertices over arms of at most maxDepth.
+func SnowflakeN(n, maxDepth int) *Graph {
+	if maxDepth < 1 {
+		maxDepth = 1
+	}
+	g := New(n)
+	v := 1
+	for v < n {
+		prev := 0
+		for d := 0; d < maxDepth && v < n; d++ {
+			g.AddEdge(prev, v, 1)
+			prev = v
+			v++
+		}
+	}
+	return g
+}
+
+// RandomTree returns a random spanning tree on n vertices (random attachment).
+func RandomTree(n int, rng *rand.Rand) *Graph {
+	g := New(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(rng.Intn(v), v, 1)
+	}
+	return g
+}
+
+// RandomConnected returns a random connected graph on n vertices: a random
+// spanning tree plus extra additional distinct edges (cycles).
+func RandomConnected(n, extra int, rng *rand.Rand) *Graph {
+	g := RandomTree(n, rng)
+	maxExtra := n*(n-1)/2 - (n - 1)
+	if extra > maxExtra {
+		extra = maxExtra
+	}
+	for added := 0; added < extra; {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a == b || g.HasEdge(a, b) {
+			continue
+		}
+		g.AddEdge(a, b, 1)
+		added++
+	}
+	return g
+}

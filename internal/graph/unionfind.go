@@ -1,0 +1,59 @@
+package graph
+
+// UnionFind is a disjoint-set forest with union by size and path compression.
+// UnionDP (Alg. 4) uses it to maintain the partition over relations during
+// the partition phase; the Size accessor enforces the k-bound on partitions.
+type UnionFind struct {
+	parent []int
+	size   []int
+}
+
+// NewUnionFind returns n singleton sets {0}, ..., {n-1}.
+func NewUnionFind(n int) *UnionFind {
+	uf := &UnionFind{parent: make([]int, n), size: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+		uf.size[i] = 1
+	}
+	return uf
+}
+
+// Find returns the representative of x's set.
+func (u *UnionFind) Find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets of a and b and returns the new representative.
+func (u *UnionFind) Union(a, b int) int {
+	ra, rb := u.Find(a), u.Find(b)
+	if ra == rb {
+		return ra
+	}
+	if u.size[ra] < u.size[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	u.size[ra] += u.size[rb]
+	return ra
+}
+
+// Same reports whether a and b are in the same set.
+func (u *UnionFind) Same(a, b int) bool { return u.Find(a) == u.Find(b) }
+
+// Size returns the cardinality of x's set.
+func (u *UnionFind) Size(x int) int { return u.size[u.Find(x)] }
+
+// Groups returns the partition as representative → members (members in
+// increasing order).
+func (u *UnionFind) Groups() map[int][]int {
+	g := make(map[int][]int)
+	for i := range u.parent {
+		r := u.Find(i)
+		g[r] = append(g[r], i)
+	}
+	return g
+}

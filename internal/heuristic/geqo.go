@@ -1,0 +1,232 @@
+package heuristic
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/cost"
+	"repro/internal/plan"
+)
+
+// GEQO is PostgreSQL's genetic query optimizer [36], the fallback PostgreSQL
+// applies beyond geqo_threshold relations: a steady-state genetic algorithm
+// over relation tours with edge-recombination crossover. A tour is decoded
+// into a join tree with the clump-merging scheme of PostgreSQL's gimme_tree
+// (cross-product-free whenever possible). Default parameters follow
+// PostgreSQL: pool scaled with query size, generations = pool size.
+func GEQO(q *cost.Query, opt Options) (*plan.Node, error) {
+	n := q.N()
+	if n == 1 {
+		return opt.model().Scan(q, 0), nil
+	}
+	rng := rand.New(rand.NewSource(opt.seed()))
+
+	// PostgreSQL sizing: pool = 2^(effort+1) clamped; effort 5 by default.
+	pool := 2 * n
+	if pool < 50 {
+		pool = 50
+	}
+	if pool > 250 {
+		pool = 250
+	}
+	generations := pool * 4
+
+	type individual struct {
+		tour []int
+		cost float64
+	}
+	decode := func(tour []int) (*plan.Node, float64) {
+		p := decodeTour(q, opt.model(), tour)
+		if p == nil {
+			return nil, 0
+		}
+		return p, p.Cost
+	}
+	newRandomTour := func() []int {
+		t := rng.Perm(n)
+		return t
+	}
+
+	population := make([]individual, 0, pool)
+	for i := 0; i < pool; i++ {
+		t := newRandomTour()
+		if _, c := decode(t); true {
+			population = append(population, individual{tour: t, cost: c})
+		}
+	}
+	sortPopulation := func() {
+		// Simple insertion by cost; pool is small.
+		for i := 1; i < len(population); i++ {
+			for j := i; j > 0 && population[j].cost < population[j-1].cost; j-- {
+				population[j], population[j-1] = population[j-1], population[j]
+			}
+		}
+	}
+	sortPopulation()
+
+	// Linear-bias parent selection, as in PostgreSQL's geqo_selection.
+	selectParent := func() individual {
+		bias := 2.0
+		idx := int(float64(len(population)) *
+			(bias - (bias*bias-4*(bias-1)*rng.Float64())/2/(bias-1)) / bias)
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(population) {
+			idx = len(population) - 1
+		}
+		return population[idx]
+	}
+
+	for gen := 0; gen < generations; gen++ {
+		if opt.expired() {
+			break // GEQO is any-time: return the best found so far
+		}
+		p1, p2 := selectParent(), selectParent()
+		child := edgeRecombination(p1.tour, p2.tour, rng)
+		_, c := decode(child)
+		// Steady-state replacement of the worst individual.
+		worst := len(population) - 1
+		if c < population[worst].cost {
+			population[worst] = individual{tour: child, cost: c}
+			sortPopulation()
+		}
+	}
+	best, _ := decode(population[0].tour)
+	if best == nil {
+		return nil, errNoPlan
+	}
+	return best, nil
+}
+
+// decodeTour converts a relation tour into a join tree using PostgreSQL's
+// clump-merging: relations are taken in tour order, each forming a clump
+// that is merged with the first existing clump it has a join edge to;
+// whenever a merge happens, further merges are retried. Clumps that remain
+// at the end are cross-joined (PostgreSQL does the same as a last resort).
+func decodeTour(q *cost.Query, m *cost.Model, tour []int) *plan.Node {
+	type clump struct {
+		node *plan.Node
+		set  bitset.Set
+	}
+	n := q.N()
+	var clumps []*clump
+	hasEdge := func(a, b bitset.Set) bool {
+		found := false
+		a.ForEach(func(v int) {
+			if found {
+				return
+			}
+			for _, w := range q.G.Neighbors(v) {
+				if b.Has(w) {
+					found = true
+					return
+				}
+			}
+		})
+		return found
+	}
+	join := func(a, b *clump) *clump {
+		rows := a.node.Rows * b.node.Rows * q.SelBetweenSets(a.set, b.set)
+		l, r := a, b
+		if l.node.Rows < r.node.Rows {
+			l, r = r, l
+		}
+		return &clump{node: m.JoinWithRows(q, l.node, r.node, rows), set: a.set.Union(b.set)}
+	}
+	for _, rel := range tour {
+		cur := &clump{node: m.Scan(q, rel), set: bitset.SetOf(n, rel)}
+		for {
+			merged := false
+			for i, cl := range clumps {
+				if hasEdge(cur.set, cl.set) {
+					cur = join(cl, cur)
+					clumps = append(clumps[:i], clumps[i+1:]...)
+					merged = true
+					break
+				}
+			}
+			if !merged {
+				break
+			}
+		}
+		clumps = append(clumps, cur)
+	}
+	// Force-join any remaining clumps (cross products, selectivity 1).
+	for len(clumps) > 1 {
+		a, b := clumps[0], clumps[1]
+		clumps = append([]*clump{join(a, b)}, clumps[2:]...)
+	}
+	return clumps[0].node
+}
+
+// edgeRecombination is the ERX crossover used by PostgreSQL's GEQO: the
+// child tour follows neighbours shared by the parents where possible.
+func edgeRecombination(a, b []int, rng *rand.Rand) []int {
+	n := len(a)
+	adj := make(map[int]map[int]bool, n)
+	addEdges := func(t []int) {
+		for i, v := range t {
+			if adj[v] == nil {
+				adj[v] = map[int]bool{}
+			}
+			adj[v][t[(i+1)%n]] = true
+			adj[v][t[(i+n-1)%n]] = true
+		}
+	}
+	addEdges(a)
+	addEdges(b)
+	used := make([]bool, n)
+	child := make([]int, 0, n)
+	cur := a[0]
+	if rng.Intn(2) == 1 {
+		cur = b[0]
+	}
+	for {
+		child = append(child, cur)
+		used[cur] = true
+		if len(child) == n {
+			return child
+		}
+		// Remove cur from all adjacency lists.
+		for _, nb := range adjKeys(adj[cur]) {
+			delete(adj[nb], cur)
+		}
+		// Next: the unused neighbour with the fewest remaining neighbours.
+		next := -1
+		bestDeg := 1 << 30
+		for _, nb := range adjKeys(adj[cur]) {
+			if used[nb] {
+				continue
+			}
+			d := len(adj[nb])
+			if d < bestDeg {
+				bestDeg = d
+				next = nb
+			}
+		}
+		if next < 0 {
+			// Dead end: pick a random unused vertex.
+			for {
+				cand := rng.Intn(n)
+				if !used[cand] {
+					next = cand
+					break
+				}
+			}
+		}
+		cur = next
+	}
+}
+
+// adjKeys returns the neighbours in sorted order so that ERX is
+// deterministic for a fixed seed (map iteration order is randomized in Go).
+func adjKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

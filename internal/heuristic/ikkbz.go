@@ -1,0 +1,250 @@
+package heuristic
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/cost"
+	"repro/internal/graph"
+	"repro/internal/plan"
+)
+
+// IKKBZ implements the polynomial-time left-deep optimizer of Ibaraki &
+// Kameda / Krishnamurthy, Boral & Zaniolo [14, 18]: for every choice of
+// root it linearizes the (spanning tree of the) join graph by ascending
+// rank with chain normalization, and returns the cheapest left-deep plan
+// over the best linearization. Ranks use the Cout cost function, exactly as
+// in the paper's baseline (§7.3); the returned plan is costed with the real
+// model.
+func IKKBZ(q *cost.Query, opt Options) (*plan.Node, error) {
+	order, err := IKKBZOrder(q, opt)
+	if err != nil {
+		return nil, err
+	}
+	return leftDeepPlan(q, opt.model(), order, nil)
+}
+
+// IKKBZOrder returns the best IKKBZ linearization of the query: a
+// permutation of relation ids in join order. LinDP consumes this directly.
+func IKKBZOrder(q *cost.Query, opt Options) ([]int, error) {
+	n := q.N()
+	if n == 0 {
+		return nil, errNoPlan
+	}
+	if n == 1 {
+		return []int{0}, nil
+	}
+	span, err := spanningTree(q)
+	if err != nil {
+		return nil, err
+	}
+	bestCout := math.Inf(1)
+	var best []int
+	for root := 0; root < n; root++ {
+		if opt.expired() {
+			if best != nil {
+				return best, nil // degrade gracefully with what we have
+			}
+			return nil, ErrTimeout
+		}
+		order := ikkbzLinearize(q, span, root)
+		c := coutOfOrder(q, order)
+		if c < bestCout {
+			bestCout = c
+			best = order
+		}
+	}
+	return best, nil
+}
+
+// spanningTree returns a minimum spanning tree of the join graph under
+// ascending edge selectivity (the most selective predicates are kept, as in
+// Neumann & Radke's adaptive optimizer). Tree graphs pass through
+// unchanged.
+func spanningTree(q *cost.Query) (*graph.Graph, error) {
+	g := q.G
+	if g.IsTree() {
+		return g, nil
+	}
+	edges := make([]graph.Edge, len(g.Edges))
+	copy(edges, g.Edges)
+	sort.Slice(edges, func(i, j int) bool { return edges[i].Sel < edges[j].Sel })
+	uf := graph.NewUnionFind(g.N)
+	tree := graph.New(g.N)
+	added := 0
+	for _, e := range edges {
+		if uf.Same(e.A, e.B) {
+			continue
+		}
+		uf.Union(e.A, e.B)
+		tree.AddEdge(e.A, e.B, e.Sel)
+		added++
+		if added == g.N-1 {
+			break
+		}
+	}
+	if added != g.N-1 {
+		return nil, ErrDisconnected
+	}
+	return tree, nil
+}
+
+// ikkbzItem is a (possibly compound) chain element: the relations it
+// covers in order, with the classic T and C aggregates under Cout:
+// T(S1 S2) = T(S1)·T(S2), C(S1 S2) = C(S1) + T(S1)·C(S2).
+type ikkbzItem struct {
+	rels []int
+	t, c float64
+}
+
+func (it ikkbzItem) rank() float64 {
+	if it.c == 0 {
+		return 0
+	}
+	return (it.t - 1) / it.c
+}
+
+func mergeItems(a, b ikkbzItem) ikkbzItem {
+	return ikkbzItem{
+		rels: append(append([]int{}, a.rels...), b.rels...),
+		t:    a.t * b.t,
+		c:    a.c + a.t*b.c,
+	}
+}
+
+// ikkbzLinearize produces the IKKBZ order for one root over the spanning
+// tree: children chains are computed bottom-up, merged by ascending rank,
+// and normalized by compounding rank inversions.
+func ikkbzLinearize(q *cost.Query, tree *graph.Graph, root int) []int {
+	n := q.N()
+	parent := make([]int, n)
+	orderBFS := make([]int, 0, n)
+	for i := range parent {
+		parent[i] = -2
+	}
+	parent[root] = -1
+	queue := []int{root}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		orderBFS = append(orderBFS, v)
+		for _, w := range tree.Neighbors(v) {
+			if parent[w] == -2 {
+				parent[w] = v
+				queue = append(queue, w)
+			}
+		}
+	}
+
+	chains := make([][]ikkbzItem, n) // chain of v's subtree, excluding v for root handling
+	// Process in reverse BFS order (children before parents).
+	for i := len(orderBFS) - 1; i >= 0; i-- {
+		v := orderBFS[i]
+		var childChains [][]ikkbzItem
+		for _, w := range tree.Neighbors(v) {
+			if parent[w] == v {
+				childChains = append(childChains, chains[w])
+			}
+		}
+		merged := mergeChainsByRank(childChains)
+		if v == root {
+			chains[v] = merged
+			continue
+		}
+		t := tree.EdgeSel(v, parent[v]) * q.Rows(v)
+		self := ikkbzItem{rels: []int{v}, t: t, c: t}
+		chains[v] = normalizeChain(append([]ikkbzItem{self}, merged...))
+	}
+
+	out := make([]int, 0, n)
+	out = append(out, root)
+	for _, it := range chains[root] {
+		out = append(out, it.rels...)
+	}
+	return out
+}
+
+// mergeChainsByRank merges rank-sorted chains into one rank-sorted chain
+// (precedence within each chain is preserved).
+func mergeChainsByRank(chains [][]ikkbzItem) []ikkbzItem {
+	var out []ikkbzItem
+	idx := make([]int, len(chains))
+	for {
+		best := -1
+		for ci, chain := range chains {
+			if idx[ci] >= len(chain) {
+				continue
+			}
+			if best < 0 || chain[idx[ci]].rank() < chains[best][idx[best]].rank() {
+				best = ci
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		out = append(out, chains[best][idx[best]])
+		idx[best]++
+	}
+}
+
+// normalizeChain compounds adjacent rank inversions until ranks are
+// non-decreasing, preserving precedence order.
+func normalizeChain(chain []ikkbzItem) []ikkbzItem {
+	i := 0
+	for i < len(chain)-1 {
+		if chain[i].rank() > chain[i+1].rank() {
+			merged := mergeItems(chain[i], chain[i+1])
+			chain = append(chain[:i], append([]ikkbzItem{merged}, chain[i+2:]...)...)
+			if i > 0 {
+				i--
+			}
+		} else {
+			i++
+		}
+	}
+	return chain
+}
+
+// coutOfOrder evaluates the Cout cost of a left-deep order: the sum of all
+// intermediate result sizes under the full join graph's selectivities.
+func coutOfOrder(q *cost.Query, order []int) float64 {
+	n := q.N()
+	set := bitset.NewSet(n)
+	set.Add(order[0])
+	rows := q.Rows(order[0])
+	total := 0.0
+	for _, v := range order[1:] {
+		single := bitset.SetOf(n, v)
+		rows = rows * q.Rows(v) * q.SelBetweenSets(set, single)
+		total += rows
+		set.Add(v)
+	}
+	return total
+}
+
+// leftDeepPlan builds the left-deep plan following order, costed with the
+// real model. leaves optionally supplies custom unit plans per relation id.
+func leftDeepPlan(q *cost.Query, m *cost.Model, order []int, leaves []*plan.Node) (*plan.Node, error) {
+	if len(order) == 0 {
+		return nil, errNoPlan
+	}
+	leaf := func(i int) *plan.Node {
+		if leaves != nil && leaves[i] != nil {
+			return leaves[i]
+		}
+		return m.Scan(q, i)
+	}
+	n := q.N()
+	cur := leaf(order[0])
+	set := bitset.NewSet(n)
+	set.Add(order[0])
+	for _, v := range order[1:] {
+		r := leaf(v)
+		single := bitset.SetOf(n, v)
+		rows := cur.Rows * r.Rows * q.SelBetweenSets(set, single)
+		cur = m.JoinWithRows(q, cur, r, rows)
+		set.Add(v)
+	}
+	return cur, nil
+}

@@ -1,0 +1,71 @@
+package heuristic
+
+import (
+	"math"
+
+	"repro/internal/bitset"
+	"repro/internal/cost"
+	"repro/internal/plan"
+)
+
+// MinSel is the minimum-selectivity greedy heuristic of Swami [31], cited by
+// the paper alongside GOO as the classic greedy family (§6): build a
+// left-deep plan by starting from the smallest relation and repeatedly
+// joining the relation reachable over the most selective remaining edge.
+// Cheaper than GOO (no intermediate-size evaluation) and usually worse; it
+// is included as an extra baseline for the heuristic quality experiments.
+func MinSel(q *cost.Query, opt Options) (*plan.Node, error) {
+	m := opt.model()
+	n := q.N()
+	if n == 0 {
+		return nil, errNoPlan
+	}
+	if n == 1 {
+		return m.Scan(q, 0), nil
+	}
+
+	// Start with the smallest base relation.
+	start := 0
+	for i := 1; i < n; i++ {
+		if q.Rows(i) < q.Rows(start) {
+			start = i
+		}
+	}
+
+	in := bitset.NewSet(n)
+	in.Add(start)
+	cur := m.Scan(q, start)
+	for joined := 1; joined < n; joined++ {
+		if opt.expired() {
+			return nil, ErrTimeout
+		}
+		// Most selective edge from the current prefix to an outside vertex;
+		// ties broken by smaller outside relation.
+		next := -1
+		bestSel := math.Inf(1)
+		for _, e := range q.G.Edges {
+			var out int
+			switch {
+			case in.Has(e.A) && !in.Has(e.B):
+				out = e.B
+			case in.Has(e.B) && !in.Has(e.A):
+				out = e.A
+			default:
+				continue
+			}
+			if e.Sel < bestSel || (e.Sel == bestSel && next >= 0 && q.Rows(out) < q.Rows(next)) {
+				bestSel = e.Sel
+				next = out
+			}
+		}
+		if next < 0 {
+			return nil, ErrDisconnected
+		}
+		r := m.Scan(q, next)
+		single := bitset.SetOf(n, next)
+		rows := cur.Rows * r.Rows * q.SelBetweenSets(in, single)
+		cur = m.JoinWithRows(q, cur, r, rows)
+		in.Add(next)
+	}
+	return cur, nil
+}

@@ -1,0 +1,132 @@
+package hyper
+
+import (
+	"errors"
+
+	"repro/internal/bitset"
+	"repro/internal/plan"
+)
+
+// Input is one hypergraph optimization task.
+type Input struct {
+	H *Hypergraph
+	// Rows[i] is the base cardinality of relation i.
+	Rows []float64
+	// LeafCost[i] is the access cost of relation i (optional; zero-valued
+	// slices are accepted).
+	LeafCost []float64
+	// CostPerTuple prices join work per output tuple (default 0.01,
+	// matching cost.DefaultModel's cpu_tuple_cost).
+	CostPerTuple float64
+}
+
+// Stats carries the enumeration counters, mirroring dp.Stats.
+type Stats struct {
+	Evaluated     uint64
+	CCP           uint64
+	ConnectedSets uint64
+}
+
+// Errors returned by the hypergraph optimizer.
+var (
+	ErrTooLarge     = errors.New("hyper: at most 64 relations supported")
+	ErrDisconnected = errors.New("hyper: hypergraph is disconnected")
+)
+
+// Optimize finds the optimal cross-product-free bushy join order of the
+// hypergraph: the vertex-based DP over connected sets, with bipartitions
+// validated against hyperedge coverage. Plans never split a hypernode
+// across a join, which is how non-inner-join ordering constraints are
+// honoured (the DPHyp property, [25]).
+func Optimize(in Input) (*plan.Node, Stats, error) {
+	var stats Stats
+	h := in.H
+	n := h.N
+	if n > 64 {
+		return nil, stats, ErrTooLarge
+	}
+	if n == 0 {
+		return nil, stats, errors.New("hyper: empty hypergraph")
+	}
+	perTuple := in.CostPerTuple
+	if perTuple == 0 {
+		perTuple = 0.01
+	}
+	leafCost := func(i int) float64 {
+		if in.LeafCost != nil {
+			return in.LeafCost[i]
+		}
+		return 0
+	}
+
+	memo := make(map[bitset.Mask]*plan.Node, 1<<uint(min(n, 20)))
+	rows := make(map[bitset.Mask]float64, 1<<uint(min(n, 20)))
+	for i := 0; i < n; i++ {
+		s := bitset.Single(i)
+		memo[s] = &plan.Node{Set: s, RelID: i, Rows: in.Rows[i], Cost: leafCost(i)}
+		rows[s] = in.Rows[i]
+		stats.ConnectedSets++
+	}
+
+	full := bitset.Full(n)
+	// Subset-order enumeration: every subset s is visited after all its
+	// proper subsets, so memo entries for both sides of a bipartition are
+	// final when s is processed.
+	for s := bitset.Mask(1); !s.Empty(); s = s.NextSubset(full) {
+		if s.Count() < 2 || !h.Connected(s) {
+			continue
+		}
+		stats.ConnectedSets++
+		var best *plan.Node
+		for lb := s.LowestBit(); !lb.Empty(); lb = lb.NextSubset(s) {
+			rb := s.Diff(lb)
+			if rb.Empty() {
+				continue
+			}
+			stats.Evaluated++
+			l, okL := memo[lb]
+			r, okR := memo[rb]
+			if !okL || !okR {
+				continue // a side is not connected
+			}
+			if !crossesEdge(h, lb, rb) {
+				continue // no applicable hyperedge: would be a cross product
+			}
+			stats.CCP++
+			outRows := l.Rows * r.Rows * h.SelBetween(lb, rb)
+			cost := l.Cost + r.Cost + outRows*perTuple
+			if best == nil || cost < best.Cost {
+				best = &plan.Node{
+					Set: s, Left: l, Right: r, Op: plan.OpHashJoin,
+					Rows: outRows, Cost: cost,
+				}
+			}
+		}
+		if best != nil {
+			memo[s] = best
+		}
+	}
+
+	root, ok := memo[full]
+	if !ok {
+		return nil, stats, ErrDisconnected
+	}
+	return root, stats, nil
+}
+
+// crossesEdge reports whether any hyperedge is applicable across (a, b).
+func crossesEdge(h *Hypergraph, a, b bitset.Mask) bool {
+	for _, e := range h.Edges {
+		if e.connects(a, b) {
+			return true
+		}
+	}
+	return false
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,110 @@
+// Package hyper extends join-order optimization to hypergraphs, the
+// generalization the paper names as future work (§6): non-inner joins
+// (outer, anti, semi) induce predicates that reference more than two
+// relations and are modeled as hyperedges between *sets* of relations, as
+// in Moerkotte & Neumann's DPHyp [25].
+//
+// The enumerator here is the vertex-based scheme the paper's MPDP builds
+// on, lifted to hypergraphs: connected sets are enumerated by size and each
+// set's bipartitions are validated against hyperedge connectivity. An
+// (L, R) hyperedge is applicable to a bipartition only when one side fully
+// covers L and the other fully covers R — exactly the "hypernodes must not
+// be split" rule that encodes non-reorderable joins.
+package hyper
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bitset"
+)
+
+// Edge is an undirected hyperedge between two disjoint hypernodes. Simple
+// binary join predicates have |L| = |R| = 1.
+type Edge struct {
+	L, R bitset.Mask
+	Sel  float64
+}
+
+// Hypergraph is a join hypergraph over relations 0..N-1.
+type Hypergraph struct {
+	N     int
+	Edges []Edge
+}
+
+// New returns an empty hypergraph on n relations.
+func New(n int) *Hypergraph {
+	return &Hypergraph{N: n}
+}
+
+// AddEdge inserts the hyperedge (l, r) with the given selectivity.
+func (h *Hypergraph) AddEdge(l, r bitset.Mask, sel float64) error {
+	if l.Empty() || r.Empty() {
+		return errors.New("hyper: hyperedge sides must be non-empty")
+	}
+	if !l.Disjoint(r) {
+		return errors.New("hyper: hyperedge sides must be disjoint")
+	}
+	full := bitset.Full(h.N)
+	if !l.SubsetOf(full) || !r.SubsetOf(full) {
+		return fmt.Errorf("hyper: hyperedge exceeds %d relations", h.N)
+	}
+	h.Edges = append(h.Edges, Edge{L: l, R: r, Sel: sel})
+	return nil
+}
+
+// AddSimpleEdge inserts a plain binary join edge.
+func (h *Hypergraph) AddSimpleEdge(a, b int, sel float64) error {
+	return h.AddEdge(bitset.Single(a), bitset.Single(b), sel)
+}
+
+// connects reports whether e links the two sides of a bipartition: one side
+// covers L entirely and the other covers R entirely.
+func (e Edge) connects(a, b bitset.Mask) bool {
+	return (e.L.SubsetOf(a) && e.R.SubsetOf(b)) || (e.L.SubsetOf(b) && e.R.SubsetOf(a))
+}
+
+// Connected reports whether s is connected under hyperedge semantics: a
+// hyperedge can merge two components only when each side lies entirely
+// within (the union of) components and within s.
+func (h *Hypergraph) Connected(s bitset.Mask) bool {
+	if s.Count() <= 1 {
+		return true
+	}
+	// Iteratively grow from the lowest vertex: an edge (L, R) with
+	// L ⊆ reach and R ⊆ s extends reach by R (and symmetrically).
+	reach := s.LowestBit()
+	for {
+		grown := false
+		for _, e := range h.Edges {
+			if !e.L.SubsetOf(s) || !e.R.SubsetOf(s) {
+				continue
+			}
+			if e.L.SubsetOf(reach) && !e.R.SubsetOf(reach) {
+				reach = reach.Union(e.R)
+				grown = true
+			} else if e.R.SubsetOf(reach) && !e.L.SubsetOf(reach) {
+				reach = reach.Union(e.L)
+				grown = true
+			}
+		}
+		if reach == s {
+			return true
+		}
+		if !grown {
+			return false
+		}
+	}
+}
+
+// SelBetween returns the product of selectivities of hyperedges applicable
+// across the bipartition (a, b).
+func (h *Hypergraph) SelBetween(a, b bitset.Mask) float64 {
+	sel := 1.0
+	for _, e := range h.Edges {
+		if e.connects(a, b) {
+			sel *= e.Sel
+		}
+	}
+	return sel
+}

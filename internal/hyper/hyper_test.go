@@ -1,0 +1,215 @@
+package hyper
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/catalog"
+	"repro/internal/cost"
+	"repro/internal/dp"
+	"repro/internal/graph"
+)
+
+func TestConnectedHyperSemantics(t *testing.T) {
+	// 0-1 simple edge, ({0,1}) -> {2} hyperedge.
+	h := New(4)
+	if err := h.AddSimpleEdge(0, 1, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AddEdge(bitset.MaskOf(0, 1), bitset.MaskOf(2), 0.5); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		s    bitset.Mask
+		want bool
+	}{
+		{bitset.MaskOf(0, 1), true},
+		{bitset.MaskOf(0, 1, 2), true},
+		{bitset.MaskOf(0, 2), false}, // hyperedge needs both 0 AND 1
+		{bitset.MaskOf(1, 2), false},
+		{bitset.MaskOf(2), true}, // singleton
+		{bitset.MaskOf(0, 1, 2, 3), false},
+	}
+	for _, c := range cases {
+		if got := h.Connected(c.s); got != c.want {
+			t.Errorf("Connected(%v) = %v, want %v", c.s, got, c.want)
+		}
+	}
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	h := New(3)
+	if err := h.AddEdge(bitset.MaskOf(0), bitset.MaskOf(0, 1), 1); err == nil {
+		t.Error("overlapping sides accepted")
+	}
+	if err := h.AddEdge(bitset.Mask(0), bitset.MaskOf(1), 1); err == nil {
+		t.Error("empty side accepted")
+	}
+	if err := h.AddEdge(bitset.MaskOf(5), bitset.MaskOf(1), 1); err == nil {
+		t.Error("out-of-range vertex accepted")
+	}
+}
+
+// TestSimpleEdgesMatchBinaryDP: with only binary edges and a flat cost
+// function, the hypergraph optimizer must produce the same optimal output
+// cardinalities as the binary-graph DP family.
+func TestSimpleEdgesMatchBinaryDP(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + rng.Intn(7)
+		g := graph.RandomConnected(n, rng.Intn(n), rng)
+		h := New(n)
+		q := &cost.Query{G: graph.New(n)}
+		rowsVec := make([]float64, n)
+		for i := 0; i < n; i++ {
+			rowsVec[i] = math.Pow(10, 1+3*rng.Float64())
+			q.Cat.Add(catalog.Relation{Name: "r", Rows: rowsVec[i], Pages: 1})
+		}
+		for _, e := range g.Edges {
+			sel := math.Pow(10, -1-2*rng.Float64())
+			if err := h.AddSimpleEdge(e.A, e.B, sel); err != nil {
+				t.Fatal(err)
+			}
+			q.G.AddEdge(e.A, e.B, sel)
+		}
+		hp, hStats, err := Optimize(Input{H: h, Rows: rowsVec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Cout-style flat model on the binary side for comparability.
+		m := &cost.Model{SeqPageCost: 0, CPUTupleCost: 0.01,
+			CPUOperatorCost: 0, CPUIndexTupleCost: 0,
+			DisableNestLoop: true, DisableMerge: true}
+		bp, bStats, err := dp.MPDPGeneral(dp.Input{Q: q, M: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(hp.Rows-bp.Rows) > 1e-6*math.Max(1, bp.Rows) {
+			t.Errorf("trial %d: output rows differ: %v vs %v", trial, hp.Rows, bp.Rows)
+		}
+		if hStats.CCP != bStats.CCP {
+			t.Errorf("trial %d: hyper CCP=%d, binary CCP=%d", trial, hStats.CCP, bStats.CCP)
+		}
+		// Hash-only flat model: costs are comparable up to the scan terms.
+		if hp.Cost <= 0 || bp.Cost <= 0 {
+			t.Errorf("trial %d: nonpositive costs", trial)
+		}
+	}
+}
+
+// TestHyperedgeForcesGrouping: an ({a,b} -> {c}) hyperedge must prevent any
+// plan from joining c before a and b are joined together.
+func TestHyperedgeForcesGrouping(t *testing.T) {
+	h := New(3)
+	if err := h.AddSimpleEdge(0, 1, 1e-3); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AddEdge(bitset.MaskOf(0, 1), bitset.MaskOf(2), 1e-2); err != nil {
+		t.Fatal(err)
+	}
+	p, stats, err := Optimize(Input{H: h, Rows: []float64{100, 200, 300}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The only valid shape is (0 ⋈ 1) ⋈ 2 (in some orientation).
+	if p.Left.Set != bitset.MaskOf(0, 1) && p.Right.Set != bitset.MaskOf(0, 1) {
+		t.Errorf("hyperedge constraint violated: %v", p)
+	}
+	// Exactly the bipartitions ({0},{1}) ×2 orientations... the DP counts
+	// unordered lb enumeration: ({0,1} vs {2}) and ({0} vs {1}) both ways.
+	if stats.CCP == 0 {
+		t.Error("no valid pairs counted")
+	}
+}
+
+// bruteForceHyper enumerates all bushy trees recursively.
+func bruteForceHyper(h *Hypergraph, rows []float64) float64 {
+	n := h.N
+	var best func(s bitset.Mask) (float64, float64, bool) // cost, rows, ok
+	memo := map[bitset.Mask][3]float64{}
+	best = func(s bitset.Mask) (float64, float64, bool) {
+		if v, ok := memo[s]; ok {
+			return v[0], v[1], v[2] == 1
+		}
+		if s.Count() == 1 {
+			return 0, rows[s.Lowest()], true
+		}
+		bc, br, found := math.Inf(1), 0.0, false
+		for lb := s.LowestBit(); !lb.Empty(); lb = lb.NextSubset(s) {
+			rb := s.Diff(lb)
+			if rb.Empty() || !crossesEdge(h, lb, rb) {
+				continue
+			}
+			lc, lr, okL := best(lb)
+			rc, rr, okR := best(rb)
+			if !okL || !okR {
+				continue
+			}
+			out := lr * rr * h.SelBetween(lb, rb)
+			c := lc + rc + out*0.01
+			if c < bc {
+				bc, br, found = c, out, true
+			}
+		}
+		flag := 0.0
+		if found {
+			flag = 1
+		}
+		memo[s] = [3]float64{bc, br, flag}
+		return bc, br, found
+	}
+	c, _, ok := best(bitset.Full(n))
+	if !ok {
+		return math.Inf(1)
+	}
+	return c
+}
+
+func TestOptimizeMatchesBruteForceOnRandomHypergraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	for trial := 0; trial < 25; trial++ {
+		n := 3 + rng.Intn(5)
+		h := New(n)
+		rows := make([]float64, n)
+		for i := range rows {
+			rows[i] = math.Pow(10, 1+2*rng.Float64())
+		}
+		// Random spanning tree of simple edges for connectivity...
+		for v := 1; v < n; v++ {
+			if err := h.AddSimpleEdge(rng.Intn(v), v, math.Pow(10, -1-rng.Float64())); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// ...plus a couple of true hyperedges.
+		for e := 0; e < rng.Intn(3); e++ {
+			l := bitset.Mask(rng.Uint64()) & bitset.Full(n)
+			r := bitset.Mask(rng.Uint64()) & bitset.Full(n) &^ l
+			if l.Empty() || r.Empty() {
+				continue
+			}
+			if err := h.AddEdge(l, r, math.Pow(10, -rng.Float64())); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want := bruteForceHyper(h, rows)
+		p, _, err := Optimize(Input{H: h, Rows: rows})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(p.Cost-want) > 1e-9*math.Max(1, want) {
+			t.Errorf("trial %d: cost %v, brute force %v", trial, p.Cost, want)
+		}
+	}
+}
+
+func TestDisconnectedHypergraph(t *testing.T) {
+	h := New(4)
+	if err := h.AddSimpleEdge(0, 1, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Optimize(Input{H: h, Rows: []float64{1, 2, 3, 4}}); err != ErrDisconnected {
+		t.Errorf("got %v, want ErrDisconnected", err)
+	}
+}

@@ -1,0 +1,324 @@
+// Package parallel implements the multi-core CPU optimizers compared in the
+// paper: PDP (parallel DPSize, Han et al. [10]), DPE (dependency-aware
+// producer/consumer parallel DPCCP, Han & Lee [11]) and the level-synchronous
+// CPU-parallel MPDP. Their scalability characteristics differ exactly as in
+// Fig. 12: MPDP parallelizes both enumeration and costing, while DPE's
+// enumeration is sequential and only join costing runs on the workers.
+package parallel
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bitset"
+	"repro/internal/dp"
+	"repro/internal/plan"
+)
+
+// threads resolves the requested worker count.
+func threads(in dp.Input) int {
+	t := in.Threads
+	if t <= 0 {
+		t = runtime.GOMAXPROCS(0)
+	}
+	return t
+}
+
+// result is one candidate best plan for a set, produced by a worker.
+type result struct {
+	set  bitset.Mask
+	node *plan.Node
+}
+
+// MPDP is the CPU-parallel MPDP: within each DP level, the connected sets of
+// that size are partitioned across workers, each evaluating its sets
+// independently (block discovery, block-level CCP enumeration, grow, and
+// costing all run inside the worker — the whole inner loop is parallel).
+// The per-level barrier mirrors the GPU kernel-per-level structure of §5.
+// Tree join graphs dispatch to the Algorithm 2 evaluator, like dp.MPDP.
+func MPDP(in dp.Input) (*plan.Node, dp.Stats, error) {
+	if in.Q.G.IsTree() {
+		return levelParallel(in, dp.EvaluateSetMPDPTree)
+	}
+	return levelParallel(in, dp.EvaluateSetMPDP)
+}
+
+// levelParallel is the shared level-synchronous driver: evaluate is invoked
+// for every connected set of each size, in parallel within the level.
+func levelParallel(in dp.Input, evaluate dp.SetEvaluator) (*plan.Node, dp.Stats, error) {
+	var stats dp.Stats
+	prep, err := dp.Prepare(in)
+	if err != nil {
+		return nil, stats, err
+	}
+	nWorkers := threads(in)
+	buckets, err := dp.ConnectedBuckets(in)
+	if err != nil {
+		return nil, stats, err
+	}
+	memo := prep.Memo
+	stats.ConnectedSets = uint64(in.Q.N())
+
+	var evalCtr, ccpCtr, setCtr atomic.Uint64
+	for size := 2; size <= in.Q.N(); size++ {
+		sets := buckets[size]
+		if len(sets) == 0 {
+			continue
+		}
+		chunk := (len(sets) + nWorkers - 1) / nWorkers
+		results := make([][]result, nWorkers)
+		errs := make([]error, nWorkers)
+		var wg sync.WaitGroup
+		for w := 0; w < nWorkers; w++ {
+			lo := w * chunk
+			if lo >= len(sets) {
+				break
+			}
+			hi := lo + chunk
+			if hi > len(sets) {
+				hi = len(sets)
+			}
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				dl := dp.NewDeadline(in.Deadline)
+				local := make([]result, 0, hi-lo)
+				for _, s := range sets[lo:hi] {
+					best, st, err := evaluate(in, memo, s, dl)
+					evalCtr.Add(st.Evaluated)
+					ccpCtr.Add(st.CCP)
+					setCtr.Add(1)
+					if err != nil {
+						errs[w] = err
+						return
+					}
+					if best != nil {
+						local = append(local, result{set: s, node: best})
+					}
+				}
+				results[w] = local
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				stats.Evaluated = evalCtr.Load()
+				stats.CCP = ccpCtr.Load()
+				return nil, stats, err
+			}
+		}
+		// Level barrier: publish this level's best plans into the memo.
+		for _, rs := range results {
+			for _, r := range rs {
+				memo.Put(r.set, r.node)
+			}
+		}
+	}
+	stats.Evaluated = evalCtr.Load()
+	stats.CCP = ccpCtr.Load()
+	stats.ConnectedSets += setCtr.Load()
+	return dp.Finish(in, memo, &stats)
+}
+
+// DPSubParallel is the CPU-parallel DPSub, provided for completeness (the
+// paper omits it from the graphs because it is dominated by its GPU
+// variant); it shares the level-parallel driver with a DPSub set evaluator.
+func DPSubParallel(in dp.Input) (*plan.Node, dp.Stats, error) {
+	return levelParallel(in, dp.EvaluateSetDPSub)
+}
+
+// PDP is parallel DPSize [10]: for each plan size, the (size1, size2) pair
+// blocks are partitioned across workers. Like DPSize it evaluates many
+// overlapping and disconnected pairs; parallelism hides some of that cost.
+func PDP(in dp.Input) (*plan.Node, dp.Stats, error) {
+	var stats dp.Stats
+	prep, err := dp.Prepare(in)
+	if err != nil {
+		return nil, stats, err
+	}
+	n := in.Q.N()
+	memo := prep.Memo
+	nWorkers := threads(in)
+
+	bySize := make([][]bitset.Mask, n+1)
+	for i := 0; i < n; i++ {
+		bySize[1] = append(bySize[1], bitset.Single(i))
+	}
+	stats.ConnectedSets = uint64(n)
+
+	var evalCtr, ccpCtr atomic.Uint64
+	for size := 2; size <= n; size++ {
+		// Build the work list: all (a, b) candidate pairs for this size.
+		type pairBlock struct{ s1 int }
+		var blocks []pairBlock
+		for s1 := 1; s1 < size; s1++ {
+			blocks = append(blocks, pairBlock{s1: s1})
+		}
+		results := make([][]result, nWorkers)
+		errs := make([]error, nWorkers)
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < nWorkers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				dl := dp.NewDeadline(in.Deadline)
+				local := map[bitset.Mask]*plan.Node{}
+				for {
+					bi := int(next.Add(1)) - 1
+					if bi >= len(blocks) {
+						break
+					}
+					s1 := blocks[bi].s1
+					s2 := size - s1
+					for _, a := range bySize[s1] {
+						pa := memo.Get(a)
+						for _, b := range bySize[s2] {
+							if dl.Expired() {
+								errs[w] = dp.ErrTimeout
+								return
+							}
+							evalCtr.Add(1)
+							if !a.Disjoint(b) {
+								continue
+							}
+							if !in.Q.G.ConnectedTo(a, b) {
+								continue
+							}
+							ccpCtr.Add(1)
+							union := a.Union(b)
+							join := in.M.Join(in.Q, pa, memo.Get(b))
+							if cur, ok := local[union]; !ok || join.Cost < cur.Cost {
+								local[union] = join
+							}
+						}
+					}
+				}
+				var out []result
+				for s, p := range local {
+					out = append(out, result{set: s, node: p})
+				}
+				results[w] = out
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				stats.Evaluated = evalCtr.Load()
+				stats.CCP = ccpCtr.Load()
+				return nil, stats, err
+			}
+		}
+		for _, rs := range results {
+			for _, r := range rs {
+				if memo.Get(r.set) == nil {
+					bySize[size] = append(bySize[size], r.set)
+					stats.ConnectedSets++
+				}
+				memo.Improve(r.set, r.node)
+			}
+		}
+	}
+	stats.Evaluated = evalCtr.Load()
+	stats.CCP = ccpCtr.Load()
+	return dp.Finish(in, memo, &stats)
+}
+
+// DPE is the dependency-aware parallel DPCCP [11]: a single producer runs
+// the csg-cmp enumeration (inherently sequential), buffering the pairs
+// grouped by result-set size; consumers cost the buffered pairs in
+// parallel, one dependency level at a time. Enumeration therefore does not
+// scale with threads — the effect visible in Fig. 12.
+func DPE(in dp.Input) (*plan.Node, dp.Stats, error) {
+	var stats dp.Stats
+	prep, err := dp.Prepare(in)
+	if err != nil {
+		return nil, stats, err
+	}
+	n := in.Q.N()
+	memo := prep.Memo
+	nWorkers := threads(in)
+	stats.ConnectedSets = uint64(n)
+
+	// Producer phase: sequential enumeration into a dependency-aware buffer.
+	type pair struct{ s1, s2 bitset.Mask }
+	levels := make([][]pair, n+1)
+	dl := dp.NewDeadline(in.Deadline)
+	if !dp.CCPPairsSeq(in.Q.G, dl, func(s1, s2 bitset.Mask) {
+		size := s1.Union(s2).Count()
+		levels[size] = append(levels[size], pair{s1, s2})
+	}) {
+		return nil, stats, dp.ErrTimeout
+	}
+
+	seen := map[bitset.Mask]bool{}
+	for size := 2; size <= n; size++ {
+		work := levels[size]
+		if len(work) == 0 {
+			continue
+		}
+		stats.Evaluated += uint64(2 * len(work))
+		stats.CCP += uint64(2 * len(work))
+		chunk := (len(work) + nWorkers - 1) / nWorkers
+		results := make([][]result, nWorkers)
+		errs := make([]error, nWorkers)
+		var wg sync.WaitGroup
+		for w := 0; w < nWorkers; w++ {
+			lo := w * chunk
+			if lo >= len(work) {
+				break
+			}
+			hi := lo + chunk
+			if hi > len(work) {
+				hi = len(work)
+			}
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				wdl := dp.NewDeadline(in.Deadline)
+				local := map[bitset.Mask]*plan.Node{}
+				for _, p := range work[lo:hi] {
+					if wdl.Expired() {
+						errs[w] = dp.ErrTimeout
+						return
+					}
+					l, r := memo.Get(p.s1), memo.Get(p.s2)
+					union := p.s1.Union(p.s2)
+					j1 := in.M.Join(in.Q, l, r)
+					j2 := in.M.Join(in.Q, r, l)
+					if j2.Cost < j1.Cost {
+						j1 = j2
+					}
+					if cur, ok := local[union]; !ok || j1.Cost < cur.Cost {
+						local[union] = j1
+					}
+				}
+				var out []result
+				for s, p := range local {
+					out = append(out, result{set: s, node: p})
+				}
+				// Deterministic merge order within the worker.
+				sort.Slice(out, func(i, j int) bool { return out[i].set < out[j].set })
+				results[w] = out
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, stats, err
+			}
+		}
+		for _, rs := range results {
+			for _, r := range rs {
+				if !seen[r.set] {
+					seen[r.set] = true
+					stats.ConnectedSets++
+				}
+				memo.Improve(r.set, r.node)
+			}
+		}
+	}
+	return dp.Finish(in, memo, &stats)
+}

@@ -1,0 +1,118 @@
+package parallel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/cost"
+	"repro/internal/dp"
+	"repro/internal/graph"
+	"repro/internal/plan"
+)
+
+func randomQuery(n, extraEdges int, rng *rand.Rand) *cost.Query {
+	g := graph.RandomConnected(n, extraEdges, rng)
+	g2 := graph.New(n)
+	for _, e := range g.Edges {
+		g2.AddEdge(e.A, e.B, math.Pow(10, -1-3*rng.Float64()))
+	}
+	var cat catalog.Catalog
+	for i := 0; i < n; i++ {
+		r := catalog.NewRelation("r", math.Pow(10, 1+4*rng.Float64()), 60)
+		r.HasPKIndex = rng.Intn(2) == 0
+		cat.Add(r)
+	}
+	return &cost.Query{Cat: cat, G: g2}
+}
+
+var parallelAlgorithms = []struct {
+	name string
+	f    dp.Func
+}{
+	{"MPDPParallel", MPDP},
+	{"DPSubParallel", DPSubParallel},
+	{"PDP", PDP},
+	{"DPE", DPE},
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := cost.DefaultModel()
+	for trial := 0; trial < 25; trial++ {
+		n := 3 + rng.Intn(10)
+		q := randomQuery(n, rng.Intn(n), rng)
+		ref, refStats, err := dp.MPDPGeneral(dp.Input{Q: q, M: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, threads := range []int{1, 4, 0} {
+			for _, alg := range parallelAlgorithms {
+				p, st, err := alg.f(dp.Input{Q: q, M: m, Threads: threads})
+				if err != nil {
+					t.Fatalf("%s threads=%d: %v", alg.name, threads, err)
+				}
+				if math.Abs(p.Cost-ref.Cost) > 1e-6*math.Max(1, ref.Cost) {
+					t.Errorf("trial %d %s threads=%d: cost %.4f want %.4f",
+						trial, alg.name, threads, p.Cost, ref.Cost)
+				}
+				if st.CCP != refStats.CCP {
+					t.Errorf("trial %d %s: CCP=%d want %d", trial, alg.name, st.CCP, refStats.CCP)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelMPDPCountersMatchSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	m := cost.DefaultModel()
+	q := randomQuery(12, 5, rng)
+	_, seq, err := dp.MPDPGeneral(dp.Input{Q: q, M: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, par, err := MPDP(dp.Input{Q: q, M: m, Threads: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Evaluated != seq.Evaluated || par.CCP != seq.CCP {
+		t.Errorf("parallel counters (%d, %d) != sequential (%d, %d)",
+			par.Evaluated, par.CCP, seq.Evaluated, seq.CCP)
+	}
+}
+
+func TestParallelTimeout(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	q := randomQuery(18, 30, rng)
+	deadline := time.Now().Add(-time.Second)
+	for _, alg := range parallelAlgorithms {
+		_, _, err := alg.f(dp.Input{Q: q, M: cost.DefaultModel(), Deadline: deadline, Threads: 4})
+		if err != dp.ErrTimeout {
+			t.Errorf("%s: got %v, want ErrTimeout", alg.name, err)
+		}
+	}
+}
+
+func TestParallelCustomLeaves(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	q := randomQuery(6, 2, rng)
+	m := cost.DefaultModel()
+	leaves := make([]*plan.Node, 6)
+	for i := range leaves {
+		leaves[i] = &plan.Node{RelID: i, Rows: q.Rows(i), Cost: 500}
+	}
+	seqPlan, _, err := dp.MPDPGeneral(dp.Input{Q: q, M: m, Leaves: leaves})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parPlan, _, err := MPDP(dp.Input{Q: q, M: m, Leaves: leaves, Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(seqPlan.Cost-parPlan.Cost) > 1e-9 {
+		t.Errorf("custom-leaf costs differ: %f vs %f", seqPlan.Cost, parPlan.Cost)
+	}
+}

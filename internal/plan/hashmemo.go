@@ -1,0 +1,111 @@
+package plan
+
+import "repro/internal/bitset"
+
+// HashMemo is an open-addressing hash table keyed by relation-set bitmaps
+// using the Murmur3 64-bit finalizer, mirroring the GPU memo table of §5
+// ("The memo table is implemented using the fast Murmur3 hashing algorithm
+// (a simple open-addressing hash table)"). The GPU simulator uses it so that
+// probe counts model real device memory traffic; it is also a drop-in
+// alternative to Memo for CPU algorithms.
+//
+// The table never stores the empty set; a zero key marks an empty slot.
+type HashMemo struct {
+	keys  []bitset.Mask
+	vals  []*Node
+	used  int
+	mask  uint64
+	Probe uint64 // total slots inspected, for memory-traffic accounting
+}
+
+// NewHashMemo returns a table with capacity for at least hint entries
+// before growing.
+func NewHashMemo(hint int) *HashMemo {
+	capacity := 16
+	for capacity < hint*2 {
+		capacity <<= 1
+	}
+	return &HashMemo{
+		keys: make([]bitset.Mask, capacity),
+		vals: make([]*Node, capacity),
+		mask: uint64(capacity - 1),
+	}
+}
+
+// Murmur3Fmix64 is the 64-bit finalizer of MurmurHash3.
+func Murmur3Fmix64(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	k *= 0xc4ceb9fe1a85ec53
+	k ^= k >> 33
+	return k
+}
+
+// Get returns the plan stored for s, or nil.
+func (h *HashMemo) Get(s bitset.Mask) *Node {
+	if s == 0 {
+		return nil
+	}
+	i := Murmur3Fmix64(uint64(s)) & h.mask
+	for {
+		h.Probe++
+		switch h.keys[i] {
+		case s:
+			return h.vals[i]
+		case 0:
+			return nil
+		}
+		i = (i + 1) & h.mask
+	}
+}
+
+// Put unconditionally stores p for s, growing the table at 70% load.
+func (h *HashMemo) Put(s bitset.Mask, p *Node) {
+	if s == 0 {
+		panic("plan: HashMemo cannot store the empty set")
+	}
+	if 10*(h.used+1) > 7*len(h.keys) {
+		h.grow()
+	}
+	i := Murmur3Fmix64(uint64(s)) & h.mask
+	for {
+		h.Probe++
+		switch h.keys[i] {
+		case s:
+			h.vals[i] = p
+			return
+		case 0:
+			h.keys[i] = s
+			h.vals[i] = p
+			h.used++
+			return
+		}
+		i = (i + 1) & h.mask
+	}
+}
+
+// Improve stores p for s if it beats the current best.
+func (h *HashMemo) Improve(s bitset.Mask, p *Node) bool {
+	if cur := h.Get(s); cur != nil && cur.Cost <= p.Cost {
+		return false
+	}
+	h.Put(s, p)
+	return true
+}
+
+// Len returns the number of stored sets.
+func (h *HashMemo) Len() int { return h.used }
+
+func (h *HashMemo) grow() {
+	oldKeys, oldVals := h.keys, h.vals
+	h.keys = make([]bitset.Mask, len(oldKeys)*2)
+	h.vals = make([]*Node, len(oldVals)*2)
+	h.mask = uint64(len(h.keys) - 1)
+	h.used = 0
+	for i, k := range oldKeys {
+		if k != 0 {
+			h.Put(k, oldVals[i])
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package plan
+
+import "repro/internal/bitset"
+
+// Memo maps relation sets to their best known sub-plan. It is the dynamic
+// programming table ("BestPlan" in Algorithms 1–3).
+type Memo struct {
+	m map[bitset.Mask]*Node
+}
+
+// NewMemo returns an empty memo sized for a query of n relations.
+func NewMemo(n int) *Memo {
+	return &Memo{m: make(map[bitset.Mask]*Node, 1<<uint(min(n, 20)))}
+}
+
+// Get returns the best plan for set s, or nil.
+func (mm *Memo) Get(s bitset.Mask) *Node { return mm.m[s] }
+
+// Put unconditionally stores p as the plan for set s.
+func (mm *Memo) Put(s bitset.Mask, p *Node) { mm.m[s] = p }
+
+// Improve stores p for s if it beats the current best; it returns true when
+// p was installed.
+func (mm *Memo) Improve(s bitset.Mask, p *Node) bool {
+	if cur, ok := mm.m[s]; ok && cur.Cost <= p.Cost {
+		return false
+	}
+	mm.m[s] = p
+	return true
+}
+
+// Len returns the number of memoized sets.
+func (mm *Memo) Len() int { return len(mm.m) }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,206 @@
+// Package plan defines join-tree plans and the memo tables the dynamic
+// programs store their best sub-plans in: a Go-map memo for CPU algorithms
+// and an open-addressing Murmur3 hash table mirroring the GPU memo of §5.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bitset"
+)
+
+// Op identifies a physical join operator chosen by the cost model.
+type Op uint8
+
+// Join operator kinds.
+const (
+	OpScan Op = iota
+	OpHashJoin
+	OpNestLoop
+	OpIndexNestLoop
+	OpMergeJoin
+)
+
+// String returns the operator name.
+func (o Op) String() string {
+	switch o {
+	case OpScan:
+		return "Scan"
+	case OpHashJoin:
+		return "HashJoin"
+	case OpNestLoop:
+		return "NestLoop"
+	case OpIndexNestLoop:
+		return "IndexNLJoin"
+	case OpMergeJoin:
+		return "MergeJoin"
+	}
+	return "?"
+}
+
+// Node is a node of a (bushy) join tree. Leaves have Left == Right == nil
+// and RelID set; inner nodes join Left and Right with operator Op.
+//
+// Set is the bitmap of base relations under the node in the local index
+// space of the query being optimized (valid for queries of <= 64 relations;
+// the heuristic layer re-derives sets from leaves where needed).
+type Node struct {
+	Set   bitset.Mask
+	RelID int
+	Left  *Node
+	Right *Node
+	Op    Op
+
+	Rows float64 // estimated output cardinality
+	Cost float64 // estimated total cost (includes child costs)
+}
+
+// IsLeaf reports whether n scans a base relation.
+func (n *Node) IsLeaf() bool { return n.Left == nil && n.Right == nil }
+
+// Relations returns the set of base relation ids under n by walking the
+// tree. For DP-produced plans this equals n.Set, but heuristic plans over
+// large graphs rely on this method.
+func (n *Node) Relations() []int {
+	var out []int
+	var walk func(*Node)
+	walk = func(m *Node) {
+		if m == nil {
+			return
+		}
+		if m.IsLeaf() {
+			out = append(out, m.RelID)
+			return
+		}
+		walk(m.Left)
+		walk(m.Right)
+	}
+	walk(n)
+	return out
+}
+
+// Size returns the number of leaves under n.
+func (n *Node) Size() int {
+	if n == nil {
+		return 0
+	}
+	if n.IsLeaf() {
+		return 1
+	}
+	return n.Left.Size() + n.Right.Size()
+}
+
+// Depth returns the height of the tree (1 for a leaf).
+func (n *Node) Depth() int {
+	if n == nil {
+		return 0
+	}
+	if n.IsLeaf() {
+		return 1
+	}
+	l, r := n.Left.Depth(), n.Right.Depth()
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// IsLeftDeep reports whether every right child is a leaf.
+func (n *Node) IsLeftDeep() bool {
+	for !n.IsLeaf() {
+		if !n.Right.IsLeaf() {
+			return false
+		}
+		n = n.Left
+	}
+	return true
+}
+
+// String renders the join tree in a compact LISP-ish form with costs.
+func (n *Node) String() string {
+	var b strings.Builder
+	n.write(&b, nil)
+	return b.String()
+}
+
+// Explain renders an indented EXPLAIN-style tree using names[i] as the name
+// of relation i (nil names fall back to indices).
+func (n *Node) Explain(names []string) string {
+	var b strings.Builder
+	n.explain(&b, names, 0)
+	return b.String()
+}
+
+func (n *Node) write(b *strings.Builder, names []string) {
+	if n.IsLeaf() {
+		if names != nil {
+			b.WriteString(names[n.RelID])
+		} else {
+			fmt.Fprintf(b, "R%d", n.RelID)
+		}
+		return
+	}
+	b.WriteByte('(')
+	n.Left.write(b, names)
+	b.WriteString(" ⋈ ")
+	n.Right.write(b, names)
+	b.WriteByte(')')
+}
+
+func (n *Node) explain(b *strings.Builder, names []string, indent int) {
+	pad := strings.Repeat("  ", indent)
+	if n.IsLeaf() {
+		name := fmt.Sprintf("R%d", n.RelID)
+		if names != nil {
+			name = names[n.RelID]
+		}
+		fmt.Fprintf(b, "%sScan %s  (rows=%.0f cost=%.1f)\n", pad, name, n.Rows, n.Cost)
+		return
+	}
+	fmt.Fprintf(b, "%s%s  (rows=%.0f cost=%.1f)\n", pad, n.Op, n.Rows, n.Cost)
+	n.Left.explain(b, names, indent+1)
+	n.Right.explain(b, names, indent+1)
+}
+
+// Validate checks structural plan invariants against the expected relation
+// set: every base relation appears exactly once as a leaf and inner nodes
+// partition their children's sets. It returns a descriptive error on the
+// first violation. DP plans additionally carry consistent Set fields.
+func (n *Node) Validate(expected []int) error {
+	want := make(map[int]bool, len(expected))
+	for _, r := range expected {
+		want[r] = true
+	}
+	seen := make(map[int]bool)
+	var walk func(*Node) error
+	walk = func(m *Node) error {
+		if m == nil {
+			return fmt.Errorf("plan: nil node")
+		}
+		if m.IsLeaf() {
+			if seen[m.RelID] {
+				return fmt.Errorf("plan: relation %d appears twice", m.RelID)
+			}
+			if !want[m.RelID] {
+				return fmt.Errorf("plan: unexpected relation %d", m.RelID)
+			}
+			seen[m.RelID] = true
+			return nil
+		}
+		if m.Left == nil || m.Right == nil {
+			return fmt.Errorf("plan: inner node with missing child")
+		}
+		if err := walk(m.Left); err != nil {
+			return err
+		}
+		return walk(m.Right)
+	}
+	if err := walk(n); err != nil {
+		return err
+	}
+	if len(seen) != len(want) {
+		return fmt.Errorf("plan: covers %d relations, want %d", len(seen), len(want))
+	}
+	return nil
+}

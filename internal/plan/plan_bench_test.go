@@ -1,0 +1,60 @@
+package plan
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+)
+
+// The memo tables absorb one Get per candidate pair in the DP inner loops;
+// these benches compare the Go-map memo against the Murmur3 open-addressing
+// table of §5.
+func benchKeys(n int) []bitset.Mask {
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]bitset.Mask, n)
+	for i := range keys {
+		for keys[i] == 0 {
+			keys[i] = bitset.Mask(rng.Uint64())
+		}
+	}
+	return keys
+}
+
+func BenchmarkMemoGet(b *testing.B) {
+	keys := benchKeys(1 << 16)
+	m := NewMemo(20)
+	for _, k := range keys {
+		m.Put(k, &Node{Set: k})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if m.Get(keys[i&(len(keys)-1)]) == nil {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkHashMemoGet(b *testing.B) {
+	keys := benchKeys(1 << 16)
+	h := NewHashMemo(len(keys))
+	for _, k := range keys {
+		h.Put(k, &Node{Set: k})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if h.Get(keys[i&(len(keys)-1)]) == nil {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkHashMemoPut(b *testing.B) {
+	keys := benchKeys(1 << 16)
+	b.ResetTimer()
+	h := NewHashMemo(1 << 17)
+	node := &Node{}
+	for i := 0; i < b.N; i++ {
+		h.Put(keys[i&(len(keys)-1)], node)
+	}
+}

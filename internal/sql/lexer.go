@@ -1,0 +1,110 @@
+// Package sql is the query frontend: it parses the restricted SQL dialect
+// the paper's workloads use — SELECT over a flat FROM list with a
+// conjunctive WHERE of inner equi-join predicates and constant filters —
+// and binds it against a catalog into a cost.Query for the optimizers.
+//
+// The binder implements the equivalence-class semantics of the paper's
+// footnote 8: transitive closures of equality predicates introduce implicit
+// join edges, which change the join graph (and therefore the CCP structure)
+// compared to the literal predicate list.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol  // ( ) , . ;
+	tokOp      // = < > <= >= <>
+	tokKeyword // SELECT FROM WHERE AND AS ...
+)
+
+// token is one lexeme with its position for error messages.
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true, "AS": true,
+	"JOIN": true, "INNER": true, "ON": true, "BETWEEN": true, "IN": true,
+	"LIKE": true, "OR": true, "NOT": true, "NULL": true, "IS": true,
+}
+
+// lex tokenizes the input. SQL keywords and identifiers are
+// case-insensitive; keywords are upper-cased in the token text.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-':
+			// Line comment.
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case unicode.IsLetter(c) || c == '_':
+			start := i
+			for i < n && (isIdentChar(rune(input[i]))) {
+				i++
+			}
+			word := input[start:i]
+			upper := strings.ToUpper(word)
+			if keywords[upper] {
+				toks = append(toks, token{kind: tokKeyword, text: upper, pos: start})
+			} else {
+				toks = append(toks, token{kind: tokIdent, text: strings.ToLower(word), pos: start})
+			}
+		case unicode.IsDigit(c):
+			start := i
+			for i < n && (unicode.IsDigit(rune(input[i])) || input[i] == '.' || input[i] == 'e' ||
+				input[i] == 'E' || ((input[i] == '+' || input[i] == '-') && (input[i-1] == 'e' || input[i-1] == 'E'))) {
+				i++
+			}
+			toks = append(toks, token{kind: tokNumber, text: input[start:i], pos: start})
+		case c == '\'':
+			start := i
+			i++
+			for i < n && input[i] != '\'' {
+				i++
+			}
+			if i >= n {
+				return nil, fmt.Errorf("sql: unterminated string literal at offset %d", start)
+			}
+			i++ // closing quote
+			toks = append(toks, token{kind: tokString, text: input[start+1 : i-1], pos: start})
+		case strings.ContainsRune("(),.;*", c):
+			toks = append(toks, token{kind: tokSymbol, text: string(c), pos: i})
+			i++
+		case strings.ContainsRune("=<>!", c):
+			start := i
+			i++
+			if i < n && (input[i] == '=' || (input[start] == '<' && input[i] == '>')) {
+				i++
+			}
+			toks = append(toks, token{kind: tokOp, text: input[start:i], pos: start})
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: n})
+	return toks, nil
+}
+
+func isIdentChar(c rune) bool {
+	return unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_'
+}

@@ -1,0 +1,270 @@
+package sql
+
+import "fmt"
+
+// Column references a column of a FROM-clause table by alias.
+type Column struct {
+	Table  string // alias (or table name when unaliased)
+	Column string
+}
+
+func (c Column) String() string { return c.Table + "." + c.Column }
+
+// PredKind classifies WHERE conjuncts.
+type PredKind int
+
+// Predicate kinds.
+const (
+	// PredJoin is an equality between two columns: a.x = b.y.
+	PredJoin PredKind = iota
+	// PredConstEq is column = literal.
+	PredConstEq
+	// PredConstRange is column <op> literal for <, >, <=, >=, <>.
+	PredConstRange
+)
+
+// Predicate is one conjunct of the WHERE clause.
+type Predicate struct {
+	Kind  PredKind
+	Left  Column
+	Right Column // valid for PredJoin
+	Op    string
+	Value string // literal text for constant predicates
+}
+
+// TableRef is one FROM-clause entry.
+type TableRef struct {
+	Name  string
+	Alias string // == Name when no alias given
+}
+
+// Statement is a parsed SELECT.
+type Statement struct {
+	Projections []Column // empty means SELECT *
+	Star        bool
+	Tables      []TableRef
+	Predicates  []Predicate
+}
+
+// Parse parses the supported dialect:
+//
+//	SELECT <*|col[, col...]> FROM t [AS] a [, t2 [AS] a2 ...]
+//	[WHERE a.x = b.y AND a.z = 'lit' AND b.w < 10 ...] [;]
+//
+// Explicit `JOIN ... ON` syntax is normalized into the flat form.
+func Parse(query string) (*Statement, error) {
+	toks, err := lex(query)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind == tokSymbol && p.peek().text == ";" {
+		p.next()
+	}
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("sql: trailing input at offset %d: %q", p.peek().pos, p.peek().text)
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.next()
+	if t.kind != tokKeyword || t.text != kw {
+		return fmt.Errorf("sql: expected %s at offset %d, got %q", kw, t.pos, t.text)
+	}
+	return nil
+}
+
+func (p *parser) parseSelect() (*Statement, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &Statement{}
+	if p.peek().kind == tokSymbol && p.peek().text == "*" {
+		p.next()
+		stmt.Star = true
+	} else {
+		for {
+			col, err := p.parseColumn()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Projections = append(stmt.Projections, col)
+			if p.peek().kind == tokSymbol && p.peek().text == "," {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	if err := p.parseFrom(stmt); err != nil {
+		return nil, err
+	}
+	if p.peek().kind == tokKeyword && p.peek().text == "WHERE" {
+		p.next()
+		if err := p.parseWhere(stmt); err != nil {
+			return nil, err
+		}
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseFrom(stmt *Statement) error {
+	ref, err := p.parseTableRef()
+	if err != nil {
+		return err
+	}
+	stmt.Tables = append(stmt.Tables, ref)
+	for {
+		t := p.peek()
+		switch {
+		case t.kind == tokSymbol && t.text == ",":
+			p.next()
+			ref, err := p.parseTableRef()
+			if err != nil {
+				return err
+			}
+			stmt.Tables = append(stmt.Tables, ref)
+			continue
+		case t.kind == tokKeyword && (t.text == "JOIN" || t.text == "INNER"):
+			// INNER? JOIN <table> ON <pred>: normalize into the flat form.
+			if t.text == "INNER" {
+				p.next()
+				if err := p.expectKeyword("JOIN"); err != nil {
+					return err
+				}
+			} else {
+				p.next()
+			}
+			ref, err := p.parseTableRef()
+			if err != nil {
+				return err
+			}
+			stmt.Tables = append(stmt.Tables, ref)
+			if err := p.expectKeyword("ON"); err != nil {
+				return err
+			}
+			pred, err := p.parsePredicate()
+			if err != nil {
+				return err
+			}
+			stmt.Predicates = append(stmt.Predicates, pred)
+			// Allow AND-chained ON conditions.
+			for p.peek().kind == tokKeyword && p.peek().text == "AND" {
+				p.next()
+				pred, err := p.parsePredicate()
+				if err != nil {
+					return err
+				}
+				stmt.Predicates = append(stmt.Predicates, pred)
+			}
+			continue
+		}
+		return nil
+	}
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return TableRef{}, fmt.Errorf("sql: expected table name at offset %d, got %q", t.pos, t.text)
+	}
+	ref := TableRef{Name: t.text, Alias: t.text}
+	if p.peek().kind == tokKeyword && p.peek().text == "AS" {
+		p.next()
+		a := p.next()
+		if a.kind != tokIdent {
+			return TableRef{}, fmt.Errorf("sql: expected alias at offset %d", a.pos)
+		}
+		ref.Alias = a.text
+	} else if p.peek().kind == tokIdent {
+		ref.Alias = p.next().text
+	}
+	return ref, nil
+}
+
+func (p *parser) parseWhere(stmt *Statement) error {
+	for {
+		pred, err := p.parsePredicate()
+		if err != nil {
+			return err
+		}
+		stmt.Predicates = append(stmt.Predicates, pred)
+		if p.peek().kind == tokKeyword && p.peek().text == "AND" {
+			p.next()
+			continue
+		}
+		return nil
+	}
+}
+
+func (p *parser) parseColumn() (Column, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return Column{}, fmt.Errorf("sql: expected column reference at offset %d, got %q", t.pos, t.text)
+	}
+	if p.peek().kind == tokSymbol && p.peek().text == "." {
+		p.next()
+		c := p.next()
+		if c.kind != tokIdent {
+			return Column{}, fmt.Errorf("sql: expected column name after %q.", t.text)
+		}
+		return Column{Table: t.text, Column: c.text}, nil
+	}
+	// Unqualified column: table resolved during binding.
+	return Column{Column: t.text}, nil
+}
+
+func (p *parser) parsePredicate() (Predicate, error) {
+	left, err := p.parseColumn()
+	if err != nil {
+		return Predicate{}, err
+	}
+	opTok := p.next()
+	if opTok.kind != tokOp {
+		return Predicate{}, fmt.Errorf("sql: expected comparison operator at offset %d, got %q", opTok.pos, opTok.text)
+	}
+	t := p.peek()
+	switch t.kind {
+	case tokIdent:
+		right, err := p.parseColumn()
+		if err != nil {
+			return Predicate{}, err
+		}
+		if opTok.text != "=" {
+			return Predicate{}, fmt.Errorf("sql: only equality joins are supported (inner equi-joins, §2.1), got %q", opTok.text)
+		}
+		return Predicate{Kind: PredJoin, Left: left, Right: right, Op: "="}, nil
+	case tokNumber, tokString:
+		p.next()
+		kind := PredConstRange
+		if opTok.text == "=" {
+			kind = PredConstEq
+		}
+		return Predicate{Kind: kind, Left: left, Op: opTok.text, Value: t.text}, nil
+	default:
+		return Predicate{}, fmt.Errorf("sql: expected column or literal at offset %d", t.pos)
+	}
+}

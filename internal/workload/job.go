@@ -1,0 +1,95 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/catalog"
+	"repro/internal/cost"
+	"repro/internal/graph"
+)
+
+// JOBQuery describes one Join Order Benchmark query shape.
+type JOBQuery struct {
+	Name  string
+	Rels  int
+	Query *cost.Query
+}
+
+// jobShapes lists the 33 JOB query families with their join sizes (4-17
+// relations, the largest being 17 as noted in §7.2.4). The shapes mirror
+// JOB's structure: a central title/cast_info spine joined with lookup
+// dimensions and link tables, several of which introduce cycles.
+var jobShapes = []struct {
+	name string
+	n    int
+	// extraCycleEdges adds that many non-tree edges, mirroring JOB queries
+	// whose predicates close cycles in the join graph.
+	cycles int
+}{
+	{"1a", 5, 1}, {"2a", 5, 0}, {"3a", 4, 0}, {"4a", 5, 0}, {"5a", 5, 1},
+	{"6a", 5, 0}, {"7a", 8, 1}, {"8a", 7, 0}, {"9a", 8, 1}, {"10a", 7, 0},
+	{"11a", 8, 1}, {"12a", 8, 0}, {"13a", 9, 1}, {"14a", 8, 0}, {"15a", 9, 1},
+	{"16a", 8, 0}, {"17a", 7, 0}, {"18a", 7, 0}, {"19a", 10, 1}, {"20a", 10, 0},
+	{"21a", 10, 1}, {"22a", 11, 1}, {"23a", 11, 0}, {"24a", 12, 1}, {"25a", 12, 0},
+	{"26a", 12, 1}, {"27a", 13, 1}, {"28a", 14, 1}, {"29a", 17, 2}, {"30a", 12, 1},
+	{"31a", 14, 1}, {"32a", 6, 0}, {"33a", 14, 2},
+}
+
+// imdbTables provides IMDB-like table statistics for leaf assignment.
+var imdbTables = []struct {
+	name string
+	rows float64
+}{
+	{"title", 2.5e6}, {"cast_info", 36e6}, {"movie_info", 15e6},
+	{"movie_keyword", 4.5e6}, {"movie_companies", 2.6e6}, {"name", 4.2e6},
+	{"keyword", 134e3}, {"company_name", 235e3}, {"info_type", 113},
+	{"kind_type", 7}, {"role_type", 12}, {"company_type", 4},
+	{"aka_name", 900e3}, {"aka_title", 360e3}, {"char_name", 3.1e6},
+	{"comp_cast_type", 4}, {"complete_cast", 135e3}, {"link_type", 18},
+	{"movie_link", 30e3}, {"person_info", 2.9e6},
+}
+
+// JOBQueries materializes the 33 JOB-shaped queries. The seed controls the
+// assignment of dimension sizes and predicate selectivities; the shapes
+// themselves are fixed.
+func JOBQueries(seed int64) []JOBQuery {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]JOBQuery, 0, len(jobShapes))
+	for _, shape := range jobShapes {
+		n := shape.n
+		var cat catalog.Catalog
+		for i := 0; i < n; i++ {
+			t := imdbTables[(i*3+shape.cycles)%len(imdbTables)]
+			r := catalog.NewRelation(t.name, t.rows, 60)
+			r.HasPKIndex = true
+			cat.Add(r)
+		}
+		// Spine: title (vertex 0) with snowflake arms of depth <= 3.
+		shapeGraph := graph.SnowflakeN(n, 3)
+		g := graph.New(n)
+		for _, e := range shapeGraph.Edges {
+			pk := e.B
+			if e.A > e.B {
+				pk = e.A
+			}
+			g.AddEdge(e.A, e.B, pkSel(cat.Rels[pk].Rows))
+		}
+		// Cycle-closing predicates.
+		for c := 0; c < shape.cycles; c++ {
+			for tries := 0; tries < 64; tries++ {
+				a, b := rng.Intn(n), rng.Intn(n)
+				if a != b && !g.HasEdge(a, b) {
+					g.AddEdge(a, b, pkSel(math.Min(cat.Rels[a].Rows, cat.Rels[b].Rows)))
+					break
+				}
+			}
+		}
+		// Local predicate selections, applied after selectivity assignment.
+		for i := range cat.Rels {
+			cat.Rels[i].Rows = math.Max(1, cat.Rels[i].Rows*math.Pow(10, -1.2*rng.Float64()))
+		}
+		out = append(out, JOBQuery{Name: shape.name, Rels: n, Query: &cost.Query{Cat: cat, G: g}})
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/catalog"
+	"repro/internal/cost"
+	"repro/internal/graph"
+)
+
+// MusicBrainzQuery generates an n-relation query over the MusicBrainz
+// schema exactly as described in §7.2.2: "We pick a relation at random and
+// then do a random walk on the graph till we get the required number of
+// rels". Only PK-FK joins are used and the resulting query graph can
+// contain cycles. Relation indices are renumbered to the local query space.
+func MusicBrainzQuery(n int, rng *rand.Rand) *cost.Query {
+	return mbQuery(n, rng, true)
+}
+
+// MusicBrainzNonPKFK generates random-walk queries whose join selectivities
+// model non PK-FK predicates (§7.2.3): selectivities are drawn from the
+// value-overlap model instead of 1/|PK|, which makes intermediate results —
+// and therefore execution times — much larger.
+func MusicBrainzNonPKFK(n int, rng *rand.Rand) *cost.Query {
+	return mbQuery(n, rng, false)
+}
+
+func mbQuery(n int, rng *rand.Rand, pkfk bool) *cost.Query {
+	schema := catalog.MusicBrainz()
+	full := schema.Catalog
+	// Schema join graph over all 56 tables.
+	adj := make([][]catalog.FKEdge, full.Len())
+	for _, fk := range schema.FKs {
+		adj[fk.From] = append(adj[fk.From], fk)
+		adj[fk.To] = append(adj[fk.To], fk)
+	}
+
+	// Start the walk inside the largest connected component so that n
+	// tables are reachable (a few MusicBrainz type-lookup tables form tiny
+	// satellite components).
+	comp := largestComponent(full.Len(), schema.FKs)
+
+	// Random walk until n distinct tables are collected.
+	chosen := map[int]bool{}
+	var order []int
+	cur := comp[rng.Intn(len(comp))]
+	chosen[cur] = true
+	order = append(order, cur)
+	guard := 0
+	for len(order) < n {
+		guard++
+		if guard > 100000 {
+			break // schema smaller than requested n; return what we have
+		}
+		es := adj[cur]
+		e := es[rng.Intn(len(es))]
+		next := e.From
+		if next == cur {
+			next = e.To
+		}
+		if !chosen[next] {
+			chosen[next] = true
+			order = append(order, next)
+		}
+		cur = next
+	}
+
+	local := make(map[int]int, len(order))
+	var cat catalog.Catalog
+	for li, gi := range order {
+		local[gi] = li
+		cat.Add(full.Rels[gi])
+	}
+	// Join selectivities derive from the unfiltered table cardinalities.
+	g := graph.New(len(order))
+	for _, fk := range schema.FKs {
+		lf, okF := local[fk.From]
+		lt, okT := local[fk.To]
+		if !okF || !okT {
+			continue
+		}
+		var sel float64
+		if pkfk {
+			sel = pkSel(cat.Rels[lt].Rows)
+		} else {
+			// Non PK-FK: many-to-many value overlap.
+			distinct := math.Max(10, math.Min(cat.Rels[lf].Rows, cat.Rels[lt].Rows)/
+				math.Pow(10, 1+2*rng.Float64()))
+			sel = 1 / distinct
+		}
+		g.AddEdge(lf, lt, sel)
+	}
+	// Mild random selections, as query predicates would induce.
+	for i := range cat.Rels {
+		cat.Rels[i].Rows = math.Max(1, cat.Rels[i].Rows*math.Pow(10, -1.5*rng.Float64()))
+	}
+	return &cost.Query{Cat: cat, G: g}
+}
+
+// largestComponent returns the vertices of the largest connected component
+// of the FK graph.
+func largestComponent(n int, fks []catalog.FKEdge) []int {
+	uf := graph.NewUnionFind(n)
+	for _, fk := range fks {
+		uf.Union(fk.From, fk.To)
+	}
+	groups := uf.Groups()
+	var best []int
+	for _, members := range groups {
+		if len(members) > len(best) {
+			best = members
+		}
+	}
+	return best
+}
