@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -20,6 +22,7 @@ import (
 	"repro/internal/dp"
 	"repro/internal/gpusim"
 	"repro/internal/parallel"
+	"repro/internal/service"
 	"repro/internal/workload"
 )
 
@@ -295,6 +298,74 @@ func BenchmarkTable1Snowflake(b *testing.B) {
 
 func BenchmarkTable2Star(b *testing.B) {
 	benchHeuristicTable(b, workload.KindStar, []int{30, 60, 100})
+}
+
+// --- Optimizer-as-a-service: concurrent throughput ------------------------
+
+// BenchmarkServiceThroughput measures service.Optimize under concurrent
+// clients, cold (every request is a distinct 20-relation query and the
+// cache is too small to help) versus warm (one repeated 20-relation query
+// served from the plan cache). The warm/cold ns/op ratio is the cache's
+// speedup; clients sweep 1..GOMAXPROCS.
+func BenchmarkServiceThroughput(b *testing.B) {
+	clientCounts := []int{1}
+	for c := 2; c <= runtime.GOMAXPROCS(0); c *= 2 {
+		clientCounts = append(clientCounts, c)
+	}
+
+	run := func(b *testing.B, clients int, next func(i int) *cost.Query, svc *service.Service) {
+		b.Helper()
+		b.ResetTimer()
+		var idx atomic.Int64
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(idx.Add(1)) - 1
+					if i >= b.N {
+						return
+					}
+					if _, err := svc.Optimize(next(i)); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		snap := svc.Counters().Snapshot()
+		b.ReportMetric(100*snap.HitRate, "hit-%")
+	}
+
+	for _, clients := range clientCounts {
+		b.Run(fmt.Sprintf("warm/clients=%d", clients), func(b *testing.B) {
+			svc := service.New(service.Config{})
+			defer svc.Close()
+			q := benchQuery(workload.KindMB, 20)
+			if _, err := svc.Optimize(q); err != nil { // prime the cache
+				b.Fatal(err)
+			}
+			run(b, clients, func(int) *cost.Query { return q }, svc)
+		})
+		b.Run(fmt.Sprintf("cold/clients=%d", clients), func(b *testing.B) {
+			// A tiny cache plus a rotating pool of distinct queries keeps
+			// every request a miss.
+			svc := service.New(service.Config{CacheShards: 1, CacheCapacity: 1})
+			defer svc.Close()
+			pool := make([]*cost.Query, 64)
+			for i := range pool {
+				rng := rand.New(rand.NewSource(benchSeed + int64(1000+i)))
+				q, err := workload.Generate(workload.KindMB, 20, rng)
+				if err != nil {
+					b.Fatal(err)
+				}
+				pool[i] = q
+			}
+			run(b, clients, func(i int) *cost.Query { return pool[i%len(pool)] }, svc)
+		})
+	}
 }
 
 // --- §7.2.5: GPU enhancement ablation -------------------------------------

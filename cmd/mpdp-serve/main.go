@@ -1,0 +1,216 @@
+// Command mpdp-serve runs the optimizer as a service: a line protocol over
+// stdin (default) or HTTP that accepts one SQL statement in the
+// internal/sql dialect per line/request, binds it against the built-in
+// MusicBrainz schema and answers with the chosen plan's cost, algorithm and
+// cache status. See SERVICE.md for the protocol and the service design.
+//
+// Usage:
+//
+//	echo "SELECT * FROM artist a, release r ... WHERE ..." | mpdp-serve
+//	mpdp-serve -http :8080 &
+//	curl -d "SELECT ..." localhost:8080/optimize
+//	curl localhost:8080/stats
+//
+// In stdin mode, lines starting with # are ignored and the directive
+// ".stats" prints the counters.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"expvar"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/service"
+	"repro/internal/sql"
+)
+
+// response is the wire format of one optimized statement.
+type response struct {
+	Relations int     `json:"relations"`
+	Edges     int     `json:"edges"`
+	Cost      float64 `json:"cost"`
+	Rows      float64 `json:"rows"`
+	Algorithm string  `json:"algorithm"`
+	Shape     string  `json:"shape"`
+	CacheHit  bool    `json:"cache_hit"`
+	Coalesced bool    `json:"coalesced"`
+	FellBack  bool    `json:"fell_back"`
+	ElapsedUs float64 `json:"elapsed_us"`
+	Plan      string  `json:"plan,omitempty"`
+}
+
+type server struct {
+	svc     *service.Service
+	schema  sql.Schema
+	explain bool
+}
+
+func (s *server) optimize(text string, explain bool) (*response, error) {
+	bound, err := sql.Compile(text, s.schema)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.svc.Optimize(bound.Query)
+	if err != nil {
+		return nil, err
+	}
+	resp := &response{
+		Relations: bound.Query.N(),
+		Edges:     len(bound.Query.G.Edges),
+		Cost:      res.Plan.Cost,
+		Rows:      res.Plan.Rows,
+		Algorithm: string(res.Algorithm),
+		Shape:     string(res.Shape),
+		CacheHit:  res.CacheHit,
+		Coalesced: res.Coalesced,
+		FellBack:  res.FellBack,
+		ElapsedUs: float64(res.Elapsed.Nanoseconds()) / 1e3,
+	}
+	if explain {
+		resp.Plan = core.Explain(bound.Query, res.Plan)
+	}
+	return resp, nil
+}
+
+// maxStatementBytes bounds one SQL statement on either protocol.
+const maxStatementBytes = 1 << 20
+
+// readLine reads one newline-terminated line of at most maxStatementBytes.
+// Longer lines are discarded to the next newline and reported as tooLong,
+// so one oversized statement yields one error, not a dead server.
+func readLine(r *bufio.Reader) (line string, tooLong bool, err error) {
+	var b strings.Builder
+	for {
+		chunk, pref, err := r.ReadLine()
+		if err != nil {
+			return b.String(), false, err
+		}
+		if b.Len()+len(chunk) > maxStatementBytes {
+			for pref {
+				if _, pref, err = r.ReadLine(); err != nil {
+					break
+				}
+			}
+			return "", true, nil
+		}
+		b.Write(chunk)
+		if !pref {
+			return b.String(), false, nil
+		}
+	}
+}
+
+func (s *server) serveStdin(in io.Reader, out io.Writer) error {
+	rd := bufio.NewReader(in)
+	for {
+		raw, tooLong, err := readLine(rd)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if tooLong {
+			fmt.Fprintf(out, "error: statement exceeds %d bytes\n", maxStatementBytes)
+			continue
+		}
+		line := strings.TrimSpace(raw)
+		switch {
+		case line == "" || strings.HasPrefix(line, "#"):
+			continue
+		case line == ".stats":
+			fmt.Fprintln(out, s.svc.Counters().String())
+			continue
+		}
+		resp, err := s.optimize(line, s.explain)
+		if err != nil {
+			fmt.Fprintf(out, "error: %v\n", err)
+			continue
+		}
+		fmt.Fprintf(out, "cost=%.6g rows=%.6g rels=%d alg=%s shape=%s hit=%v coalesced=%v elapsed=%.1fus\n",
+			resp.Cost, resp.Rows, resp.Relations, resp.Algorithm, resp.Shape,
+			resp.CacheHit, resp.Coalesced, resp.ElapsedUs)
+		if resp.Plan != "" {
+			fmt.Fprint(out, resp.Plan)
+		}
+	}
+}
+
+func (s *server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST one SQL statement", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxStatementBytes+1))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(body) > maxStatementBytes {
+		http.Error(w, fmt.Sprintf("statement exceeds %d bytes", maxStatementBytes),
+			http.StatusRequestEntityTooLarge)
+		return
+	}
+	resp, err := s.optimize(string(body), r.URL.Query().Get("explain") != "")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	io.WriteString(w, s.svc.Counters().String())
+	io.WriteString(w, "\n")
+}
+
+func main() {
+	var (
+		httpAddr = flag.String("http", "", "serve HTTP on this address instead of stdin (e.g. :8080)")
+		cacheCap = flag.Int("cache", 0, "plan cache capacity in entries (0 = 4096)")
+		shards   = flag.Int("shards", 0, "plan cache shard count (0 = 16)")
+		workers  = flag.Int("workers", 0, "optimization workers (0 = GOMAXPROCS)")
+		threads  = flag.Int("threads", 0, "CPU threads per optimization (0 = all)")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-query optimization budget")
+		k        = flag.Int("k", 0, "sub-problem bound for IDP2/UnionDP (0 = 15)")
+		explain  = flag.Bool("explain", false, "print the full plan tree in stdin mode")
+	)
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		CacheShards:   *shards,
+		CacheCapacity: *cacheCap,
+		Workers:       *workers,
+		Threads:       *threads,
+		Timeout:       *timeout,
+		K:             *k,
+	})
+	defer svc.Close()
+	expvar.Publish("optimizer", svc.Counters())
+
+	srv := &server{svc: svc, schema: sql.MusicBrainzSchema(), explain: *explain}
+
+	if *httpAddr == "" {
+		if err := srv.serveStdin(os.Stdin, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/optimize", srv.handleOptimize)
+	mux.HandleFunc("/stats", srv.handleStats)
+	mux.Handle("/debug/vars", expvar.Handler())
+	log.Printf("mpdp-serve: listening on %s (POST /optimize, GET /stats)", *httpAddr)
+	log.Fatal(http.ListenAndServe(*httpAddr, mux))
+}

@@ -3,8 +3,13 @@
 // join-order algorithm, every baseline it is evaluated against, the IDP2 and
 // UnionDP heuristics built on top of it, a SIMT GPU execution model standing
 // in for the paper's CUDA implementation, and a benchmark harness that
-// regenerates every table and figure of the evaluation section.
+// regenerates every table and figure of the evaluation section. On top of
+// the library sits an optimizer-as-a-service front-end (internal/service,
+// cmd/mpdp-serve): a sharded fingerprint-keyed plan cache plus adaptive
+// algorithm routing, turning the reproduction into something that serves
+// query streams rather than only measuring them.
 //
-// Start with internal/core for the public optimizer API, cmd/mpdp-bench for
-// the experiment driver, and DESIGN.md for the system inventory.
+// Start with internal/core for the one-shot optimizer API, internal/service
+// and SERVICE.md for the serving layer, cmd/mpdp-bench for the experiment
+// driver, and DESIGN.md for the system inventory.
 package repro

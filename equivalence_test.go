@@ -1,0 +1,115 @@
+// Cross-algorithm equivalence: every exact enumerator — sequential and
+// CPU-parallel — must return a plan of identical cost on the same query.
+// The per-package tests check each algorithm against small oracles; this
+// suite cross-checks the implementations against each other over a few
+// hundred randomized queries, which is what catches enumerator divergence
+// (a pruned pair one algorithm considers and another silently skips).
+package repro
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/dp"
+	"repro/internal/parallel"
+	"repro/internal/workload"
+)
+
+// exactAlgs is the lineup under test; DPSize is the reference.
+var exactAlgs = []struct {
+	name string
+	f    dp.Func
+}{
+	{"DPSize", dp.DPSize},
+	{"DPSub", dp.DPSub},
+	{"DPCCP", dp.DPCCP},
+	{"MPDP", dp.MPDP},
+	{"PDP", parallel.PDP},
+	{"DPE", parallel.DPE},
+	{"MPDP-CPU", parallel.MPDP},
+}
+
+func TestExactAlgorithmsAgreeOnRandomizedQueries(t *testing.T) {
+	const queriesPerShape = 50
+	shapes := []workload.Kind{
+		workload.KindChain, workload.KindCycle, workload.KindStar, workload.KindClique,
+	}
+	minN, maxN := 4, 14
+	if testing.Short() {
+		maxN = 9
+	}
+	span := maxN - minN + 1
+
+	for _, kind := range shapes {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			t.Parallel()
+			for i := 0; i < queriesPerShape; i++ {
+				n := minN + i%span
+				if kind == workload.KindClique && n > 11 {
+					// Clique enumeration is Theta(3^n); 11 keeps the
+					// 50-query sweep fast while still crossing the
+					// DPSub/DPCCP crossover the paper shows.
+					n = 4 + i%8
+				}
+				seed := int64(i*1000 + n)
+				q, err := workload.Generate(kind, n, rand.New(rand.NewSource(seed)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !checkAgreement(t, q, fmt.Sprintf("%s/n=%d/seed=%d", kind, n, seed)) {
+					return // one divergence per shape is enough signal
+				}
+			}
+		})
+	}
+}
+
+func checkAgreement(t *testing.T, q *cost.Query, label string) bool {
+	t.Helper()
+	in := dp.Input{Q: q, M: cost.DefaultModel()}
+	ref := 0.0
+	ok := true
+	for i, alg := range exactAlgs {
+		p, _, err := alg.f(in)
+		if err != nil {
+			t.Errorf("%s: %s failed: %v", label, alg.name, err)
+			return false
+		}
+		if err := p.Validate(identityPerm(q.N())); err != nil {
+			t.Errorf("%s: %s produced an invalid plan: %v", label, alg.name, err)
+			ok = false
+		}
+		if i == 0 {
+			ref = p.Cost
+			continue
+		}
+		if !costEq(p.Cost, ref) {
+			t.Errorf("%s: %s cost %.10g != %s cost %.10g",
+				label, alg.name, p.Cost, exactAlgs[0].name, ref)
+			ok = false
+		}
+	}
+	return ok
+}
+
+// costEq compares plan costs with a tiny relative tolerance: equal-cost
+// plans built in different association orders can differ in the last float
+// bits.
+func costEq(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func identityPerm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}

@@ -1,0 +1,114 @@
+package service
+
+import (
+	"container/list"
+	"hash/fnv"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dp"
+	"repro/internal/plan"
+)
+
+// cached is one plan-cache entry. The plan is stored in canonical index
+// space (see Fingerprint) and must be remapped through a query's
+// permutation before being handed out; entries are therefore immutable and
+// safe to share across shards' readers.
+type cached struct {
+	key      string
+	plan     *plan.Node
+	stats    dp.Stats
+	alg      core.Algorithm
+	shape    Shape
+	fellBack bool
+}
+
+// cacheShard is one LRU segment: a mutex, the recency list and the index.
+type cacheShard struct {
+	mu    sync.Mutex
+	ll    *list.List
+	items map[string]*list.Element
+	cap   int
+}
+
+// Cache is a sharded LRU plan cache. Keys are canonical fingerprints;
+// sharding by key hash keeps concurrent callers on different queries from
+// contending on one mutex. Hit/miss accounting lives in the service-level
+// Counters, not here.
+type Cache struct {
+	shards []*cacheShard
+}
+
+// NewCache builds a cache with the given shard count (rounded up to a power
+// of two, minimum 1) and total entry capacity split evenly across shards.
+func NewCache(shards, capacity int) *Cache {
+	if shards < 1 {
+		shards = 1
+	}
+	pow := 1
+	for pow < shards {
+		pow <<= 1
+	}
+	shards = pow
+	if capacity < shards {
+		capacity = shards
+	}
+	c := &Cache{shards: make([]*cacheShard, shards)}
+	per := capacity / shards
+	for i := range c.shards {
+		c.shards[i] = &cacheShard{ll: list.New(), items: make(map[string]*list.Element), cap: per}
+	}
+	return c
+}
+
+func (c *Cache) shard(key string) *cacheShard {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return c.shards[h.Sum64()&uint64(len(c.shards)-1)]
+}
+
+// Get returns the entry for key, promoting it to most-recently-used.
+func (c *Cache) Get(key string) (*cached, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
+	if !ok {
+		return nil, false
+	}
+	s.ll.MoveToFront(el)
+	return el.Value.(*cached), true
+}
+
+// Put inserts (or refreshes) an entry, evicting the least-recently-used
+// entry of the shard when it is full.
+func (c *Cache) Put(e *cached) {
+	s := c.shard(e.key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[e.key]; ok {
+		el.Value = e
+		s.ll.MoveToFront(el)
+		return
+	}
+	s.items[e.key] = s.ll.PushFront(e)
+	for s.ll.Len() > s.cap {
+		back := s.ll.Back()
+		s.ll.Remove(back)
+		delete(s.items, back.Value.(*cached).key)
+	}
+}
+
+// Len returns the number of cached plans across all shards.
+func (c *Cache) Len() int {
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Shards returns the shard count (always a power of two).
+func (c *Cache) Shards() int { return len(c.shards) }

@@ -1,0 +1,227 @@
+// Package service turns the optimizer library into a concurrent
+// optimizer-as-a-service front-end: a sharded LRU plan cache keyed by a
+// canonical fingerprint of the join graph and its statistics, an adaptive
+// Optimize entry point that routes each query to the enumeration algorithm
+// the paper's evaluation recommends for its size and shape, request
+// coalescing plus a worker pool so concurrent callers share CPU sanely, and
+// an expvar-compatible stats struct. See SERVICE.md for the full design.
+package service
+
+import (
+	"hash/fnv"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/cost"
+)
+
+// Fingerprint is the canonical identity of an optimization request. Two
+// queries with isomorphic join graphs and identical statistics (base
+// cardinalities and per-edge selectivities) produce the same Key even when
+// their relations are listed in a different order, so a renamed-but-
+// isomorphic query hits the cache entry of its twin.
+//
+// Perm maps the query's relation indices to canonical indices:
+// Perm[queryIndex] = canonicalIndex. Cached plans are stored in canonical
+// index space and remapped through Perm on both insert and lookup.
+type Fingerprint struct {
+	Key  string
+	Perm []int
+}
+
+// FingerprintQuery computes the canonical fingerprint of q.
+//
+// Canonicalization is colour refinement (1-WL) seeded with each relation's
+// base cardinality and incident selectivity multiset, followed by an
+// individualization-refinement loop: while some colour class holds several
+// vertices, one member is individualized (given a fresh unique colour) and
+// refinement is re-run. The resulting discrete colouring orders the
+// vertices; the Key serializes cardinalities and edges in that order with
+// exact float bits, so the Key always describes the query exactly — a
+// canonicalization miss on a pathological symmetric graph can only cost a
+// cache miss, never a wrong plan.
+func FingerprintQuery(q *cost.Query) Fingerprint {
+	n := q.N()
+	g := q.G
+
+	// selBits returns the exact bit pattern of the edge selectivity so that
+	// hashing and serialization are both exact.
+	selBits := func(a, b int) uint64 {
+		return floatBits(g.EdgeSel(a, b))
+	}
+
+	colors := make([]uint64, n)
+	for v := 0; v < n; v++ {
+		nb := g.Neighbors(v)
+		sels := make([]uint64, len(nb))
+		for i, w := range nb {
+			sels[i] = selBits(v, w)
+		}
+		sort.Slice(sels, func(i, j int) bool { return sels[i] < sels[j] })
+		h := fnv.New64a()
+		for _, s := range relStats(q, v) {
+			writeU64(h, s)
+		}
+		writeU64(h, uint64(len(nb)))
+		for _, s := range sels {
+			writeU64(h, s)
+		}
+		colors[v] = h.Sum64()
+	}
+
+	// refine runs colour refinement until stable (bounded rounds; the bound
+	// only trades canonicalization quality for time, never correctness).
+	sig := make([][2]uint64, 0, n)
+	refine := func() {
+		for round := 0; round < 16; round++ {
+			next := make([]uint64, n)
+			changed := false
+			for v := 0; v < n; v++ {
+				sig = sig[:0]
+				for _, w := range g.Neighbors(v) {
+					sig = append(sig, [2]uint64{selBits(v, w), colors[w]})
+				}
+				sort.Slice(sig, func(i, j int) bool {
+					if sig[i][0] != sig[j][0] {
+						return sig[i][0] < sig[j][0]
+					}
+					return sig[i][1] < sig[j][1]
+				})
+				h := fnv.New64a()
+				writeU64(h, colors[v])
+				for _, s := range sig {
+					writeU64(h, s[0])
+					writeU64(h, s[1])
+				}
+				if nc := h.Sum64(); nc != colors[v] {
+					next[v] = nc
+					changed = true
+				} else {
+					next[v] = colors[v]
+				}
+			}
+			copy(colors, next)
+			if !changed {
+				return
+			}
+		}
+	}
+	refine()
+
+	// Individualization-refinement: place vertices in canonical order. At
+	// each step the unplaced vertex with the smallest colour is placed; if
+	// its colour class holds several vertices they are refinement-equivalent,
+	// so placing the first and re-refining keeps the labeling canonical for
+	// all graphs whose colour classes are true orbits (symmetric twins such
+	// as identical star dimensions are interchangeable by construction).
+	perm := make([]int, n)
+	placed := make([]bool, n)
+	for pos := 0; pos < n; pos++ {
+		best, bestColor, classSize := -1, uint64(0), 0
+		for v := 0; v < n; v++ {
+			if placed[v] {
+				continue
+			}
+			switch {
+			case best < 0 || colors[v] < bestColor:
+				best, bestColor, classSize = v, colors[v], 1
+			case colors[v] == bestColor:
+				classSize++
+			}
+		}
+		perm[best] = pos
+		placed[best] = true
+		// A fresh unique colour pins the vertex; tie-broken classes need a
+		// re-refine so the choice propagates.
+		h := fnv.New64a()
+		writeU64(h, uint64(pos))
+		h.Write([]byte("individualized"))
+		colors[best] = h.Sum64()
+		if classSize > 1 {
+			refine()
+		}
+	}
+
+	return Fingerprint{Key: canonicalKey(q, perm), Perm: perm}
+}
+
+// relStats returns every per-relation statistic the cost model reads —
+// cardinality, heap pages, tuple width and index availability — as exact
+// bits. The fingerprint must cover all of them: two queries that differ in
+// any of these can cost the same join tree differently (e.g. HasPKIndex
+// gates the index-nested-loop operator), so under-describing the relation
+// here would hand one query the other's plan.
+func relStats(q *cost.Query, v int) [4]uint64 {
+	r := q.Cat.Rels[v]
+	var pk uint64
+	if r.HasPKIndex {
+		pk = 1
+	}
+	return [4]uint64{floatBits(r.Rows), floatBits(r.Pages), uint64(r.Width), pk}
+}
+
+// canonicalKey serializes the query in canonical vertex order: relation
+// statistics, then edges sorted by endpoints, all floats as exact bits.
+func canonicalKey(q *cost.Query, perm []int) string {
+	n := q.N()
+	var b strings.Builder
+	b.Grow(32 * (n + len(q.G.Edges)))
+	b.WriteString("n")
+	b.WriteString(strconv.Itoa(n))
+	stats := make([][4]uint64, n)
+	for v := 0; v < n; v++ {
+		stats[perm[v]] = relStats(q, v)
+	}
+	for _, st := range stats {
+		b.WriteByte('|')
+		for i, s := range st {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.FormatUint(s, 36))
+		}
+	}
+	type cedge struct {
+		a, b int
+		sel  uint64
+	}
+	edges := make([]cedge, 0, len(q.G.Edges))
+	for _, e := range q.G.Edges {
+		a, bb := perm[e.A], perm[e.B]
+		if a > bb {
+			a, bb = bb, a
+		}
+		edges = append(edges, cedge{a, bb, floatBits(e.Sel)})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].a != edges[j].a {
+			return edges[i].a < edges[j].a
+		}
+		return edges[i].b < edges[j].b
+	})
+	for _, e := range edges {
+		b.WriteByte(';')
+		b.WriteString(strconv.Itoa(e.a))
+		b.WriteByte(',')
+		b.WriteString(strconv.Itoa(e.b))
+		b.WriteByte(':')
+		b.WriteString(strconv.FormatUint(e.sel, 36))
+	}
+	return b.String()
+}
+
+func floatBits(f float64) uint64 {
+	return math.Float64bits(f)
+}
+
+type u64Writer interface{ Write([]byte) (int, error) }
+
+func writeU64(w u64Writer, v uint64) {
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(v >> (8 * i))
+	}
+	w.Write(buf[:])
+}

@@ -1,0 +1,155 @@
+package service
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/cost"
+	"repro/internal/graph"
+	"repro/internal/workload"
+)
+
+// permuteQuery relabels q's relations through perm (perm[old] = new),
+// producing a structurally identical query with renamed/reordered
+// relations — the cache should treat both as the same query.
+func permuteQuery(q *cost.Query, perm []int) *cost.Query {
+	n := q.N()
+	rels := make([]catalog.Relation, n)
+	for i, r := range q.Cat.Rels {
+		r.Name = "renamed"
+		rels[perm[i]] = r
+	}
+	var cat catalog.Catalog
+	for _, r := range rels {
+		cat.Add(r)
+	}
+	g := graph.New(n)
+	for _, e := range q.G.Edges {
+		g.AddEdge(perm[e.A], perm[e.B], e.Sel)
+	}
+	return &cost.Query{Cat: cat, G: g}
+}
+
+func randPerm(n int, rng *rand.Rand) []int {
+	return rng.Perm(n)
+}
+
+func genQuery(t testing.TB, kind workload.Kind, n int, seed int64) *cost.Query {
+	t.Helper()
+	q, err := workload.Generate(kind, n, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestFingerprintIsomorphismInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, kind := range []workload.Kind{
+		workload.KindChain, workload.KindCycle, workload.KindStar,
+		workload.KindClique, workload.KindSnowflake, workload.KindMB,
+	} {
+		for _, n := range []int{4, 9, 14} {
+			q := genQuery(t, kind, n, int64(n))
+			base := FingerprintQuery(q)
+			if len(base.Perm) != n {
+				t.Fatalf("%s/%d: perm length %d", kind, n, len(base.Perm))
+			}
+			for trial := 0; trial < 5; trial++ {
+				perm := randPerm(n, rng)
+				fp := FingerprintQuery(permuteQuery(q, perm))
+				if fp.Key != base.Key {
+					t.Errorf("%s/%d trial %d: isomorphic query changed fingerprint", kind, n, trial)
+				}
+			}
+		}
+	}
+}
+
+func TestFingerprintDistinguishesStatistics(t *testing.T) {
+	q := genQuery(t, workload.KindStar, 8, 1)
+	base := FingerprintQuery(q).Key
+
+	bigger := permuteQuery(q, identity(8))
+	bigger.Cat.Rels[3].Rows *= 2
+	if FingerprintQuery(bigger).Key == base {
+		t.Error("changed cardinality kept the same fingerprint")
+	}
+
+	// Every statistic the cost model reads must flow into the key: a query
+	// differing only in pages, width or index availability can cost the
+	// same join tree differently, so it must not share a cache entry.
+	wider := permuteQuery(q, identity(8))
+	wider.Cat.Rels[2].Width *= 2
+	if FingerprintQuery(wider).Key == base {
+		t.Error("changed tuple width kept the same fingerprint")
+	}
+	paged := permuteQuery(q, identity(8))
+	paged.Cat.Rels[2].Pages *= 2
+	if FingerprintQuery(paged).Key == base {
+		t.Error("changed page count kept the same fingerprint")
+	}
+	indexed := permuteQuery(q, identity(8))
+	indexed.Cat.Rels[2].HasPKIndex = !indexed.Cat.Rels[2].HasPKIndex
+	if FingerprintQuery(indexed).Key == base {
+		t.Error("changed index availability kept the same fingerprint")
+	}
+
+	resel := permuteQuery(q, identity(8))
+	resel.G = graph.New(8)
+	for i, e := range q.G.Edges {
+		sel := e.Sel
+		if i == 0 {
+			sel *= 0.5
+		}
+		resel.G.AddEdge(e.A, e.B, sel)
+	}
+	if FingerprintQuery(resel).Key == base {
+		t.Error("changed selectivity kept the same fingerprint")
+	}
+}
+
+func TestFingerprintDistinguishesShape(t *testing.T) {
+	// Same vertex statistics, different topology.
+	chain := genQuery(t, workload.KindChain, 10, 3)
+	cycle := genQuery(t, workload.KindCycle, 10, 3)
+	if FingerprintQuery(chain).Key == FingerprintQuery(cycle).Key {
+		t.Error("chain and cycle share a fingerprint")
+	}
+}
+
+// TestFingerprintSymmetricStar exercises the individualization path: all
+// dimensions share identical statistics, so colour refinement alone cannot
+// order them.
+func TestFingerprintSymmetricStar(t *testing.T) {
+	build := func(order []int) *cost.Query {
+		var cat catalog.Catalog
+		for i := 0; i < 7; i++ {
+			name := "fact"
+			rows := 1e6
+			if i != order[0] {
+				name, rows = "dim", 1000
+			}
+			cat.Add(catalog.NewRelation(name, rows, 64))
+		}
+		g := graph.New(7)
+		for _, i := range order[1:] {
+			g.AddEdge(order[0], i, 1.0/1000)
+		}
+		return &cost.Query{Cat: cat, G: g}
+	}
+	a := build([]int{0, 1, 2, 3, 4, 5, 6})
+	b := build([]int{3, 6, 0, 5, 1, 2, 4})
+	if FingerprintQuery(a).Key != FingerprintQuery(b).Key {
+		t.Error("symmetric stars with permuted labels got different fingerprints")
+	}
+}
+
+func identity(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}

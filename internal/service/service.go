@@ -1,0 +1,343 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/dp"
+	"repro/internal/plan"
+)
+
+// Config tunes a Service. The zero value selects the defaults listed on
+// each field, which follow the regimes of the paper's evaluation: exact DP
+// for small graphs, CPU-parallel MPDP for medium ones, IDP2/UnionDP beyond
+// the fall-back limit.
+type Config struct {
+	// CacheShards is the plan-cache shard count (0: 16; rounded up to a
+	// power of two).
+	CacheShards int
+	// CacheCapacity is the total number of cached plans (0: 4096).
+	CacheCapacity int
+	// Workers is the optimization worker-pool size (0: GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the pending-request queue; enqueueing blocks when
+	// full, applying backpressure to callers (0: 4 * Workers).
+	QueueDepth int
+	// Threads is passed to CPU-parallel optimizers (0: all cores).
+	Threads int
+	// SmallLimit routes graphs of at most this many relations to the
+	// sequential exact DPCCP (0: 12).
+	SmallLimit int
+	// ExactLimit routes graphs of at most this many relations to
+	// CPU-parallel MPDP (0: 25, the paper's raised fall-back limit).
+	ExactLimit int
+	// CliqueExactLimit lowers ExactLimit for clique-shaped graphs, whose
+	// enumeration cost grows as 3^n (0: 14).
+	CliqueExactLimit int
+	// K is the sub-problem bound for IDP2/UnionDP (0: 15).
+	K int
+	// Timeout is the per-query optimization budget. An exact run that
+	// exceeds it falls back to the shape's heuristic with a fresh budget
+	// (0: 30s).
+	Timeout time.Duration
+	// Model is the cost model (nil: cost.DefaultModel()).
+	Model *cost.Model
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheShards == 0 {
+		c.CacheShards = 16
+	}
+	if c.CacheCapacity == 0 {
+		c.CacheCapacity = 4096
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.SmallLimit == 0 {
+		c.SmallLimit = 12
+	}
+	if c.ExactLimit == 0 {
+		c.ExactLimit = 25
+	}
+	if c.CliqueExactLimit == 0 {
+		c.CliqueExactLimit = 14
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 30 * time.Second
+	}
+	if c.Model == nil {
+		c.Model = cost.DefaultModel()
+	}
+	return c
+}
+
+// Result is one service answer. Plan is always a private copy in the
+// caller's relation-index space; callers may mutate it freely.
+type Result struct {
+	Plan      *plan.Node
+	Algorithm core.Algorithm
+	Shape     Shape
+	Stats     dp.Stats
+	// CacheHit is true when the plan came from the cache without waiting
+	// on any optimization; Coalesced when the request piggybacked on an
+	// identical in-flight optimization.
+	CacheHit  bool
+	Coalesced bool
+	// FellBack is true when the exact route exceeded the time budget and
+	// the plan came from the heuristic fallback.
+	FellBack bool
+	Elapsed  time.Duration
+	// Key is the canonical fingerprint the request was cached under.
+	Key string
+}
+
+// ErrClosed is returned by Optimize after Close.
+var ErrClosed = errors.New("service: closed")
+
+// flight is one in-progress optimization that concurrent identical
+// requests coalesce onto.
+type flight struct {
+	done  chan struct{}
+	entry *cached // canonical-space result, nil on error
+	err   error
+}
+
+// request is one unit of work for the pool.
+type request struct {
+	q  *cost.Query
+	fp Fingerprint
+	fl *flight
+}
+
+// Service is a concurrent, thread-safe optimizer front-end; see the
+// package comment. Create with New, release with Close.
+type Service struct {
+	cfg      Config
+	cache    *Cache
+	counters Counters
+
+	mu       sync.Mutex
+	inflight map[string]*flight
+
+	reqs chan request
+	quit chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+// New starts a service and its worker pool.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:      cfg,
+		cache:    NewCache(cfg.CacheShards, cfg.CacheCapacity),
+		inflight: make(map[string]*flight),
+		reqs:     make(chan request, cfg.QueueDepth),
+		quit:     make(chan struct{}),
+	}
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Close stops the worker pool: queued-but-unstarted requests are abandoned
+// (their callers return ErrClosed) and Close waits only for optimizations
+// already running on a worker to finish.
+func (s *Service) Close() {
+	s.once.Do(func() { close(s.quit) })
+	s.wg.Wait()
+}
+
+// Counters returns the live instrumentation (expvar.Var compatible).
+func (s *Service) Counters() *Counters { return &s.counters }
+
+// CacheLen returns the number of cached plans.
+func (s *Service) CacheLen() int { return s.cache.Len() }
+
+// Route reports which algorithm the adaptive router would pick for q,
+// given its size and detected shape.
+func (s *Service) Route(q *cost.Query) (core.Algorithm, Shape) {
+	shape := DetectShape(q.G)
+	return s.route(q.N(), shape), shape
+}
+
+func (s *Service) route(n int, shape Shape) core.Algorithm {
+	if n <= s.cfg.SmallLimit && n <= 64 {
+		return core.AlgDPCCP
+	}
+	limit := s.cfg.ExactLimit
+	if shape == ShapeClique && s.cfg.CliqueExactLimit < limit {
+		limit = s.cfg.CliqueExactLimit
+	}
+	if n <= limit && n <= 64 {
+		return core.AlgMPDPParallel
+	}
+	if shape.IsTree() {
+		return core.AlgIDP2
+	}
+	return core.AlgUnionDP
+}
+
+// Optimize plans q, serving from the sharded plan cache when an
+// isomorphic-with-identical-statistics query was planned before, coalescing
+// onto an identical in-flight request otherwise, and finally optimizing on
+// the worker pool with the algorithm the router picks for q's size and
+// shape. It is safe for concurrent use.
+func (s *Service) Optimize(q *cost.Query) (*Result, error) {
+	start := time.Now()
+	if q == nil || q.G == nil || q.N() == 0 {
+		s.counters.errors.Add(1)
+		return nil, fmt.Errorf("service: empty query")
+	}
+	s.counters.requests.Add(1)
+
+	fp := FingerprintQuery(q)
+	inv := invert(fp.Perm)
+	if e, ok := s.cache.Get(fp.Key); ok {
+		elapsed := time.Since(start)
+		s.counters.observeHit(elapsed)
+		return resultFrom(e, inv, elapsed, true, false), nil
+	}
+
+	s.mu.Lock()
+	fl, joined := s.inflight[fp.Key]
+	if !joined {
+		fl = &flight{done: make(chan struct{})}
+		s.inflight[fp.Key] = fl
+	}
+	s.mu.Unlock()
+
+	if !joined {
+		select {
+		case s.reqs <- request{q: q, fp: fp, fl: fl}:
+		case <-s.quit:
+			s.abandon(fp.Key, fl)
+			return nil, ErrClosed
+		}
+	}
+
+	select {
+	case <-fl.done:
+	case <-s.quit:
+		return nil, ErrClosed
+	}
+	if fl.err != nil {
+		s.counters.errors.Add(1)
+		return nil, fl.err
+	}
+	elapsed := time.Since(start)
+	if joined {
+		s.counters.coalesced.Add(1)
+	} else {
+		s.counters.observeMiss(elapsed)
+	}
+	return resultFrom(fl.entry, inv, elapsed, false, joined), nil
+}
+
+// abandon removes a flight that was never enqueued and unblocks any
+// followers that joined it.
+func (s *Service) abandon(key string, fl *flight) {
+	s.mu.Lock()
+	delete(s.inflight, key)
+	s.mu.Unlock()
+	fl.err = ErrClosed
+	close(fl.done)
+}
+
+func resultFrom(e *cached, inv []int, elapsed time.Duration, hit, coalesced bool) *Result {
+	return &Result{
+		Plan:      remapPlan(e.plan, inv),
+		Algorithm: e.alg,
+		Shape:     e.shape,
+		Stats:     e.stats,
+		CacheHit:  hit,
+		Coalesced: coalesced,
+		FellBack:  e.fellBack,
+		Elapsed:   elapsed,
+		Key:       e.key,
+	}
+}
+
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for {
+		// Check quit first: a closed quit and a non-empty queue are both
+		// ready, and a plain select would pick randomly — draining
+		// abandoned requests nobody is waiting for.
+		select {
+		case <-s.quit:
+			return
+		default:
+		}
+		select {
+		case <-s.quit:
+			return
+		case r := <-s.reqs:
+			s.serve(r)
+		}
+	}
+}
+
+// serve runs one optimization, publishes the canonical-space plan to the
+// cache and completes the flight.
+func (s *Service) serve(r request) {
+	shape := DetectShape(r.q.G)
+	alg := s.route(r.q.N(), shape)
+	s.counters.observeRoute(alg)
+
+	res, usedAlg, err := s.optimizeWithFallback(r.q, alg, shape)
+	if err == nil {
+		r.fl.entry = &cached{
+			key:      r.fp.Key,
+			plan:     remapPlan(res.Plan, r.fp.Perm),
+			stats:    res.Stats,
+			alg:      usedAlg,
+			shape:    shape,
+			fellBack: usedAlg != alg,
+		}
+		s.cache.Put(r.fl.entry)
+	} else {
+		r.fl.err = err
+	}
+	s.mu.Lock()
+	delete(s.inflight, r.fp.Key)
+	s.mu.Unlock()
+	close(r.fl.done)
+}
+
+// optimizeWithFallback runs the routed algorithm under the time budget;
+// when an exact route times out it retries once with the shape's heuristic
+// under a fresh budget (the adaptive part of adaptive routing: the router's
+// size thresholds are estimates, the budget is the contract).
+func (s *Service) optimizeWithFallback(q *cost.Query, alg core.Algorithm, shape Shape) (*core.Result, core.Algorithm, error) {
+	opts := core.Options{
+		Algorithm: alg,
+		Model:     s.cfg.Model,
+		Timeout:   s.cfg.Timeout,
+		Threads:   s.cfg.Threads,
+		K:         s.cfg.K,
+	}
+	res, err := core.Optimize(q, opts)
+	if err == nil || !errors.Is(err, dp.ErrTimeout) || !alg.IsExact() {
+		return res, alg, err
+	}
+	s.counters.fallbacks.Add(1)
+	fb := core.AlgUnionDP
+	if shape.IsTree() {
+		fb = core.AlgIDP2
+	}
+	opts.Algorithm = fb
+	res, err = core.Optimize(q, opts)
+	return res, fb, err
+}

@@ -1,0 +1,358 @@
+package service
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/dp"
+	"repro/internal/graph"
+	"repro/internal/workload"
+)
+
+func relEq(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func dpccpCost(t *testing.T, q *cost.Query) float64 {
+	t.Helper()
+	p, _, err := dp.DPCCP(dp.Input{Q: q, M: cost.DefaultModel()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.Cost
+}
+
+// TestRouterMatchesDPCCPSmall is the acceptance criterion: for graphs of
+// at most 12 relations the adaptive router must return plans cost-identical
+// to a direct DPCCP call.
+func TestRouterMatchesDPCCPSmall(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	for _, kind := range []workload.Kind{
+		workload.KindChain, workload.KindCycle, workload.KindStar,
+		workload.KindClique, workload.KindSnowflake, workload.KindMB,
+	} {
+		for n := 4; n <= 12; n += 2 {
+			q := genQuery(t, kind, n, int64(100*n))
+			res, err := s.Optimize(q)
+			if err != nil {
+				t.Fatalf("%s/%d: %v", kind, n, err)
+			}
+			if want := dpccpCost(t, q); !relEq(res.Plan.Cost, want) {
+				t.Errorf("%s/%d: service cost %g, DPCCP cost %g", kind, n, res.Plan.Cost, want)
+			}
+			if res.Algorithm != core.AlgDPCCP {
+				t.Errorf("%s/%d: routed to %s, want dpccp", kind, n, res.Algorithm)
+			}
+			if err := res.Plan.Validate(identity(n)); err != nil {
+				t.Errorf("%s/%d: invalid plan: %v", kind, n, err)
+			}
+		}
+	}
+}
+
+func TestRouteThresholds(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	tests := []struct {
+		kind workload.Kind
+		n    int
+		want core.Algorithm
+	}{
+		{workload.KindChain, 8, core.AlgDPCCP},
+		{workload.KindClique, 12, core.AlgDPCCP},
+		{workload.KindMB, 20, core.AlgMPDPParallel},
+		{workload.KindChain, 25, core.AlgMPDPParallel},
+		{workload.KindClique, 16, core.AlgUnionDP}, // beyond the clique exact limit
+		{workload.KindStar, 40, core.AlgIDP2},      // tree-shaped, beyond exact
+		{workload.KindCycle, 40, core.AlgUnionDP},  // cyclic, beyond exact
+	}
+	for _, tc := range tests {
+		q := genQuery(t, tc.kind, tc.n, 5)
+		if alg, _ := s.Route(q); alg != tc.want {
+			t.Errorf("%s/%d: routed to %s, want %s", tc.kind, tc.n, alg, tc.want)
+		}
+	}
+}
+
+func TestWarmCacheHitAndIsomorphicHit(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	q := genQuery(t, workload.KindMB, 11, 9)
+
+	cold, err := s.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.CacheHit {
+		t.Error("first request reported a cache hit")
+	}
+
+	warm, err := s.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.CacheHit {
+		t.Error("repeat request missed the cache")
+	}
+	if !relEq(warm.Plan.Cost, cold.Plan.Cost) {
+		t.Errorf("warm cost %g != cold cost %g", warm.Plan.Cost, cold.Plan.Cost)
+	}
+
+	// A renamed/reordered isomorphic query must hit too, with the plan
+	// remapped into its own relation-index space.
+	perm := rand.New(rand.NewSource(2)).Perm(q.N())
+	pq := permuteQuery(q, perm)
+	iso, err := s.Optimize(pq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !iso.CacheHit {
+		t.Error("isomorphic query missed the cache")
+	}
+	if !relEq(iso.Plan.Cost, cold.Plan.Cost) {
+		t.Errorf("isomorphic hit cost %g != %g", iso.Plan.Cost, cold.Plan.Cost)
+	}
+	if err := iso.Plan.Validate(identity(pq.N())); err != nil {
+		t.Errorf("remapped plan invalid: %v", err)
+	}
+	if want := dpccpCost(t, pq); !relEq(iso.Plan.Cost, want) {
+		t.Errorf("remapped plan cost %g, direct optimization of permuted query %g", iso.Plan.Cost, want)
+	}
+
+	snap := s.Counters().Snapshot()
+	if snap.Hits != 2 || snap.Misses != 1 {
+		t.Errorf("counters: hits=%d misses=%d, want 2/1", snap.Hits, snap.Misses)
+	}
+}
+
+func TestCoalescingSharesOneOptimization(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	q := genQuery(t, workload.KindMB, 16, 4)
+
+	const callers = 8
+	results := make([]*Result, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = s.Optimize(q)
+		}(i)
+	}
+	wg.Wait()
+
+	var costc float64
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if costc == 0 {
+			costc = results[i].Plan.Cost
+		} else if !relEq(results[i].Plan.Cost, costc) {
+			t.Errorf("caller %d: cost %g != %g", i, results[i].Plan.Cost, costc)
+		}
+	}
+	snap := s.Counters().Snapshot()
+	if snap.Misses < 1 {
+		t.Error("expected at least one miss")
+	}
+	if got := snap.Hits + snap.Misses + snap.Coalesced; got != callers {
+		t.Errorf("hits+misses+coalesced = %d, want %d", got, callers)
+	}
+	if optimized := snap.RouteDPCCP + snap.RouteMPDP + snap.RouteIDP2 + snap.RouteUnionDP; optimized >= callers {
+		t.Errorf("ran %d optimizations for %d identical concurrent requests", optimized, callers)
+	}
+}
+
+// TestConcurrentHammer drives a shared service from many goroutines with a
+// mix of repeated and isomorphically-renamed queries; with -race this is
+// the service's concurrency regression test.
+func TestConcurrentHammer(t *testing.T) {
+	s := New(Config{CacheShards: 4, CacheCapacity: 64})
+	defer s.Close()
+
+	kinds := []workload.Kind{workload.KindChain, workload.KindStar, workload.KindCycle, workload.KindMB}
+	type job struct {
+		q    *cost.Query
+		cost float64
+	}
+	var jobs []job
+	for i, kind := range kinds {
+		for _, n := range []int{5, 8, 10} {
+			q := genQuery(t, kind, n, int64(i*10+n))
+			jobs = append(jobs, job{q, dpccpCost(t, q)})
+		}
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 40; i++ {
+				j := jobs[rng.Intn(len(jobs))]
+				q := j.q
+				if rng.Intn(2) == 0 {
+					q = permuteQuery(q, rng.Perm(q.N()))
+				}
+				res, err := s.Optimize(q)
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				if !relEq(res.Plan.Cost, j.cost) {
+					t.Errorf("worker %d: cost %g, want %g", w, res.Plan.Cost, j.cost)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	snap := s.Counters().Snapshot()
+	if snap.Requests != workers*40 {
+		t.Errorf("requests = %d, want %d", snap.Requests, workers*40)
+	}
+	if snap.Hits == 0 {
+		t.Error("expected cache hits under repetition")
+	}
+}
+
+func TestFallbackOnTimeout(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timeout fallback burns the budget twice")
+	}
+	// Force the router to hand a 16-clique to sequential DPCCP with a
+	// budget it cannot meet; the service must fall back to UnionDP.
+	s := New(Config{SmallLimit: 16, Timeout: 150 * time.Millisecond, K: 8})
+	defer s.Close()
+	q := genQuery(t, workload.KindClique, 16, 2)
+	res, err := s.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FellBack {
+		t.Error("expected heuristic fallback after exact timeout")
+	}
+	if res.Algorithm != core.AlgUnionDP {
+		t.Errorf("fallback used %s, want uniondp-mpdp", res.Algorithm)
+	}
+	if snap := s.Counters().Snapshot(); snap.Fallbacks != 1 {
+		t.Errorf("fallbacks = %d, want 1", snap.Fallbacks)
+	}
+	if err := res.Plan.Validate(identity(16)); err != nil {
+		t.Errorf("fallback plan invalid: %v", err)
+	}
+}
+
+func TestLargeQueriesRouteToHeuristics(t *testing.T) {
+	s := New(Config{K: 6})
+	defer s.Close()
+	for _, tc := range []struct {
+		kind workload.Kind
+		n    int
+		want core.Algorithm
+	}{
+		{workload.KindSnowflake, 30, core.AlgIDP2},
+		{workload.KindCycle, 30, core.AlgUnionDP},
+	} {
+		q := genQuery(t, tc.kind, tc.n, 1)
+		res, err := s.Optimize(q)
+		if err != nil {
+			t.Fatalf("%s/%d: %v", tc.kind, tc.n, err)
+		}
+		if res.Algorithm != tc.want {
+			t.Errorf("%s/%d: used %s, want %s", tc.kind, tc.n, res.Algorithm, tc.want)
+		}
+		if err := res.Plan.Validate(identity(tc.n)); err != nil {
+			t.Errorf("%s/%d: invalid plan: %v", tc.kind, tc.n, err)
+		}
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	s := New(Config{})
+	if _, err := s.Optimize(nil); err == nil {
+		t.Error("nil query should error")
+	}
+
+	// Disconnected graphs carry no cross-product-free plan.
+	var cat catalog.Catalog
+	cat.Add(catalog.NewRelation("a", 100, 32))
+	cat.Add(catalog.NewRelation("b", 100, 32))
+	disc := &cost.Query{Cat: cat, G: graph.New(2)}
+	if _, err := s.Optimize(disc); !errors.Is(err, dp.ErrDisconnected) {
+		t.Errorf("disconnected graph: err = %v, want ErrDisconnected", err)
+	}
+	if snap := s.Counters().Snapshot(); snap.Errors == 0 {
+		t.Error("error counter not incremented")
+	}
+
+	s.Close()
+	if _, err := s.Optimize(genQuery(t, workload.KindChain, 4, 1)); !errors.Is(err, ErrClosed) {
+		t.Errorf("after Close: err = %v, want ErrClosed", err)
+	}
+	s.Close() // idempotent
+}
+
+// TestWarmCacheSpeedup is the acceptance check behind the throughput
+// benchmark: repeated 20-relation queries must be served far faster from
+// the cache than by re-optimizing. The benchmark reports the full ratio;
+// here a conservative 5x floor keeps the test robust to CI noise (the
+// typical gap is 50x+).
+func TestWarmCacheSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	s := New(Config{})
+	defer s.Close()
+	q := genQuery(t, workload.KindMB, 20, 42)
+
+	cold, err := s.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const warmRuns = 20
+	start := time.Now()
+	for i := 0; i < warmRuns; i++ {
+		warm, err := s.Optimize(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !warm.CacheHit {
+			t.Fatal("warm request missed the cache")
+		}
+	}
+	warmAvg := time.Since(start) / warmRuns
+	t.Logf("cold=%v warm=%v (%.0fx)", cold.Elapsed, warmAvg, float64(cold.Elapsed)/float64(warmAvg))
+	if cold.Elapsed < 5*warmAvg {
+		t.Errorf("warm-cache speedup below 5x: cold=%v warm=%v", cold.Elapsed, warmAvg)
+	}
+}
+
+func TestCountersExpvarString(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	if _, err := s.Optimize(genQuery(t, workload.KindChain, 5, 1)); err != nil {
+		t.Fatal(err)
+	}
+	got := s.Counters().String()
+	if got == "" || got == "{}" {
+		t.Errorf("expvar string empty: %q", got)
+	}
+}

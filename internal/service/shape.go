@@ -1,0 +1,97 @@
+package service
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/graph"
+	"repro/internal/plan"
+)
+
+// Shape classifies a join graph's topology for routing. The classes mirror
+// the paper's evaluation workloads: chains and stars are special trees,
+// cliques are the dense worst case, and everything else (cycles, snowflake
+// arms with cross edges, MusicBrainz walks with shortcut joins) is General.
+type Shape string
+
+// Shape classes, from most to least structured.
+const (
+	ShapeChain   Shape = "chain"
+	ShapeStar    Shape = "star"
+	ShapeTree    Shape = "tree"
+	ShapeClique  Shape = "clique"
+	ShapeGeneral Shape = "general"
+)
+
+// IsTree reports whether the shape is acyclic (chain, star or general tree),
+// the regime where MPDP's tree specialization enumerates in linear output
+// time and IDP2 compositions stay near-optimal.
+func (s Shape) IsTree() bool {
+	return s == ShapeChain || s == ShapeStar || s == ShapeTree
+}
+
+// DetectShape classifies g. Graphs of fewer than three vertices are trees
+// (or chains) trivially.
+func DetectShape(g *graph.Graph) Shape {
+	n := g.N
+	if n <= 2 {
+		return ShapeChain
+	}
+	if len(g.Edges) == n*(n-1)/2 {
+		return ShapeClique
+	}
+	if !g.IsTree() {
+		return ShapeGeneral
+	}
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		if d := len(g.Neighbors(v)); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	switch {
+	case maxDeg <= 2:
+		return ShapeChain
+	case maxDeg == n-1:
+		return ShapeStar
+	default:
+		return ShapeTree
+	}
+}
+
+// remapPlan rewrites a plan tree through the index permutation
+// m[oldIndex] = newIndex, producing a fresh tree (cached plans are shared,
+// so callers always receive their own copy). Set masks are rebuilt for
+// queries of at most 64 relations and left zero beyond that, matching the
+// plan.Node contract that heuristic-scale plans re-derive sets from leaves.
+func remapPlan(p *plan.Node, m []int) *plan.Node {
+	if p == nil {
+		return nil
+	}
+	small := len(m) <= 64
+	var walk func(*plan.Node) *plan.Node
+	walk = func(n *plan.Node) *plan.Node {
+		out := &plan.Node{Op: n.Op, Rows: n.Rows, Cost: n.Cost}
+		if n.IsLeaf() {
+			out.RelID = m[n.RelID]
+			if small {
+				out.Set = bitset.Single(out.RelID)
+			}
+			return out
+		}
+		out.Left = walk(n.Left)
+		out.Right = walk(n.Right)
+		if small {
+			out.Set = out.Left.Set.Union(out.Right.Set)
+		}
+		return out
+	}
+	return walk(p)
+}
+
+// invert returns the inverse permutation of m.
+func invert(m []int) []int {
+	inv := make([]int, len(m))
+	for i, v := range m {
+		inv[v] = i
+	}
+	return inv
+}

@@ -1,0 +1,108 @@
+package service
+
+import (
+	"encoding/json"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Counters is the service's expvar-style instrumentation: lock-free atomic
+// counters updated on every request. It implements expvar.Var (String
+// returns JSON), so a server can expose it with
+// expvar.Publish("optimizer", svc.Counters()).
+type Counters struct {
+	requests  atomic.Uint64
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	coalesced atomic.Uint64
+	fallbacks atomic.Uint64
+	errors    atomic.Uint64
+
+	routeDPCCP   atomic.Uint64
+	routeMPDP    atomic.Uint64
+	routeIDP2    atomic.Uint64
+	routeUnionDP atomic.Uint64
+
+	hitNanos  atomic.Uint64
+	missNanos atomic.Uint64
+}
+
+// Snapshot is a point-in-time copy of the counters with derived rates.
+type Snapshot struct {
+	Requests  uint64 `json:"requests"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Coalesced uint64 `json:"coalesced"`
+	Fallbacks uint64 `json:"fallbacks"`
+	Errors    uint64 `json:"errors"`
+
+	RouteDPCCP   uint64 `json:"route_dpccp"`
+	RouteMPDP    uint64 `json:"route_mpdp_cpu"`
+	RouteIDP2    uint64 `json:"route_idp2"`
+	RouteUnionDP uint64 `json:"route_uniondp"`
+
+	HitRate       float64 `json:"hit_rate"`
+	AvgHitMicros  float64 `json:"avg_hit_us"`
+	AvgMissMicros float64 `json:"avg_miss_us"`
+}
+
+// Snapshot copies the counters. Each counter is read atomically; the set is
+// not one consistent cut, which is fine for monitoring.
+func (c *Counters) Snapshot() Snapshot {
+	s := Snapshot{
+		Requests:     c.requests.Load(),
+		Hits:         c.hits.Load(),
+		Misses:       c.misses.Load(),
+		Coalesced:    c.coalesced.Load(),
+		Fallbacks:    c.fallbacks.Load(),
+		Errors:       c.errors.Load(),
+		RouteDPCCP:   c.routeDPCCP.Load(),
+		RouteMPDP:    c.routeMPDP.Load(),
+		RouteIDP2:    c.routeIDP2.Load(),
+		RouteUnionDP: c.routeUnionDP.Load(),
+	}
+	if served := s.Hits + s.Misses + s.Coalesced; served > 0 {
+		s.HitRate = float64(s.Hits+s.Coalesced) / float64(served)
+	}
+	if s.Hits > 0 {
+		s.AvgHitMicros = float64(c.hitNanos.Load()) / float64(s.Hits) / 1e3
+	}
+	if s.Misses > 0 {
+		s.AvgMissMicros = float64(c.missNanos.Load()) / float64(s.Misses) / 1e3
+	}
+	return s
+}
+
+// String renders the snapshot as JSON; it makes Counters an expvar.Var.
+func (c *Counters) String() string {
+	b, err := json.Marshal(c.Snapshot())
+	if err != nil {
+		return "{}"
+	}
+	return string(b)
+}
+
+func (c *Counters) observeHit(d time.Duration) {
+	c.hits.Add(1)
+	c.hitNanos.Add(uint64(d))
+}
+
+func (c *Counters) observeMiss(d time.Duration) {
+	c.misses.Add(1)
+	c.missNanos.Add(uint64(d))
+}
+
+func (c *Counters) observeRoute(alg core.Algorithm) {
+	switch alg {
+	case core.AlgDPCCP:
+		c.routeDPCCP.Add(1)
+	case core.AlgMPDPParallel:
+		c.routeMPDP.Add(1)
+	case core.AlgIDP2:
+		c.routeIDP2.Add(1)
+	case core.AlgUnionDP:
+		c.routeUnionDP.Add(1)
+	}
+}
