@@ -9,14 +9,17 @@
 package repro
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/rand"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/dp"
@@ -395,3 +398,175 @@ func BenchmarkAblationGPUEnhancements(b *testing.B) {
 		})
 	}
 }
+
+// --- Distributed cluster: scaling and failover ----------------------------
+
+// clusterBenchRow is one row of BENCH_cluster.json: throughput and warm-hit
+// ratio at one cluster size (or under a mid-run node kill), so the perf
+// trajectory of the cluster layer accumulates across commits.
+type clusterBenchRow struct {
+	Name        string  `json:"name"`
+	Nodes       int     `json:"nodes"`
+	Replicas    int     `json:"replicas"`
+	Clients     int     `json:"clients"`
+	Requests    uint64  `json:"requests"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	ReqPerSec   float64 `json:"req_per_sec"`
+	WarmHitRate float64 `json:"warm_hit_ratio"`
+	Failovers   uint64  `json:"failovers"`
+	Deaths      uint64  `json:"deaths"`
+}
+
+// BenchmarkClusterThroughput measures cluster.Optimize under concurrent
+// clients replaying a warmed working set of MusicBrainz queries (repeats
+// plus isomorphic renamings) at 1/2/4/8 nodes, and once more at 4 nodes
+// with one node killed mid-run. Results additionally land in
+// BENCH_cluster.json next to the standard benchmark output.
+func BenchmarkClusterThroughput(b *testing.B) {
+	const replicas = 2
+	clients := runtime.GOMAXPROCS(0)
+	if clients < 2 {
+		clients = 2
+	}
+
+	hot := make([]*cost.Query, 12)
+	for i := range hot {
+		rng := rand.New(rand.NewSource(benchSeed + int64(2000+i)))
+		q, err := workload.Generate(workload.KindMB, 14, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hot[i] = q
+	}
+
+	// stream drives b.N requests from the client pool, killing victim (when
+	// set) once the stream is halfway done.
+	stream := func(b *testing.B, c *cluster.Cluster, victim string) {
+		b.Helper()
+		b.ResetTimer()
+		var idx atomic.Int64
+		var killOnce sync.Once
+		var wg sync.WaitGroup
+		for w := 0; w < clients; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(w)))
+				for {
+					i := int(idx.Add(1)) - 1
+					if i >= b.N {
+						return
+					}
+					if victim != "" && i >= b.N/2 {
+						killOnce.Do(func() { c.KillNode(victim) })
+					}
+					q := hot[i%len(hot)]
+					if rng.Intn(4) == 0 {
+						// An isomorphic renaming must hit the same
+						// clustered cache entry.
+						q = workload.PermuteQuery(q, rng.Perm(q.N()))
+					}
+					if _, err := c.Optimize(q); err != nil {
+						b.Errorf("request %d lost: %v", i, err)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		b.StopTimer()
+	}
+
+	// warmServed sums warm (hit or coalesced) and total served requests
+	// over all nodes; the benchmark diffs two sums so priming misses and
+	// earlier calibration runs don't dilute the measured ratio.
+	warmServed := func(c *cluster.Cluster) (warm, served uint64) {
+		for _, ns := range c.Snapshot().PerNode {
+			warm += ns.Hits + ns.Coalesced
+			served += ns.Hits + ns.Coalesced + ns.Misses
+		}
+		return warm, served
+	}
+
+	// The benchmark runner re-invokes each sub-benchmark while calibrating
+	// b.N; keyed rows keep only the final (largest-b.N) run of each.
+	rows := make(map[string]clusterBenchRow)
+	var order []string
+	record := func(b *testing.B, c *cluster.Cluster, name string, nodes int, preWarm, preServed uint64) {
+		warm, served := warmServed(c)
+		hitRate := 0.0
+		if served > preServed {
+			hitRate = float64(warm-preWarm) / float64(served-preServed)
+		}
+		snap := c.Snapshot()
+		b.ReportMetric(100*hitRate, "hit-%")
+		nsPerOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+		row := clusterBenchRow{
+			Name:        name,
+			Nodes:       nodes,
+			Replicas:    replicas,
+			Clients:     clients,
+			Requests:    uint64(b.N),
+			NsPerOp:     nsPerOp,
+			WarmHitRate: hitRate,
+			Failovers:   snap.Failovers,
+			Deaths:      snap.Deaths,
+		}
+		if nsPerOp > 0 {
+			row.ReqPerSec = 1e9 / nsPerOp
+		}
+		if _, seen := rows[name]; !seen {
+			order = append(order, name)
+		}
+		rows[name] = row
+	}
+
+	newCluster := func(nodes int) *cluster.Cluster {
+		perNode := runtime.GOMAXPROCS(0) / nodes
+		if perNode < 1 {
+			perNode = 1
+		}
+		c := cluster.New(cluster.Config{
+			Nodes:    nodes,
+			Replicas: replicas,
+			Service:  service.Config{Workers: perNode},
+		})
+		for _, q := range hot { // warm every owner before the timer starts
+			if _, err := c.Optimize(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return c
+	}
+
+	for _, nodes := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
+			c := newCluster(nodes)
+			defer c.Close()
+			preWarm, preServed := warmServed(c)
+			stream(b, c, "")
+			record(b, c, fmt.Sprintf("nodes=%d", nodes), nodes, preWarm, preServed)
+		})
+	}
+	b.Run("nodekill/nodes=4", func(b *testing.B) {
+		c := newCluster(4)
+		defer c.Close()
+		preWarm, preServed := warmServed(c)
+		stream(b, c, c.AliveNodes()[0])
+		record(b, c, "nodekill/nodes=4", 4, preWarm, preServed)
+	})
+
+	ordered := make([]clusterBenchRow, 0, len(order))
+	for _, name := range order {
+		ordered = append(ordered, rows[name])
+	}
+	out, err := json.MarshalIndent(ordered, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_cluster.json", append(out, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("wrote BENCH_cluster.json (%d rows)", len(ordered))
+}
+

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/service"
+	"repro/internal/sql"
+)
+
+const testStatement = "SELECT r.id FROM release r, release_group rg, artist_credit ac " +
+	"WHERE r.release_group = rg.id AND r.artist_credit = ac.id AND rg.artist_credit = ac.id"
+
+func newTestFrontDoor(t *testing.T) (*frontDoor, *httptest.Server) {
+	t.Helper()
+	c := cluster.New(cluster.Config{Nodes: 3, Replicas: 2, Service: service.Config{Workers: 2}})
+	t.Cleanup(c.Close)
+	fd := &frontDoor{c: c, schema: sql.MusicBrainzSchema()}
+	ts := httptest.NewServer(fd.mux())
+	t.Cleanup(ts.Close)
+	return fd, ts
+}
+
+func postOptimize(t *testing.T, ts *httptest.Server) response {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/optimize", "text/plain", strings.NewReader(testStatement))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	var r response
+	if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestFrontDoorOptimizeAndFailoverOverHTTP(t *testing.T) {
+	_, ts := newTestFrontDoor(t)
+
+	cold := postOptimize(t, ts)
+	if cold.CacheHit || cold.Node == "" {
+		t.Errorf("cold = hit %v node %q, want miss on a named node", cold.CacheHit, cold.Node)
+	}
+	warm := postOptimize(t, ts)
+	if !warm.CacheHit || warm.Node != cold.Node {
+		t.Errorf("warm = hit %v on %s, want hit on owner %s", warm.CacheHit, warm.Node, cold.Node)
+	}
+
+	// Crash the owner through the admin surface: the next request must
+	// fail over to a replica and stay warm.
+	resp, err := http.Post(ts.URL+"/cluster/kill?node="+cold.Node, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("kill status = %d", resp.StatusCode)
+	}
+	over := postOptimize(t, ts)
+	if over.Node == cold.Node {
+		t.Errorf("request served by killed node %s", cold.Node)
+	}
+	if !over.Failover && !over.CacheHit {
+		t.Errorf("after kill: failover=%v hit=%v, want a warm failover", over.Failover, over.CacheHit)
+	}
+	if over.Cost != cold.Cost {
+		t.Errorf("failover cost %g != %g", over.Cost, cold.Cost)
+	}
+}
+
+func TestFrontDoorStatsClusterHealthz(t *testing.T) {
+	_, ts := newTestFrontDoor(t)
+	postOptimize(t, ts)
+
+	var stats map[string]any
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatalf("/stats is not JSON: %v", err)
+	}
+	resp.Body.Close()
+	if _, ok := stats["per_node"]; !ok {
+		t.Errorf("/stats lacks per_node: %v", stats)
+	}
+
+	var info struct {
+		AliveNodes []string `json:"alive_nodes"`
+		Replicas   int      `json:"replicas"`
+	}
+	resp, err = http.Get(ts.URL + "/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatalf("/cluster is not JSON: %v", err)
+	}
+	resp.Body.Close()
+	if len(info.AliveNodes) != 3 || info.Replicas != 2 {
+		t.Errorf("/cluster = %+v, want 3 alive nodes, 2 replicas", info)
+	}
+
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz = %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestFrontDoorAdminValidation(t *testing.T) {
+	_, ts := newTestFrontDoor(t)
+	resp, err := http.Get(ts.URL + "/cluster/kill?node=node-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET kill = %d, want 405", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/cluster/kill", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("kill without node = %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/cluster/remove?node=nope", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("remove unknown node = %d, want 400", resp.StatusCode)
+	}
+}

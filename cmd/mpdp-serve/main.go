@@ -10,13 +10,17 @@
 //	mpdp-serve -http :8080 &
 //	curl -d "SELECT ..." localhost:8080/optimize
 //	curl localhost:8080/stats
+//	curl localhost:8080/healthz
 //
 // In stdin mode, lines starting with # are ignored and the directive
-// ".stats" prints the counters.
+// ".stats" prints the counters. In HTTP mode, SIGINT/SIGTERM shuts down
+// gracefully: in-flight optimizations drain (bounded by -drain) before the
+// service closes.
 package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"expvar"
 	"flag"
@@ -25,7 +29,9 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -175,6 +181,24 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	io.WriteString(w, "\n")
 }
 
+// handleHealthz is the liveness probe load balancers and the cluster's
+// health checker poll.
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	io.WriteString(w, "{\"status\":\"ok\"}\n")
+}
+
+// mux wires the HTTP surface; split out of main so tests can drive the
+// handlers through httptest.
+func (s *server) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/optimize", s.handleOptimize)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
+
 func main() {
 	var (
 		httpAddr = flag.String("http", "", "serve HTTP on this address instead of stdin (e.g. :8080)")
@@ -185,6 +209,7 @@ func main() {
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-query optimization budget")
 		k        = flag.Int("k", 0, "sub-problem bound for IDP2/UnionDP (0 = 15)")
 		explain  = flag.Bool("explain", false, "print the full plan tree in stdin mode")
+		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight requests")
 	)
 	flag.Parse()
 
@@ -207,10 +232,26 @@ func main() {
 		}
 		return
 	}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/optimize", srv.handleOptimize)
-	mux.HandleFunc("/stats", srv.handleStats)
-	mux.Handle("/debug/vars", expvar.Handler())
-	log.Printf("mpdp-serve: listening on %s (POST /optimize, GET /stats)", *httpAddr)
-	log.Fatal(http.ListenAndServe(*httpAddr, mux))
+
+	// SIGINT/SIGTERM drains in-flight optimizations instead of dropping
+	// them: Shutdown stops accepting, waits for active handlers up to the
+	// drain budget, then the deferred svc.Close releases the worker pool.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	httpSrv := &http.Server{Addr: *httpAddr, Handler: srv.mux()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("mpdp-serve: listening on %s (POST /optimize, GET /stats /healthz)", *httpAddr)
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("mpdp-serve: signal received, draining in-flight requests (budget %v)", *drain)
+		sctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(sctx); err != nil {
+			log.Printf("mpdp-serve: drain incomplete: %v", err)
+		}
+	}
 }

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/service"
+	"repro/internal/sql"
+)
+
+func newTestServer(t *testing.T) (*server, *httptest.Server) {
+	t.Helper()
+	svc := service.New(service.Config{Workers: 2})
+	t.Cleanup(svc.Close)
+	srv := &server{svc: svc, schema: sql.MusicBrainzSchema()}
+	ts := httptest.NewServer(srv.mux())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+const testStatement = "SELECT r.id FROM release r, release_group rg, artist_credit ac " +
+	"WHERE r.release_group = rg.id AND r.artist_credit = ac.id AND rg.artist_credit = ac.id"
+
+func TestOptimizeRejectsNonPOST(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/optimize")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /optimize = %d, want %d", resp.StatusCode, http.StatusMethodNotAllowed)
+	}
+}
+
+func TestOptimizeRejectsOversizedStatement(t *testing.T) {
+	_, ts := newTestServer(t)
+	huge := strings.Repeat("x", maxStatementBytes+1)
+	resp, err := http.Post(ts.URL+"/optimize", "text/plain", strings.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized statement = %d, want %d", resp.StatusCode, http.StatusRequestEntityTooLarge)
+	}
+}
+
+func TestOptimizeRejectsParseError(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/optimize", "text/plain", strings.NewReader("SELECT FROM WHERE"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("parse error = %d, want %d", resp.StatusCode, http.StatusUnprocessableEntity)
+	}
+}
+
+func TestOptimizeHappyPathJSONShape(t *testing.T) {
+	_, ts := newTestServer(t)
+	post := func() response {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/optimize", "text/plain", strings.NewReader(testStatement))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d, want 200", resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("Content-Type = %q, want application/json", ct)
+		}
+		var r response
+		if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+			t.Fatalf("response is not JSON: %v", err)
+		}
+		return r
+	}
+
+	cold := post()
+	if cold.Relations != 3 || cold.Edges != 3 {
+		t.Errorf("relations/edges = %d/%d, want 3/3", cold.Relations, cold.Edges)
+	}
+	if cold.Cost <= 0 || cold.Rows <= 0 {
+		t.Errorf("cost/rows = %g/%g, want positive", cold.Cost, cold.Rows)
+	}
+	if cold.Algorithm == "" || cold.Shape == "" {
+		t.Errorf("algorithm/shape empty: %+v", cold)
+	}
+	if cold.CacheHit {
+		t.Error("first request reported a cache hit")
+	}
+	if cold.Plan != "" {
+		t.Errorf("plan rendered without explain: %q", cold.Plan)
+	}
+
+	warm := post()
+	if !warm.CacheHit {
+		t.Error("repeat request missed the cache")
+	}
+	if warm.Cost != cold.Cost {
+		t.Errorf("warm cost %g != cold cost %g", warm.Cost, cold.Cost)
+	}
+}
+
+func TestOptimizeExplainIncludesPlan(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/optimize?explain=1", "text/plain", strings.NewReader(testStatement))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var r response
+	if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Plan == "" {
+		t.Error("explain=1 response has no plan")
+	}
+}
+
+func TestStatsAndHealthz(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatalf("/stats is not JSON: %v", err)
+	}
+	resp.Body.Close()
+	if _, ok := stats["requests"]; !ok {
+		t.Errorf("/stats lacks requests: %v", stats)
+	}
+
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatalf("/healthz is not JSON: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || health.Status != "ok" {
+		t.Errorf("/healthz = %d %q, want 200 ok", resp.StatusCode, health.Status)
+	}
+}

@@ -7,9 +7,14 @@
 // the library sits an optimizer-as-a-service front-end (internal/service,
 // cmd/mpdp-serve): a sharded fingerprint-keyed plan cache plus adaptive
 // algorithm routing, turning the reproduction into something that serves
-// query streams rather than only measuring them.
+// query streams rather than only measuring them. The service scales out in
+// turn through internal/cluster and cmd/mpdp-cluster: a consistent-hash
+// ring of service nodes with replication, failure detection and cache-aware
+// rebalancing, so isomorphic queries from any entry point share one warm
+// plan cache and a node loss costs no requests.
 //
 // Start with internal/core for the one-shot optimizer API, internal/service
-// and SERVICE.md for the serving layer, cmd/mpdp-bench for the experiment
-// driver, and DESIGN.md for the system inventory.
+// and SERVICE.md for the serving layer, internal/cluster and CLUSTER.md for
+// the distributed layer, cmd/mpdp-bench for the experiment driver, and
+// DESIGN.md for the system inventory.
 package repro

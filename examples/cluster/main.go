@@ -1,0 +1,101 @@
+// Cluster demo: the optimizer scaled out to four nodes behind one front
+// door. Concurrent clients replay a skewed stream of MusicBrainz join
+// queries — repeats and isomorphic renamings — against the cluster; halfway
+// through, one node is killed. Every request is still answered: the
+// consistent-hash ring routes isomorphic queries to the same warm cache,
+// replicas absorb the dead node's keys, and the failure detector rebalances
+// the ring. The run ends by reviving the node and printing the cluster's
+// counters.
+//
+//	go run ./examples/cluster
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/cost"
+	"repro/internal/service"
+	"repro/internal/workload"
+)
+
+// rename relabels the query's relations through a random permutation: the
+// same join problem as written by a different client.
+func rename(q *cost.Query, rng *rand.Rand) *cost.Query {
+	return workload.PermuteQuery(q, rng.Perm(q.N()))
+}
+
+func main() {
+	c := cluster.New(cluster.Config{
+		Nodes:    4,
+		Replicas: 2,
+		Service:  service.Config{Workers: 2},
+	})
+	defer c.Close()
+
+	// Twelve distinct 14-relation MusicBrainz join problems form the hot
+	// working set.
+	var hot []*cost.Query
+	for seed := int64(1); seed <= 12; seed++ {
+		q, err := workload.Generate(workload.KindMB, 14, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		hot = append(hot, q)
+	}
+
+	const clients, perClient = 8, 50
+	victim := c.AliveNodes()[0]
+	fmt.Printf("replaying %d requests from %d clients over %d distinct queries on %d nodes\n",
+		clients*perClient, clients, len(hot), len(c.AliveNodes()))
+	fmt.Printf("killing %s halfway through...\n\n", victim)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	var killOnce sync.Once
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perClient; i++ {
+				if i == perClient/2 {
+					killOnce.Do(func() { c.KillNode(victim) })
+				}
+				q := hot[rng.Intn(len(hot))]
+				if rng.Intn(2) == 0 {
+					q = rename(q, rng)
+				}
+				if _, err := c.Optimize(q); err != nil {
+					log.Fatalf("client %d lost a request: %v", w, err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	snap := c.Snapshot()
+	fmt.Printf("%d requests in %v (%.0f req/s), zero lost\n",
+		snap.Requests, wall.Round(time.Millisecond), float64(snap.Requests)/wall.Seconds())
+	fmt.Printf("cluster-wide warm ratio %.1f%%, %d failovers, %d entries replicated, %d rebalanced\n",
+		100*snap.HitRate, snap.Failovers, snap.Replicated, snap.Rebalanced)
+	fmt.Printf("membership: alive=%v dead=%v (deaths=%d)\n\n",
+		snap.AliveNodes, snap.DeadNodes, snap.Deaths)
+
+	c.ReviveNode(victim)
+	c.CheckHealth()
+	fmt.Printf("revived %s: alive=%v (rejoins=%d)\n",
+		victim, c.AliveNodes(), c.Snapshot().Rejoins)
+
+	fmt.Println("\nper-node requests served:")
+	for _, id := range c.AliveNodes() {
+		ns := c.Snapshot().PerNode[id]
+		fmt.Printf("  %-8s requests=%-5d hits=%-5d cache=%d\n",
+			id, ns.Requests, ns.Hits, ns.CacheLen)
+	}
+}

@@ -1,0 +1,526 @@
+// Package cluster scales the optimizer-as-a-service layer out to N nodes:
+// a consistent-hash ring keyed by the canonical join-graph fingerprint
+// routes every query to one owner node plus R-1 replicas, so isomorphic
+// queries entering through any front door land on the same warm plan
+// cache; a coordinator handles node join/leave, ping-based failure
+// detection, failover to replicas, cache-aware rebalancing on ring
+// changes, and read-repair of plan-cache entries between replicas. The
+// transport is an in-process simulator with injectable latency and
+// failures, so every distributed behaviour is deterministic and testable.
+// See CLUSTER.md for the design.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/cost"
+	"repro/internal/service"
+)
+
+// Config tunes a Cluster. The zero value selects the defaults listed on
+// each field.
+type Config struct {
+	// Nodes is the initial node count (0: 4).
+	Nodes int
+	// Replicas is the number of nodes that hold each key, owner included
+	// (0: 2). Clamped to the live node count when the cluster is smaller.
+	Replicas int
+	// VirtualNodes is the number of ring points per node (0: 64). More
+	// points smooth key distribution at the price of a larger ring.
+	VirtualNodes int
+	// FailureThreshold is the number of consecutive failed RPCs (requests
+	// or pings) after which a node is declared dead and removed from the
+	// ring (0: 2).
+	FailureThreshold int
+	// HealthInterval runs a background health sweep this often. Zero
+	// disables the background checker; CheckHealth can always be called
+	// manually (tests drive it deterministically).
+	HealthInterval time.Duration
+	// Latency, when non-nil, is installed as the transport's injectable
+	// latency model.
+	Latency func(to string, kind ReqKind) time.Duration
+	// Service configures each node's service.Service. Remember that every
+	// node gets its own worker pool: N nodes with default Workers hold
+	// N*GOMAXPROCS workers.
+	Service service.Config
+}
+
+func (c Config) withDefaults() Config {
+	if c.Nodes <= 0 {
+		c.Nodes = 4
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 2
+	}
+	if c.VirtualNodes <= 0 {
+		c.VirtualNodes = 64
+	}
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 2
+	}
+	return c
+}
+
+// Result is one cluster answer: the serving node's service result plus
+// routing information.
+type Result struct {
+	*service.Result
+	// Node is the ID of the node that served the request.
+	Node string
+	// Failover is true when an earlier owner was unreachable and a replica
+	// served the request.
+	Failover bool
+}
+
+// ErrNoNodes is returned when no live node remains to serve a request.
+var ErrNoNodes = errors.New("cluster: no alive nodes")
+
+// ErrClosed is returned by cluster operations after Close.
+var ErrClosed = errors.New("cluster: closed")
+
+// nodeState is the coordinator's health view of one node.
+type nodeState struct {
+	fails int // consecutive failed RPCs
+	dead  bool
+}
+
+// Cluster is the coordinator plus its member nodes; create with New,
+// release with Close. All methods are safe for concurrent use.
+type Cluster struct {
+	cfg       Config
+	transport *LocalTransport
+	counters  counters
+
+	mu     sync.Mutex
+	ring   *ring
+	nodes  map[string]*node
+	state  map[string]*nodeState
+	nextID int
+	closed bool
+
+	// rebalanceMu serializes cache migrations (rebalances and graceful
+	// leaves) so concurrent topology changes do not interleave imports.
+	rebalanceMu sync.Mutex
+
+	quit chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New builds a cluster of cfg.Nodes nodes and, when cfg.HealthInterval is
+// set, starts the background health checker.
+func New(cfg Config) *Cluster {
+	cfg = cfg.withDefaults()
+	c := &Cluster{
+		cfg:       cfg,
+		transport: NewLocalTransport(),
+		ring:      newRing(cfg.VirtualNodes),
+		nodes:     make(map[string]*node),
+		state:     make(map[string]*nodeState),
+		quit:      make(chan struct{}),
+	}
+	if cfg.Latency != nil {
+		c.transport.SetLatency(cfg.Latency)
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		c.AddNode()
+	}
+	if cfg.HealthInterval > 0 {
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			t := time.NewTicker(cfg.HealthInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-c.quit:
+					return
+				case <-t.C:
+					c.CheckHealth()
+				}
+			}
+		}()
+	}
+	return c
+}
+
+// Close stops the health checker and every node's service. Idempotent.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	nodes := make([]*node, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		nodes = append(nodes, n)
+	}
+	c.mu.Unlock()
+	close(c.quit)
+	c.wg.Wait()
+	for _, n := range nodes {
+		n.close()
+	}
+}
+
+// Transport returns the cluster's transport, for fault and latency
+// injection in tests and demos.
+func (c *Cluster) Transport() *LocalTransport { return c.transport }
+
+// Owners returns the nodes currently responsible for a canonical key,
+// owner first.
+func (c *Cluster) Owners(key string) []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ring.owners(key, c.cfg.Replicas)
+}
+
+// AliveNodes returns the IDs of the ring members, sorted.
+func (c *Cluster) AliveNodes() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ring.nodes()
+}
+
+// Optimize routes q to the owner of its canonical fingerprint, failing
+// over to replicas while the failure detector catches up with dead nodes.
+// Fresh plans are replicated to the other owners, so a warm entry survives
+// the loss of Replicas-1 nodes.
+func (c *Cluster) Optimize(q *cost.Query) (*Result, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c.mu.Unlock()
+	c.counters.requests.add(1)
+
+	fp := service.FingerprintQuery(q)
+	var lastErr error
+	// Each sweep over an all-unreachable owner set adds one failure per
+	// owner, so after FailureThreshold sweeps those nodes are dead, the
+	// ring has changed, and the next sweep sees fresh owners: the loop is
+	// bounded and ends at ErrNoNodes when nobody is left.
+	for attempt := 0; attempt <= c.cfg.FailureThreshold; attempt++ {
+		c.mu.Lock()
+		closed := c.closed
+		c.mu.Unlock()
+		if closed {
+			return nil, ErrClosed
+		}
+		owners := c.Owners(fp.Key)
+		if len(owners) == 0 {
+			break
+		}
+		for i, id := range owners {
+			resp, err := c.transport.Call(id, Request{Kind: ReqOptimize, Query: q})
+			switch {
+			case err == nil:
+				c.noteSuccess(id)
+				if i > 0 {
+					c.counters.failovers.add(1)
+				}
+				if !resp.Result.CacheHit || i > 0 {
+					// Fresh plan, or a failover hit whose earlier owners may
+					// lack the entry: push it to the other owners
+					// (replication doubling as read-repair).
+					c.replicate(fp.Key, id, owners)
+				}
+				return &Result{Result: resp.Result, Node: id, Failover: i > 0}, nil
+			case errors.Is(err, ErrUnreachable), errors.Is(err, service.ErrClosed):
+				// Unreachable, or a node whose service closed under a racing
+				// RemoveNode/Close: either way this node cannot answer and a
+				// replica can.
+				lastErr = err
+				c.noteFailure(id)
+			default:
+				// The node answered and rejected the query; replicas are
+				// deterministic copies and would answer the same.
+				c.counters.errors.add(1)
+				return nil, err
+			}
+		}
+	}
+	c.counters.errors.add(1)
+	if lastErr == nil {
+		return nil, ErrNoNodes
+	}
+	return nil, fmt.Errorf("%w (last: %v)", ErrNoNodes, lastErr)
+}
+
+// replicate copies the cache entry under key from the node that just
+// served it to the remaining owners.
+func (c *Cluster) replicate(key, from string, owners []string) {
+	if len(owners) <= 1 {
+		return
+	}
+	resp, err := c.transport.Call(from, Request{Kind: ReqExport, Key: key})
+	if err != nil || len(resp.Entries) == 0 {
+		return
+	}
+	req := Request{Kind: ReqImport, Entries: resp.Entries}
+	for _, id := range owners {
+		if id == from {
+			continue
+		}
+		if _, err := c.transport.Call(id, req); err == nil {
+			c.counters.replicated.add(1)
+		} else if errors.Is(err, ErrUnreachable) {
+			c.noteFailure(id)
+		}
+	}
+}
+
+// AddNode creates a node, joins it to the ring and rebalances warm entries
+// onto it. It returns the new node's ID.
+func (c *Cluster) AddNode() string {
+	c.mu.Lock()
+	id := fmt.Sprintf("node-%d", c.nextID)
+	c.nextID++
+	n := newNode(id, c.cfg.Service)
+	c.nodes[id] = n
+	c.state[id] = &nodeState{}
+	c.transport.register(id, n)
+	c.ring.add(id)
+	c.mu.Unlock()
+	c.rebalance()
+	return id
+}
+
+// RemoveNode gracefully drains a node: it leaves the ring, its warm cache
+// entries migrate to their new owners, and its service is closed.
+func (c *Cluster) RemoveNode(id string) error {
+	c.mu.Lock()
+	n, ok := c.nodes[id]
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: unknown node %s", id)
+	}
+	wasDead := c.state[id].dead
+	c.ring.remove(id)
+	delete(c.state, id)
+	delete(c.nodes, id)
+	c.mu.Unlock()
+
+	if !wasDead {
+		// Drain while still registered on the transport.
+		c.rebalanceMu.Lock()
+		if resp, err := c.transport.Call(id, Request{Kind: ReqExport}); err == nil {
+			c.pushEntries(resp.Entries, id)
+		}
+		c.rebalanceMu.Unlock()
+	}
+	c.transport.deregister(id)
+	n.close()
+	return nil
+}
+
+// KillNode makes a node unreachable without any cleanup — a simulated
+// crash. The failure detector will declare it dead and rebalance.
+func (c *Cluster) KillNode(id string) { c.transport.Cut(id) }
+
+// ReviveNode reconnects a killed node; the next health sweep rejoins it to
+// the ring and rebalances warm entries back onto it.
+func (c *Cluster) ReviveNode(id string) { c.transport.Heal(id) }
+
+// noteSuccess resets a node's consecutive-failure count.
+func (c *Cluster) noteSuccess(id string) {
+	c.mu.Lock()
+	if st := c.state[id]; st != nil && !st.dead {
+		st.fails = 0
+	}
+	c.mu.Unlock()
+}
+
+// noteFailure feeds the failure detector: FailureThreshold consecutive
+// failures declare the node dead, remove it from the ring and rebalance.
+func (c *Cluster) noteFailure(id string) {
+	c.mu.Lock()
+	st := c.state[id]
+	if st == nil || st.dead {
+		c.mu.Unlock()
+		return
+	}
+	st.fails++
+	if st.fails < c.cfg.FailureThreshold {
+		c.mu.Unlock()
+		return
+	}
+	st.dead = true
+	c.ring.remove(id)
+	c.counters.deaths.add(1)
+	c.mu.Unlock()
+	c.rebalance()
+}
+
+// CheckHealth pings every node once, applying the failure detector to the
+// results: repeatedly unreachable nodes are declared dead and leave the
+// ring, previously dead nodes that answer rejoin it. Any membership change
+// triggers a rebalance. The background checker (Config.HealthInterval)
+// calls this on a ticker; tests call it directly.
+func (c *Cluster) CheckHealth() {
+	c.mu.Lock()
+	ids := make([]string, 0, len(c.nodes))
+	for id := range c.nodes {
+		ids = append(ids, id)
+	}
+	c.mu.Unlock()
+
+	changed := false
+	for _, id := range ids {
+		_, err := c.transport.Call(id, Request{Kind: ReqPing})
+		c.mu.Lock()
+		st := c.state[id]
+		if st == nil { // removed concurrently
+			c.mu.Unlock()
+			continue
+		}
+		if err == nil {
+			st.fails = 0
+			if st.dead {
+				st.dead = false
+				c.ring.add(id)
+				c.counters.rejoins.add(1)
+				changed = true
+			}
+		} else {
+			st.fails++
+			if !st.dead && st.fails >= c.cfg.FailureThreshold {
+				st.dead = true
+				c.ring.remove(id)
+				c.counters.deaths.add(1)
+				changed = true
+			}
+		}
+		c.mu.Unlock()
+	}
+	if changed {
+		c.rebalance()
+	}
+}
+
+// rebalance migrates warm cache entries after a topology change: every
+// live node's entries are re-keyed against the current ring, and each
+// entry is pushed to the owners that should now hold it. Holders keep
+// their copies (the LRU evicts them naturally), so rebalancing adds warmth
+// rather than removing it — though a destination already at capacity
+// evicts its own coldest entries to make room, as with any insert.
+// Unreachable nodes are skipped — detecting them is the failure detector's
+// job, not the rebalancer's.
+func (c *Cluster) rebalance() {
+	c.rebalanceMu.Lock()
+	defer c.rebalanceMu.Unlock()
+	for _, id := range c.AliveNodes() {
+		resp, err := c.transport.Call(id, Request{Kind: ReqExport})
+		if err != nil {
+			continue
+		}
+		c.pushEntries(resp.Entries, id)
+	}
+}
+
+// pushEntries imports entries into their current owners, batching one
+// ReqImport per destination node. Entries already held by holder are not
+// re-sent to it.
+func (c *Cluster) pushEntries(entries []service.Entry, holder string) {
+	if len(entries) == 0 {
+		return
+	}
+	batches := make(map[string][]service.Entry)
+	for _, e := range entries {
+		for _, owner := range c.Owners(e.Key) {
+			if owner != holder {
+				batches[owner] = append(batches[owner], e)
+			}
+		}
+	}
+	for id, batch := range batches {
+		if _, err := c.transport.Call(id, Request{Kind: ReqImport, Entries: batch}); err == nil {
+			c.counters.rebalanced.add(uint64(len(batch)))
+		}
+	}
+}
+
+// FlushAll drops every node's plan cache — the cluster-wide invalidation
+// hook for statistics or catalog changes. It targets all known nodes, not
+// just ring members, so a node that is dead-but-revivable does not carry
+// pre-flush entries back on rejoin; a node that is partitioned at flush
+// time still misses the call (see CLUSTER.md's limits — a real deployment
+// would version entries with a catalog epoch).
+func (c *Cluster) FlushAll() {
+	c.mu.Lock()
+	ids := make([]string, 0, len(c.nodes))
+	for id := range c.nodes {
+		ids = append(ids, id)
+	}
+	c.mu.Unlock()
+	for _, id := range ids {
+		c.transport.Call(id, Request{Kind: ReqFlush})
+	}
+}
+
+// CacheLen sums the cached-plan count over all nodes (replicated entries
+// count once per holder).
+func (c *Cluster) CacheLen() int {
+	c.mu.Lock()
+	nodes := make([]*node, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		nodes = append(nodes, n)
+	}
+	c.mu.Unlock()
+	total := 0
+	for _, n := range nodes {
+		total += n.svc.CacheLen()
+	}
+	return total
+}
+
+// Snapshot copies the cluster's instrumentation: coordinator counters,
+// membership and per-node service counters.
+func (c *Cluster) Snapshot() Snapshot {
+	s := Snapshot{
+		Requests:   c.counters.requests.load(),
+		Failovers:  c.counters.failovers.load(),
+		Replicated: c.counters.replicated.load(),
+		Rebalanced: c.counters.rebalanced.load(),
+		Deaths:     c.counters.deaths.load(),
+		Rejoins:    c.counters.rejoins.load(),
+		Errors:     c.counters.errors.load(),
+		Replicas:   c.cfg.Replicas,
+		PerNode:    make(map[string]NodeSnapshot),
+	}
+	c.mu.Lock()
+	type nodeRef struct {
+		n    *node
+		dead bool
+	}
+	refs := make(map[string]nodeRef, len(c.nodes))
+	for id, n := range c.nodes {
+		dead := c.state[id].dead
+		refs[id] = nodeRef{n, dead}
+		if dead {
+			s.DeadNodes = append(s.DeadNodes, id)
+		} else {
+			s.AliveNodes = append(s.AliveNodes, id)
+		}
+	}
+	c.mu.Unlock()
+
+	var served, warm uint64
+	for id, ref := range refs {
+		snap := ref.n.svc.Counters().Snapshot()
+		s.PerNode[id] = NodeSnapshot{Snapshot: snap, CacheLen: ref.n.svc.CacheLen(), Dead: ref.dead}
+		served += snap.Hits + snap.Misses + snap.Coalesced
+		warm += snap.Hits + snap.Coalesced
+	}
+	if served > 0 {
+		s.HitRate = float64(warm) / float64(served)
+	}
+	sort.Strings(s.AliveNodes)
+	sort.Strings(s.DeadNodes)
+	return s
+}

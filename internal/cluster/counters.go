@@ -1,0 +1,68 @@
+package cluster
+
+import (
+	"encoding/json"
+	"sync/atomic"
+
+	"repro/internal/service"
+)
+
+// atomicCounter is a tiny wrapper so counter structs stay copy-proof and
+// the call sites short.
+type atomicCounter struct{ v atomic.Uint64 }
+
+func (c *atomicCounter) add(n uint64) { c.v.Add(n) }
+func (c *atomicCounter) load() uint64 { return c.v.Load() }
+
+// counters is the coordinator's own instrumentation, distinct from each
+// node's service.Counters: it counts routing-layer events (failovers,
+// replication, rebalancing, membership changes) that no single node can
+// see.
+type counters struct {
+	requests   atomicCounter
+	failovers  atomicCounter
+	replicated atomicCounter
+	rebalanced atomicCounter
+	deaths     atomicCounter
+	rejoins    atomicCounter
+	errors     atomicCounter
+}
+
+// NodeSnapshot is one node's view in a cluster snapshot: its service
+// counters plus cluster-level health.
+type NodeSnapshot struct {
+	service.Snapshot
+	CacheLen int  `json:"cache_len"`
+	Dead     bool `json:"dead"`
+}
+
+// Snapshot is a point-in-time copy of the whole cluster's instrumentation:
+// coordinator counters, membership, and per-node service counters.
+type Snapshot struct {
+	Requests   uint64 `json:"requests"`
+	Failovers  uint64 `json:"failovers"`
+	Replicated uint64 `json:"replicated_entries"`
+	Rebalanced uint64 `json:"rebalanced_entries"`
+	Deaths     uint64 `json:"deaths"`
+	Rejoins    uint64 `json:"rejoins"`
+	Errors     uint64 `json:"errors"`
+
+	Replicas   int      `json:"replicas"`
+	AliveNodes []string `json:"alive_nodes"`
+	DeadNodes  []string `json:"dead_nodes,omitempty"`
+
+	// HitRate aggregates hits+coalesced over served requests across all
+	// nodes — the cluster-wide warm ratio.
+	HitRate float64 `json:"hit_rate"`
+
+	PerNode map[string]NodeSnapshot `json:"per_node"`
+}
+
+// String renders the snapshot as JSON.
+func (s Snapshot) String() string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return "{}"
+	}
+	return string(b)
+}

@@ -1,0 +1,169 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cost"
+	"repro/internal/service"
+)
+
+// ReqKind names one RPC on the node protocol.
+type ReqKind int
+
+const (
+	// ReqOptimize plans Query on the target node's service.
+	ReqOptimize ReqKind = iota
+	// ReqPing is the health check.
+	ReqPing
+	// ReqExport returns the node's cache entries: the one under Key when
+	// Key is set, otherwise all of them.
+	ReqExport
+	// ReqImport installs Entries into the node's cache.
+	ReqImport
+	// ReqFlush drops the node's cache.
+	ReqFlush
+)
+
+func (k ReqKind) String() string {
+	switch k {
+	case ReqOptimize:
+		return "optimize"
+	case ReqPing:
+		return "ping"
+	case ReqExport:
+		return "export"
+	case ReqImport:
+		return "import"
+	case ReqFlush:
+		return "flush"
+	}
+	return fmt.Sprintf("reqkind(%d)", int(k))
+}
+
+// Request is one message from the coordinator to a node.
+type Request struct {
+	Kind    ReqKind
+	Query   *cost.Query
+	Key     string
+	Entries []service.Entry
+}
+
+// Response is a node's answer.
+type Response struct {
+	Result  *service.Result
+	Entries []service.Entry
+}
+
+// ErrUnreachable is the transport-level failure: the node is partitioned,
+// crashed, or its reply was lost.
+var ErrUnreachable = errors.New("cluster: node unreachable")
+
+// Transport delivers RPCs from the coordinator to nodes. Implementations
+// must be safe for concurrent use.
+type Transport interface {
+	Call(to string, req Request) (*Response, error)
+}
+
+// handler is the node side of the transport.
+type handler interface {
+	handle(req Request) (*Response, error)
+}
+
+// LocalTransport is a deterministic in-process Transport, simulator style:
+// calls are direct function calls into the target node, with injectable
+// per-destination latency and injectable failures. Cutting a node models a
+// crash or partition — calls to it fail with ErrUnreachable, and a reply
+// from a call already in flight when the cut lands is dropped too, exactly
+// as a real crash loses responses that were on the wire.
+type LocalTransport struct {
+	mu    sync.RWMutex
+	nodes map[string]handler
+	cut   map[string]bool
+
+	// latency, when non-nil, returns the simulated delay for one call; the
+	// transport sleeps for it before dispatching. Deterministic functions
+	// give deterministic schedules.
+	latency func(to string, kind ReqKind) time.Duration
+
+	calls atomicCounter
+	fails atomicCounter
+}
+
+// NewLocalTransport returns an empty transport; nodes register as they
+// are created.
+func NewLocalTransport() *LocalTransport {
+	return &LocalTransport{nodes: make(map[string]handler), cut: make(map[string]bool)}
+}
+
+// SetLatency installs the injectable latency model (nil: no delay).
+func (t *LocalTransport) SetLatency(f func(to string, kind ReqKind) time.Duration) {
+	t.mu.Lock()
+	t.latency = f
+	t.mu.Unlock()
+}
+
+// register attaches a node under its ID.
+func (t *LocalTransport) register(id string, h handler) {
+	t.mu.Lock()
+	t.nodes[id] = h
+	t.mu.Unlock()
+}
+
+// deregister detaches a node (graceful leave; subsequent calls fail).
+func (t *LocalTransport) deregister(id string) {
+	t.mu.Lock()
+	delete(t.nodes, id)
+	t.mu.Unlock()
+}
+
+// Cut makes a node unreachable, simulating a crash or partition.
+func (t *LocalTransport) Cut(id string) {
+	t.mu.Lock()
+	t.cut[id] = true
+	t.mu.Unlock()
+}
+
+// Heal reconnects a previously Cut node.
+func (t *LocalTransport) Heal(id string) {
+	t.mu.Lock()
+	delete(t.cut, id)
+	t.mu.Unlock()
+}
+
+// Calls returns how many RPCs were attempted; Fails how many failed at the
+// transport layer.
+func (t *LocalTransport) Calls() uint64 { return t.calls.load() }
+func (t *LocalTransport) Fails() uint64 { return t.fails.load() }
+
+// Call dispatches one RPC.
+func (t *LocalTransport) Call(to string, req Request) (*Response, error) {
+	t.calls.add(1)
+	t.mu.RLock()
+	h, ok := t.nodes[to]
+	down := t.cut[to]
+	lat := t.latency
+	t.mu.RUnlock()
+
+	if lat != nil {
+		if d := lat(to, req.Kind); d > 0 {
+			time.Sleep(d)
+		}
+	}
+	if !ok || down {
+		t.fails.add(1)
+		return nil, fmt.Errorf("%w: %s (%s)", ErrUnreachable, to, req.Kind)
+	}
+	resp, err := h.handle(req)
+	// A cut that landed while the call was running drops the reply.
+	t.mu.RLock()
+	down = t.cut[to]
+	t.mu.RUnlock()
+	if down {
+		t.fails.add(1)
+		return nil, fmt.Errorf("%w: %s (%s reply lost)", ErrUnreachable, to, req.Kind)
+	}
+	return resp, err
+}

@@ -99,6 +99,33 @@ func (c *Cache) Put(e *cached) {
 	}
 }
 
+// Flush drops every entry from every shard.
+func (c *Cache) Flush() {
+	for _, s := range c.shards {
+		s.mu.Lock()
+		s.ll.Init()
+		s.items = make(map[string]*list.Element)
+		s.mu.Unlock()
+	}
+}
+
+// Export returns every cached entry, least-recently-used first within each
+// shard, so replaying the slice through Put on another cache reproduces the
+// source's recency order (hottest entries inserted last end up at the
+// front). Entries are immutable, so the caller may hold them without
+// copying.
+func (c *Cache) Export() []*cached {
+	var out []*cached
+	for _, s := range c.shards {
+		s.mu.Lock()
+		for el := s.ll.Back(); el != nil; el = el.Prev() {
+			out = append(out, el.Value.(*cached))
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
 // Len returns the number of cached plans across all shards.
 func (c *Cache) Len() int {
 	n := 0

@@ -1,0 +1,89 @@
+package service
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dp"
+	"repro/internal/plan"
+)
+
+// Entry is one plan-cache entry in exportable form: the canonical
+// fingerprint key and the plan in canonical index space, exactly as the
+// cache stores it. Entries exist so an external layer (cluster replication,
+// rebalancing, persistence) can move warm plans between Services without
+// re-optimizing; they are immutable by contract — the plan tree must never
+// be mutated after export, since Import shares it rather than copying
+// (Optimize hands every caller a private remapped copy, so sharing the
+// canonical tree is safe).
+type Entry struct {
+	// Key is the canonical fingerprint (see FingerprintQuery); an Entry is
+	// only valid for the Service-external query it was fingerprinted from.
+	Key       string
+	Plan      *plan.Node // canonical index space; treat as immutable
+	Stats     dp.Stats
+	Algorithm core.Algorithm
+	Shape     Shape
+	FellBack  bool
+}
+
+// Flush drops every plan-cache entry. Use it when the statistics or catalog
+// behind cached plans change: a stale plan is still a valid join tree, but
+// its costs no longer describe the database.
+func (s *Service) Flush() {
+	s.cache.Flush()
+}
+
+// ExportEntry returns the cached entry for a canonical key, if present.
+// The lookup counts as a use for the LRU.
+func (s *Service) ExportEntry(key string) (Entry, bool) {
+	e, ok := s.cache.Get(key)
+	if !ok {
+		return Entry{}, false
+	}
+	return exportEntry(e), true
+}
+
+// Export returns every cached entry (least-recently-used first within each
+// cache shard, so importing the slice in order preserves relative recency
+// at the destination), for replication or migration to another Service.
+func (s *Service) Export() []Entry {
+	cachedEntries := s.cache.Export()
+	out := make([]Entry, len(cachedEntries))
+	for i, e := range cachedEntries {
+		out[i] = exportEntry(e)
+	}
+	return out
+}
+
+// Import installs an exported entry into the plan cache, overwriting any
+// entry already cached under the same key. Subsequent Optimize calls for
+// queries with that fingerprint are cache hits.
+func (s *Service) Import(e Entry) error {
+	if e.Key == "" {
+		return fmt.Errorf("service: import entry with empty key")
+	}
+	if e.Plan == nil {
+		return fmt.Errorf("service: import entry %q with nil plan", e.Key)
+	}
+	s.cache.Put(&cached{
+		key:      e.Key,
+		plan:     e.Plan,
+		stats:    e.Stats,
+		alg:      e.Algorithm,
+		shape:    e.Shape,
+		fellBack: e.FellBack,
+	})
+	return nil
+}
+
+func exportEntry(e *cached) Entry {
+	return Entry{
+		Key:       e.key,
+		Plan:      e.plan,
+		Stats:     e.stats,
+		Algorithm: e.alg,
+		Shape:     e.shape,
+		FellBack:  e.fellBack,
+	}
+}

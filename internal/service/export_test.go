@@ -1,0 +1,123 @@
+package service
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestFlushDropsCachedPlans(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+
+	q := genQuery(t, workload.KindMB, 10, 3)
+	if _, err := s.Optimize(q); err != nil {
+		t.Fatal(err)
+	}
+	if s.CacheLen() != 1 {
+		t.Fatalf("cache len = %d, want 1", s.CacheLen())
+	}
+
+	s.Flush()
+	if s.CacheLen() != 0 {
+		t.Fatalf("cache len after Flush = %d, want 0", s.CacheLen())
+	}
+	res, err := s.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHit {
+		t.Error("request after Flush reported a cache hit")
+	}
+}
+
+// TestExportImportMigratesWarmEntry is the cluster-rebalancing contract:
+// an entry exported from one service and imported into another must serve
+// a cache hit there — including for an isomorphically renamed query —
+// with the same plan cost as the original optimization.
+func TestExportImportMigratesWarmEntry(t *testing.T) {
+	a := New(Config{})
+	defer a.Close()
+	b := New(Config{})
+	defer b.Close()
+
+	q := genQuery(t, workload.KindMB, 11, 7)
+	cold, err := a.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	entry, ok := a.ExportEntry(cold.Key)
+	if !ok {
+		t.Fatalf("ExportEntry(%q) missed", cold.Key)
+	}
+	if entry.Key != cold.Key {
+		t.Fatalf("exported key %q, want %q", entry.Key, cold.Key)
+	}
+	if err := b.Import(entry); err != nil {
+		t.Fatal(err)
+	}
+
+	perm := rand.New(rand.NewSource(1)).Perm(q.N())
+	pq := permuteQuery(q, perm)
+	warm, err := b.Optimize(pq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.CacheHit {
+		t.Error("imported entry did not serve a cache hit")
+	}
+	if warm.Key != cold.Key {
+		t.Errorf("hit key %q, want %q", warm.Key, cold.Key)
+	}
+	if !relEq(warm.Plan.Cost, cold.Plan.Cost) {
+		t.Errorf("imported-hit cost %g != original %g", warm.Plan.Cost, cold.Plan.Cost)
+	}
+	if err := warm.Plan.Validate(identity(pq.N())); err != nil {
+		t.Errorf("remapped imported plan invalid: %v", err)
+	}
+}
+
+func TestExportReturnsAllEntries(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+
+	const queries = 5
+	keys := make(map[string]bool)
+	for seed := int64(0); seed < queries; seed++ {
+		res, err := s.Optimize(genQuery(t, workload.KindChain, 6, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys[res.Key] = true
+	}
+
+	entries := s.Export()
+	if len(entries) != len(keys) {
+		t.Fatalf("Export returned %d entries, want %d", len(entries), len(keys))
+	}
+	for _, e := range entries {
+		if !keys[e.Key] {
+			t.Errorf("exported unknown key %q", e.Key)
+		}
+		if e.Plan == nil {
+			t.Errorf("entry %q has nil plan", e.Key)
+		}
+	}
+}
+
+func TestImportRejectsInvalidEntries(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+
+	if err := s.Import(Entry{}); err == nil {
+		t.Error("empty entry imported without error")
+	}
+	if err := s.Import(Entry{Key: "k"}); err == nil {
+		t.Error("nil-plan entry imported without error")
+	}
+	if s.CacheLen() != 0 {
+		t.Errorf("invalid imports left %d cache entries", s.CacheLen())
+	}
+}

@@ -14,21 +14,7 @@ import (
 // producing a structurally identical query with renamed/reordered
 // relations — the cache should treat both as the same query.
 func permuteQuery(q *cost.Query, perm []int) *cost.Query {
-	n := q.N()
-	rels := make([]catalog.Relation, n)
-	for i, r := range q.Cat.Rels {
-		r.Name = "renamed"
-		rels[perm[i]] = r
-	}
-	var cat catalog.Catalog
-	for _, r := range rels {
-		cat.Add(r)
-	}
-	g := graph.New(n)
-	for _, e := range q.G.Edges {
-		g.AddEdge(perm[e.A], perm[e.B], e.Sel)
-	}
-	return &cost.Query{Cat: cat, G: g}
+	return workload.PermuteQuery(q, perm)
 }
 
 func randPerm(n int, rng *rand.Rand) []int {

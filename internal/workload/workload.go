@@ -149,3 +149,26 @@ func Generate(kind Kind, n int, rng *rand.Rand) (*cost.Query, error) {
 	}
 	return nil, fmt.Errorf("workload: unknown kind %q", kind)
 }
+
+// PermuteQuery relabels q's relations through perm (perm[old] = new),
+// producing a structurally identical query whose relations are renamed and
+// reordered — the same join problem as written by a different client.
+// Canonical fingerprinting (internal/service) must treat both as one query;
+// tests, examples and benchmarks use this to generate isomorphic twins.
+func PermuteQuery(q *cost.Query, perm []int) *cost.Query {
+	n := q.N()
+	rels := make([]catalog.Relation, n)
+	for i, r := range q.Cat.Rels {
+		r.Name = fmt.Sprintf("renamed_%d", perm[i])
+		rels[perm[i]] = r
+	}
+	var cat catalog.Catalog
+	for _, r := range rels {
+		cat.Add(r)
+	}
+	g := graph.New(n)
+	for _, e := range q.G.Edges {
+		g.AddEdge(perm[e.A], perm[e.B], e.Sel)
+	}
+	return &cost.Query{Cat: cat, G: g}
+}
