@@ -1,0 +1,182 @@
+// BenchmarkCore is the tracked hot-path benchmark suite of the optimizer
+// core: cold plan optimization (enumeration + costing, no service cache in
+// front) swept over the paper's workload shapes, serial and parallel. Every
+// run rewrites BENCH_core.json with ns/op, allocs/op and B/op per row so the
+// core perf trajectory accumulates across commits, exactly like
+// BENCH_cluster.json does for the cluster layer.
+//
+// BENCH_budget.json (committed) holds hard allocs/op ceilings for selected
+// rows; the benchmark fails when a ceiling is exceeded, which is what the CI
+// bench-core smoke step relies on to catch allocation regressions.
+package repro
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/dp"
+	"repro/internal/parallel"
+	"repro/internal/workload"
+)
+
+// coreBenchRow is one row of BENCH_core.json.
+type coreBenchRow struct {
+	Name        string  `json:"name"`
+	Kind        string  `json:"kind"`
+	N           int     `json:"n"`
+	Algo        string  `json:"algo"`
+	Threads     int     `json:"threads"`
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	Evaluated   uint64  `json:"evaluated_pairs"`
+	CCP         uint64  `json:"ccp_pairs"`
+}
+
+// coreBudget is the shape of BENCH_budget.json: row name -> ceiling.
+type coreBudget struct {
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// coreSweep lists the benchmarked (shape, size) grid. Clique stops at 15
+// relations (Theta(3^n) enumeration); the other shapes run the full
+// 10..20 sweep the issue tracks.
+func coreSweep() []struct {
+	kind  workload.Kind
+	sizes []int
+} {
+	return []struct {
+		kind  workload.Kind
+		sizes []int
+	}{
+		{workload.KindChain, []int{10, 15, 20}},
+		{workload.KindStar, []int{10, 15, 20}},
+		{workload.KindClique, []int{10, 12, 15}},
+		{workload.KindMB, []int{10, 15, 20}},
+	}
+}
+
+func BenchmarkCore(b *testing.B) {
+	type algo struct {
+		name    string
+		f       dp.Func
+		threads int
+	}
+	algs := []algo{
+		{"mpdp-seq", dp.MPDPGeneral, 1},
+		{"dpccp-seq", dp.DPCCP, 1},
+		{"mpdp-par", parallel.MPDP, 0},
+	}
+
+	// The bench runner re-invokes sub-benchmarks (an N=1 shakedown plus
+	// the timed run, and calibration reruns under a duration-based
+	// -benchtime); keyed rows keep the largest-b.N run of each.
+	rows := make(map[string]coreBenchRow)
+	var order []string
+
+	for _, sw := range coreSweep() {
+		for _, n := range sw.sizes {
+			q := benchQuery(sw.kind, n)
+			m := cost.DefaultModel()
+			for _, alg := range algs {
+				name := fmt.Sprintf("%s/n=%d/%s", sw.kind, n, alg.name)
+				b.Run(name, func(b *testing.B) {
+					b.ReportAllocs()
+					in := dp.Input{Q: q, M: m, Threads: alg.threads}
+					// Warm one run outside the measured window so
+					// one-time costs (lazy graph adjacency, runtime
+					// growth) don't pollute the steady-state numbers.
+					if _, _, err := alg.f(in); err != nil {
+						b.Fatal(err)
+					}
+					var stats dp.Stats
+					runtime.GC()
+					var m0, m1 runtime.MemStats
+					runtime.ReadMemStats(&m0)
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						p, st, err := alg.f(in)
+						if err != nil {
+							b.Fatal(err)
+						}
+						if p == nil {
+							b.Fatal("nil plan")
+						}
+						stats = st
+					}
+					b.StopTimer()
+					runtime.ReadMemStats(&m1)
+					nsPerOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+					allocs := float64(m1.Mallocs-m0.Mallocs) / float64(b.N)
+					bytes := float64(m1.TotalAlloc-m0.TotalAlloc) / float64(b.N)
+					b.ReportMetric(allocs, "allocs/op-measured")
+					prev, seen := rows[name]
+					if !seen {
+						order = append(order, name)
+					}
+					if seen && prev.Iters > b.N {
+						return
+					}
+					rows[name] = coreBenchRow{
+						Name:        name,
+						Kind:        string(sw.kind),
+						N:           n,
+						Algo:        alg.name,
+						Threads:     alg.threads,
+						Iters:       b.N,
+						NsPerOp:     nsPerOp,
+						AllocsPerOp: allocs,
+						BytesPerOp:  bytes,
+						Evaluated:   stats.Evaluated,
+						CCP:         stats.CCP,
+					}
+				})
+			}
+		}
+	}
+
+	ordered := make([]coreBenchRow, 0, len(order))
+	for _, name := range order {
+		ordered = append(ordered, rows[name])
+	}
+	out, err := json.MarshalIndent(ordered, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_core.json", append(out, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("wrote BENCH_core.json (%d rows)", len(ordered))
+
+	// Enforce the committed allocation budget: any row named in
+	// BENCH_budget.json must stay at or under its allocs/op ceiling.
+	raw, err := os.ReadFile("BENCH_budget.json")
+	if os.IsNotExist(err) {
+		return
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	var budget map[string]coreBudget
+	if err := json.Unmarshal(raw, &budget); err != nil {
+		b.Fatalf("BENCH_budget.json: %v", err)
+	}
+	for name, limit := range budget {
+		row, ok := rows[name]
+		if !ok {
+			// A -bench filter can exclude budget rows; only the rows that
+			// actually ran are enforced (CI runs the full sweep).
+			b.Logf("budget row %q not in this run", name)
+			continue
+		}
+		if row.AllocsPerOp > limit.AllocsPerOp {
+			b.Errorf("allocation budget exceeded: %s allocs/op = %.0f > budget %.0f",
+				name, row.AllocsPerOp, limit.AllocsPerOp)
+		}
+	}
+}

@@ -44,6 +44,7 @@ func benchQuery(kind workload.Kind, n int) *cost.Query {
 // paper's counters as custom metrics.
 func runExact(b *testing.B, q *cost.Query, f dp.Func, threads int) {
 	b.Helper()
+	b.ReportAllocs()
 	var stats dp.Stats
 	for i := 0; i < b.N; i++ {
 		p, st, err := f(dp.Input{Q: q, M: cost.DefaultModel(), Threads: threads})
@@ -318,6 +319,7 @@ func BenchmarkServiceThroughput(b *testing.B) {
 
 	run := func(b *testing.B, clients int, next func(i int) *cost.Query, svc *service.Service) {
 		b.Helper()
+		b.ReportAllocs()
 		b.ResetTimer()
 		var idx atomic.Int64
 		var wg sync.WaitGroup
@@ -443,6 +445,7 @@ func BenchmarkClusterThroughput(b *testing.B) {
 	// set) once the stream is halfway done.
 	stream := func(b *testing.B, c *cluster.Cluster, victim string) {
 		b.Helper()
+		b.ReportAllocs()
 		b.ResetTimer()
 		var idx atomic.Int64
 		var killOnce sync.Once

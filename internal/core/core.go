@@ -86,6 +86,12 @@ type Options struct {
 	Seed int64
 	// GPU configures the device model for the *-gpu algorithms.
 	GPU *gpusim.Config
+	// Arena, when non-nil, supplies the plan nodes of the result for the
+	// exact algorithms (heuristics allocate normally). The returned
+	// Result.Plan aliases the arena: callers must copy the tree before
+	// calling Arena.Reset for the next query. Long-lived workers use this
+	// to make steady-state plan materialization allocation-free.
+	Arena *plan.Arena
 	// FallbackLimit is the relation count up to which Auto plans exactly
 	// (0: 25, the paper's raised heuristic-fall-back limit).
 	FallbackLimit int
@@ -114,7 +120,7 @@ func Optimize(q *cost.Query, opts Options) (*Result, error) {
 	if opts.Timeout > 0 {
 		deadline = time.Now().Add(opts.Timeout)
 	}
-	in := dp.Input{Q: q, M: m, Deadline: deadline, Threads: opts.Threads}
+	in := dp.Input{Q: q, M: m, Arena: opts.Arena, Deadline: deadline, Threads: opts.Threads}
 	hOpt := heuristic.Options{
 		Model: m, K: opts.K, Deadline: deadline, Threads: opts.Threads, Seed: opts.Seed,
 	}

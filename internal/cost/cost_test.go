@@ -8,6 +8,7 @@ import (
 	"repro/internal/bitset"
 	"repro/internal/catalog"
 	"repro/internal/graph"
+	"repro/internal/plan"
 )
 
 func testQuery() *Query {
@@ -178,5 +179,61 @@ func TestCout(t *testing.T) {
 func TestEstimatedExecTimePositive(t *testing.T) {
 	if EstimatedExecTimeMS(1000) <= 0 {
 		t.Error("exec time must be positive")
+	}
+}
+
+// entryOf builds the table view of a plan node the way plan.Table stores it,
+// so the node- and entry-based costing paths can be compared head to head.
+func entryOf(n *plan.Node) plan.Entry {
+	return plan.Entry{
+		Set:     n.Set,
+		Rows:    n.Rows,
+		Cost:    n.Cost,
+		LogRows: math.Log2(math.Max(n.Rows, 2)),
+		LogIdx:  math.Log2(n.Rows + 2),
+		Leaf:    n.IsLeaf(),
+		RelID:   int32(n.RelID),
+	}
+}
+
+// TestJoinEvalEntryMatchesNodePath pins the bit-identity of the two costing
+// paths: the DP enumerators cost through table entries while heuristics and
+// fallbacks cost through plan nodes, and a cost-model change applied to one
+// but not the other must fail here.
+func TestJoinEvalEntryMatchesNodePath(t *testing.T) {
+	q := testQuery()
+	rng := rand.New(rand.NewSource(31))
+	for _, m := range []*Model{
+		DefaultModel(),
+		{SeqPageCost: 1, RandomPageCost: 4, CPUTupleCost: 0.01, CPUIndexTupleCost: 0.005, CPUOperatorCost: 0.0025, DisableNestLoop: true},
+		{SeqPageCost: 1, RandomPageCost: 4, CPUTupleCost: 0.01, CPUIndexTupleCost: 0.005, CPUOperatorCost: 0.0025, DisableMerge: true},
+	} {
+		for trial := 0; trial < 2000; trial++ {
+			var l, r *plan.Node
+			if rng.Intn(2) == 0 {
+				l = m.Scan(q, rng.Intn(2))
+			} else {
+				l = &plan.Node{Set: bitset.MaskOf(0, 1), Left: m.Scan(q, 0), Right: m.Scan(q, 1),
+					Rows: rng.Float64() * 1e8, Cost: rng.Float64() * 1e6}
+			}
+			if rng.Intn(2) == 0 {
+				r = m.Scan(q, 2+rng.Intn(2))
+			} else {
+				r = &plan.Node{Set: bitset.MaskOf(2, 3), Left: m.Scan(q, 2), Right: m.Scan(q, 3),
+					Rows: rng.Float64() * 1e8, Cost: rng.Float64() * 1e6}
+			}
+			opN, rowsN, costN := m.JoinEval(q, l, r)
+			opE, rowsE, costE := m.JoinEvalEntry(q, entryOf(l), entryOf(r))
+			if opN != opE || rowsN != rowsE || costN != costE {
+				t.Fatalf("trial %d: node path (%v, %v, %v) != entry path (%v, %v, %v)",
+					trial, opN, rowsN, costN, opE, rowsE, costE)
+			}
+			opN2, costN2 := m.JoinEvalRows(q, l, r, rowsN)
+			opE2, costE2 := m.JoinEvalEntryRows(q, entryOf(l), entryOf(r), rowsN)
+			if opN2 != opE2 || costN2 != costE2 {
+				t.Fatalf("trial %d: rows-variant node path (%v, %v) != entry path (%v, %v)",
+					trial, opN2, costN2, opE2, costE2)
+			}
+		}
 	}
 }

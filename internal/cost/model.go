@@ -50,32 +50,57 @@ func (m *Model) Scan(q *Query, i int) *plan.Node {
 // usable PK index (enables index nested loop). It returns the operator and
 // the total cost including both children.
 func (m *Model) JoinCost(l, r *plan.Node, outRows float64, rightIndexed bool) (plan.Op, float64) {
-	childCost := l.Cost + r.Cost
+	return m.joinCostVals(l.Rows, l.Cost, r.Rows, r.Cost, outRows, rightIndexed && r.IsLeaf())
+}
+
+// joinCostVals is the scalar core of JoinCost over (rows, cost) values
+// instead of plan nodes: it computes the log2 terms the operators need and
+// delegates to the shared arithmetic, so the node-based and Entry-based
+// costing paths cannot drift apart.
+func (m *Model) joinCostVals(lRows, lCost, rRows, rCost, outRows float64, indexNL bool) (plan.Op, float64) {
+	var lLg, rLg, rLgi float64
+	if !m.DisableMerge {
+		lLg = math.Log2(math.Max(lRows, 2))
+		rLg = math.Log2(math.Max(rRows, 2))
+	}
+	if indexNL {
+		rLgi = math.Log2(rRows + 2)
+	}
+	return m.joinCostCore(lRows, lCost, lLg, rRows, rCost, rLg, rLgi, outRows, indexNL)
+}
+
+// joinCostCore is the single operator-costing body shared by the node path
+// (logs computed per call) and the Entry path (logs memoized in the table —
+// the same math.Log2 bits either way). lLg/rLg are log2(max(rows, 2)) and
+// are read only when merge joins are enabled; rLgi is log2(rRows + 2) and
+// is read only when indexNL is set.
+func (m *Model) joinCostCore(lRows, lCost, lLg, rRows, rCost, rLg, rLgi, outRows float64, indexNL bool) (plan.Op, float64) {
+	childCost := lCost + rCost
 
 	// Hash join: build on the smaller input, probe with the larger.
-	build, probe := r, l
-	if build.Rows > probe.Rows {
-		build, probe = probe, build
+	buildRows, probeRows := rRows, lRows
+	if buildRows > probeRows {
+		buildRows, probeRows = probeRows, buildRows
 	}
 	hash := childCost +
-		build.Rows*(m.CPUOperatorCost+m.CPUTupleCost) + // build phase
-		probe.Rows*m.CPUOperatorCost + // probe phase
+		buildRows*(m.CPUOperatorCost+m.CPUTupleCost) + // build phase
+		probeRows*m.CPUOperatorCost + // probe phase
 		outRows*m.CPUTupleCost
 	bestOp, bestCost := plan.OpHashJoin, hash
 
 	if !m.DisableNestLoop {
 		// Materialized nested loop: rescan the (cheaper-to-rescan) inner.
-		rescan := r.Rows * m.CPUOperatorCost
-		nl := childCost + l.Rows*rescan + outRows*m.CPUTupleCost
+		rescan := rRows * m.CPUOperatorCost
+		nl := childCost + lRows*rescan + outRows*m.CPUTupleCost
 		if nl < bestCost {
 			bestOp, bestCost = plan.OpNestLoop, nl
 		}
-		if rightIndexed && r.IsLeaf() {
+		if indexNL {
 			// Index nested loop into the inner PK index.
-			lookups := math.Log2(r.Rows+2) * m.CPUIndexTupleCost * 4
+			lookups := rLgi * m.CPUIndexTupleCost * 4
 			perMatch := m.RandomPageCost / 2
-			matched := outRows / math.Max(l.Rows, 1)
-			inl := l.Cost + l.Rows*(lookups+matched*perMatch) + outRows*m.CPUTupleCost
+			matched := outRows / math.Max(lRows, 1)
+			inl := lCost + lRows*(lookups+matched*perMatch) + outRows*m.CPUTupleCost
 			if inl < bestCost {
 				bestOp, bestCost = plan.OpIndexNestLoop, inl
 			}
@@ -83,12 +108,10 @@ func (m *Model) JoinCost(l, r *plan.Node, outRows float64, rightIndexed bool) (p
 	}
 
 	if !m.DisableMerge {
-		sortCost := func(n *plan.Node) float64 {
-			rows := math.Max(n.Rows, 2)
-			return rows * math.Log2(rows) * m.CPUOperatorCost * 2
-		}
-		merge := childCost + sortCost(l) + sortCost(r) +
-			(l.Rows+r.Rows)*m.CPUOperatorCost + outRows*m.CPUTupleCost
+		sortL := math.Max(lRows, 2) * lLg * m.CPUOperatorCost * 2
+		sortR := math.Max(rRows, 2) * rLg * m.CPUOperatorCost * 2
+		merge := childCost + sortL + sortR +
+			(lRows+rRows)*m.CPUOperatorCost + outRows*m.CPUTupleCost
 		if merge < bestCost {
 			bestOp, bestCost = plan.OpMergeJoin, merge
 		}
@@ -121,6 +144,31 @@ func (m *Model) JoinEval(q *Query, l, r *plan.Node) (plan.Op, float64, float64) 
 func (m *Model) JoinEvalRows(q *Query, l, r *plan.Node, outRows float64) (plan.Op, float64) {
 	rightIndexed := r.IsLeaf() && q.Cat.Rels[r.RelID].HasPKIndex
 	return m.JoinCost(l, r, outRows, rightIndexed)
+}
+
+// JoinEvalEntry is the value-typed JoinEval over DP table entries: it costs
+// l ⋈ r from the (set, rows, cost, leaf) views alone, allocation-free and
+// bit-identical to the node-based path. The Table-backed enumerators call
+// it once per candidate pair.
+func (m *Model) JoinEvalEntry(q *Query, l, r plan.Entry) (plan.Op, float64, float64) {
+	outRows := l.Rows * r.Rows * q.SelBetween(l.Set, r.Set)
+	indexNL := r.Leaf && q.Cat.Rels[r.RelID].HasPKIndex
+	op, cost := m.joinCostEntries(l, r, outRows, indexNL)
+	return op, outRows, cost
+}
+
+// JoinEvalEntryRows is JoinEvalEntry with a precomputed output cardinality,
+// for callers costing both orientations of one pair.
+func (m *Model) JoinEvalEntryRows(q *Query, l, r plan.Entry, outRows float64) (plan.Op, float64) {
+	indexNL := r.Leaf && q.Cat.Rels[r.RelID].HasPKIndex
+	return m.joinCostEntries(l, r, outRows, indexNL)
+}
+
+// joinCostEntries is the costing body over table entries: the entries'
+// memoized log2 terms (computed once per stored sub-plan) feed the same
+// shared arithmetic the node path uses, per candidate pair.
+func (m *Model) joinCostEntries(l, r plan.Entry, outRows float64, indexNL bool) (plan.Op, float64) {
+	return m.joinCostCore(l.Rows, l.Cost, l.LogRows, r.Rows, r.Cost, r.LogRows, r.LogIdx, outRows, indexNL)
 }
 
 // MakeJoin materializes a join node from a JoinEval result.

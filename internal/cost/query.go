@@ -38,19 +38,10 @@ func (q *Query) Names() []string {
 // SelBetween returns the product of the selectivities of all join edges with
 // one endpoint in l and the other in r. Valid for queries of <= 64 relations.
 func (q *Query) SelBetween(l, r bitset.Mask) float64 {
-	sel := 1.0
-	// Iterate the smaller side's vertices and their adjacency.
-	if r.Count() < l.Count() {
-		l, r = r, l
-	}
-	l.ForEach(func(v int) {
-		for _, w := range q.G.Neighbors(v) {
-			if r.Has(w) {
-				sel *= q.G.EdgeSel(v, w)
-			}
-		}
-	})
-	return sel
+	// Delegated to the graph's adjacency-indexed selectivity walk: the same
+	// iteration order and arithmetic as the historical per-edge map lookups,
+	// minus the map probes (this runs once per candidate join pair).
+	return q.G.CrossSel(l, r)
 }
 
 // SelBetweenSets is SelBetween for dynamic sets (queries of any size).

@@ -1,29 +1,41 @@
 package dp
 
-import "repro/internal/plan"
+import (
+	"repro/internal/bitset"
+	"repro/internal/plan"
+)
 
-// bestWin tracks the winning join candidate of a per-set evaluation without
-// allocating: the DP inner loops evaluate millions of losing candidates and
-// only the winner is materialized as a plan node.
+// bestWin tracks the winning join candidate of a per-set evaluation by
+// value: the DP inner loops evaluate millions of losing candidates, and the
+// winner is recorded as a (left, right) split in the table — never as an
+// allocated plan node. It embeds plan.Winner so evaluators return it
+// directly.
 type bestWin struct {
-	l, r  *plan.Node
-	op    plan.Op
-	rows  float64
-	cost  float64
-	found bool
+	plan.Winner
 }
 
-// offer records the candidate if it beats the current winner.
-func (b *bestWin) offer(l, r *plan.Node, op plan.Op, rows, cost float64) {
-	if !b.found || cost < b.cost {
-		b.l, b.r, b.op, b.rows, b.cost, b.found = l, r, op, rows, cost, true
+// offer records the candidate split if it beats the current winner.
+func (b *bestWin) offer(l, r bitset.Mask, op plan.Op, rows, cost float64) {
+	if !b.Found || cost < b.Cost {
+		b.Left, b.Right, b.Op, b.Rows, b.Cost, b.Found = l, r, op, rows, cost, true
 	}
 }
 
-// node materializes the winner, or returns nil if no candidate was offered.
-func (b *bestWin) node(in Input) *plan.Node {
-	if !b.found {
-		return nil
+// hopeless reports whether the candidate orientation (l, r) provably cannot
+// beat the current winner, before any selectivity or operator costing: every
+// join operator's total cost is bounded below by l.Cost + r.Cost — except
+// the index nested loop, which omits the right child's cost but exists only
+// for leaf right sides, so the bound degrades to l.Cost alone there. All
+// remaining cost terms are non-negative (cardinalities and cost constants
+// are non-negative), and ties never replace the incumbent, so pruning at
+// bound >= best leaves the winning plan bit-identical.
+func (b *bestWin) hopeless(l, r plan.Entry) bool {
+	if !b.Found {
+		return false
 	}
-	return in.M.MakeJoin(b.l, b.r, b.op, b.rows, b.cost)
+	bound := l.Cost
+	if !r.Leaf {
+		bound += r.Cost
+	}
+	return bound >= b.Cost
 }

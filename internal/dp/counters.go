@@ -2,6 +2,7 @@ package dp
 
 import (
 	"repro/internal/bitset"
+	"repro/internal/graph"
 )
 
 // CounterReport captures, for one query, the EvaluatedCounter each
@@ -39,6 +40,7 @@ func Counters(in Input) (CounterReport, error) {
 
 	cnt := make([]uint64, n+1)
 	expired := false
+	var bsc graph.BlockScratch
 	enumerateCsg(g, func(s bitset.Mask) {
 		if expired || dl.Expired() {
 			expired = true
@@ -54,7 +56,7 @@ func Counters(in Input) (CounterReport, error) {
 			// costed in both orientations.
 			rep.MPDPEvaluated += uint64(2 * (c - 1))
 		} else {
-			for _, b := range g.FindBlocks(s) {
+			for _, b := range g.FindBlocksInto(s, &bsc) {
 				rep.MPDPEvaluated += (uint64(1) << uint(b.Count())) - 2
 			}
 		}

@@ -118,13 +118,17 @@ func TestRunPartialFindsOptimalKSubplans(t *testing.T) {
 		_ = fullBuckets
 		for size := 2; size <= k; size++ {
 			for _, s := range buckets[size] {
-				got := memo.Get(s)
-				want := fullMemo.Get(s)
-				if (got == nil) != (want == nil) {
+				got, gotOK := memo.Cost(s)
+				want, wantOK := fullMemo.Cost(s)
+				if gotOK != wantOK {
 					t.Fatalf("size %d set %v: presence mismatch", size, s)
 				}
-				if got != nil && got.Cost != want.Cost {
-					t.Errorf("size %d set %v: cost %v, want %v", size, s, got.Cost, want.Cost)
+				if gotOK && got != want {
+					t.Errorf("size %d set %v: cost %v, want %v", size, s, got, want)
+				}
+				// Materialization must agree with the memoized cost.
+				if p := memo.Build(s); gotOK && (p == nil || p.Cost != got) {
+					t.Errorf("size %d set %v: Build cost mismatch", size, s)
 				}
 			}
 		}

@@ -7,6 +7,11 @@
 // (§2.1): EvaluatedCounter (join pairs examined) and CCPCounter (valid
 // csg-cmp pairs, counting both orientations), and all of them return the
 // same optimal bushy no-cross-product plan, which the test suite enforces.
+//
+// The DP hot path is allocation-free in steady state: the memo is the
+// struct-of-arrays plan.Table (open addressing on Murmur3, the paper's §5
+// memo layout), candidate joins are costed through value-typed entries, and
+// plan trees are materialized only once per run, at Finish, from an arena.
 package dp
 
 import (
@@ -62,6 +67,12 @@ type Input struct {
 	// singleton.
 	Leaves []*plan.Node
 
+	// Arena, when non-nil, supplies the nodes of the returned plan tree.
+	// Long-lived callers reuse one arena across queries (Reset between
+	// runs) so steady-state plan materialization never hits the allocator.
+	// When nil, each run materializes from a private arena.
+	Arena *plan.Arena
+
 	// Deadline, when non-zero, bounds the optimization time; algorithms
 	// return ErrTimeout once it passes.
 	Deadline time.Time
@@ -73,6 +84,10 @@ type Input struct {
 
 // Func is the common signature of every exact optimizer.
 type Func func(in Input) (*plan.Node, Stats, error)
+
+// Winner is the value-typed result of one per-set evaluation (the best
+// split of the set plus its costing); see plan.Winner.
+type Winner = plan.Winner
 
 // Deadline is a cheap cooperative timeout checker: Expired polls the clock
 // only every few thousand iterations.
@@ -100,30 +115,48 @@ func (d *Deadline) Expired() bool {
 	return time.Now().After(d.at)
 }
 
-// SetEvaluator computes the best plan for one connected set S given a memo
-// holding the best plans for all smaller connected sets. The parallel and
-// GPU-model drivers share these with the sequential algorithms so that
+// Scratch holds the per-worker reusable buffers of the set evaluators so
+// the DP inner loops stay allocation-free. The zero value is ready to use;
+// each concurrent worker needs its own.
+type Scratch struct {
+	// Blocks is the DFS scratch of the per-set block decomposition.
+	Blocks graph.BlockScratch
+}
+
+// SetEvaluator computes the best join of one connected set S given the DP
+// table holding the best plans of all smaller connected sets. It returns
+// the winning split by value; no plan node is materialized. The parallel
+// and GPU-model drivers share these with the sequential algorithms so that
 // plans and counters agree exactly across variants.
-type SetEvaluator func(in Input, memo *plan.Memo, s bitset.Mask, dl *Deadline) (*plan.Node, Stats, error)
+type SetEvaluator func(in Input, tab *plan.Table, s bitset.Mask, dl *Deadline, sc *Scratch) (Winner, Stats, error)
 
 // Prepared holds the common setup of an optimization run.
 type Prepared struct {
 	Leaves []*plan.Node
-	Memo   *plan.Memo
 }
 
-// Prepare validates the input, materializes the per-relation base plans and
-// seeds the memo with them.
+// Prepare validates the input and materializes the per-relation base plans.
+// The DP table itself is created by Seed once the driver knows (or has
+// bounded) the number of connected sets the run will store.
 func Prepare(in Input) (*Prepared, error) {
 	leaves, err := in.leaves()
 	if err != nil {
 		return nil, err
 	}
-	memo := plan.NewMemo(in.Q.N())
-	for i, leaf := range leaves {
-		memo.Put(bitset.Single(i), leaf)
+	return &Prepared{Leaves: leaves}, nil
+}
+
+// Seed creates the struct-of-arrays DP table pre-sized for hint connected
+// sets (including the base relations) and seeds the base entries.
+func (p *Prepared) Seed(hint int) *plan.Table {
+	if hint < len(p.Leaves) {
+		hint = len(p.Leaves)
 	}
-	return &Prepared{Leaves: leaves, Memo: memo}, nil
+	tab := plan.NewTable(hint)
+	for i, leaf := range p.Leaves {
+		tab.PutBase(bitset.Single(i), leaf)
+	}
+	return tab
 }
 
 // ConnectedBuckets enumerates every connected subset of the query graph and
@@ -138,15 +171,26 @@ func ConnectedBuckets(in Input) ([][]bitset.Mask, error) {
 	return buckets, nil
 }
 
+// BucketCount sums the sizes of connected-set buckets, the exact pre-size
+// for Seed.
+func BucketCount(buckets [][]bitset.Mask) int {
+	total := 0
+	for _, b := range buckets {
+		total += len(b)
+	}
+	return total
+}
+
 // CCPPairsSeq runs the sequential csg-cmp enumeration, invoking emit once
 // per unordered valid join pair. It returns false when the deadline expired.
 func CCPPairsSeq(g *graph.Graph, dl *Deadline, emit func(s1, s2 bitset.Mask)) bool {
 	return ccpPairs(g, dl, emit)
 }
 
-// Finish extracts the full-query plan from the memo.
-func Finish(in Input, memo *plan.Memo, stats *Stats) (*plan.Node, Stats, error) {
-	best, err := finish(in, memo)
+// Finish materializes the full-query plan from the recorded splits — the
+// single point where a run's winning tree becomes plan nodes.
+func Finish(in Input, tab *plan.Table, leaves []*plan.Node, stats *Stats) (*plan.Node, Stats, error) {
+	best, err := finish(in, tab, leaves)
 	return best, *stats, err
 }
 
@@ -172,10 +216,18 @@ func (in *Input) leaves() ([]*plan.Node, error) {
 	return out, nil
 }
 
-// finish extracts the full-query plan from the memo.
-func finish(in Input, memo *plan.Memo) (*plan.Node, error) {
+// arena returns the caller-provided arena or a private one for this run.
+func (in *Input) arena() *plan.Arena {
+	if in.Arena != nil {
+		return in.Arena
+	}
+	return plan.NewArena()
+}
+
+// finish extracts the full-query plan from the table.
+func finish(in Input, tab *plan.Table, leaves []*plan.Node) (*plan.Node, error) {
 	full := bitset.Full(in.Q.N())
-	best := memo.Get(full)
+	best := tab.Build(full, leaves, in.arena())
 	if best == nil {
 		return nil, ErrDisconnected
 	}

@@ -44,6 +44,7 @@ func BenchmarkMPDPTreeVsGeneralOnTrees(b *testing.B) {
 		q := topoQuery(graph.SnowflakeN(n, 4), rng)
 		m := cost.DefaultModel()
 		b.Run(fmt.Sprintf("Tree/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := MPDPTree(Input{Q: q, M: m}); err != nil {
 					b.Fatal(err)
@@ -51,6 +52,7 @@ func BenchmarkMPDPTreeVsGeneralOnTrees(b *testing.B) {
 			}
 		})
 		b.Run(fmt.Sprintf("General/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := MPDPGeneral(Input{Q: q, M: m}); err != nil {
 					b.Fatal(err)
@@ -65,6 +67,7 @@ func BenchmarkConnectedSetEnumeration(b *testing.B) {
 	for _, n := range []int{16, 20} {
 		q := topoQuery(graph.Star(n), rng)
 		b.Run(fmt.Sprintf("star-%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				buckets := connectedSetsBySize(q.G, NewDeadline(noDeadline()))
 				if buckets == nil {

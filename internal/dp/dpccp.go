@@ -12,17 +12,16 @@ import (
 // which is what limits its parallelizability.
 func DPCCP(in Input) (*plan.Node, Stats, error) {
 	var stats Stats
-	leaves, err := in.leaves()
+	prep, err := Prepare(in)
 	if err != nil {
 		return nil, stats, err
 	}
 	n := in.Q.N()
 	dl := NewDeadline(in.Deadline)
 
-	memo := plan.NewMemo(n)
-	for i, leaf := range leaves {
-		memo.Put(bitset.Single(i), leaf)
-	}
+	// DPCCP discovers connected sets while enumerating, so the table is
+	// sized by the capped heuristic and grows on demand.
+	tab := prep.Seed(plan.TableSizeHint(n))
 	stats.ConnectedSets = uint64(n)
 
 	ok := ccpPairs(in.Q.G, dl, func(s1, s2 bitset.Mask) {
@@ -30,29 +29,38 @@ func DPCCP(in Input) (*plan.Node, Stats, error) {
 		// costed, and both count toward the symmetric CCP counter.
 		stats.Evaluated += 2
 		stats.CCP += 2
-		l, r := memo.Get(s1), memo.Get(s2)
+		l, r := tab.MustView(s1), tab.MustView(s2)
 		union := s1.Union(s2)
-		cur := memo.Get(union)
-		if cur == nil {
+		cur, known := tab.Cost(union)
+		if !known {
 			stats.ConnectedSets++
+		}
+		// Child-cost lower bound: when both orientations provably cost at
+		// least the incumbent (see bestWin.hopeless), skip selectivity and
+		// operator costing outright — the stored plan cannot change.
+		if known {
+			inc := bestWin{Winner: Winner{Found: true, Cost: cur}}
+			if inc.hopeless(l, r) && inc.hopeless(r, l) {
+				return
+			}
 		}
 		rows := l.Rows * r.Rows * in.Q.SelBetween(s1, s2)
 		var bw bestWin
-		op, c := in.M.JoinEvalRows(in.Q, l, r, rows)
-		bw.offer(l, r, op, rows, c)
-		op, c = in.M.JoinEvalRows(in.Q, r, l, rows)
-		bw.offer(r, l, op, rows, c)
-		if cur == nil || bw.cost < cur.Cost {
-			memo.Put(union, bw.node(in))
+		op, c := in.M.JoinEvalEntryRows(in.Q, l, r, rows)
+		bw.offer(s1, s2, op, rows, c)
+		op, c = in.M.JoinEvalEntryRows(in.Q, r, l, rows)
+		bw.offer(s2, s1, op, rows, c)
+		if !known || bw.Cost < cur {
+			tab.Put(union, bw.Winner)
 		}
 	})
 	if !ok {
 		return nil, stats, ErrTimeout
 	}
 
-	best, err := finish(in, memo)
-	return best, stats, err
+	return Finish(in, tab, prep.Leaves, &stats)
 }
+
 
 // CCPCount runs only the csg-cmp enumeration and returns the query's
 // CCP-Counter (symmetric count) without building any plans. The Fig. 2 and

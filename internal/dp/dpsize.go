@@ -12,19 +12,17 @@ import (
 // size classes, most of which overlap or are not connected.
 func DPSize(in Input) (*plan.Node, Stats, error) {
 	var stats Stats
-	leaves, err := in.leaves()
+	prep, err := Prepare(in)
 	if err != nil {
 		return nil, stats, err
 	}
 	n := in.Q.N()
 	dl := NewDeadline(in.Deadline)
 
-	memo := plan.NewMemo(n)
+	tab := prep.Seed(plan.TableSizeHint(n))
 	bySize := make([][]bitset.Mask, n+1)
-	for i, leaf := range leaves {
-		s := bitset.Single(i)
-		memo.Put(s, leaf)
-		bySize[1] = append(bySize[1], s)
+	for i := 0; i < n; i++ {
+		bySize[1] = append(bySize[1], bitset.Single(i))
 		stats.ConnectedSets++
 	}
 
@@ -32,7 +30,7 @@ func DPSize(in Input) (*plan.Node, Stats, error) {
 		for s1 := 1; s1 < size; s1++ {
 			s2 := size - s1
 			for _, a := range bySize[s1] {
-				pa := memo.Get(a)
+				pa := tab.MustView(a)
 				for _, b := range bySize[s2] {
 					if dl.Expired() {
 						return nil, stats, ErrTimeout
@@ -46,21 +44,20 @@ func DPSize(in Input) (*plan.Node, Stats, error) {
 					}
 					stats.CCP++
 					union := a.Union(b)
-					pb := memo.Get(b)
-					op, rows, c := in.M.JoinEval(in.Q, pa, pb)
-					cur := memo.Get(union)
-					if cur == nil {
+					pb := tab.MustView(b)
+					op, rows, c := in.M.JoinEvalEntry(in.Q, pa, pb)
+					cur, known := tab.Cost(union)
+					if !known {
 						bySize[size] = append(bySize[size], union)
 						stats.ConnectedSets++
 					}
-					if cur == nil || c < cur.Cost {
-						memo.Put(union, in.M.MakeJoin(pa, pb, op, rows, c))
+					if !known || c < cur {
+						tab.Put(union, Winner{Left: a, Right: b, Op: op, Rows: rows, Cost: c, Found: true})
 					}
 				}
 			}
 		}
 	}
 
-	best, err := finish(in, memo)
-	return best, stats, err
+	return Finish(in, tab, prep.Leaves, &stats)
 }

@@ -16,8 +16,11 @@ func DPSub(in Input) (*plan.Node, Stats, error) {
 }
 
 // EvaluateSetDPSub performs the per-set body of Algorithm 1 (lines 8-23):
-// exhaustive subset enumeration with the four-condition CCP block.
-func EvaluateSetDPSub(in Input, memo *plan.Memo, s bitset.Mask, dl *Deadline) (*plan.Node, Stats, error) {
+// exhaustive subset enumeration with the four-condition CCP block. Both
+// sides' connectivity checks are table lookups: every connected set of a
+// smaller size is already stored, so presence doubles as the connectivity
+// test and fetches the entry the costing needs in the same probe.
+func EvaluateSetDPSub(in Input, tab *plan.Table, s bitset.Mask, dl *Deadline, _ *Scratch) (Winner, Stats, error) {
 	var stats Stats
 	g := in.Q.G
 	// Line 8 of Algorithm 1 walks every S_left ⊆ S; the empty and full
@@ -26,7 +29,7 @@ func EvaluateSetDPSub(in Input, memo *plan.Memo, s bitset.Mask, dl *Deadline) (*
 	var bw bestWin
 	for lb := s.LowestBit(); !lb.Empty(); lb = lb.NextSubset(s) {
 		if dl != nil && dl.Expired() {
-			return nil, stats, ErrTimeout
+			return bw.Winner, stats, ErrTimeout
 		}
 		rb := s.Diff(lb)
 		// CCP block (lines 12-16): non-empty, connected sides, disjoint
@@ -34,19 +37,23 @@ func EvaluateSetDPSub(in Input, memo *plan.Memo, s bitset.Mask, dl *Deadline) (*
 		if rb.Empty() {
 			continue
 		}
-		if !g.Connected(lb) {
+		l, ok := tab.View(lb)
+		if !ok {
 			continue
 		}
-		if !g.Connected(rb) {
+		r, ok := tab.View(rb)
+		if !ok {
 			continue
 		}
 		if !g.ConnectedTo(lb, rb) {
 			continue
 		}
 		stats.CCP++
-		l, r := memo.Get(lb), memo.Get(rb)
-		op, rows, c := in.M.JoinEval(in.Q, l, r)
-		bw.offer(l, r, op, rows, c)
+		if bw.hopeless(l, r) {
+			continue
+		}
+		op, rows, c := in.M.JoinEvalEntry(in.Q, l, r)
+		bw.offer(lb, rb, op, rows, c)
 	}
-	return bw.node(in), stats, nil
+	return bw.Winner, stats, nil
 }

@@ -2,7 +2,6 @@ package dp
 
 import (
 	"repro/internal/bitset"
-	"repro/internal/cost"
 	"repro/internal/graph"
 )
 
@@ -83,10 +82,12 @@ func enumerateCmp(g *graph.Graph, s1 bitset.Mask, emit func(s2 bitset.Mask)) {
 	if nb.Empty() {
 		return
 	}
-	// Descending vertex order over the neighbourhood.
-	verts := nb.Elements()
-	for i := len(verts) - 1; i >= 0; i-- {
-		v := verts[i]
+	// Descending vertex order over the neighbourhood, iterated in place —
+	// this runs once per csg of every query, so it must not allocate (the
+	// old Elements() slice was the hot path's last per-pair allocation).
+	for rest := nb; !rest.Empty(); {
+		v := rest.Highest()
+		rest = rest.Remove(v)
 		s2 := bitset.Single(v)
 		emit(s2)
 		// B_v ∩ nb: smaller-or-equal neighbourhood vertices are excluded
@@ -116,27 +117,4 @@ func ccpPairs(g *graph.Graph, dl *Deadline, emit func(s1, s2 bitset.Mask)) bool 
 		}
 	}
 	return !expired
-}
-
-// subsetRowsCached evaluates output cardinalities for joined sets with
-// memoization, keeping cardinality estimation O(1) per reuse. All exact
-// algorithms share this so their cost computations are bit-identical.
-type cardCache struct {
-	q *cost.Query
-	m map[bitset.Mask]float64
-}
-
-func newCardCache(q *cost.Query) *cardCache {
-	return &cardCache{q: q, m: make(map[bitset.Mask]float64, 1024)}
-}
-
-// joinRows returns |l ⋈ r| given the two sides' cardinalities.
-func (c *cardCache) joinRows(l, r bitset.Mask, lRows, rRows float64) float64 {
-	s := l.Union(r)
-	if v, ok := c.m[s]; ok {
-		return v
-	}
-	v := lRows * rRows * c.q.SelBetween(l, r)
-	c.m[s] = v
-	return v
 }

@@ -39,7 +39,9 @@ func MPDPGeneral(in Input) (*plan.Node, Stats, error) {
 
 // runLevels is the sequential level-by-level driver shared by the DPSub and
 // MPDP family: enumerate connected sets bucketed by size, then evaluate each
-// set of each level with the supplied evaluator.
+// set of each level with the supplied evaluator. The table is pre-sized from
+// the census so it never rehashes, and the single evaluator scratch is
+// reused across every set of the run.
 func runLevels(in Input, evaluate SetEvaluator) (*plan.Node, Stats, error) {
 	var stats Stats
 	prep, err := Prepare(in)
@@ -52,34 +54,35 @@ func runLevels(in Input, evaluate SetEvaluator) (*plan.Node, Stats, error) {
 	if buckets == nil {
 		return nil, stats, ErrTimeout
 	}
-	memo := prep.Memo
+	tab := prep.Seed(BucketCount(buckets))
 	stats.ConnectedSets = uint64(n)
 
+	var sc Scratch
 	for size := 2; size <= n; size++ {
 		for _, s := range buckets[size] {
 			stats.ConnectedSets++
-			best, st, err := evaluate(in, memo, s, dl)
+			win, st, err := evaluate(in, tab, s, dl, &sc)
 			stats.Add(st)
 			if err != nil {
 				return nil, stats, err
 			}
-			if best != nil {
-				memo.Put(s, best)
+			if win.Found {
+				tab.Put(s, win)
 			}
 		}
 	}
-	return Finish(in, memo, &stats)
+	return Finish(in, tab, prep.Leaves, &stats)
 }
 
 // EvaluateSetMPDP performs the per-set body of Algorithm 3 (lines 4-23):
 // block discovery, block-level CCP enumeration, grow-based expansion and
 // join costing. It is shared by the sequential, CPU-parallel and GPU-model
 // variants so their plans and counters agree exactly.
-func EvaluateSetMPDP(in Input, memo *plan.Memo, s bitset.Mask, dl *Deadline) (*plan.Node, Stats, error) {
+func EvaluateSetMPDP(in Input, tab *plan.Table, s bitset.Mask, dl *Deadline, sc *Scratch) (Winner, Stats, error) {
 	var stats Stats
 	g := in.Q.G
 	var bw bestWin
-	for _, block := range g.FindBlocks(s) {
+	for _, block := range g.FindBlocksInto(s, &sc.Blocks) {
 		// Proper, non-empty subsets lb ⊂ block (line 6).
 		for lb := block.LowestBit(); !lb.Empty(); lb = lb.NextSubset(block) {
 			rb := block.Diff(lb)
@@ -87,35 +90,49 @@ func EvaluateSetMPDP(in Input, memo *plan.Memo, s bitset.Mask, dl *Deadline) (*p
 				continue // lb == block is not a proper subset
 			}
 			if dl != nil && dl.Expired() {
-				return nil, stats, ErrTimeout
+				return bw.Winner, stats, ErrTimeout
 			}
 			stats.Evaluated++
 			// CCP block at block level (lines 10-14); disjointness holds
-			// by construction.
-			if !g.Connected(lb) {
+			// by construction. Connectivity of the block sides is a table
+			// probe that also fetches the costing view: connected sets of
+			// smaller sizes are all stored.
+			l, ok := tab.View(lb)
+			if !ok {
 				continue
 			}
-			if !g.Connected(rb) {
+			r, ok := tab.View(rb)
+			if !ok {
 				continue
 			}
 			if !g.ConnectedTo(lb, rb) {
 				continue
 			}
 			stats.CCP++
-			// Expand the block pair to the set-level pair (lines 17-18).
+			// Expand the block pair to the set-level pair (lines 17-18);
+			// when the set is a single block the block pair already is the
+			// set-level pair and the fetched views are reused as-is.
 			left := g.Grow(lb, s.Diff(rb))
 			right := s.Diff(left)
-			l, r := memo.Get(left), memo.Get(right)
-			op, rows, c := in.M.JoinEval(in.Q, l, r)
-			bw.offer(l, r, op, rows, c)
+			if left != lb {
+				l = tab.MustView(left)
+			}
+			if right != rb {
+				r = tab.MustView(right)
+			}
+			if bw.hopeless(l, r) {
+				continue
+			}
+			op, rows, c := in.M.JoinEvalEntry(in.Q, l, r)
+			bw.offer(left, right, op, rows, c)
 		}
 	}
-	return bw.node(in), stats, nil
+	return bw.Winner, stats, nil
 }
 
 // EvaluateSetMPDPTree performs the per-set body of Algorithm 2: one join
 // pair per edge of the tree induced by S, costed in both orientations.
-func EvaluateSetMPDPTree(in Input, memo *plan.Memo, s bitset.Mask, dl *Deadline) (*plan.Node, Stats, error) {
+func EvaluateSetMPDPTree(in Input, tab *plan.Table, s bitset.Mask, dl *Deadline, _ *Scratch) (Winner, Stats, error) {
 	var stats Stats
 	g := in.Q.G
 	var bw bestWin
@@ -124,18 +141,26 @@ func EvaluateSetMPDPTree(in Input, memo *plan.Memo, s bitset.Mask, dl *Deadline)
 			continue
 		}
 		if dl != nil && dl.Expired() {
-			return nil, stats, ErrTimeout
+			return bw.Winner, stats, ErrTimeout
 		}
 		left := g.Grow(bitset.Single(e.A), s.Remove(e.B))
 		right := s.Diff(left)
 		stats.Evaluated += 2
 		stats.CCP += 2
-		l, r := memo.Get(left), memo.Get(right)
+		l, r := tab.MustView(left), tab.MustView(right)
+		h1, h2 := bw.hopeless(l, r), bw.hopeless(r, l)
+		if h1 && h2 {
+			continue
+		}
 		rows := l.Rows * r.Rows * in.Q.SelBetween(left, right)
-		op, c := in.M.JoinEvalRows(in.Q, l, r, rows)
-		bw.offer(l, r, op, rows, c)
-		op, c = in.M.JoinEvalRows(in.Q, r, l, rows)
-		bw.offer(r, l, op, rows, c)
+		if !h1 {
+			op, c := in.M.JoinEvalEntryRows(in.Q, l, r, rows)
+			bw.offer(left, right, op, rows, c)
+		}
+		if !h2 {
+			op, c := in.M.JoinEvalEntryRows(in.Q, r, l, rows)
+			bw.offer(right, left, op, rows, c)
+		}
 	}
-	return bw.node(in), stats, nil
+	return bw.Winner, stats, nil
 }

@@ -5,11 +5,30 @@ import (
 	"repro/internal/plan"
 )
 
+// Partial is the outcome of a bounded MPDP run: the DP table over connected
+// sets of at most maxSize relations plus everything needed to materialize
+// any memoized sub-plan on demand. IDP1 scans costs by value and builds a
+// tree only for the one set it materializes per round.
+type Partial struct {
+	in     Input
+	tab    *plan.Table
+	leaves []*plan.Node
+}
+
+// Cost returns the memoized cost of set s, or ok = false when s was not
+// reached (disconnected or beyond the size bound).
+func (p *Partial) Cost(s bitset.Mask) (float64, bool) { return p.tab.Cost(s) }
+
+// Build materializes the memoized plan of set s, or nil.
+func (p *Partial) Build(s bitset.Mask) *plan.Node {
+	return p.tab.Build(s, p.leaves, p.in.arena())
+}
+
 // RunPartial runs the MPDP dynamic program only up to sets of maxSize
-// relations and returns the memo together with the connected-set buckets.
-// IDP1 uses it to find the best plan of exactly k relations at each
-// materialization step without paying for the full lattice.
-func RunPartial(in Input, maxSize int) (*plan.Memo, [][]bitset.Mask, Stats, error) {
+// relations and returns the partial memo together with the connected-set
+// buckets. IDP1 uses it to find the best plan of exactly k relations at
+// each materialization step without paying for the full lattice.
+func RunPartial(in Input, maxSize int) (*Partial, [][]bitset.Mask, Stats, error) {
 	var stats Stats
 	prep, err := Prepare(in)
 	if err != nil {
@@ -24,22 +43,23 @@ func RunPartial(in Input, maxSize int) (*plan.Memo, [][]bitset.Mask, Stats, erro
 	if err != nil {
 		return nil, nil, stats, err
 	}
-	memo := prep.Memo
+	tab := prep.Seed(BucketCount(buckets))
 	stats.ConnectedSets = uint64(n)
+	var sc Scratch
 	for size := 2; size <= maxSize; size++ {
 		for _, s := range buckets[size] {
 			stats.ConnectedSets++
-			best, st, err := EvaluateSetMPDP(in, memo, s, dl)
+			win, st, err := EvaluateSetMPDP(in, tab, s, dl, &sc)
 			stats.Add(st)
 			if err != nil {
 				return nil, nil, stats, err
 			}
-			if best != nil {
-				memo.Put(s, best)
+			if win.Found {
+				tab.Put(s, win)
 			}
 		}
 	}
-	return memo, buckets, stats, nil
+	return &Partial{in: in, tab: tab, leaves: prep.Leaves}, buckets, stats, nil
 }
 
 // boundedConnectedSets enumerates connected sets of at most maxSize

@@ -67,9 +67,12 @@ func run(in dp.Input, cfg Config, algo Algo) (*plan.Node, dp.Stats, Stats, error
 	if err != nil {
 		return nil, astats, gstats, err
 	}
-	memo := prep.Memo
+	// The simulator shares the CPU enumerators' SoA table, which is itself
+	// the §5 GPU memo layout (open addressing on Murmur3).
+	tab := prep.Seed(dp.BucketCount(buckets))
 	astats.ConnectedSets = uint64(n)
 	dl := dp.NewDeadline(in.Deadline)
+	var sc dp.Scratch
 
 	// Tree join graphs use the Algorithm 2 evaluator (same plans, same
 	// counters, no block machinery — exactly like the CPU dispatch).
@@ -119,7 +122,7 @@ func run(in dp.Input, cfg Config, algo Algo) (*plan.Node, dp.Stats, Stats, error
 		var levelValid uint64
 		for _, s := range sets {
 			astats.ConnectedSets++
-			best, st, err := evaluate(in, memo, s, dl)
+			win, st, err := evaluate(in, tab, s, dl, &sc)
 			if err != nil {
 				return nil, astats, gstats, err
 			}
@@ -131,8 +134,8 @@ func run(in dp.Input, cfg Config, algo Algo) (*plan.Node, dp.Stats, Stats, error
 			case AlgoDPSub:
 				levelCandidates += uint64(1) << uint(size)
 			}
-			if best != nil {
-				memo.Put(s, best)
+			if win.Found {
+				tab.Put(s, win)
 				if cfg.FusedPrune {
 					// In-warp shared-memory prune: one write per set.
 					gstats.GlobalWrites++
@@ -168,6 +171,6 @@ func run(in dp.Input, cfg Config, algo Algo) (*plan.Node, dp.Stats, Stats, error
 	}
 
 	gstats.finalize(dev)
-	best, astats, err := dp.Finish(in, memo, &astats)
+	best, astats, err := dp.Finish(in, tab, prep.Leaves, &astats)
 	return best, astats, gstats, err
 }

@@ -2,51 +2,54 @@ package graph
 
 import "repro/internal/bitset"
 
+// BlockScratch holds the growable DFS state of FindBlocksInto so the MPDP
+// inner loop (one block decomposition per connected set) reuses the same
+// buffers run after run instead of allocating them per call. The zero value
+// is ready to use; each worker needs its own.
+type BlockScratch struct {
+	blocks    []bitset.Mask
+	edgeStack [][2]int
+	stack     []blockFrame
+}
+
+type blockFrame struct {
+	v, parent int
+	nbrs      []int
+	next      int
+}
+
 // FindBlocks returns the biconnected components (blocks, §2.4) of the
 // subgraph induced by s, each as a Mask of the vertices it spans. A bridge
 // edge forms a 2-vertex block; isolated vertices of the induced subgraph
 // form no block. s must induce a graph of at most 64 vertices.
+func (g *Graph) FindBlocks(s bitset.Mask) []bitset.Mask {
+	var sc BlockScratch
+	return g.FindBlocksInto(s, &sc)
+}
+
+// FindBlocksInto is FindBlocks with caller-supplied scratch buffers; the
+// returned slice aliases sc and is valid only until the next call with the
+// same scratch.
 //
 // The implementation is the iterative Hopcroft–Tarjan DFS [12]: vertices are
 // assigned discovery numbers and low-links; when a child subtree cannot reach
 // above its parent, the edges accumulated since the child was entered form a
 // block. MPDP (Alg. 3, line 4) calls this once per connected set S.
-func (g *Graph) FindBlocks(s bitset.Mask) []bitset.Mask {
+func (g *Graph) FindBlocksInto(s bitset.Mask, sc *BlockScratch) []bitset.Mask {
 	if s.Count() < 2 {
 		return nil
 	}
 
-	// Fixed-size scratch: Mask graphs have at most 64 vertices, so DFS
-	// state lives on the stack (this is the hottest loop of MPDP — one
+	// Fixed-size DFS numbering: Mask graphs have at most 64 vertices, so
+	// disc/low live on the stack (this is the hottest loop of MPDP — one
 	// call per connected set).
 	var disc, low [64]int32
 	for i := range disc {
 		disc[i] = -1
 	}
 	time := int32(0)
-	var blocks []bitset.Mask
-	var edgeStack [][2]int
-
-	type frame struct {
-		v, parent int
-		nbrs      []int
-		next      int
-	}
-
-	popBlock := func(u, v int) {
-		var block bitset.Mask
-		for len(edgeStack) > 0 {
-			e := edgeStack[len(edgeStack)-1]
-			edgeStack = edgeStack[:len(edgeStack)-1]
-			block = block.Add(e[0]).Add(e[1])
-			if e[0] == u && e[1] == v {
-				break
-			}
-		}
-		if !block.Empty() {
-			blocks = append(blocks, block)
-		}
-	}
+	blocks := sc.blocks[:0]
+	edgeStack := sc.edgeStack[:0]
 
 	for root := s; !root.Empty(); {
 		r := root.Lowest()
@@ -54,7 +57,7 @@ func (g *Graph) FindBlocks(s bitset.Mask) []bitset.Mask {
 			root = root.Remove(r)
 			continue
 		}
-		stack := []frame{{v: r, parent: -1, nbrs: g.adjList[r]}}
+		stack := append(sc.stack[:0], blockFrame{v: r, parent: -1, nbrs: g.adjList[r]})
 		disc[r] = time
 		low[r] = time
 		time++
@@ -82,7 +85,7 @@ func (g *Graph) FindBlocks(s bitset.Mask) []bitset.Mask {
 				disc[w] = time
 				low[w] = time
 				time++
-				stack = append(stack, frame{v: w, parent: f.v, nbrs: g.adjList[w]})
+				stack = append(stack, blockFrame{v: w, parent: f.v, nbrs: g.adjList[w]})
 				advanced = true
 				break
 			}
@@ -90,19 +93,36 @@ func (g *Graph) FindBlocks(s bitset.Mask) []bitset.Mask {
 				continue
 			}
 			// Done with f.v: propagate low-link and detect block roots.
+			v := f.v
 			stack = stack[:len(stack)-1]
 			if len(stack) > 0 {
 				p := &stack[len(stack)-1]
-				if low[f.v] < low[p.v] {
-					low[p.v] = low[f.v]
+				if low[v] < low[p.v] {
+					low[p.v] = low[v]
 				}
-				if low[f.v] >= disc[p.v] {
-					popBlock(p.v, f.v)
+				if low[v] >= disc[p.v] {
+					// Pop the edges accumulated since v was entered:
+					// they form one block.
+					var block bitset.Mask
+					for len(edgeStack) > 0 {
+						e := edgeStack[len(edgeStack)-1]
+						edgeStack = edgeStack[:len(edgeStack)-1]
+						block = block.Add(e[0]).Add(e[1])
+						if e[0] == p.v && e[1] == v {
+							break
+						}
+					}
+					if !block.Empty() {
+						blocks = append(blocks, block)
+					}
 				}
 			}
 		}
+		sc.stack = stack // retain any growth for the next call
 		root = root.Remove(r)
 	}
+	sc.blocks = blocks
+	sc.edgeStack = edgeStack
 	return blocks
 }
 

@@ -11,6 +11,7 @@ package graph
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/bitset"
 )
@@ -28,6 +29,7 @@ type Graph struct {
 	Edges []Edge
 
 	adjList [][]int
+	selList [][]float64   // selList[v][j] is the selectivity of (v, adjList[v][j])
 	adjMask []bitset.Mask // valid only when N <= 64
 	adjSet  []bitset.Set  // adjacency as dynamic sets, built lazily
 	selAt   map[[2]int]float64
@@ -38,6 +40,7 @@ func New(n int) *Graph {
 	return &Graph{
 		N:       n,
 		adjList: make([][]int, n),
+		selList: make([][]float64, n),
 		adjMask: makeAdjMask(n),
 		selAt:   make(map[[2]int]float64),
 	}
@@ -67,12 +70,24 @@ func (g *Graph) AddEdge(a, b int, sel float64) {
 				g.Edges[i].Sel *= sel
 			}
 		}
+		for i, w := range g.adjList[a] {
+			if w == b {
+				g.selList[a][i] *= sel
+			}
+		}
+		for i, w := range g.adjList[b] {
+			if w == a {
+				g.selList[b][i] *= sel
+			}
+		}
 		return
 	}
 	g.selAt[[2]int{a, b}] = sel
 	g.Edges = append(g.Edges, Edge{A: a, B: b, Sel: sel})
 	g.adjList[a] = append(g.adjList[a], b)
 	g.adjList[b] = append(g.adjList[b], a)
+	g.selList[a] = append(g.selList[a], sel)
+	g.selList[b] = append(g.selList[b], sel)
 	if g.adjMask != nil {
 		g.adjMask[a] = g.adjMask[a].Add(b)
 		g.adjMask[b] = g.adjMask[b].Add(a)
@@ -107,11 +122,35 @@ func (g *Graph) Neighbors(v int) []int { return g.adjList[v] }
 func (g *Graph) AdjMask(v int) bitset.Mask { return g.adjMask[v] }
 
 // NeighborhoodOf returns the union of neighbourhoods of the vertices of s,
-// excluding s itself. Valid only for N <= 64.
+// excluding s itself. Valid only for N <= 64. This is on the per-pair DP
+// hot path, so the bit scan is inlined instead of going through ForEach.
 func (g *Graph) NeighborhoodOf(s bitset.Mask) bitset.Mask {
 	var nb bitset.Mask
-	s.ForEach(func(v int) { nb |= g.adjMask[v] })
+	for m := uint64(s); m != 0; m &= m - 1 {
+		nb |= g.adjMask[bits.TrailingZeros64(m)]
+	}
 	return nb.Diff(s)
+}
+
+// CrossSel multiplies the selectivities of every edge crossing from l to r,
+// walking the smaller side's adjacency in list order (the same order and
+// arithmetic as the selAt map lookups it replaces, so estimates stay
+// bit-identical — but without a map probe per edge on the DP hot path).
+func (g *Graph) CrossSel(l, r bitset.Mask) float64 {
+	sel := 1.0
+	if r.Count() < l.Count() {
+		l, r = r, l
+	}
+	for m := uint64(l); m != 0; m &= m - 1 {
+		v := bits.TrailingZeros64(m)
+		sels := g.selList[v]
+		for j, w := range g.adjList[v] {
+			if r.Has(w) {
+				sel *= sels[j]
+			}
+		}
+	}
+	return sel
 }
 
 // ConnectedTo reports whether some edge joins a vertex of l to a vertex of r.
@@ -129,7 +168,9 @@ func (g *Graph) Grow(src, restrict bitset.Mask) bitset.Mask {
 	frontier := src
 	for !frontier.Empty() {
 		var next bitset.Mask
-		frontier.ForEach(func(v int) { next |= g.adjMask[v] })
+		for m := uint64(frontier); m != 0; m &= m - 1 {
+			next |= g.adjMask[bits.TrailingZeros64(m)]
+		}
 		next = next.Intersect(restrict).Diff(reach)
 		reach = reach.Union(next)
 		frontier = next

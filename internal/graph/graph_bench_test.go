@@ -52,6 +52,7 @@ func BenchmarkConnected(b *testing.B) {
 	for i := range masks {
 		masks[i] = bitset.Mask(rng.Uint64()) & bitset.Full(24)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		g.Connected(masks[i%len(masks)])

@@ -56,6 +56,7 @@ func BenchmarkUnionDPPartitionPhase(b *testing.B) {
 	q := benchSnowflake(500)
 	m := cost.DefaultModel()
 	groups, sets := baseScans(q, m)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		parts := partitionUnits(q, Options{Model: m}, groups, sets, 15)
@@ -72,6 +73,7 @@ func BenchmarkIKKBZLinearize(b *testing.B) {
 		b.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		order := ikkbzLinearize(q, tree, rng.Intn(q.N()))

@@ -32,17 +32,18 @@ func IDP1(q *cost.Query, opt Options) (*plan.Node, error) {
 		}
 		// Partial DP up to k units over the contracted query.
 		in := dp.Input{Q: c.local, M: m, Leaves: c.leafWrappers(), Deadline: opt.Deadline}
-		memo, buckets, _, err := dp.RunPartial(in, k)
+		part, buckets, _, err := dp.RunPartial(in, k)
 		if err != nil {
 			return nil, err
 		}
-		// Pick the cheapest plan among the largest reachable size.
+		// Pick the cheapest plan among the largest reachable size. Costs
+		// are scanned by value; only the winning set is materialized.
 		pick := bitset.Mask(0)
 		bestCost := math.Inf(1)
 		for size := k; size >= 2 && pick == 0; size-- {
 			for _, s := range buckets[size] {
-				if p := memo.Get(s); p != nil && p.Cost < bestCost {
-					bestCost = p.Cost
+				if cost, ok := part.Cost(s); ok && cost < bestCost {
+					bestCost = cost
 					pick = s
 				}
 			}
@@ -50,7 +51,7 @@ func IDP1(q *cost.Query, opt Options) (*plan.Node, error) {
 		if pick == 0 {
 			return nil, ErrDisconnected
 		}
-		chosen := c.splice(memo.Get(pick))
+		chosen := c.splice(part.Build(pick))
 		// Merge the chosen units into one composite.
 		mergedSet := bitset.NewSet(q.N())
 		var newGroups []*plan.Node

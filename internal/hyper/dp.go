@@ -59,8 +59,11 @@ func Optimize(in Input) (*plan.Node, Stats, error) {
 		return 0
 	}
 
-	memo := make(map[bitset.Mask]*plan.Node, 1<<uint(min(n, 20)))
-	rows := make(map[bitset.Mask]float64, 1<<uint(min(n, 20)))
+	// Pre-size with a capped heuristic: only dense hypergraphs approach 2^n
+	// connected sets, so the maps grow on demand past a few thousand buckets
+	// (mirrors plan.NewMemo).
+	memo := make(map[bitset.Mask]*plan.Node, plan.TableSizeHint(n))
+	rows := make(map[bitset.Mask]float64, plan.TableSizeHint(n))
 	for i := 0; i < n; i++ {
 		s := bitset.Single(i)
 		memo[s] = &plan.Node{Set: s, RelID: i, Rows: in.Rows[i], Cost: leafCost(i)}
@@ -122,11 +125,4 @@ func crossesEdge(h *Hypergraph, a, b bitset.Mask) bool {
 		}
 	}
 	return false
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

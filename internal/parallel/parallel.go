@@ -7,6 +7,7 @@
 package parallel
 
 import (
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -26,14 +27,8 @@ func threads(in dp.Input) int {
 	return t
 }
 
-// result is one candidate best plan for a set, produced by a worker.
-type result struct {
-	set  bitset.Mask
-	node *plan.Node
-}
-
 // MPDP is the CPU-parallel MPDP: within each DP level, the connected sets of
-// that size are partitioned across workers, each evaluating its sets
+// that size are work-stolen by the workers, each evaluating its sets
 // independently (block discovery, block-level CCP enumeration, grow, and
 // costing all run inside the worker — the whole inner loop is parallel).
 // The per-level barrier mirrors the GPU kernel-per-level structure of §5.
@@ -45,8 +40,94 @@ func MPDP(in dp.Input) (*plan.Node, dp.Stats, error) {
 	return levelParallel(in, dp.EvaluateSetMPDP)
 }
 
+// winnerSlots is the lock-free merge target of one DP level, replacing the
+// old per-worker result slices funneled through a sequential merge. Each
+// level set has one slot: a packed (cost, candidate index) word updated by
+// atomic compare-and-swap, mirroring the atomic-min scatter of the paper's
+// §5 GPU kernels. Winner payloads live in a shared array indexed by a
+// ticket counter, so any number of producers may race on one slot and the
+// slot deterministically converges to the (lowest-cost, lowest-ticket)
+// candidate; under the set-exclusive work stealing of levelParallel each
+// slot sees exactly one producer and every CAS succeeds first try.
+type winnerSlots struct {
+	packed []atomic.Uint64
+	cands  []dp.Winner
+	next   atomic.Int64 // ticket allocator for cands
+}
+
+const (
+	// Packed word layout: cost (top slotCostBits, monotone float encoding,
+	// mantissa-truncated) | candidate ticket (low slotIdxBits). Truncation
+	// can only influence the winner when two racing candidates agree on
+	// the top 26 mantissa bits (relative gap < 2^-26), in which case the
+	// lower ticket wins — deterministic either way.
+	slotIdxBits  = 26 // covers dp's connected-set cap (64 Mi sets)
+	slotIdxMask  = 1<<slotIdxBits - 1
+	slotCostMask = ^uint64(slotIdxMask)
+	slotEmpty    = ^uint64(0)
+)
+
+// packCost maps a non-negative cost to monotone bits, truncated to the
+// packed word's cost field. Plan costs are finite and non-negative, where
+// IEEE-754 bit patterns order like the floats themselves.
+func packCost(cost float64) uint64 {
+	return math.Float64bits(cost) & slotCostMask
+}
+
+func newWinnerSlots(capacity int) *winnerSlots {
+	// The enumeration layer caps a run at 64 Mi connected sets
+	// (dp's maxConnectedSets), so a level can never outgrow the ticket
+	// field; enforce that locally so an overflow is a loud failure instead
+	// of a silently corrupted packed word.
+	if capacity > slotIdxMask+1 {
+		panic("parallel: DP level exceeds the packed winner-slot ticket space")
+	}
+	return &winnerSlots{
+		packed: make([]atomic.Uint64, capacity),
+		cands:  make([]dp.Winner, capacity),
+	}
+}
+
+// reset prepares n slots for the next level.
+func (ws *winnerSlots) reset(n int) {
+	for i := 0; i < n; i++ {
+		ws.packed[i].Store(slotEmpty)
+	}
+	ws.next.Store(0)
+}
+
+// offer merges w into slot i: allocate a ticket, publish the payload, then
+// CAS the packed (cost, ticket) word down to the minimum.
+func (ws *winnerSlots) offer(i int, w dp.Winner) {
+	t := ws.next.Add(1) - 1
+	ws.cands[t] = w
+	word := packCost(w.Cost) | uint64(t)
+	for {
+		cur := ws.packed[i].Load()
+		if cur != slotEmpty && cur <= word {
+			return
+		}
+		if ws.packed[i].CompareAndSwap(cur, word) {
+			return
+		}
+	}
+}
+
+// take returns slot i's winning candidate, if any.
+func (ws *winnerSlots) take(i int) (dp.Winner, bool) {
+	cur := ws.packed[i].Load()
+	if cur == slotEmpty {
+		return dp.Winner{}, false
+	}
+	return ws.cands[cur&slotIdxMask], true
+}
+
 // levelParallel is the shared level-synchronous driver: evaluate is invoked
-// for every connected set of each size, in parallel within the level.
+// for every connected set of each size, in parallel within the level. Sets
+// are work-stolen (per-set cost varies wildly with block structure), each
+// worker reuses its own evaluator scratch for the whole run, and winners
+// merge through the packed-CAS slots — no per-level result buffers, no
+// funnel, no plan nodes until Finish.
 func levelParallel(in dp.Input, evaluate dp.SetEvaluator) (*plan.Node, dp.Stats, error) {
 	var stats dp.Stats
 	prep, err := dp.Prepare(in)
@@ -58,35 +139,50 @@ func levelParallel(in dp.Input, evaluate dp.SetEvaluator) (*plan.Node, dp.Stats,
 	if err != nil {
 		return nil, stats, err
 	}
-	memo := prep.Memo
+	tab := prep.Seed(dp.BucketCount(buckets))
 	stats.ConnectedSets = uint64(in.Q.N())
 
+	maxLevel := 0
+	for _, b := range buckets {
+		if len(b) > maxLevel {
+			maxLevel = len(b)
+		}
+	}
+	slots := newWinnerSlots(maxLevel)
+	scratch := make([]dp.Scratch, nWorkers)
+	errs := make([]error, nWorkers)
+
 	var evalCtr, ccpCtr, setCtr atomic.Uint64
+	fail := func(err error) (*plan.Node, dp.Stats, error) {
+		stats.Evaluated = evalCtr.Load()
+		stats.CCP = ccpCtr.Load()
+		stats.ConnectedSets += setCtr.Load()
+		return nil, stats, err
+	}
 	for size := 2; size <= in.Q.N(); size++ {
 		sets := buckets[size]
 		if len(sets) == 0 {
 			continue
 		}
-		chunk := (len(sets) + nWorkers - 1) / nWorkers
-		results := make([][]result, nWorkers)
-		errs := make([]error, nWorkers)
+		slots.reset(len(sets))
+		workers := nWorkers
+		if workers > len(sets) {
+			workers = len(sets)
+		}
+		var next atomic.Int64
 		var wg sync.WaitGroup
-		for w := 0; w < nWorkers; w++ {
-			lo := w * chunk
-			if lo >= len(sets) {
-				break
-			}
-			hi := lo + chunk
-			if hi > len(sets) {
-				hi = len(sets)
-			}
+		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func(w, lo, hi int) {
+			go func(w int) {
 				defer wg.Done()
 				dl := dp.NewDeadline(in.Deadline)
-				local := make([]result, 0, hi-lo)
-				for _, s := range sets[lo:hi] {
-					best, st, err := evaluate(in, memo, s, dl)
+				sc := &scratch[w]
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(sets) {
+						return
+					}
+					win, st, err := evaluate(in, tab, sets[i], dl, sc)
 					evalCtr.Add(st.Evaluated)
 					ccpCtr.Add(st.CCP)
 					setCtr.Add(1)
@@ -94,32 +190,29 @@ func levelParallel(in dp.Input, evaluate dp.SetEvaluator) (*plan.Node, dp.Stats,
 						errs[w] = err
 						return
 					}
-					if best != nil {
-						local = append(local, result{set: s, node: best})
+					if win.Found {
+						slots.offer(i, win)
 					}
 				}
-				results[w] = local
-			}(w, lo, hi)
+			}(w)
 		}
 		wg.Wait()
-		for _, err := range errs {
-			if err != nil {
-				stats.Evaluated = evalCtr.Load()
-				stats.CCP = ccpCtr.Load()
-				return nil, stats, err
+		for w := 0; w < workers; w++ {
+			if errs[w] != nil {
+				return fail(errs[w])
 			}
 		}
-		// Level barrier: publish this level's best plans into the memo.
-		for _, rs := range results {
-			for _, r := range rs {
-				memo.Put(r.set, r.node)
+		// Level barrier: publish this level's best plans into the table.
+		for i, s := range sets {
+			if win, ok := slots.take(i); ok {
+				tab.Put(s, win)
 			}
 		}
 	}
 	stats.Evaluated = evalCtr.Load()
 	stats.CCP = ccpCtr.Load()
 	stats.ConnectedSets += setCtr.Load()
-	return dp.Finish(in, memo, &stats)
+	return dp.Finish(in, tab, prep.Leaves, &stats)
 }
 
 // DPSubParallel is the CPU-parallel DPSub, provided for completeness (the
@@ -127,6 +220,13 @@ func levelParallel(in dp.Input, evaluate dp.SetEvaluator) (*plan.Node, dp.Stats,
 // variant); it shares the level-parallel driver with a DPSub set evaluator.
 func DPSubParallel(in dp.Input) (*plan.Node, dp.Stats, error) {
 	return levelParallel(in, dp.EvaluateSetDPSub)
+}
+
+// result is one candidate best plan for a set, accumulated by value in the
+// per-worker locals of the baselines PDP and DPE.
+type result struct {
+	set bitset.Mask
+	win dp.Winner
 }
 
 // PDP is parallel DPSize [10]: for each plan size, the (size1, size2) pair
@@ -139,7 +239,7 @@ func PDP(in dp.Input) (*plan.Node, dp.Stats, error) {
 		return nil, stats, err
 	}
 	n := in.Q.N()
-	memo := prep.Memo
+	tab := prep.Seed(plan.TableSizeHint(n))
 	nWorkers := threads(in)
 
 	bySize := make([][]bitset.Mask, n+1)
@@ -150,11 +250,10 @@ func PDP(in dp.Input) (*plan.Node, dp.Stats, error) {
 
 	var evalCtr, ccpCtr atomic.Uint64
 	for size := 2; size <= n; size++ {
-		// Build the work list: all (a, b) candidate pairs for this size.
-		type pairBlock struct{ s1 int }
-		var blocks []pairBlock
+		// Work units: the (s1, size-s1) pair blocks of this size.
+		blocks := make([]int, 0, size-1)
 		for s1 := 1; s1 < size; s1++ {
-			blocks = append(blocks, pairBlock{s1: s1})
+			blocks = append(blocks, s1)
 		}
 		results := make([][]result, nWorkers)
 		errs := make([]error, nWorkers)
@@ -165,16 +264,16 @@ func PDP(in dp.Input) (*plan.Node, dp.Stats, error) {
 			go func(w int) {
 				defer wg.Done()
 				dl := dp.NewDeadline(in.Deadline)
-				local := map[bitset.Mask]*plan.Node{}
+				local := map[bitset.Mask]dp.Winner{}
 				for {
 					bi := int(next.Add(1)) - 1
 					if bi >= len(blocks) {
 						break
 					}
-					s1 := blocks[bi].s1
+					s1 := blocks[bi]
 					s2 := size - s1
 					for _, a := range bySize[s1] {
-						pa := memo.Get(a)
+						pa := tab.MustView(a)
 						for _, b := range bySize[s2] {
 							if dl.Expired() {
 								errs[w] = dp.ErrTimeout
@@ -189,16 +288,17 @@ func PDP(in dp.Input) (*plan.Node, dp.Stats, error) {
 							}
 							ccpCtr.Add(1)
 							union := a.Union(b)
-							join := in.M.Join(in.Q, pa, memo.Get(b))
-							if cur, ok := local[union]; !ok || join.Cost < cur.Cost {
-								local[union] = join
+							pb := tab.MustView(b)
+							op, rows, c := in.M.JoinEvalEntry(in.Q, pa, pb)
+							if cur, ok := local[union]; !ok || c < cur.Cost {
+								local[union] = dp.Winner{Left: a, Right: b, Op: op, Rows: rows, Cost: c, Found: true}
 							}
 						}
 					}
 				}
-				var out []result
-				for s, p := range local {
-					out = append(out, result{set: s, node: p})
+				out := make([]result, 0, len(local))
+				for s, win := range local {
+					out = append(out, result{set: s, win: win})
 				}
 				results[w] = out
 			}(w)
@@ -213,17 +313,17 @@ func PDP(in dp.Input) (*plan.Node, dp.Stats, error) {
 		}
 		for _, rs := range results {
 			for _, r := range rs {
-				if memo.Get(r.set) == nil {
+				if !tab.Has(r.set) {
 					bySize[size] = append(bySize[size], r.set)
 					stats.ConnectedSets++
 				}
-				memo.Improve(r.set, r.node)
+				tab.Improve(r.set, r.win)
 			}
 		}
 	}
 	stats.Evaluated = evalCtr.Load()
 	stats.CCP = ccpCtr.Load()
-	return dp.Finish(in, memo, &stats)
+	return dp.Finish(in, tab, prep.Leaves, &stats)
 }
 
 // DPE is the dependency-aware parallel DPCCP [11]: a single producer runs
@@ -238,7 +338,7 @@ func DPE(in dp.Input) (*plan.Node, dp.Stats, error) {
 		return nil, stats, err
 	}
 	n := in.Q.N()
-	memo := prep.Memo
+	tab := prep.Seed(plan.TableSizeHint(n))
 	nWorkers := threads(in)
 	stats.ConnectedSets = uint64(n)
 
@@ -253,7 +353,6 @@ func DPE(in dp.Input) (*plan.Node, dp.Stats, error) {
 		return nil, stats, dp.ErrTimeout
 	}
 
-	seen := map[bitset.Mask]bool{}
 	for size := 2; size <= n; size++ {
 		work := levels[size]
 		if len(work) == 0 {
@@ -270,34 +369,33 @@ func DPE(in dp.Input) (*plan.Node, dp.Stats, error) {
 			if lo >= len(work) {
 				break
 			}
-			hi := lo + chunk
-			if hi > len(work) {
-				hi = len(work)
-			}
+			hi := min(lo+chunk, len(work))
 			wg.Add(1)
 			go func(w, lo, hi int) {
 				defer wg.Done()
 				wdl := dp.NewDeadline(in.Deadline)
-				local := map[bitset.Mask]*plan.Node{}
+				local := map[bitset.Mask]dp.Winner{}
 				for _, p := range work[lo:hi] {
 					if wdl.Expired() {
 						errs[w] = dp.ErrTimeout
 						return
 					}
-					l, r := memo.Get(p.s1), memo.Get(p.s2)
+					l, r := tab.MustView(p.s1), tab.MustView(p.s2)
 					union := p.s1.Union(p.s2)
-					j1 := in.M.Join(in.Q, l, r)
-					j2 := in.M.Join(in.Q, r, l)
-					if j2.Cost < j1.Cost {
-						j1 = j2
+					rows := l.Rows * r.Rows * in.Q.SelBetween(p.s1, p.s2)
+					var bw dp.Winner
+					op, c := in.M.JoinEvalEntryRows(in.Q, l, r, rows)
+					bw = dp.Winner{Left: p.s1, Right: p.s2, Op: op, Rows: rows, Cost: c, Found: true}
+					if op, c2 := in.M.JoinEvalEntryRows(in.Q, r, l, rows); c2 < bw.Cost {
+						bw = dp.Winner{Left: p.s2, Right: p.s1, Op: op, Rows: rows, Cost: c2, Found: true}
 					}
-					if cur, ok := local[union]; !ok || j1.Cost < cur.Cost {
-						local[union] = j1
+					if cur, ok := local[union]; !ok || bw.Cost < cur.Cost {
+						local[union] = bw
 					}
 				}
-				var out []result
-				for s, p := range local {
-					out = append(out, result{set: s, node: p})
+				out := make([]result, 0, len(local))
+				for s, win := range local {
+					out = append(out, result{set: s, win: win})
 				}
 				// Deterministic merge order within the worker.
 				sort.Slice(out, func(i, j int) bool { return out[i].set < out[j].set })
@@ -312,13 +410,12 @@ func DPE(in dp.Input) (*plan.Node, dp.Stats, error) {
 		}
 		for _, rs := range results {
 			for _, r := range rs {
-				if !seen[r.set] {
-					seen[r.set] = true
+				if !tab.Has(r.set) {
 					stats.ConnectedSets++
 				}
-				memo.Improve(r.set, r.node)
+				tab.Improve(r.set, r.win)
 			}
 		}
 	}
-	return dp.Finish(in, memo, &stats)
+	return dp.Finish(in, tab, prep.Leaves, &stats)
 }

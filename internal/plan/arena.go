@@ -1,0 +1,78 @@
+package plan
+
+import "repro/internal/bitset"
+
+// Arena bump-allocates plan nodes in chunks so that materializing a plan
+// tree costs one slice allocation per chunk instead of one heap object per
+// node, and a whole query's nodes are freed (or recycled) wholesale.
+//
+// The DP inner loops never materialize nodes at all (they work on the
+// value-typed Table entries); the arena serves the residual materialization
+// points — Table.Build at the end of a run and tree copies on the service
+// warm path. Reset rewinds the arena for the next query while keeping its
+// chunks, so a long-lived worker reaches a steady state where plan
+// materialization performs no heap allocation at all.
+//
+// An Arena is not safe for concurrent use; give each worker its own.
+// Nodes handed out remain valid until Reset, so callers that cache or
+// return arena-built trees across queries must copy them first (the
+// service layer's per-caller remap copy already does this).
+type Arena struct {
+	chunks [][]Node // chunks[i] has len = nodes handed out, cap = chunk size
+	ci     int      // index of the active chunk
+}
+
+// arenaChunk is the node count of each newly allocated chunk (~28 KiB).
+const arenaChunk = 512
+
+// NewArena returns an empty arena. The zero value is also ready to use.
+func NewArena() *Arena { return &Arena{} }
+
+// New returns a pointer to a zeroed node from the arena.
+func (a *Arena) New() *Node {
+	for {
+		if a.ci == len(a.chunks) {
+			a.chunks = append(a.chunks, make([]Node, 0, arenaChunk))
+		}
+		c := a.chunks[a.ci]
+		if len(c) == cap(c) {
+			a.ci++ // chunk exhausted; the next one is empty or fresh
+			continue
+		}
+		c = c[:len(c)+1]
+		a.chunks[a.ci] = c
+		n := &c[len(c)-1]
+		*n = Node{}
+		return n
+	}
+}
+
+// NewNode returns an arena node initialized as an inner join node.
+func (a *Arena) NewNode(set bitset.Mask, left, right *Node, op Op, rows, cost float64) *Node {
+	n := a.New()
+	n.Set = set
+	n.Left = left
+	n.Right = right
+	n.Op = op
+	n.Rows = rows
+	n.Cost = cost
+	return n
+}
+
+// Reset rewinds the arena, invalidating every node it has handed out while
+// keeping the underlying chunks for reuse by the next query.
+func (a *Arena) Reset() {
+	for i := range a.chunks {
+		a.chunks[i] = a.chunks[i][:0]
+	}
+	a.ci = 0
+}
+
+// Len returns the number of live nodes handed out since the last Reset.
+func (a *Arena) Len() int {
+	live := 0
+	for _, c := range a.chunks {
+		live += len(c)
+	}
+	return live
+}

@@ -2,15 +2,24 @@ package plan
 
 import "repro/internal/bitset"
 
-// Memo maps relation sets to their best known sub-plan. It is the dynamic
-// programming table ("BestPlan" in Algorithms 1–3).
+// Memo maps relation sets to their best known sub-plan — the original
+// Go-map dynamic programming table ("BestPlan" in Algorithms 1–3). The DP
+// hot paths have moved to the allocation-free Table; Memo remains as the
+// simple reference implementation the differential tests check Table and
+// HashMemo against.
 type Memo struct {
 	m map[bitset.Mask]*Node
 }
 
-// NewMemo returns an empty memo sized for a query of n relations.
+// NewMemo returns an empty memo sized for a query of n relations. The
+// pre-size is a capped heuristic: the number of connected sets is only
+// 2^n for dense graphs, so beyond a few thousand buckets the memo grows on
+// demand instead of pre-allocating a megabucket map (a 20-relation chain
+// has 211 connected sets, not a million). The DP drivers themselves size
+// their plan.Table from the actual connected-set census
+// (dp.ConnectedBuckets).
 func NewMemo(n int) *Memo {
-	return &Memo{m: make(map[bitset.Mask]*Node, 1<<uint(min(n, 20)))}
+	return &Memo{m: make(map[bitset.Mask]*Node, TableSizeHint(n))}
 }
 
 // Get returns the best plan for set s, or nil.
@@ -31,10 +40,3 @@ func (mm *Memo) Improve(s bitset.Mask, p *Node) bool {
 
 // Len returns the number of memoized sets.
 func (mm *Memo) Len() int { return len(mm.m) }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -9,7 +9,8 @@ import (
 
 // The memo tables absorb one Get per candidate pair in the DP inner loops;
 // these benches compare the Go-map memo against the Murmur3 open-addressing
-// table of §5.
+// tables of §5 (the pointer-storing HashMemo and the SoA Table the DP hot
+// path runs on).
 func benchKeys(n int) []bitset.Mask {
 	rng := rand.New(rand.NewSource(1))
 	keys := make([]bitset.Mask, n)
@@ -27,6 +28,7 @@ func BenchmarkMemoGet(b *testing.B) {
 	for _, k := range keys {
 		m.Put(k, &Node{Set: k})
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if m.Get(keys[i&(len(keys)-1)]) == nil {
@@ -41,6 +43,7 @@ func BenchmarkHashMemoGet(b *testing.B) {
 	for _, k := range keys {
 		h.Put(k, &Node{Set: k})
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if h.Get(keys[i&(len(keys)-1)]) == nil {
@@ -51,10 +54,37 @@ func BenchmarkHashMemoGet(b *testing.B) {
 
 func BenchmarkHashMemoPut(b *testing.B) {
 	keys := benchKeys(1 << 16)
+	b.ReportAllocs()
 	b.ResetTimer()
 	h := NewHashMemo(1 << 17)
 	node := &Node{}
 	for i := 0; i < b.N; i++ {
 		h.Put(keys[i&(len(keys)-1)], node)
+	}
+}
+
+func BenchmarkTableView(b *testing.B) {
+	keys := benchKeys(1 << 16)
+	t := NewTable(len(keys))
+	for _, k := range keys {
+		t.Put(k, Winner{Left: k.LowestBit(), Right: k.Diff(k.LowestBit()), Cost: 1, Found: true})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := t.View(keys[i&(len(keys)-1)]); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkTableImprove(b *testing.B) {
+	keys := benchKeys(1 << 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	t := NewTable(1 << 17)
+	for i := 0; i < b.N; i++ {
+		k := keys[i&(len(keys)-1)]
+		t.Improve(k, Winner{Left: k.LowestBit(), Right: k.Diff(k.LowestBit()), Cost: float64(i), Found: true})
 	}
 }

@@ -271,6 +271,11 @@ func resultFrom(e *cached, inv []int, elapsed time.Duration, hit, coalesced bool
 
 func (s *Service) worker() {
 	defer s.wg.Done()
+	// Each worker owns an arena for the exact optimizers' plan nodes: the
+	// tree is dead once serve has copied it into the cache (remapPlan), so
+	// the arena is rewound per request and reaches a steady state where
+	// cold-path plan materialization performs no heap allocation.
+	arena := plan.NewArena()
 	for {
 		// Check quit first: a closed quit and a non-empty queue are both
 		// ready, and a plain select would pick randomly — draining
@@ -284,19 +289,21 @@ func (s *Service) worker() {
 		case <-s.quit:
 			return
 		case r := <-s.reqs:
-			s.serve(r)
+			s.serve(r, arena)
 		}
 	}
 }
 
 // serve runs one optimization, publishes the canonical-space plan to the
-// cache and completes the flight.
-func (s *Service) serve(r request) {
+// cache and completes the flight. The optimizer's plan tree lives in the
+// worker's arena; only the remapped copy survives this call.
+func (s *Service) serve(r request, arena *plan.Arena) {
 	shape := DetectShape(r.q.G)
 	alg := s.route(r.q.N(), shape)
 	s.counters.observeRoute(alg)
 
-	res, usedAlg, err := s.optimizeWithFallback(r.q, alg, shape)
+	arena.Reset()
+	res, usedAlg, err := s.optimizeWithFallback(r.q, alg, shape, arena)
 	if err == nil {
 		r.fl.entry = &cached{
 			key:      r.fp.Key,
@@ -320,13 +327,14 @@ func (s *Service) serve(r request) {
 // when an exact route times out it retries once with the shape's heuristic
 // under a fresh budget (the adaptive part of adaptive routing: the router's
 // size thresholds are estimates, the budget is the contract).
-func (s *Service) optimizeWithFallback(q *cost.Query, alg core.Algorithm, shape Shape) (*core.Result, core.Algorithm, error) {
+func (s *Service) optimizeWithFallback(q *cost.Query, alg core.Algorithm, shape Shape, arena *plan.Arena) (*core.Result, core.Algorithm, error) {
 	opts := core.Options{
 		Algorithm: alg,
 		Model:     s.cfg.Model,
 		Timeout:   s.cfg.Timeout,
 		Threads:   s.cfg.Threads,
 		K:         s.cfg.K,
+		Arena:     arena,
 	}
 	res, err := core.Optimize(q, opts)
 	if err == nil || !errors.Is(err, dp.ErrTimeout) || !alg.IsExact() {
