@@ -572,4 +572,3 @@ func BenchmarkClusterThroughput(b *testing.B) {
 	}
 	b.Logf("wrote BENCH_cluster.json (%d rows)", len(ordered))
 }
-

@@ -35,6 +35,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/cluster"
 	"repro/internal/service"
 	"repro/internal/sql"
@@ -48,13 +49,21 @@ type response struct {
 	Cost      float64 `json:"cost"`
 	Rows      float64 `json:"rows"`
 	Algorithm string  `json:"algorithm"`
+	// Backend is the execution substrate that produced the plan on the
+	// serving node (cpu-seq, cpu-parallel, gpu, heuristic); replicated and
+	// cache-hit plans keep their original backend.
+	Backend   string  `json:"backend"`
 	Shape     string  `json:"shape"`
 	CacheHit  bool    `json:"cache_hit"`
 	Coalesced bool    `json:"coalesced"`
 	FellBack  bool    `json:"fell_back"`
 	ElapsedUs float64 `json:"elapsed_us"`
-	Node      string  `json:"node"`
-	Failover  bool    `json:"failover"`
+	// GPUDevices/GPUSimMS carry the device work model when the GPU
+	// backend produced the plan.
+	GPUDevices int     `json:"gpu_devices,omitempty"`
+	GPUSimMS   float64 `json:"gpu_sim_ms,omitempty"`
+	Node       string  `json:"node"`
+	Failover   bool    `json:"failover"`
 }
 
 type frontDoor struct {
@@ -90,12 +99,13 @@ func (f *frontDoor) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(response{
+	out := response{
 		Relations: bound.Query.N(),
 		Edges:     len(bound.Query.G.Edges),
 		Cost:      res.Plan.Cost,
 		Rows:      res.Plan.Rows,
 		Algorithm: string(res.Algorithm),
+		Backend:   string(res.Backend),
 		Shape:     string(res.Shape),
 		CacheHit:  res.CacheHit,
 		Coalesced: res.Coalesced,
@@ -103,7 +113,12 @@ func (f *frontDoor) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		ElapsedUs: float64(res.Elapsed.Nanoseconds()) / 1e3,
 		Node:      res.Node,
 		Failover:  res.Failover,
-	})
+	}
+	if res.GPU != nil {
+		out.GPUDevices = res.GPU.Devices
+		out.GPUSimMS = res.GPU.SimTimeMS
+	}
+	json.NewEncoder(w).Encode(out)
 }
 
 func (f *frontDoor) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -196,15 +211,17 @@ func (f *frontDoor) mux() *http.ServeMux {
 
 func main() {
 	var (
-		httpAddr = flag.String("http", ":8080", "HTTP front-door address")
-		nodes    = flag.Int("nodes", 4, "initial node count")
-		replicas = flag.Int("replicas", 2, "copies of each plan-cache entry (owner included)")
-		vnodes   = flag.Int("vnodes", 0, "virtual nodes per ring member (0 = 64)")
-		health   = flag.Duration("health", time.Second, "health-sweep interval (0 disables)")
-		workers  = flag.Int("workers", 0, "optimization workers per node (0 = GOMAXPROCS/nodes)")
-		cacheCap = flag.Int("cache", 0, "plan-cache capacity per node (0 = 4096)")
-		timeout  = flag.Duration("timeout", 30*time.Second, "per-query optimization budget")
-		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight requests")
+		httpAddr   = flag.String("http", ":8080", "HTTP front-door address")
+		nodes      = flag.Int("nodes", 4, "initial node count")
+		replicas   = flag.Int("replicas", 2, "copies of each plan-cache entry (owner included)")
+		vnodes     = flag.Int("vnodes", 0, "virtual nodes per ring member (0 = 64)")
+		health     = flag.Duration("health", time.Second, "health-sweep interval (0 disables)")
+		workers    = flag.Int("workers", 0, "optimization workers per node (0 = GOMAXPROCS/nodes)")
+		cacheCap   = flag.Int("cache", 0, "plan-cache capacity per node (0 = 4096)")
+		timeout    = flag.Duration("timeout", 30*time.Second, "per-query optimization budget")
+		gpuDevices = flag.Int("gpu-devices", 0, "simulated GPU devices per node (0 = 2)")
+		crossover  = flag.String("crossover", "", "JSON file with backend-crossover thresholds (empty = calibrated defaults)")
+		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight requests")
 	)
 	flag.Parse()
 
@@ -217,6 +234,14 @@ func main() {
 			*workers = 1
 		}
 	}
+	var xover *backend.Crossover
+	if *crossover != "" {
+		x, err := backend.LoadCrossover(*crossover)
+		if err != nil {
+			log.Fatal(err)
+		}
+		xover = &x
+	}
 	c := cluster.New(cluster.Config{
 		Nodes:          *nodes,
 		Replicas:       *replicas,
@@ -226,6 +251,8 @@ func main() {
 			Workers:       *workers,
 			CacheCapacity: *cacheCap,
 			Timeout:       *timeout,
+			Crossover:     xover,
+			GPU:           backend.GPUConfig{Devices: *gpuDevices},
 		},
 	})
 	defer c.Close()

@@ -7,9 +7,11 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/backend"
 	"repro/internal/cluster"
 	"repro/internal/service"
 	"repro/internal/sql"
+	"repro/internal/workload"
 )
 
 const testStatement = "SELECT r.id FROM release r, release_group rg, artist_credit ac " +
@@ -144,5 +146,57 @@ func TestFrontDoorAdminValidation(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("remove unknown node = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestFrontDoorReportsBackendIdentity: a large cyclic statement through the
+// cluster front door is served exactly by a node's GPU backend, the
+// response identifies the backend and device work, replicas keep the
+// attribution, and /stats aggregates the per-backend counters cluster-wide.
+func TestFrontDoorReportsBackendIdentity(t *testing.T) {
+	_, ts := newTestFrontDoor(t)
+
+	post := func() response {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/optimize", "text/plain", strings.NewReader(workload.CycleSQL(40)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d, want 200", resp.StatusCode)
+		}
+		var r response
+		if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+
+	cold := post()
+	if cold.Backend != string(backend.GPU) || cold.Algorithm != "mpdp-gpu" || cold.FellBack {
+		t.Errorf("cold = %s on %s (fellback=%v), want exact mpdp-gpu on gpu",
+			cold.Algorithm, cold.Backend, cold.FellBack)
+	}
+	if cold.GPUDevices <= 0 || cold.GPUSimMS <= 0 {
+		t.Errorf("cold device work model missing: devices=%d sim=%gms", cold.GPUDevices, cold.GPUSimMS)
+	}
+	warm := post()
+	if !warm.CacheHit || warm.Backend != string(backend.GPU) {
+		t.Errorf("warm = hit %v backend %s, want hit with gpu attribution", warm.CacheHit, warm.Backend)
+	}
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap cluster.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("/stats is not JSON: %v", err)
+	}
+	gpu := snap.Backends[string(backend.GPU)]
+	if gpu.Routed != 1 || gpu.Served != 1 {
+		t.Errorf("cluster gpu backend counters %+v, want routed=1 served=1", gpu)
 	}
 }

@@ -34,6 +34,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/service"
 	"repro/internal/sql"
@@ -46,12 +47,20 @@ type response struct {
 	Cost      float64 `json:"cost"`
 	Rows      float64 `json:"rows"`
 	Algorithm string  `json:"algorithm"`
+	// Backend is the execution substrate that produced the plan (cpu-seq,
+	// cpu-parallel, gpu, heuristic); cache hits report the original
+	// optimization's backend.
+	Backend   string  `json:"backend"`
 	Shape     string  `json:"shape"`
 	CacheHit  bool    `json:"cache_hit"`
 	Coalesced bool    `json:"coalesced"`
 	FellBack  bool    `json:"fell_back"`
 	ElapsedUs float64 `json:"elapsed_us"`
-	Plan      string  `json:"plan,omitempty"`
+	// GPUDevices/GPUSimMS carry the device work model when the GPU
+	// backend produced the plan.
+	GPUDevices int     `json:"gpu_devices,omitempty"`
+	GPUSimMS   float64 `json:"gpu_sim_ms,omitempty"`
+	Plan       string  `json:"plan,omitempty"`
 }
 
 type server struct {
@@ -75,11 +84,16 @@ func (s *server) optimize(text string, explain bool) (*response, error) {
 		Cost:      res.Plan.Cost,
 		Rows:      res.Plan.Rows,
 		Algorithm: string(res.Algorithm),
+		Backend:   string(res.Backend),
 		Shape:     string(res.Shape),
 		CacheHit:  res.CacheHit,
 		Coalesced: res.Coalesced,
 		FellBack:  res.FellBack,
 		ElapsedUs: float64(res.Elapsed.Nanoseconds()) / 1e3,
+	}
+	if res.GPU != nil {
+		resp.GPUDevices = res.GPU.Devices
+		resp.GPUSimMS = res.GPU.SimTimeMS
 	}
 	if explain {
 		resp.Plan = core.Explain(bound.Query, res.Plan)
@@ -142,8 +156,8 @@ func (s *server) serveStdin(in io.Reader, out io.Writer) error {
 			fmt.Fprintf(out, "error: %v\n", err)
 			continue
 		}
-		fmt.Fprintf(out, "cost=%.6g rows=%.6g rels=%d alg=%s shape=%s hit=%v coalesced=%v elapsed=%.1fus\n",
-			resp.Cost, resp.Rows, resp.Relations, resp.Algorithm, resp.Shape,
+		fmt.Fprintf(out, "cost=%.6g rows=%.6g rels=%d alg=%s backend=%s shape=%s hit=%v coalesced=%v elapsed=%.1fus\n",
+			resp.Cost, resp.Rows, resp.Relations, resp.Algorithm, resp.Backend, resp.Shape,
 			resp.CacheHit, resp.Coalesced, resp.ElapsedUs)
 		if resp.Plan != "" {
 			fmt.Fprint(out, resp.Plan)
@@ -201,18 +215,28 @@ func (s *server) mux() *http.ServeMux {
 
 func main() {
 	var (
-		httpAddr = flag.String("http", "", "serve HTTP on this address instead of stdin (e.g. :8080)")
-		cacheCap = flag.Int("cache", 0, "plan cache capacity in entries (0 = 4096)")
-		shards   = flag.Int("shards", 0, "plan cache shard count (0 = 16)")
-		workers  = flag.Int("workers", 0, "optimization workers (0 = GOMAXPROCS)")
-		threads  = flag.Int("threads", 0, "CPU threads per optimization (0 = all)")
-		timeout  = flag.Duration("timeout", 30*time.Second, "per-query optimization budget")
-		k        = flag.Int("k", 0, "sub-problem bound for IDP2/UnionDP (0 = 15)")
-		explain  = flag.Bool("explain", false, "print the full plan tree in stdin mode")
-		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight requests")
+		httpAddr   = flag.String("http", "", "serve HTTP on this address instead of stdin (e.g. :8080)")
+		cacheCap   = flag.Int("cache", 0, "plan cache capacity in entries (0 = 4096)")
+		shards     = flag.Int("shards", 0, "plan cache shard count (0 = 16)")
+		workers    = flag.Int("workers", 0, "optimization workers (0 = GOMAXPROCS)")
+		threads    = flag.Int("threads", 0, "CPU threads per optimization (0 = all)")
+		timeout    = flag.Duration("timeout", 30*time.Second, "per-query optimization budget")
+		k          = flag.Int("k", 0, "sub-problem bound for IDP2/UnionDP (0 = 15)")
+		gpuDevices = flag.Int("gpu-devices", 0, "simulated GPU device count (0 = 2)")
+		crossover  = flag.String("crossover", "", "JSON file with backend-crossover thresholds (empty = calibrated defaults)")
+		explain    = flag.Bool("explain", false, "print the full plan tree in stdin mode")
+		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight requests")
 	)
 	flag.Parse()
 
+	var xover *backend.Crossover
+	if *crossover != "" {
+		x, err := backend.LoadCrossover(*crossover)
+		if err != nil {
+			log.Fatal(err)
+		}
+		xover = &x
+	}
 	svc := service.New(service.Config{
 		CacheShards:   *shards,
 		CacheCapacity: *cacheCap,
@@ -220,6 +244,8 @@ func main() {
 		Threads:       *threads,
 		Timeout:       *timeout,
 		K:             *k,
+		Crossover:     xover,
+		GPU:           backend.GPUConfig{Devices: *gpuDevices},
 	})
 	defer svc.Close()
 	expvar.Publish("optimizer", svc.Counters())

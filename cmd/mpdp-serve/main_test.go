@@ -2,13 +2,18 @@ package main
 
 import (
 	"encoding/json"
+	"expvar"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 
+	"repro/internal/backend"
 	"repro/internal/service"
 	"repro/internal/sql"
+	"repro/internal/workload"
 )
 
 func newTestServer(t *testing.T) (*server, *httptest.Server) {
@@ -106,6 +111,93 @@ func TestOptimizeHappyPathJSONShape(t *testing.T) {
 	}
 	if warm.Cost != cold.Cost {
 		t.Errorf("warm cost %g != cold cost %g", warm.Cost, cold.Cost)
+	}
+}
+
+// expvarSeq makes each published test var unique: the expvar registry is
+// global and panics on duplicate names, including across -count=N reruns
+// of this test in one process.
+var expvarSeq atomic.Int64
+
+// TestLargeCyclicQueryServedExactlyByGPU is the serving-layer acceptance
+// criterion of the GPU backend: a 40-relation cyclic statement POSTed to
+// /optimize comes back as an exact GPU plan — not a heuristic fallback —
+// with the backend identified in the response, and /debug/vars (expvar)
+// reports the GPU route.
+func TestLargeCyclicQueryServedExactlyByGPU(t *testing.T) {
+	svc := service.New(service.Config{Workers: 2, GPU: backend.GPUConfig{Devices: 2}})
+	t.Cleanup(svc.Close)
+	varName := fmt.Sprintf("optimizer-gpu-test-%d", expvarSeq.Add(1))
+	expvar.Publish(varName, svc.Counters())
+	srv := &server{svc: svc, schema: sql.MusicBrainzSchema()}
+	ts := httptest.NewServer(srv.mux())
+	t.Cleanup(ts.Close)
+
+	resp, err := http.Post(ts.URL+"/optimize", "text/plain", strings.NewReader(workload.CycleSQL(40)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	var r response
+	if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Relations != 40 || r.Edges != 40 {
+		t.Errorf("relations/edges = %d/%d, want 40/40 (an exact cycle)", r.Relations, r.Edges)
+	}
+	if r.Shape != "general" {
+		t.Errorf("shape = %q, want general (cyclic)", r.Shape)
+	}
+	if r.Backend != string(backend.GPU) || r.Algorithm != "mpdp-gpu" {
+		t.Errorf("served by %s on %s, want mpdp-gpu on gpu", r.Algorithm, r.Backend)
+	}
+	if r.FellBack {
+		t.Error("40-relation cycle fell back to a heuristic; want exact GPU plan")
+	}
+	if r.GPUDevices != 2 || r.GPUSimMS <= 0 {
+		t.Errorf("device work model missing: devices=%d sim=%gms", r.GPUDevices, r.GPUSimMS)
+	}
+	if r.Cost <= 0 {
+		t.Errorf("cost = %g, want positive", r.Cost)
+	}
+
+	// /debug/vars must expose the per-backend counters.
+	dresp, err := http.Get(ts.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dresp.Body.Close()
+	var vars map[string]json.RawMessage
+	if err := json.NewDecoder(dresp.Body).Decode(&vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	var optimizer service.Snapshot
+	if err := json.Unmarshal(vars[varName], &optimizer); err != nil {
+		t.Fatalf("/debug/vars[%s]: %v", varName, err)
+	}
+	if optimizer.RouteMPDPGPU != 1 {
+		t.Errorf("/debug/vars route_mpdp_gpu = %d, want 1", optimizer.RouteMPDPGPU)
+	}
+	gpu := optimizer.Backends[string(backend.GPU)]
+	if gpu.Routed != 1 || gpu.Served != 1 || gpu.Fallbacks != 0 {
+		t.Errorf("/debug/vars gpu backend counters %+v, want routed=1 served=1 fallbacks=0", gpu)
+	}
+
+	// /stats carries the same per-backend breakdown.
+	sresp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var snap service.Snapshot
+	if err := json.NewDecoder(sresp.Body).Decode(&snap); err != nil {
+		t.Fatalf("/stats is not JSON: %v", err)
+	}
+	if snap.Backends[string(backend.GPU)].Served != 1 {
+		t.Errorf("/stats gpu served = %d, want 1", snap.Backends[string(backend.GPU)].Served)
 	}
 }
 

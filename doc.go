@@ -6,7 +6,10 @@
 // regenerates every table and figure of the evaluation section. On top of
 // the library sits an optimizer-as-a-service front-end (internal/service,
 // cmd/mpdp-serve): a sharded fingerprint-keyed plan cache plus adaptive
-// algorithm routing, turning the reproduction into something that serves
+// routing across heterogeneous execution backends (internal/backend) —
+// sequential CPU, parallel CPU, a multi-device simulated GPU that serves
+// large trees and cyclic graphs exactly, and the heuristics beyond the
+// exact bands — turning the reproduction into something that serves
 // query streams rather than only measuring them. The service scales out in
 // turn through internal/cluster and cmd/mpdp-cluster: a consistent-hash
 // ring of service nodes with replication, failure detection and cache-aware

@@ -1,9 +1,10 @@
-// Cross-algorithm equivalence: every exact enumerator — sequential and
-// CPU-parallel — must return a plan of identical cost on the same query.
-// The per-package tests check each algorithm against small oracles; this
-// suite cross-checks the implementations against each other over a few
-// hundred randomized queries, which is what catches enumerator divergence
-// (a pruned pair one algorithm considers and another silently skips).
+// Cross-algorithm equivalence: every exact enumerator — sequential,
+// CPU-parallel and GPU-model — must return a plan of identical cost on the
+// same query. The per-package tests check each algorithm against small
+// oracles; this suite cross-checks the implementations against each other
+// over a few hundred randomized queries, which is what catches enumerator
+// divergence (a pruned pair one algorithm considers and another silently
+// skips).
 package repro
 
 import (
@@ -14,11 +15,31 @@ import (
 
 	"repro/internal/cost"
 	"repro/internal/dp"
+	"repro/internal/gpusim"
 	"repro/internal/parallel"
+	"repro/internal/plan"
 	"repro/internal/workload"
 )
 
-// exactAlgs is the lineup under test; DPSize is the reference.
+// gpuEquiv adapts a GPU-backend run to dp.Func for the lineup.
+func gpuEquiv(devices int) dp.Func {
+	cfg := gpusim.DefaultConfig()
+	cfg.Devices = devices
+	return func(in dp.Input) (*plan.Node, dp.Stats, error) {
+		if devices <= 1 {
+			p, st, _, err := gpusim.MPDPGPU(in, cfg)
+			return p, st, err
+		}
+		p, st, _, err := gpusim.MPDPGPUMulti(in, cfg)
+		return p, st, err
+	}
+}
+
+// exactAlgs is the lineup under test; DPSize is the reference. The GPU
+// rows cover both the single-device instrumented model and the
+// multi-device scheduler (whose general-graph costing runs through the
+// CCP stream), so the cross-backend equivalence of the service router's
+// three exact substrates is enforced here.
 var exactAlgs = []struct {
 	name string
 	f    dp.Func
@@ -30,6 +51,8 @@ var exactAlgs = []struct {
 	{"PDP", parallel.PDP},
 	{"DPE", parallel.DPE},
 	{"MPDP-CPU", parallel.MPDP},
+	{"MPDP-GPU", gpuEquiv(1)},
+	{"MPDP-GPU-3dev", gpuEquiv(3)},
 }
 
 func TestExactAlgorithmsAgreeOnRandomizedQueries(t *testing.T) {

@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/catalog"
 	"repro/internal/cost"
 	"repro/internal/graph"
@@ -88,8 +89,13 @@ func main() {
 		snap.Requests, wall.Round(time.Millisecond), float64(snap.Requests)/wall.Seconds())
 	fmt.Printf("cache: %d hits, %d misses, %d coalesced (hit rate %.1f%%)\n",
 		snap.Hits, snap.Misses, snap.Coalesced, 100*snap.HitRate)
-	fmt.Printf("routes: dpccp=%d mpdp-cpu=%d idp2=%d uniondp=%d\n",
-		snap.RouteDPCCP, snap.RouteMPDP, snap.RouteIDP2, snap.RouteUnionDP)
+	fmt.Printf("routes: dpccp=%d mpdp-cpu=%d mpdp-gpu=%d idp2=%d uniondp=%d\n",
+		snap.RouteDPCCP, snap.RouteMPDP, snap.RouteMPDPGPU, snap.RouteIDP2, snap.RouteUnionDP)
+	for _, id := range backend.IDs() {
+		bc := snap.Backends[string(id)]
+		fmt.Printf("backend %-12s routed=%-4d served=%-4d hits=%-4d fallbacks=%d\n",
+			id, bc.Routed, bc.Served, bc.Hits, bc.Fallbacks)
+	}
 	fmt.Printf("latency: cold (optimize) %.0fus, warm (cache hit) %.0fus — %.0fx\n",
 		snap.AvgMissMicros, snap.AvgHitMicros, snap.AvgMissMicros/snap.AvgHitMicros)
 }

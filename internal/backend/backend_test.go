@@ -1,0 +1,247 @@
+package backend
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/dp"
+	"repro/internal/workload"
+)
+
+func genQuery(t testing.TB, kind workload.Kind, n int, seed int64) *cost.Query {
+	t.Helper()
+	q, err := workload.Generate(kind, n, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func relEq(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// TestSetDispatch: every registered algorithm resolves to exactly one
+// backend, and the mapping follows the substrate split.
+func TestSetDispatch(t *testing.T) {
+	s := NewSet(GPUConfig{})
+	defer s.Close()
+
+	want := map[core.Algorithm]ID{
+		core.AlgDPCCP:        CPUSeq,
+		core.AlgMPDP:         CPUSeq,
+		core.AlgDPSize:       CPUSeq,
+		core.AlgDPSub:        CPUSeq,
+		core.AlgMPDPParallel: CPUParallel,
+		core.AlgPDP:          CPUParallel,
+		core.AlgDPE:          CPUParallel,
+		core.AlgMPDPGPU:      GPU,
+		core.AlgDPSubGPU:     GPU,
+		core.AlgDPSizeGPU:    GPU,
+		core.AlgIDP2:         Heuristic,
+		core.AlgUnionDP:      Heuristic,
+		core.AlgGEQO:         Heuristic,
+	}
+	for alg, id := range want {
+		b := s.For(alg)
+		if b == nil {
+			t.Errorf("%s: no backend", alg)
+			continue
+		}
+		if b.ID() != id {
+			t.Errorf("%s: dispatched to %s, want %s", alg, b.ID(), id)
+		}
+	}
+	if b := s.For(core.AlgAuto); b != nil {
+		t.Errorf("auto is a policy, not a backend algorithm; got %s", b.ID())
+	}
+	for _, id := range IDs() {
+		if s.Get(id) == nil {
+			t.Errorf("Get(%s) = nil", id)
+		}
+	}
+}
+
+// TestBackendsCostIdentical: the three exact substrates return
+// cost-identical plans, and each result is stamped with its backend.
+func TestBackendsCostIdentical(t *testing.T) {
+	s := NewSet(GPUConfig{Devices: 2})
+	defer s.Close()
+	m := cost.DefaultModel()
+
+	for _, kind := range []workload.Kind{workload.KindCycle, workload.KindStar, workload.KindMB} {
+		q := genQuery(t, kind, 12, 3)
+		ref, _, err := dp.DPCCP(dp.Input{Q: q, M: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tc := range []struct {
+			alg core.Algorithm
+			id  ID
+		}{
+			{core.AlgDPCCP, CPUSeq},
+			{core.AlgMPDPParallel, CPUParallel},
+			{core.AlgMPDPGPU, GPU},
+		} {
+			res, err := s.Get(tc.id).Optimize(q, tc.alg, Options{Model: m})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", kind, tc.id, err)
+			}
+			if res.Backend != tc.id {
+				t.Errorf("%s/%s: result stamped %s", kind, tc.id, res.Backend)
+			}
+			if res.Algorithm != tc.alg {
+				t.Errorf("%s/%s: algorithm %s, want %s", kind, tc.id, res.Algorithm, tc.alg)
+			}
+			if !relEq(res.Plan.Cost, ref.Cost) {
+				t.Errorf("%s/%s: cost %g, want %g", kind, tc.id, res.Plan.Cost, ref.Cost)
+			}
+			if tc.id == GPU && (res.GPU == nil || res.GPU.Devices != 2) {
+				t.Errorf("%s: GPU result missing multi-device stats: %+v", kind, res.GPU)
+			}
+			if tc.id != GPU && res.GPU != nil {
+				t.Errorf("%s/%s: non-GPU result carries GPU stats", kind, tc.id)
+			}
+		}
+	}
+}
+
+// TestGPUCoalescing: concurrent GPU requests coalesce into shared batches
+// and every caller still gets the right plan for its own query.
+func TestGPUCoalescing(t *testing.T) {
+	s := NewSet(GPUConfig{Devices: 4, BatchWindow: 2 * time.Millisecond})
+	defer s.Close()
+	gpu := s.Get(GPU)
+	m := cost.DefaultModel()
+
+	const callers = 12
+	qs := make([]*cost.Query, callers)
+	refs := make([]float64, callers)
+	for i := range qs {
+		qs[i] = genQuery(t, workload.KindCycle, 10+i%4, int64(i))
+		p, _, err := dp.DPCCP(dp.Input{Q: qs[i], M: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[i] = p.Cost
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, callers)
+	results := make([]*Result, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = gpu.Optimize(qs[i], core.AlgMPDPGPU, Options{Model: m})
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if !relEq(results[i].Plan.Cost, refs[i]) {
+			t.Errorf("caller %d: cost %g, want %g", i, results[i].Plan.Cost, refs[i])
+		}
+	}
+}
+
+// TestGPUTimeout: an expired budget surfaces as dp.ErrTimeout so the
+// service's fallback path can engage.
+func TestGPUTimeout(t *testing.T) {
+	s := NewSet(GPUConfig{Devices: 2})
+	defer s.Close()
+	q := genQuery(t, workload.KindClique, 17, 1)
+	_, err := s.Get(GPU).Optimize(q, core.AlgMPDPGPU, Options{Model: cost.DefaultModel(), Timeout: time.Nanosecond})
+	if !errors.Is(err, dp.ErrTimeout) {
+		t.Errorf("err = %v, want dp.ErrTimeout", err)
+	}
+}
+
+// TestGPUUnbatchedPath: a negative batch window bypasses the coalescer.
+func TestGPUUnbatchedPath(t *testing.T) {
+	s := NewSet(GPUConfig{Devices: 3, BatchWindow: -1})
+	defer s.Close()
+	q := genQuery(t, workload.KindChain, 10, 2)
+	m := cost.DefaultModel()
+	res, err := s.Get(GPU).Optimize(q, core.AlgMPDPGPU, Options{Model: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GPU == nil || res.GPU.Devices != 3 {
+		t.Fatalf("unbatched GPU run should use all 3 devices: %+v", res.GPU)
+	}
+	ref, _, err := dp.DPCCP(dp.Input{Q: q, M: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relEq(res.Plan.Cost, ref.Cost) {
+		t.Errorf("cost %g, want %g", res.Plan.Cost, ref.Cost)
+	}
+}
+
+// TestGPUBaselineAlgorithms: the DPSub/DPSize GPU baselines run
+// single-device through the same backend.
+func TestGPUBaselineAlgorithms(t *testing.T) {
+	s := NewSet(GPUConfig{Devices: 4})
+	defer s.Close()
+	q := genQuery(t, workload.KindStar, 9, 4)
+	m := cost.DefaultModel()
+	ref, _, err := dp.DPCCP(dp.Input{Q: q, M: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []core.Algorithm{core.AlgDPSubGPU, core.AlgDPSizeGPU} {
+		res, err := s.Get(GPU).Optimize(q, alg, Options{Model: m})
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if !relEq(res.Plan.Cost, ref.Cost) {
+			t.Errorf("%s: cost %g, want %g", alg, res.Plan.Cost, ref.Cost)
+		}
+		if res.GPU == nil || res.GPU.Devices != 1 {
+			t.Errorf("%s: baselines are single-device, got %+v", alg, res.GPU)
+		}
+	}
+}
+
+// TestCloseIdempotent: Set.Close (and the GPU batcher inside it) must be
+// safe to call twice — the service layer closes its backend set on every
+// shutdown path.
+func TestCloseIdempotent(t *testing.T) {
+	s := NewSet(GPUConfig{})
+	s.Close()
+	s.Close()
+}
+
+// TestGPUOptimizeAfterCloseFailsLoudly: an Optimize racing (or following)
+// Close must return ErrGPUClosed, not hang on a job the drained batcher
+// will never service.
+func TestGPUOptimizeAfterCloseFailsLoudly(t *testing.T) {
+	s := NewSet(GPUConfig{Devices: 2})
+	gpu := s.Get(GPU)
+	s.Close()
+	done := make(chan error, 1)
+	go func() {
+		_, err := gpu.Optimize(genQuery(t, workload.KindChain, 8, 1), core.AlgMPDPGPU, Options{Model: cost.DefaultModel()})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrGPUClosed) {
+			t.Errorf("err = %v, want ErrGPUClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Optimize after Close hung")
+	}
+}

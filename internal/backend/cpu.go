@@ -1,0 +1,98 @@
+package backend
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+)
+
+// coreOptimize is the shared thin wrapper: the CPU and heuristic backends
+// all execute through core.Optimize and differ only in which algorithms
+// they claim and how many threads they hand over.
+func coreOptimize(id ID, q *cost.Query, alg core.Algorithm, opts Options, threads int) (*Result, error) {
+	start := time.Now()
+	res, err := core.Optimize(q, core.Options{
+		Algorithm: alg,
+		Model:     opts.Model,
+		Timeout:   opts.Timeout,
+		Threads:   threads,
+		K:         opts.K,
+		Seed:      opts.Seed,
+		Arena:     opts.Arena,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Plan:      res.Plan,
+		Stats:     res.Stats,
+		Backend:   id,
+		Algorithm: alg,
+		Elapsed:   time.Since(start),
+	}, nil
+}
+
+// cpuSeq executes the sequential exact enumerators on one core.
+type cpuSeq struct{}
+
+func newCPUSeq() Backend { return cpuSeq{} }
+
+func (cpuSeq) ID() ID { return CPUSeq }
+
+func (cpuSeq) Supports(alg core.Algorithm) bool {
+	switch alg {
+	case core.AlgDPSize, core.AlgDPSub, core.AlgDPCCP, core.AlgMPDP:
+		return true
+	}
+	return false
+}
+
+func (cpuSeq) Optimize(q *cost.Query, alg core.Algorithm, opts Options) (*Result, error) {
+	return coreOptimize(CPUSeq, q, alg, opts, 1)
+}
+
+func (cpuSeq) Close() {}
+
+// cpuParallel executes the work-stealing CPU-parallel drivers.
+type cpuParallel struct{}
+
+func newCPUParallel() Backend { return cpuParallel{} }
+
+func (cpuParallel) ID() ID { return CPUParallel }
+
+func (cpuParallel) Supports(alg core.Algorithm) bool {
+	switch alg {
+	case core.AlgPDP, core.AlgDPE, core.AlgMPDPParallel:
+		return true
+	}
+	return false
+}
+
+func (cpuParallel) Optimize(q *cost.Query, alg core.Algorithm, opts Options) (*Result, error) {
+	return coreOptimize(CPUParallel, q, alg, opts, opts.Threads)
+}
+
+func (cpuParallel) Close() {}
+
+// heuristicBackend executes the approximate algorithms.
+type heuristicBackend struct{}
+
+func newHeuristic() Backend { return heuristicBackend{} }
+
+func (heuristicBackend) ID() ID { return Heuristic }
+
+func (heuristicBackend) Supports(alg core.Algorithm) bool {
+	switch alg {
+	case core.AlgGEQO, core.AlgGOO, core.AlgMinSel, core.AlgIKKBZ,
+		core.AlgLinDP, core.AlgIDP1, core.AlgIDP2, core.AlgUnionDP:
+		return true
+	}
+	return false
+}
+
+func (heuristicBackend) Optimize(q *cost.Query, alg core.Algorithm, opts Options) (*Result, error) {
+	return coreOptimize(Heuristic, q, alg, opts, opts.Threads)
+}
+
+func (heuristicBackend) Close() {}

@@ -1,0 +1,99 @@
+package backend
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/gpusim"
+)
+
+func TestDefaultCrossoverSane(t *testing.T) {
+	c := DefaultCrossover()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.SmallLimit != 12 || c.CPUParallelLimit != 25 {
+		t.Errorf("paper limits drifted: %+v", c)
+	}
+	// The headline regime: the GPU band must open the 26..40+ range that
+	// the heuristics used to own.
+	if c.GPULimit < 40 || c.GPULimit > 64 {
+		t.Errorf("gpu_limit %d outside [40, 64]", c.GPULimit)
+	}
+	if c.GPUCliqueLimit < c.CliqueCPULimit {
+		t.Errorf("gpu clique cap %d below cpu clique cap %d", c.GPUCliqueLimit, c.CliqueCPULimit)
+	}
+}
+
+// TestCalibrateMonotone: a faster device or a larger budget never shrinks
+// the exact-GPU band.
+func TestCalibrateMonotone(t *testing.T) {
+	base := Calibrate(gpusim.GTX1080(), 5*time.Second)
+
+	fast := gpusim.GTX1080()
+	fast.SMCount *= 2
+	if c := Calibrate(fast, 5*time.Second); c.GPULimit < base.GPULimit {
+		t.Errorf("doubling SMs shrank gpu_limit: %d < %d", c.GPULimit, base.GPULimit)
+	}
+	if c := Calibrate(gpusim.GTX1080(), 30*time.Second); c.GPULimit < base.GPULimit ||
+		c.GPUCliqueLimit < base.GPUCliqueLimit {
+		t.Errorf("larger budget shrank the band: %+v vs %+v", c, base)
+	}
+	if c := Calibrate(nil, 0); c != base {
+		t.Errorf("nil device / zero budget should select the defaults: %+v", c)
+	}
+}
+
+func TestLoadCrossover(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "crossover.json")
+
+	// Partial override: present fields win, absent fields keep defaults.
+	if err := os.WriteFile(path, []byte(`{"gpu_limit": 48, "small_limit": 10}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := LoadCrossover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.GPULimit != 48 || c.SmallLimit != 10 {
+		t.Errorf("overrides not applied: %+v", c)
+	}
+	if d := DefaultCrossover(); c.CPUParallelLimit != d.CPUParallelLimit || c.DenseEdgeFactor != d.DenseEdgeFactor {
+		t.Errorf("defaults not preserved: %+v", c)
+	}
+
+	// A typo'd field name must fail loudly, not silently use defaults.
+	if err := os.WriteFile(path, []byte(`{"gpu_limt": 48}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCrossover(path); err == nil {
+		t.Error("unknown field accepted")
+	}
+
+	// An inverted ladder must be rejected.
+	if err := os.WriteFile(path, []byte(`{"small_limit": 30, "cpu_parallel_limit": 20}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCrossover(path); err == nil {
+		t.Error("inverted thresholds accepted")
+	}
+
+	// gpu_limit beyond the bitset width clamps to 64.
+	if err := os.WriteFile(path, []byte(`{"gpu_limit": 100}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err = LoadCrossover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.GPULimit != 64 {
+		t.Errorf("gpu_limit %d, want clamp to 64", c.GPULimit)
+	}
+
+	if _, err := LoadCrossover(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

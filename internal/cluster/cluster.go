@@ -511,11 +511,20 @@ func (c *Cluster) Snapshot() Snapshot {
 	c.mu.Unlock()
 
 	var served, warm uint64
+	s.Backends = make(map[string]service.BackendCounts)
 	for id, ref := range refs {
 		snap := ref.n.svc.Counters().Snapshot()
 		s.PerNode[id] = NodeSnapshot{Snapshot: snap, CacheLen: ref.n.svc.CacheLen(), Dead: ref.dead}
 		served += snap.Hits + snap.Misses + snap.Coalesced
 		warm += snap.Hits + snap.Coalesced
+		for bid, bc := range snap.Backends {
+			agg := s.Backends[bid]
+			agg.Routed += bc.Routed
+			agg.Served += bc.Served
+			agg.Hits += bc.Hits
+			agg.Fallbacks += bc.Fallbacks
+			s.Backends[bid] = agg
+		}
 	}
 	if served > 0 {
 		s.HitRate = float64(warm) / float64(served)

@@ -55,6 +55,11 @@ type Snapshot struct {
 	// nodes — the cluster-wide warm ratio.
 	HitRate float64 `json:"hit_rate"`
 
+	// Backends sums the per-backend counters over every node, so the
+	// front door reports which execution substrate (cpu-seq,
+	// cpu-parallel, gpu, heuristic) produced the cluster's plans.
+	Backends map[string]service.BackendCounts `json:"backends"`
+
 	PerNode map[string]NodeSnapshot `json:"per_node"`
 }
 

@@ -41,15 +41,15 @@ func Counters(in Input) (CounterReport, error) {
 	cnt := make([]uint64, n+1)
 	expired := false
 	var bsc graph.BlockScratch
-	enumerateCsg(g, func(s bitset.Mask) {
-		if expired || dl.Expired() {
+	enumerateCsg(g, func(s bitset.Mask) bool {
+		if dl.Expired() {
 			expired = true
-			return
+			return false
 		}
 		c := s.Count()
 		cnt[c]++
 		if c < 2 {
-			return
+			return true
 		}
 		if isTree {
 			// Algorithm 2: one evaluation per edge of the induced tree,
@@ -60,6 +60,7 @@ func Counters(in Input) (CounterReport, error) {
 				rep.MPDPEvaluated += (uint64(1) << uint(b.Count())) - 2
 			}
 		}
+		return true
 	})
 	if expired {
 		return rep, ErrTimeout

@@ -1,9 +1,12 @@
 package dp
 
 import (
+	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
+	"time"
 
 	"repro/internal/bitset"
 	"repro/internal/catalog"
@@ -288,5 +291,40 @@ func TestTimeout(t *testing.T) {
 		if err != ErrTimeout {
 			t.Errorf("%s: got %v, want ErrTimeout", alg.name, err)
 		}
+	}
+}
+
+// testStarQuery builds an n-relation star: vertex 0 is the hub, so the
+// connected-set lattice has ~2^(n-1) members.
+func testStarQuery(t *testing.T, n int) *cost.Query {
+	t.Helper()
+	var cat catalog.Catalog
+	for i := 0; i < n; i++ {
+		cat.Add(catalog.NewRelation(fmt.Sprintf("r%d", i), 1000, 32))
+	}
+	g := graph.New(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(0, i, 0.001)
+	}
+	return &cost.Query{Cat: cat, G: g}
+}
+
+// TestConnectedBucketsHonorsDeadline: a hub-heavy graph's connected-set
+// lattice is ~2^(n-1); once the deadline trips, the enumeration must
+// abort instead of walking the remaining lattice (the GPU band routes
+// graphs up to 41 relations here, where a non-aborting walk takes hours).
+func TestConnectedBucketsHonorsDeadline(t *testing.T) {
+	q := testStarQuery(t, 30)
+	in := Input{Q: q, M: cost.DefaultModel(), Deadline: time.Now().Add(30 * time.Millisecond)}
+	start := time.Now()
+	_, err := ConnectedBuckets(in)
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	// Generous bound: the abort happens at the next sparse deadline poll,
+	// not after the full 2^29 walk (which takes minutes).
+	if elapsed > 5*time.Second {
+		t.Errorf("enumeration ran %v past a 30ms deadline", elapsed)
 	}
 }

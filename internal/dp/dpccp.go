@@ -17,13 +17,30 @@ func DPCCP(in Input) (*plan.Node, Stats, error) {
 		return nil, stats, err
 	}
 	n := in.Q.N()
-	dl := NewDeadline(in.Deadline)
 
 	// DPCCP discovers connected sets while enumerating, so the table is
 	// sized by the capped heuristic and grows on demand.
 	tab := prep.Seed(plan.TableSizeHint(n))
 	stats.ConnectedSets = uint64(n)
 
+	st, err := CostCCPStream(in, tab, NewDeadline(in.Deadline), nil)
+	stats.Add(st)
+	if err != nil {
+		return nil, stats, err
+	}
+	return Finish(in, tab, prep.Leaves, &stats)
+}
+
+// CostCCPStream is the costing core of DPCCP, shared with the GPU-model
+// scheduler (internal/gpusim): it walks the join graph's csg-cmp pairs in
+// the canonical order of [24] — children strictly before parents — costing
+// both orientations of every valid pair into the table. The returned
+// Stats count two evaluations and two CCPs per unordered pair, and one
+// ConnectedSets per newly discovered (non-base) set. onPair, when non-nil,
+// is invoked after each pair with the cardinality of the joined set (the
+// pair's DP level), for per-level accounting.
+func CostCCPStream(in Input, tab *plan.Table, dl *Deadline, onPair func(level int)) (Stats, error) {
+	var stats Stats
 	ok := ccpPairs(in.Q.G, dl, func(s1, s2 bitset.Mask) {
 		// Each unordered pair is emitted once; both orientations are
 		// costed, and both count toward the symmetric CCP counter.
@@ -34,6 +51,9 @@ func DPCCP(in Input) (*plan.Node, Stats, error) {
 		cur, known := tab.Cost(union)
 		if !known {
 			stats.ConnectedSets++
+		}
+		if onPair != nil {
+			onPair(union.Count())
 		}
 		// Child-cost lower bound: when both orientations provably cost at
 		// least the incumbent (see bestWin.hopeless), skip selectivity and
@@ -55,12 +75,10 @@ func DPCCP(in Input) (*plan.Node, Stats, error) {
 		}
 	})
 	if !ok {
-		return nil, stats, ErrTimeout
+		return stats, ErrTimeout
 	}
-
-	return Finish(in, tab, prep.Leaves, &stats)
+	return stats, nil
 }
-
 
 // CCPCount runs only the csg-cmp enumeration and returns the query's
 // CCP-Counter (symmetric count) without building any plans. The Fig. 2 and

@@ -12,32 +12,44 @@ import (
 // disconnected ones (the GPU model accounts for the unrank+filter cost of
 // those separately; see internal/gpusim).
 
-// enumerateCsg calls emit for every connected subset of g exactly once.
-// Enumeration follows EnumerateCsg/EnumerateCsgRec of [24]: subsets are
-// seeded from each vertex v (excluding all smaller-numbered vertices) and
-// grown through the neighbourhood.
-func enumerateCsg(g *graph.Graph, emit func(s bitset.Mask)) {
+// enumerateCsg calls emit for every connected subset of g exactly once,
+// stopping the whole enumeration as soon as emit returns false — a deadline
+// or memo-cap abort must not keep walking a 2^n lattice it can no longer
+// use. Enumeration follows EnumerateCsg/EnumerateCsgRec of [24]: subsets
+// are seeded from each vertex v (excluding all smaller-numbered vertices)
+// and grown through the neighbourhood.
+func enumerateCsg(g *graph.Graph, emit func(s bitset.Mask) bool) {
 	n := g.N
 	for v := n - 1; v >= 0; v-- {
 		s := bitset.Single(v)
-		emit(s)
-		enumerateCsgRec(g, s, bitset.Full(v+1), emit)
+		if !emit(s) {
+			return
+		}
+		if !enumerateCsgRec(g, s, bitset.Full(v+1), emit) {
+			return
+		}
 	}
 }
 
 // enumerateCsgRec grows s by every non-empty subset of its neighbourhood
-// outside the exclusion set x, emitting each grown set and recursing.
-func enumerateCsgRec(g *graph.Graph, s, x bitset.Mask, emit func(bitset.Mask)) {
+// outside the exclusion set x, emitting each grown set and recursing. It
+// returns false as soon as emit does, unwinding the whole recursion.
+func enumerateCsgRec(g *graph.Graph, s, x bitset.Mask, emit func(bitset.Mask) bool) bool {
 	nb := g.NeighborhoodOf(s).Diff(x)
 	if nb.Empty() {
-		return
+		return true
 	}
 	for sub := nb.LowestBit(); !sub.Empty(); sub = sub.NextSubset(nb) {
-		emit(s.Union(sub))
+		if !emit(s.Union(sub)) {
+			return false
+		}
 	}
 	for sub := nb.LowestBit(); !sub.Empty(); sub = sub.NextSubset(nb) {
-		enumerateCsgRec(g, s.Union(sub), x.Union(nb), emit)
+		if !enumerateCsgRec(g, s.Union(sub), x.Union(nb), emit) {
+			return false
+		}
 	}
+	return true
 }
 
 // connectedSetsBySize buckets every connected subset of g by cardinality:
@@ -48,17 +60,15 @@ func connectedSetsBySize(g *graph.Graph, dl *Deadline) [][]bitset.Mask {
 	buckets := make([][]bitset.Mask, g.N+1)
 	expired := false
 	total := 0
-	enumerateCsg(g, func(s bitset.Mask) {
-		if expired {
-			return
-		}
+	enumerateCsg(g, func(s bitset.Mask) bool {
 		total++
 		if dl.Expired() || total > maxConnectedSets {
 			expired = true
-			return
+			return false
 		}
 		c := s.Count()
 		buckets[c] = append(buckets[c], s)
+		return true
 	})
 	if expired {
 		return nil
@@ -76,11 +86,11 @@ const maxConnectedSets = 64 << 20
 // disjoint from s1, connected to s1, with the canonical ordering of [24]
 // guaranteeing each unordered csg-cmp pair is produced exactly once across
 // the full EnumerateCsg × EnumerateCmp sweep.
-func enumerateCmp(g *graph.Graph, s1 bitset.Mask, emit func(s2 bitset.Mask)) {
+func enumerateCmp(g *graph.Graph, s1 bitset.Mask, emit func(s2 bitset.Mask) bool) bool {
 	x := bitset.Full(s1.Lowest() + 1).Union(s1)
 	nb := g.NeighborhoodOf(s1).Diff(x)
 	if nb.Empty() {
-		return
+		return true
 	}
 	// Descending vertex order over the neighbourhood, iterated in place —
 	// this runs once per csg of every query, so it must not allocate (the
@@ -89,31 +99,47 @@ func enumerateCmp(g *graph.Graph, s1 bitset.Mask, emit func(s2 bitset.Mask)) {
 		v := rest.Highest()
 		rest = rest.Remove(v)
 		s2 := bitset.Single(v)
-		emit(s2)
+		if !emit(s2) {
+			return false
+		}
 		// B_v ∩ nb: smaller-or-equal neighbourhood vertices are excluded
 		// from the recursion so each complement is generated once.
 		bv := bitset.Full(v + 1).Intersect(nb)
-		enumerateCsgRec(g, s2, x.Union(bv), emit)
+		if !enumerateCsgRec(g, s2, x.Union(bv), emit) {
+			return false
+		}
 	}
+	return true
 }
 
 // ccpPairs invokes emit(s1, s2) for every csg-cmp pair of the query graph,
-// each unordered pair exactly once. It returns false if the deadline expired.
+// each unordered pair exactly once. It returns false if the deadline
+// expired, aborting the enumeration at the next (sparse) deadline poll
+// rather than walking the remaining pairs.
 func ccpPairs(g *graph.Graph, dl *Deadline, emit func(s1, s2 bitset.Mask)) bool {
 	n := g.N
 	expired := false
 	for v := n - 1; v >= 0 && !expired; v-- {
 		s1 := bitset.Single(v)
-		sub := func(s bitset.Mask) {
-			if expired || dl.Expired() {
+		sub := func(s bitset.Mask) bool {
+			if dl.Expired() {
 				expired = true
-				return
+				return false
 			}
-			enumerateCmp(g, s, func(s2 bitset.Mask) { emit(s, s2) })
+			return enumerateCmp(g, s, func(s2 bitset.Mask) bool {
+				if dl.Expired() {
+					expired = true
+					return false
+				}
+				emit(s, s2)
+				return true
+			})
 		}
-		sub(s1)
-		if !expired {
-			enumerateCsgRec(g, s1, bitset.Full(v+1), sub)
+		if !sub(s1) {
+			break
+		}
+		if !enumerateCsgRec(g, s1, bitset.Full(v+1), sub) {
+			break
 		}
 	}
 	return !expired

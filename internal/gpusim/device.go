@@ -75,6 +75,10 @@ func TeslaT4() *Device {
 // Config selects the device and the §5 implementation enhancements.
 type Config struct {
 	Device *Device
+	// Devices is the simulated device count for the multi-device scheduler
+	// (MPDPGPUMulti/MPDPGPUBatch); 0 and 1 both mean a single device. The
+	// single-device entry points (MPDPGPU etc.) ignore it.
+	Devices int
 	// FusedPrune prunes in shared memory at the end of the evaluate kernel
 	// (one global write per set); false models the separate prune kernel of
 	// [23] with one global write per found plan.
@@ -94,6 +98,13 @@ func (c Config) device() *Device {
 		return c.Device
 	}
 	return GTX1080()
+}
+
+func (c Config) deviceCount() int {
+	if c.Devices <= 1 {
+		return 1
+	}
+	return c.Devices
 }
 
 // Work-model constants, in warp-cycles per 32-item warp of work.

@@ -1,0 +1,385 @@
+package gpusim
+
+import (
+	"sync"
+
+	"repro/internal/bitset"
+	"repro/internal/combinat"
+	"repro/internal/dp"
+	"repro/internal/graph"
+	"repro/internal/plan"
+)
+
+// MultiStats is the device work model of one optimization (or one batched
+// query) executed across several simulated devices. The aggregate Stats
+// sums the per-device work; its SimTimeMS is the level-synchronous wall
+// time — per level, the devices run concurrently and the level ends when
+// the slowest device finishes, so wall time is the sum over levels of the
+// per-level maximum, not the sum of device busy times.
+type MultiStats struct {
+	Stats
+	// Devices is the number of simulated devices this run was scheduled on.
+	Devices int
+	// PerDevice holds each device's own accounting. Each device pays its
+	// own kernel launches and its own per-level host↔device transfer; a
+	// device's SimTimeMS is its busy time summed over the levels.
+	PerDevice []Stats
+}
+
+// Utilization returns the mean ratio of device busy time to the run's wall
+// time — 1.0 means every device was busy for the whole run.
+func (m *MultiStats) Utilization() float64 {
+	if m.SimTimeMS <= 0 || len(m.PerDevice) == 0 {
+		return 0
+	}
+	var busy float64
+	for i := range m.PerDevice {
+		busy += m.PerDevice[i].SimTimeMS
+	}
+	return busy / (m.SimTimeMS * float64(len(m.PerDevice)))
+}
+
+// levelSeconds converts one level's work on one device into seconds: its
+// kernel launches, its per-level host↔device round trip, its warp cycles
+// and its global-memory transactions.
+func levelSeconds(d *Device, launches uint64, cycles float64, writes uint64) float64 {
+	return float64(launches)*d.KernelLaunchUS*1e-6 +
+		d.LevelTransferUS*1e-6 +
+		cycles/d.warpThroughput() +
+		float64(writes)/float64(d.WarpSize)*d.GlobalAccessNS*1e-9
+}
+
+// levelTotals is one DP level's work, before it is split across devices.
+type levelTotals struct {
+	sets       uint64 // connected sets of this size
+	candidates uint64 // unrank kernel volume: C(n, size)
+	evalCand   uint64 // evaluate-kernel candidate volume (MPDP semantics)
+	valid      uint64 // costed pairs (both orientations)
+}
+
+// devWinner is one (set, winner) pair buffered during the parallel
+// evaluate phase and published at the level barrier — the scatter kernel.
+type devWinner struct {
+	set bitset.Mask
+	win dp.Winner
+}
+
+// MPDPGPUMulti runs MPDP-GPU across cfg.Devices simulated devices with
+// level-partitioned batch scheduling: within each DP level, every device
+// takes an even share of the level's candidate index space and executes
+// the full unrank → filter → evaluate → prune pipeline over it, paying its
+// own kernel launches and its own host↔device transfer per level; the
+// level completes when the slowest device does (the level barrier of
+// Algorithm 5). Plans are costed for real, so the returned plan is exactly
+// optimal and cost-identical to the CPU enumerators.
+//
+// The two costing paths mirror the CPU dispatch:
+//
+//   - Tree join graphs evaluate each connected set through the real
+//     Algorithm 2 evaluator (output-linear), partitioned across one
+//     goroutine per device — multi-device runs are faster in wall time
+//     too, not only in simulated time.
+//   - General graphs cost the csg-cmp pairs through the output-sensitive
+//     CCP stream (dp.CostCCPStream), while the evaluate kernel's
+//     candidate volume — the quantity a lockstep warp would burn cycles
+//     on, Σ_blocks 2^|B|−2 per set — is derived arithmetically from each
+//     set's block decomposition, exactly the count the real per-set
+//     evaluator reports (see dp.Counters). This is the package's standard
+//     convention: plans and valid pairs are real, lockstep volumes are
+//     modeled, so a 40-relation cyclic query returns its exact plan in
+//     output-sensitive wall time while the device model still charges the
+//     full 2^n lattice.
+//
+// cfg.Devices <= 1 degenerates to the single-device schedule.
+func MPDPGPUMulti(in dp.Input, cfg Config) (*plan.Node, dp.Stats, MultiStats, error) {
+	var astats dp.Stats
+	ndev := cfg.deviceCount()
+	mstats := MultiStats{Devices: ndev, PerDevice: make([]Stats, ndev)}
+
+	prep, err := dp.Prepare(in)
+	if err != nil {
+		return nil, astats, mstats, err
+	}
+	n := in.Q.N()
+	buckets, err := dp.ConnectedBuckets(in)
+	if err != nil {
+		return nil, astats, mstats, err
+	}
+	tab := prep.Seed(dp.BucketCount(buckets))
+	astats.ConnectedSets = uint64(dp.BucketCount(buckets))
+
+	totals := make([]levelTotals, n+1)
+	for size := 2; size <= n; size++ {
+		totals[size].sets = uint64(len(buckets[size]))
+		totals[size].candidates = combinat.Binomial(n, size)
+	}
+
+	if in.Q.G.IsTree() {
+		err = multiEvaluateTree(in, tab, buckets, totals, ndev)
+	} else {
+		err = multiEvaluateGeneral(in, tab, buckets, totals)
+	}
+	if err != nil {
+		return nil, astats, mstats, err
+	}
+	for size := 2; size <= n; size++ {
+		astats.Evaluated += totals[size].evalCand
+		astats.CCP += totals[size].valid
+	}
+
+	// Billing: split every level's index spaces evenly across the devices
+	// (candidate unranking is index-addressed, so the scheduler partitions
+	// work at candidate granularity, not whole sets) and advance the wall
+	// clock by the slowest device.
+	dev := cfg.device()
+	warp := float64(dev.WarpSize)
+	var wallSec float64
+	for size := 2; size <= n; size++ {
+		lt := &totals[size]
+		mstats.Levels++
+		levelWall := 0.0
+		for d := 0; d < ndev; d++ {
+			ds := &mstats.PerDevice[d]
+			ds.Levels++
+
+			unrank := chunkShare(lt.candidates, ndev, d)
+			cand := chunkShare(lt.evalCand, ndev, d)
+			valid := chunkShare(lt.valid, ndev, d)
+			sets := chunkShare(lt.sets, ndev, d)
+
+			var launches, writes uint64
+			var cycles float64
+			bill := func(p Phase, c float64) {
+				cycles += c
+				ds.addCycles(p, c)
+			}
+
+			// Unrank + filter kernels over this device's candidate share.
+			launches += 2
+			ds.UnrankedSets += unrank
+			ds.FilteredSets += sets
+			bill(PhaseUnrank, float64(unrank)*unrankCyclesPerItem/warp)
+			bill(PhaseFilter, float64(unrank)*filterCyclesPerItem/warp)
+			writes += sets
+
+			// Evaluate kernel: per-set warp Find-Blocks plus the lockstep
+			// candidate volume; CCC compacts the valid-pair costing work.
+			launches++
+			ds.CandidatePairs += cand
+			ds.ValidPairs += valid
+			bill(PhaseEvaluate, float64(sets)*blockCyclesPerSet)
+			if cfg.CCC {
+				bill(PhaseEvaluate, float64(cand)*checkCyclesPerItem/warp+
+					float64(valid)*costCyclesPerItem/warp)
+			} else {
+				bill(PhaseEvaluate, float64(cand)*(checkCyclesPerItem+costCyclesPerItem)/warp)
+			}
+			if cfg.FusedPrune {
+				// In-warp shared-memory prune: one write per surviving set.
+				writes += sets
+			} else {
+				// Separate prune kernel [23]: every found plan spills to
+				// global memory, then a reduce-by-key keeps the best.
+				launches++
+				writes += valid + sets
+				bill(PhasePrune, float64(valid)*2/warp)
+			}
+
+			// Scatter kernel: publish this device's share of the level.
+			launches++
+			writes += sets
+
+			ds.KernelLaunches += launches
+			ds.GlobalWrites += writes
+			sec := levelSeconds(dev, launches, cycles, writes)
+			ds.SimTimeMS += sec * 1e3
+			if sec > levelWall {
+				levelWall = sec
+			}
+		}
+		wallSec += levelWall
+	}
+
+	// Fold the per-device totals into the aggregate view.
+	for d := 0; d < ndev; d++ {
+		ds := &mstats.PerDevice[d]
+		mstats.KernelLaunches += ds.KernelLaunches
+		mstats.UnrankedSets += ds.UnrankedSets
+		mstats.FilteredSets += ds.FilteredSets
+		mstats.CandidatePairs += ds.CandidatePairs
+		mstats.ValidPairs += ds.ValidPairs
+		mstats.GlobalWrites += ds.GlobalWrites
+		mstats.WarpCycles += ds.WarpCycles
+		for p := 0; p < int(numPhases); p++ {
+			mstats.PhaseCycles[p] += ds.PhaseCycles[p]
+		}
+	}
+	mstats.SimTimeMS = wallSec * 1e3
+
+	best, astats, err := dp.Finish(in, tab, prep.Leaves, &astats)
+	return best, astats, mstats, err
+}
+
+// multiEvaluateTree runs the level-synchronous real evaluation for tree
+// join graphs: each level's sets are split into near-equal chunks, one
+// goroutine per device, with winners buffered and scattered at the level
+// barrier (same-level sets only read strictly smaller entries, so the
+// deferred writes preserve the sequential semantics exactly). Counters
+// accumulate into totals.
+func multiEvaluateTree(in dp.Input, tab *plan.Table, buckets [][]bitset.Mask, totals []levelTotals, ndev int) error {
+	scratch := make([]dp.Scratch, ndev)
+	winners := make([][]devWinner, ndev)
+	errs := make([]error, ndev)
+	counts := make([]dp.Stats, ndev)
+
+	for size := 2; size <= in.Q.N(); size++ {
+		sets := buckets[size]
+		var wg sync.WaitGroup
+		for d := 0; d < ndev; d++ {
+			lo, hi := chunk(len(sets), ndev, d)
+			wg.Add(1)
+			go func(d, lo, hi int) {
+				defer wg.Done()
+				winners[d] = winners[d][:0]
+				counts[d] = dp.Stats{}
+				errs[d] = nil
+				// Each device polls its own deadline and owns its scratch.
+				dl := dp.NewDeadline(in.Deadline)
+				for _, s := range sets[lo:hi] {
+					win, st, err := dp.EvaluateSetMPDPTree(in, tab, s, dl, &scratch[d])
+					if err != nil {
+						errs[d] = err
+						return
+					}
+					counts[d].Add(st)
+					if win.Found {
+						winners[d] = append(winners[d], devWinner{set: s, win: win})
+					}
+				}
+			}(d, lo, hi)
+		}
+		wg.Wait()
+		for d := 0; d < ndev; d++ {
+			if errs[d] != nil {
+				return errs[d]
+			}
+			totals[size].evalCand += counts[d].Evaluated
+			totals[size].valid += counts[d].CCP
+			for _, w := range winners[d] {
+				tab.Put(w.set, w.win)
+			}
+		}
+	}
+	return nil
+}
+
+// multiEvaluateGeneral costs general join graphs through the
+// output-sensitive CCP stream (children strictly before parents, so no
+// level barrier is needed for correctness) and derives the evaluate
+// kernel's per-level candidate volume arithmetically from each set's
+// block decomposition — the count the real per-set evaluator reports.
+func multiEvaluateGeneral(in dp.Input, tab *plan.Table, buckets [][]bitset.Mask, totals []levelTotals) error {
+	dl := dp.NewDeadline(in.Deadline)
+	if _, err := dp.CostCCPStream(in, tab, dl, func(level int) {
+		totals[level].valid += 2
+	}); err != nil {
+		return err
+	}
+	var bsc graph.BlockScratch
+	g := in.Q.G
+	for size := 2; size <= in.Q.N(); size++ {
+		for _, s := range buckets[size] {
+			if dl.Expired() {
+				return dp.ErrTimeout
+			}
+			for _, b := range g.FindBlocksInto(s, &bsc) {
+				totals[size].evalCand += (uint64(1) << uint(b.Count())) - 2
+			}
+		}
+	}
+	return nil
+}
+
+// chunk returns the [lo, hi) slice bounds of device d's share of n items
+// split near-evenly across ndev devices (first n%ndev chunks are one
+// larger).
+func chunk(n, ndev, d int) (int, int) {
+	base, rem := n/ndev, n%ndev
+	lo := d*base + min(d, rem)
+	hi := lo + base
+	if d < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// chunkShare splits a work count the same way chunk splits a slice.
+func chunkShare(total uint64, ndev, d int) uint64 {
+	base, rem := total/uint64(ndev), total%uint64(ndev)
+	if uint64(d) < rem {
+		return base + 1
+	}
+	return base
+}
+
+// BatchResult is one query's outcome within a batched GPU run.
+type BatchResult struct {
+	Plan  *plan.Node
+	Stats dp.Stats
+	GPU   MultiStats
+	Err   error
+}
+
+// MPDPGPUBatch schedules a coalesced batch of independent queries across
+// the configured devices so the batch saturates all of them: with B
+// queries on N devices, the devices are split into B near-equal groups
+// when B < N (each query runs multi-device on its group), and queries
+// round-robin onto single devices when B >= N (queries sharing a device
+// run back-to-back, which their reported sim times reflect). All groups
+// execute concurrently in wall time.
+func MPDPGPUBatch(ins []dp.Input, cfg Config) []BatchResult {
+	out := make([]BatchResult, len(ins))
+	if len(ins) == 0 {
+		return out
+	}
+	ndev := cfg.deviceCount()
+
+	if len(ins) < ndev {
+		// Fewer queries than devices: give each query its own device group.
+		var wg sync.WaitGroup
+		for i := range ins {
+			lo, hi := chunk(ndev, len(ins), i)
+			gcfg := cfg
+			gcfg.Devices = hi - lo
+			wg.Add(1)
+			go func(i int, gcfg Config) {
+				defer wg.Done()
+				out[i].Plan, out[i].Stats, out[i].GPU, out[i].Err = MPDPGPUMulti(ins[i], gcfg)
+			}(i, gcfg)
+		}
+		wg.Wait()
+		return out
+	}
+
+	// More queries than devices: one device per query, one worker goroutine
+	// per device draining its round-robin queue sequentially. Queue wait is
+	// reflected in each query's sim time by accumulating the device's
+	// backlog.
+	gcfg := cfg
+	gcfg.Devices = 1
+	var wg sync.WaitGroup
+	for d := 0; d < ndev; d++ {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			backlogMS := 0.0
+			for i := d; i < len(ins); i += ndev {
+				out[i].Plan, out[i].Stats, out[i].GPU, out[i].Err = MPDPGPUMulti(ins[i], gcfg)
+				out[i].GPU.SimTimeMS += backlogMS
+				backlogMS = out[i].GPU.SimTimeMS
+			}
+		}(d)
+	}
+	wg.Wait()
+	return out
+}

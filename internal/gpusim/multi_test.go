@@ -1,0 +1,246 @@
+package gpusim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/dp"
+	"repro/internal/workload"
+)
+
+func multiQuery(t testing.TB, kind workload.Kind, n int, seed int64) *cost.Query {
+	t.Helper()
+	q, err := workload.Generate(kind, n, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func relClose(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// TestMultiDeviceCostIdenticalToCPU: the multi-device schedule must return
+// plans cost-identical to the sequential CPU enumerator for any device
+// count — partitioning only moves work, never changes it.
+func TestMultiDeviceCostIdenticalToCPU(t *testing.T) {
+	for _, kind := range []workload.Kind{
+		workload.KindChain, workload.KindCycle, workload.KindStar, workload.KindClique, workload.KindMB,
+	} {
+		for _, ndev := range []int{1, 2, 3, 4} {
+			n := 10
+			q := multiQuery(t, kind, n, int64(ndev))
+			in := dp.Input{Q: q, M: cost.DefaultModel()}
+			ref, _, err := dp.DPCCP(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := DefaultConfig()
+			cfg.Devices = ndev
+			p, _, _, err := MPDPGPUMulti(in, cfg)
+			if err != nil {
+				t.Fatalf("%s/dev=%d: %v", kind, ndev, err)
+			}
+			if !relClose(p.Cost, ref.Cost) {
+				t.Errorf("%s/dev=%d: cost %g, want %g", kind, ndev, p.Cost, ref.Cost)
+			}
+		}
+	}
+}
+
+// TestMultiDeviceCountersMatchSingle: the aggregate algorithmic counters of
+// a partitioned run must equal the single-device run's — the same pairs are
+// examined no matter how many devices split them.
+func TestMultiDeviceCountersMatchSingle(t *testing.T) {
+	q := multiQuery(t, workload.KindCycle, 14, 3)
+	in := dp.Input{Q: q, M: cost.DefaultModel()}
+	cfg1 := DefaultConfig()
+	cfg1.Devices = 1
+	_, st1, gs1, err := MPDPGPUMulti(in, cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg4 := DefaultConfig()
+	cfg4.Devices = 4
+	_, st4, gs4, err := MPDPGPUMulti(in, cfg4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1 != st4 {
+		t.Errorf("algorithmic stats diverge: 1 dev %+v, 4 dev %+v", st1, st4)
+	}
+	if gs1.UnrankedSets != gs4.UnrankedSets || gs1.FilteredSets != gs4.FilteredSets ||
+		gs1.CandidatePairs != gs4.CandidatePairs || gs1.ValidPairs != gs4.ValidPairs {
+		t.Errorf("aggregate device work diverges:\n1 dev %+v\n4 dev %+v", gs1.Stats, gs4.Stats)
+	}
+	if len(gs4.PerDevice) != 4 {
+		t.Fatalf("PerDevice = %d entries, want 4", len(gs4.PerDevice))
+	}
+	var launches uint64
+	for _, d := range gs4.PerDevice {
+		launches += d.KernelLaunches
+		if d.Levels != gs4.Levels {
+			t.Errorf("device levels %d != run levels %d (every device pays every level's transfer)",
+				d.Levels, gs4.Levels)
+		}
+	}
+	if launches != gs4.KernelLaunches {
+		t.Errorf("per-device launches sum %d != aggregate %d", launches, gs4.KernelLaunches)
+	}
+}
+
+// TestMultiDeviceMonotonicScaling: in simulated time, adding devices never
+// slows a query down — the per-level wall time is the slowest device's
+// share, which can only shrink when the split gets finer.
+func TestMultiDeviceMonotonicScaling(t *testing.T) {
+	for _, tc := range []struct {
+		kind workload.Kind
+		n    int
+	}{
+		{workload.KindChain, 20},
+		{workload.KindCycle, 20},
+		{workload.KindStar, 18},
+		{workload.KindClique, 12},
+		{workload.KindMB, 18},
+	} {
+		q := multiQuery(t, tc.kind, tc.n, 7)
+		in := dp.Input{Q: q, M: cost.DefaultModel()}
+		prev := math.Inf(1)
+		for _, ndev := range []int{1, 2, 4, 8} {
+			cfg := DefaultConfig()
+			cfg.Devices = ndev
+			_, _, gs, err := MPDPGPUMulti(in, cfg)
+			if err != nil {
+				t.Fatalf("%s/%d dev=%d: %v", tc.kind, tc.n, ndev, err)
+			}
+			// Strict monotonicity up to float addition order: the d-device
+			// level max never exceeds the (d-1)-device one.
+			if gs.SimTimeMS > prev*(1+1e-9) {
+				t.Errorf("%s/%d: %d devices simulated %.4fms, slower than fewer devices' %.4fms",
+					tc.kind, tc.n, ndev, gs.SimTimeMS, prev)
+			}
+			prev = gs.SimTimeMS
+			if u := gs.Utilization(); u <= 0 || u > 1+1e-9 {
+				t.Errorf("%s/%d dev=%d: utilization %.3f out of (0,1]", tc.kind, tc.n, ndev, u)
+			}
+		}
+	}
+}
+
+// TestMultiDeviceMatchesSingleDeviceModel: with one device on a tree
+// query — where both paths run the same real Algorithm 2 evaluator — the
+// multi scheduler's totals must agree with the original single-device
+// MPDPGPU, and the sim times must stay within a few percent (only float
+// summation order differs). General graphs are excluded deliberately: the
+// multi path models the evaluate-kernel volume arithmetically and counts
+// CCPs in stream order, so only plan costs (not counters) are comparable
+// there.
+func TestMultiDeviceMatchesSingleDeviceModel(t *testing.T) {
+	q := multiQuery(t, workload.KindStar, 16, 5)
+	in := dp.Input{Q: q, M: cost.DefaultModel()}
+	pS, stS, gsS, err := MPDPGPU(in, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Devices = 1
+	pM, stM, gsM, err := MPDPGPUMulti(in, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relClose(pS.Cost, pM.Cost) {
+		t.Errorf("cost diverges: single %g, multi %g", pS.Cost, pM.Cost)
+	}
+	if stS != stM {
+		t.Errorf("stats diverge: single %+v, multi %+v", stS, stM)
+	}
+	if gsS.CandidatePairs != gsM.CandidatePairs || gsS.ValidPairs != gsM.ValidPairs ||
+		gsS.UnrankedSets != gsM.UnrankedSets || gsS.GlobalWrites != gsM.GlobalWrites {
+		t.Errorf("device work diverges:\nsingle %+v\nmulti  %+v", gsS, gsM.Stats)
+	}
+	if math.Abs(gsS.SimTimeMS-gsM.SimTimeMS) > 0.05*gsS.SimTimeMS {
+		t.Errorf("sim time diverges: single %.4fms, multi(1) %.4fms", gsS.SimTimeMS, gsM.SimTimeMS)
+	}
+}
+
+// TestBatchSaturatesDevices: a batch of B queries on N devices must give
+// every query a device group, return correct plans for all of them, and
+// use all N devices when B < N.
+func TestBatchSaturatesDevices(t *testing.T) {
+	m := cost.DefaultModel()
+	mkBatch := func(b int) []dp.Input {
+		ins := make([]dp.Input, b)
+		for i := range ins {
+			ins[i] = dp.Input{Q: multiQuery(t, workload.KindCycle, 10+i%3, int64(i)), M: m}
+		}
+		return ins
+	}
+
+	for _, tc := range []struct {
+		batch, devices int
+	}{
+		{1, 4}, // one query spreads over all 4 devices
+		{3, 4}, // groups of 2/1/1
+		{8, 4}, // two queries per device, run back-to-back
+	} {
+		t.Run(fmt.Sprintf("b=%d/n=%d", tc.batch, tc.devices), func(t *testing.T) {
+			ins := mkBatch(tc.batch)
+			cfg := DefaultConfig()
+			cfg.Devices = tc.devices
+			out := MPDPGPUBatch(ins, cfg)
+			if len(out) != tc.batch {
+				t.Fatalf("got %d results, want %d", len(out), tc.batch)
+			}
+			groupDevs := 0
+			for i, r := range out {
+				if r.Err != nil {
+					t.Fatalf("query %d: %v", i, r.Err)
+				}
+				ref, _, err := dp.DPCCP(ins[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !relClose(r.Plan.Cost, ref.Cost) {
+					t.Errorf("query %d: cost %g, want %g", i, r.Plan.Cost, ref.Cost)
+				}
+				groupDevs += r.GPU.Devices
+			}
+			if tc.batch < tc.devices && groupDevs != tc.devices {
+				t.Errorf("device groups sum to %d, want all %d devices in use", groupDevs, tc.devices)
+			}
+			if tc.batch >= tc.devices {
+				for i, r := range out {
+					if r.GPU.Devices != 1 {
+						t.Errorf("query %d: got %d devices, want 1 when batch >= devices", i, r.GPU.Devices)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBatchBacklogAccumulates: when queries share one device, the later
+// query's reported sim time includes the earlier one's — the device is
+// busy.
+func TestBatchBacklogAccumulates(t *testing.T) {
+	m := cost.DefaultModel()
+	q := multiQuery(t, workload.KindCycle, 12, 9)
+	ins := []dp.Input{{Q: q, M: m}, {Q: q, M: m}}
+	cfg := DefaultConfig()
+	cfg.Devices = 1
+	out := MPDPGPUBatch(ins, cfg)
+	if out[0].Err != nil || out[1].Err != nil {
+		t.Fatal(out[0].Err, out[1].Err)
+	}
+	if out[1].GPU.SimTimeMS <= out[0].GPU.SimTimeMS {
+		t.Errorf("second query on a shared device simulated %.4fms, want > first's %.4fms (queue wait)",
+			out[1].GPU.SimTimeMS, out[0].GPU.SimTimeMS)
+	}
+}

@@ -5,8 +5,10 @@ import (
 	"hash/fnv"
 	"sync"
 
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/dp"
+	"repro/internal/gpusim"
 	"repro/internal/plan"
 )
 
@@ -19,7 +21,9 @@ type cached struct {
 	plan     *plan.Node
 	stats    dp.Stats
 	alg      core.Algorithm
+	backend  backend.ID
 	shape    Shape
+	gpu      *gpusim.MultiStats // device work model when backend == gpu
 	fellBack bool
 }
 

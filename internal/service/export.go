@@ -3,8 +3,10 @@ package service
 import (
 	"fmt"
 
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/dp"
+	"repro/internal/gpusim"
 	"repro/internal/plan"
 )
 
@@ -23,8 +25,12 @@ type Entry struct {
 	Plan      *plan.Node // canonical index space; treat as immutable
 	Stats     dp.Stats
 	Algorithm core.Algorithm
-	Shape     Shape
-	FellBack  bool
+	// Backend is the substrate that produced the plan; it travels with
+	// the entry so replicated plans keep their provenance cluster-wide.
+	Backend  backend.ID
+	Shape    Shape
+	GPU      *gpusim.MultiStats // device work model when Backend == gpu
+	FellBack bool
 }
 
 // Flush drops every plan-cache entry. Use it when the statistics or catalog
@@ -71,7 +77,9 @@ func (s *Service) Import(e Entry) error {
 		plan:     e.Plan,
 		stats:    e.Stats,
 		alg:      e.Algorithm,
+		backend:  e.Backend,
 		shape:    e.Shape,
+		gpu:      e.GPU,
 		fellBack: e.FellBack,
 	})
 	return nil
@@ -83,7 +91,9 @@ func exportEntry(e *cached) Entry {
 		Plan:      e.plan,
 		Stats:     e.stats,
 		Algorithm: e.alg,
+		Backend:   e.backend,
 		Shape:     e.shape,
+		GPU:       e.gpu,
 		FellBack:  e.fellBack,
 	}
 }

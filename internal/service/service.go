@@ -7,16 +7,19 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/dp"
+	"repro/internal/gpusim"
 	"repro/internal/plan"
 )
 
 // Config tunes a Service. The zero value selects the defaults listed on
 // each field, which follow the regimes of the paper's evaluation: exact DP
-// for small graphs, CPU-parallel MPDP for medium ones, IDP2/UnionDP beyond
-// the fall-back limit.
+// for small graphs, CPU-parallel MPDP for medium ones, GPU-MPDP for large
+// trees and sparse cyclic graphs up to the bitset width, IDP2/UnionDP
+// beyond.
 type Config struct {
 	// CacheShards is the plan-cache shard count (0: 16; rounded up to a
 	// power of two).
@@ -30,15 +33,26 @@ type Config struct {
 	QueueDepth int
 	// Threads is passed to CPU-parallel optimizers (0: all cores).
 	Threads int
-	// SmallLimit routes graphs of at most this many relations to the
-	// sequential exact DPCCP (0: 12).
+	// Crossover sets the backend-crossover thresholds of the router (nil:
+	// backend.DefaultCrossover(), calibrated from the GPU device model;
+	// load deployment overrides with backend.LoadCrossover, which
+	// validates the ladder). Programmatic values are taken as-is: the
+	// router is a waterfall (small → cpu-parallel → gpu → heuristic), so
+	// an inverted ladder is well-defined and simply leaves the shadowed
+	// band empty (e.g. GPULimit < CPUParallelLimit disables the GPU
+	// band).
+	Crossover *backend.Crossover
+	// SmallLimit, when non-zero, overrides Crossover.SmallLimit (kept for
+	// configuration compatibility with the pre-backend router).
 	SmallLimit int
-	// ExactLimit routes graphs of at most this many relations to
-	// CPU-parallel MPDP (0: 25, the paper's raised fall-back limit).
+	// ExactLimit, when non-zero, overrides Crossover.CPUParallelLimit.
 	ExactLimit int
-	// CliqueExactLimit lowers ExactLimit for clique-shaped graphs, whose
-	// enumeration cost grows as 3^n (0: 14).
+	// CliqueExactLimit, when non-zero, overrides Crossover.CliqueCPULimit.
 	CliqueExactLimit int
+	// GPU configures the simulated GPU backend: device model, device
+	// count, and the request-coalescing batch window (zero value: 2 ×
+	// GTX 1080 with a 200µs window).
+	GPU backend.GPUConfig
 	// K is the sub-problem bound for IDP2/UnionDP (0: 15).
 	K int
 	// Timeout is the per-query optimization budget. An exact run that
@@ -62,15 +76,6 @@ func (c Config) withDefaults() Config {
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 4 * c.Workers
 	}
-	if c.SmallLimit == 0 {
-		c.SmallLimit = 12
-	}
-	if c.ExactLimit == 0 {
-		c.ExactLimit = 25
-	}
-	if c.CliqueExactLimit == 0 {
-		c.CliqueExactLimit = 14
-	}
 	if c.Timeout == 0 {
 		c.Timeout = 30 * time.Second
 	}
@@ -80,13 +85,40 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// crossover resolves the router thresholds: the Crossover field (or the
+// calibrated defaults), with the legacy per-field overrides applied on
+// top.
+func (c Config) crossover() backend.Crossover {
+	x := backend.DefaultCrossover()
+	if c.Crossover != nil {
+		x = c.Crossover.WithDefaults()
+	}
+	if c.SmallLimit != 0 {
+		x.SmallLimit = c.SmallLimit
+	}
+	if c.ExactLimit != 0 {
+		x.CPUParallelLimit = c.ExactLimit
+	}
+	if c.CliqueExactLimit != 0 {
+		x.CliqueCPULimit = c.CliqueExactLimit
+	}
+	return x
+}
+
 // Result is one service answer. Plan is always a private copy in the
 // caller's relation-index space; callers may mutate it freely.
 type Result struct {
 	Plan      *plan.Node
 	Algorithm core.Algorithm
-	Shape     Shape
-	Stats     dp.Stats
+	// Backend identifies the substrate that produced the plan (cpu-seq,
+	// cpu-parallel, gpu, heuristic); cache hits report the backend of the
+	// original optimization.
+	Backend backend.ID
+	Shape   Shape
+	Stats   dp.Stats
+	// GPU carries the multi-device work model when Backend == gpu. It is
+	// shared with the cache entry: treat as read-only.
+	GPU *gpusim.MultiStats
 	// CacheHit is true when the plan came from the cache without waiting
 	// on any optimization; Coalesced when the request piggybacked on an
 	// identical in-flight optimization.
@@ -122,6 +154,8 @@ type request struct {
 // package comment. Create with New, release with Close.
 type Service struct {
 	cfg      Config
+	xover    backend.Crossover
+	backends *backend.Set
 	cache    *Cache
 	counters Counters
 
@@ -134,11 +168,13 @@ type Service struct {
 	once sync.Once
 }
 
-// New starts a service and its worker pool.
+// New starts a service, its execution backends and its worker pool.
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	s := &Service{
 		cfg:      cfg,
+		xover:    cfg.crossover(),
+		backends: backend.NewSet(cfg.GPU),
 		cache:    NewCache(cfg.CacheShards, cfg.CacheCapacity),
 		inflight: make(map[string]*flight),
 		reqs:     make(chan request, cfg.QueueDepth),
@@ -151,12 +187,15 @@ func New(cfg Config) *Service {
 	return s
 }
 
-// Close stops the worker pool: queued-but-unstarted requests are abandoned
-// (their callers return ErrClosed) and Close waits only for optimizations
-// already running on a worker to finish.
+// Close stops the worker pool, then the backends: queued-but-unstarted
+// requests are abandoned (their callers return ErrClosed) and Close waits
+// only for optimizations already running on a worker to finish. The
+// backends close after the workers, so no in-flight optimization can race
+// the GPU batcher's shutdown.
 func (s *Service) Close() {
 	s.once.Do(func() { close(s.quit) })
 	s.wg.Wait()
+	s.backends.Close()
 }
 
 // Counters returns the live instrumentation (expvar.Var compatible).
@@ -165,28 +204,60 @@ func (s *Service) Counters() *Counters { return &s.counters }
 // CacheLen returns the number of cached plans.
 func (s *Service) CacheLen() int { return s.cache.Len() }
 
-// Route reports which algorithm the adaptive router would pick for q,
-// given its size and detected shape.
-func (s *Service) Route(q *cost.Query) (core.Algorithm, Shape) {
+// Route reports which (algorithm, backend) pair the adaptive router would
+// pick for q, given its size, detected shape and edge density.
+func (s *Service) Route(q *cost.Query) (core.Algorithm, backend.ID, Shape) {
 	shape := DetectShape(q.G)
-	return s.route(q.N(), shape), shape
+	alg, bid := s.route(q.N(), shape, len(q.G.Edges))
+	return alg, bid, shape
 }
 
-func (s *Service) route(n int, shape Shape) core.Algorithm {
-	if n <= s.cfg.SmallLimit && n <= 64 {
-		return core.AlgDPCCP
+// Crossover returns the resolved router thresholds.
+func (s *Service) Crossover() backend.Crossover { return s.xover }
+
+// route walks the crossover ladder (see backend.Crossover): sequential
+// DPCCP for small graphs, CPU-parallel MPDP to the paper's fall-back
+// limit, then — where the pre-GPU router gave up and went heuristic —
+// GPU-MPDP with fused pruning and CCC for large trees and sparse cyclic
+// graphs up to the bitset width. Cliques and dense general graphs (whose
+// connected-set space explodes the same way) cap the exact bands early,
+// and everything beyond goes to the shape's heuristic.
+func (s *Service) route(n int, shape Shape, edges int) (core.Algorithm, backend.ID) {
+	x := &s.xover
+	if n <= x.SmallLimit && n <= 64 {
+		return core.AlgDPCCP, backend.CPUSeq
 	}
-	limit := s.cfg.ExactLimit
-	if shape == ShapeClique && s.cfg.CliqueExactLimit < limit {
-		limit = s.cfg.CliqueExactLimit
+	// Only literal cliques shrink the CPU-parallel band (its pre-backend
+	// contract); the density test additionally caps the new GPU band,
+	// where a dense general graph's connected-set lattice explodes like a
+	// clique's. Dense graphs of 17..25 relations therefore still get the
+	// exact CPU-parallel route they always had.
+	cpuLimit := x.CPUParallelLimit
+	if shape == ShapeClique && x.CliqueCPULimit < cpuLimit {
+		cpuLimit = x.CliqueCPULimit
 	}
-	if n <= limit && n <= 64 {
-		return core.AlgMPDPParallel
+	if n <= cpuLimit && n <= 64 {
+		return core.AlgMPDPParallel, backend.CPUParallel
+	}
+	gpuLimit := x.GPULimit
+	if shape == ShapeClique || shape == ShapeStar ||
+		(shape == ShapeGeneral && float64(edges) > x.DenseEdgeFactor*float64(n)) {
+		// Cliques and dense graphs explode the candidate-pair space;
+		// stars explode the *lattice* instead — a hub of degree d has
+		// 2^d connected supersets, so a star past ~26 relations is
+		// mathematically guaranteed to overflow the memo cap before the
+		// GPU run finishes enumerating. All three skip to the clique cap
+		// (stars ≤ the CPU band never reach here, so in practice stars
+		// route heuristically beyond 25 — the pre-backend behaviour).
+		gpuLimit = x.GPUCliqueLimit
+	}
+	if n <= gpuLimit && n <= 64 {
+		return core.AlgMPDPGPU, backend.GPU
 	}
 	if shape.IsTree() {
-		return core.AlgIDP2
+		return core.AlgIDP2, backend.Heuristic
 	}
-	return core.AlgUnionDP
+	return core.AlgUnionDP, backend.Heuristic
 }
 
 // Optimize plans q, serving from the sharded plan cache when an
@@ -206,7 +277,7 @@ func (s *Service) Optimize(q *cost.Query) (*Result, error) {
 	inv := invert(fp.Perm)
 	if e, ok := s.cache.Get(fp.Key); ok {
 		elapsed := time.Since(start)
-		s.counters.observeHit(elapsed)
+		s.counters.observeHit(elapsed, e.backend)
 		return resultFrom(e, inv, elapsed, true, false), nil
 	}
 
@@ -259,8 +330,10 @@ func resultFrom(e *cached, inv []int, elapsed time.Duration, hit, coalesced bool
 	return &Result{
 		Plan:      remapPlan(e.plan, inv),
 		Algorithm: e.alg,
+		Backend:   e.backend,
 		Shape:     e.shape,
 		Stats:     e.stats,
+		GPU:       e.gpu,
 		CacheHit:  hit,
 		Coalesced: coalesced,
 		FellBack:  e.fellBack,
@@ -299,18 +372,21 @@ func (s *Service) worker() {
 // worker's arena; only the remapped copy survives this call.
 func (s *Service) serve(r request, arena *plan.Arena) {
 	shape := DetectShape(r.q.G)
-	alg := s.route(r.q.N(), shape)
-	s.counters.observeRoute(alg)
+	alg, bid := s.route(r.q.N(), shape, len(r.q.G.Edges))
+	s.counters.observeRoute(alg, bid)
 
 	arena.Reset()
-	res, usedAlg, err := s.optimizeWithFallback(r.q, alg, shape, arena)
+	res, usedAlg, usedBid, err := s.optimizeWithFallback(r.q, alg, bid, shape, arena)
 	if err == nil {
+		s.counters.observeServed(usedBid)
 		r.fl.entry = &cached{
 			key:      r.fp.Key,
 			plan:     remapPlan(res.Plan, r.fp.Perm),
 			stats:    res.Stats,
 			alg:      usedAlg,
+			backend:  usedBid,
 			shape:    shape,
+			gpu:      res.GPU,
 			fellBack: usedAlg != alg,
 		}
 		s.cache.Put(r.fl.entry)
@@ -323,29 +399,29 @@ func (s *Service) serve(r request, arena *plan.Arena) {
 	close(r.fl.done)
 }
 
-// optimizeWithFallback runs the routed algorithm under the time budget;
-// when an exact route times out it retries once with the shape's heuristic
-// under a fresh budget (the adaptive part of adaptive routing: the router's
-// size thresholds are estimates, the budget is the contract).
-func (s *Service) optimizeWithFallback(q *cost.Query, alg core.Algorithm, shape Shape, arena *plan.Arena) (*core.Result, core.Algorithm, error) {
-	opts := core.Options{
-		Algorithm: alg,
-		Model:     s.cfg.Model,
-		Timeout:   s.cfg.Timeout,
-		Threads:   s.cfg.Threads,
-		K:         s.cfg.K,
-		Arena:     arena,
+// optimizeWithFallback runs the routed algorithm on the routed backend
+// under the time budget; when an exact route times out it retries once
+// with the shape's heuristic under a fresh budget (the adaptive part of
+// adaptive routing: the router's crossover thresholds are estimates, the
+// budget is the contract). The fallback is charged to the backend that
+// timed out.
+func (s *Service) optimizeWithFallback(q *cost.Query, alg core.Algorithm, bid backend.ID, shape Shape, arena *plan.Arena) (*backend.Result, core.Algorithm, backend.ID, error) {
+	opts := backend.Options{
+		Model:   s.cfg.Model,
+		Timeout: s.cfg.Timeout,
+		Threads: s.cfg.Threads,
+		K:       s.cfg.K,
+		Arena:   arena,
 	}
-	res, err := core.Optimize(q, opts)
+	res, err := s.backends.Get(bid).Optimize(q, alg, opts)
 	if err == nil || !errors.Is(err, dp.ErrTimeout) || !alg.IsExact() {
-		return res, alg, err
+		return res, alg, bid, err
 	}
-	s.counters.fallbacks.Add(1)
+	s.counters.observeFallback(bid)
 	fb := core.AlgUnionDP
 	if shape.IsTree() {
 		fb = core.AlgIDP2
 	}
-	opts.Algorithm = fb
-	res, err = core.Optimize(q, opts)
-	return res, fb, err
+	res, err = s.backends.Get(backend.Heuristic).Optimize(q, fb, opts)
+	return res, fb, backend.Heuristic, err
 }

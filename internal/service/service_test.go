@@ -2,12 +2,14 @@ package service
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 	"sync"
 	"testing"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/cost"
@@ -68,20 +70,93 @@ func TestRouteThresholds(t *testing.T) {
 		kind workload.Kind
 		n    int
 		want core.Algorithm
+		bid  backend.ID
 	}{
-		{workload.KindChain, 8, core.AlgDPCCP},
-		{workload.KindClique, 12, core.AlgDPCCP},
-		{workload.KindMB, 20, core.AlgMPDPParallel},
-		{workload.KindChain, 25, core.AlgMPDPParallel},
-		{workload.KindClique, 16, core.AlgUnionDP}, // beyond the clique exact limit
-		{workload.KindStar, 40, core.AlgIDP2},      // tree-shaped, beyond exact
-		{workload.KindCycle, 40, core.AlgUnionDP},  // cyclic, beyond exact
+		{workload.KindChain, 8, core.AlgDPCCP, backend.CPUSeq},
+		{workload.KindClique, 12, core.AlgDPCCP, backend.CPUSeq},
+		{workload.KindMB, 20, core.AlgMPDPParallel, backend.CPUParallel},
+		{workload.KindChain, 25, core.AlgMPDPParallel, backend.CPUParallel},
+		// Beyond the CPU clique cap the GPU band picks cliques up, to its
+		// own cap; past that, the heuristics.
+		{workload.KindClique, 16, core.AlgMPDPGPU, backend.GPU},
+		{workload.KindClique, 20, core.AlgUnionDP, backend.Heuristic},
+		// The 26..GPULimit band used to be the heuristic fallback;
+		// bounded-degree trees and sparse cyclic graphs now stay exact on
+		// the simulated GPU.
+		{workload.KindCycle, 40, core.AlgMPDPGPU, backend.GPU},
+		{workload.KindSnowflake, 30, core.AlgMPDPGPU, backend.GPU},
+		// Stars are hub-bombs: a degree-d hub has 2^d connected supersets,
+		// so past the CPU band they skip the GPU and go straight to the
+		// tree heuristic (the pre-backend behaviour).
+		{workload.KindStar, 40, core.AlgIDP2, backend.Heuristic},
+		// Past the bitset width exact enumeration is impossible anywhere.
+		{workload.KindStar, 70, core.AlgIDP2, backend.Heuristic},
+		{workload.KindCycle, 70, core.AlgUnionDP, backend.Heuristic},
 	}
 	for _, tc := range tests {
 		q := genQuery(t, tc.kind, tc.n, 5)
-		if alg, _ := s.Route(q); alg != tc.want {
-			t.Errorf("%s/%d: routed to %s, want %s", tc.kind, tc.n, alg, tc.want)
+		alg, bid, _ := s.Route(q)
+		if alg != tc.want || bid != tc.bid {
+			t.Errorf("%s/%d: routed to %s on %s, want %s on %s",
+				tc.kind, tc.n, alg, bid, tc.want, tc.bid)
 		}
+	}
+}
+
+// TestRouteDenseGeneralCapped: a cyclic general graph with edge density
+// beyond DenseEdgeFactor caps the GPU band like a clique — its
+// connected-set space explodes the same way — but keeps the exact
+// CPU-parallel band it always had below 25 relations.
+func TestRouteDenseGeneralCapped(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	x := s.Crossover()
+
+	// A near-clique: clique minus one edge is still ShapeGeneral but far
+	// denser than DenseEdgeFactor allows.
+	nearClique := func(n int) *cost.Query {
+		q := genQuery(t, workload.KindClique, n, 3)
+		q.G.Edges = q.G.Edges[:len(q.G.Edges)-1]
+		if shape := DetectShape(q.G); shape != ShapeGeneral {
+			t.Fatalf("clique minus an edge detected as %s, want general", shape)
+		}
+		return q
+	}
+
+	// Inside the CPU band, density must not downgrade exactness: the
+	// pre-backend router planned these exactly with parallel MPDP.
+	n := x.GPUCliqueLimit + 2 // 18 by default, within cpu_parallel_limit
+	alg, bid, _ := s.Route(nearClique(n))
+	if alg != core.AlgMPDPParallel || bid != backend.CPUParallel {
+		t.Errorf("dense general graph of %d rels routed to %s on %s, want mpdp-cpu on cpu-parallel",
+			n, alg, bid)
+	}
+
+	// Past the CPU band, dense graphs skip the GPU band (capped at
+	// gpu_clique_limit) and go heuristic.
+	alg, bid, _ = s.Route(nearClique(30))
+	if alg != core.AlgUnionDP || bid != backend.Heuristic {
+		t.Errorf("dense general graph of 30 rels routed to %s on %s, want uniondp on heuristic",
+			alg, bid)
+	}
+
+	// A sparse cycle of the same size stays exact on the GPU.
+	sparse := genQuery(t, workload.KindCycle, 30, 3)
+	alg, bid, _ = s.Route(sparse)
+	if alg != core.AlgMPDPGPU || bid != backend.GPU {
+		t.Errorf("sparse cycle of 30 rels routed to %s on %s, want mpdp-gpu on gpu", alg, bid)
+	}
+}
+
+// TestRouteCrossoverConfig: config-loaded thresholds move the band edges.
+func TestRouteCrossoverConfig(t *testing.T) {
+	s := New(Config{Crossover: &backend.Crossover{GPULimit: 30}})
+	defer s.Close()
+	if alg, bid, _ := s.Route(genQuery(t, workload.KindCycle, 30, 1)); alg != core.AlgMPDPGPU || bid != backend.GPU {
+		t.Errorf("cycle/30 under gpu_limit=30: %s on %s", alg, bid)
+	}
+	if alg, bid, _ := s.Route(genQuery(t, workload.KindCycle, 31, 1)); alg != core.AlgUnionDP || bid != backend.Heuristic {
+		t.Errorf("cycle/31 over gpu_limit=30: %s on %s", alg, bid)
 	}
 }
 
@@ -260,6 +335,115 @@ func TestFallbackOnTimeout(t *testing.T) {
 	}
 }
 
+// TestGPUBandServesExactPlans is the service-level acceptance criterion
+// of the GPU backend: queries in the 26..GPULimit band — which the
+// pre-backend router sent to heuristics — now come back as exact GPU
+// plans, cost-identical to a direct CPU enumeration, with the backend
+// identity and device work model on the result.
+func TestGPUBandServesExactPlans(t *testing.T) {
+	s := New(Config{GPU: backend.GPUConfig{Devices: 2}})
+	defer s.Close()
+	for _, tc := range []struct {
+		kind workload.Kind
+		n    int
+	}{
+		// Shapes whose connected-set lattice stays tractable at this size;
+		// hub-heavy graphs (stars, MusicBrainz walks) can exceed the memo
+		// cap in this band, which the timeout fallback absorbs — see
+		// TestFallbackOnTimeout.
+		{workload.KindCycle, 40},
+		{workload.KindSnowflake, 30},
+		{workload.KindChain, 35},
+	} {
+		q := genQuery(t, tc.kind, tc.n, 1)
+		res, err := s.Optimize(q)
+		if err != nil {
+			t.Fatalf("%s/%d: %v", tc.kind, tc.n, err)
+		}
+		if res.Algorithm != core.AlgMPDPGPU || res.Backend != backend.GPU {
+			t.Errorf("%s/%d: used %s on %s, want mpdp-gpu on gpu", tc.kind, tc.n, res.Algorithm, res.Backend)
+		}
+		if res.FellBack {
+			t.Errorf("%s/%d: fell back to a heuristic", tc.kind, tc.n)
+		}
+		if res.GPU == nil || res.GPU.Devices != 2 {
+			t.Errorf("%s/%d: missing multi-device stats: %+v", tc.kind, tc.n, res.GPU)
+		}
+		if err := res.Plan.Validate(identity(tc.n)); err != nil {
+			t.Errorf("%s/%d: invalid plan: %v", tc.kind, tc.n, err)
+		}
+		if want := dpccpCost(t, q); !relEq(res.Plan.Cost, want) {
+			t.Errorf("%s/%d: GPU-band cost %g, exact CPU cost %g", tc.kind, tc.n, res.Plan.Cost, want)
+		}
+		// A cache hit keeps the original backend attribution.
+		warm, err := s.Optimize(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !warm.CacheHit || warm.Backend != backend.GPU {
+			t.Errorf("%s/%d: warm hit backend %s (hit=%v), want gpu", tc.kind, tc.n, warm.Backend, warm.CacheHit)
+		}
+	}
+	snap := s.Counters().Snapshot()
+	gpu := snap.Backends[string(backend.GPU)]
+	if gpu.Routed != 3 || gpu.Served != 3 || gpu.Hits != 3 {
+		t.Errorf("gpu backend counters %+v, want routed=3 served=3 hits=3", gpu)
+	}
+}
+
+// hubTreeQuery builds an n-relation tree with a degree-(n-5) hub plus a
+// short chain tail, so DetectShape reports ShapeTree (not ShapeStar) while
+// the hub's ~2^(n-5) connected supersets still overflow the memo cap.
+func hubTreeQuery(t *testing.T, n int) *cost.Query {
+	t.Helper()
+	var cat catalog.Catalog
+	for i := 0; i < n; i++ {
+		cat.Add(catalog.NewRelation(fmt.Sprintf("r%d", i), 1000, 32))
+	}
+	g := graph.New(n)
+	for i := 1; i <= n-5; i++ {
+		g.AddEdge(0, i, 0.001)
+	}
+	for i := n - 4; i < n; i++ {
+		g.AddEdge(i-1, i, 0.001)
+	}
+	return &cost.Query{Cat: cat, G: g}
+}
+
+// TestHubHeavyGPUBandFallsBackWithinBudget: stars are excluded from the
+// GPU band outright, but a hub-heavy *tree* still routes there, and its
+// connected-set lattice (~2^35 here) overflows the memo cap long before
+// enumeration finishes. The enumeration must abort at the deadline (see
+// dp.TestConnectedBucketsHonorsDeadline) so the heuristic fallback
+// answers within the same order of magnitude as the budget — not hours
+// later.
+func TestHubHeavyGPUBandFallsBackWithinBudget(t *testing.T) {
+	s := New(Config{Timeout: 300 * time.Millisecond, K: 8})
+	defer s.Close()
+	q := hubTreeQuery(t, 40)
+	if shape := DetectShape(q.G); shape != ShapeTree {
+		t.Fatalf("precondition: hub tree detected as %s, want tree", shape)
+	}
+	start := time.Now()
+	res, err := s.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alg, bid, _ := s.Route(q); alg != core.AlgMPDPGPU || bid != backend.GPU {
+		t.Fatalf("precondition: star/40 routes to %s on %s, want mpdp-gpu on gpu", alg, bid)
+	}
+	if !res.FellBack || res.Backend != backend.Heuristic {
+		t.Errorf("star/40 = %s on %s (fellback=%v), want heuristic fallback",
+			res.Algorithm, res.Backend, res.FellBack)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("fallback took %v against a 300ms budget — enumeration did not abort", elapsed)
+	}
+	if snap := s.Counters().Snapshot(); snap.Backends[string(backend.GPU)].Fallbacks != 1 {
+		t.Errorf("gpu fallback counter = %d, want 1", snap.Backends[string(backend.GPU)].Fallbacks)
+	}
+}
+
 func TestLargeQueriesRouteToHeuristics(t *testing.T) {
 	s := New(Config{K: 6})
 	defer s.Close()
@@ -268,16 +452,18 @@ func TestLargeQueriesRouteToHeuristics(t *testing.T) {
 		n    int
 		want core.Algorithm
 	}{
-		{workload.KindSnowflake, 30, core.AlgIDP2},
-		{workload.KindCycle, 30, core.AlgUnionDP},
+		// Beyond the 64-relation bitset width no exact substrate applies.
+		{workload.KindSnowflake, 70, core.AlgIDP2},
+		{workload.KindCycle, 70, core.AlgUnionDP},
 	} {
 		q := genQuery(t, tc.kind, tc.n, 1)
 		res, err := s.Optimize(q)
 		if err != nil {
 			t.Fatalf("%s/%d: %v", tc.kind, tc.n, err)
 		}
-		if res.Algorithm != tc.want {
-			t.Errorf("%s/%d: used %s, want %s", tc.kind, tc.n, res.Algorithm, tc.want)
+		if res.Algorithm != tc.want || res.Backend != backend.Heuristic {
+			t.Errorf("%s/%d: used %s on %s, want %s on heuristic",
+				tc.kind, tc.n, res.Algorithm, res.Backend, tc.want)
 		}
 		if err := res.Plan.Validate(identity(tc.n)); err != nil {
 			t.Errorf("%s/%d: invalid plan: %v", tc.kind, tc.n, err)

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/core"
 )
 
@@ -22,11 +23,67 @@ type Counters struct {
 
 	routeDPCCP   atomic.Uint64
 	routeMPDP    atomic.Uint64
+	routeMPDPGPU atomic.Uint64
 	routeIDP2    atomic.Uint64
 	routeUnionDP atomic.Uint64
 
+	// Per-backend accounting, indexed by slot: where the router
+	// sent requests, which substrate actually served them (fallbacks
+	// land on heuristic), which substrate's plans the cache re-served,
+	// and which substrate blew the budget.
+	backends [numBackends]backendCounters
+
 	hitNanos  atomic.Uint64
 	missNanos atomic.Uint64
+}
+
+// backendCounters is one substrate's slice of the instrumentation.
+type backendCounters struct {
+	routed    atomic.Uint64
+	served    atomic.Uint64
+	hits      atomic.Uint64
+	fallbacks atomic.Uint64
+}
+
+// numBackends is the counter-array capacity; TestBackendSlotCoversRegistry
+// pins it to len(backend.IDs()) so a new backend cannot silently lose its
+// counters.
+const numBackends = 4
+
+// backendSlot derives each ID's counter slot from its position in the
+// backend registry — one source of truth, no hand-maintained switch.
+var backendSlot = func() map[backend.ID]int {
+	m := make(map[backend.ID]int, len(backend.IDs()))
+	for i, id := range backend.IDs() {
+		m[id] = i
+	}
+	return m
+}()
+
+// slot returns the counters of id, or nil for unknown IDs (e.g. entries
+// imported from a peer without backend identity) — callers skip nil, which
+// keeps the per-backend hit sum ≤ total hits and makes every path,
+// including Snapshot, panic-free by construction.
+func (c *Counters) slot(id backend.ID) *backendCounters {
+	if i, ok := backendSlot[id]; ok && i < numBackends {
+		return &c.backends[i]
+	}
+	return nil
+}
+
+// BackendCounts is the snapshot of one backend's counters.
+type BackendCounts struct {
+	// Routed counts requests the router dispatched to this backend.
+	Routed uint64 `json:"routed"`
+	// Served counts optimizations this backend completed (a heuristic
+	// fallback run counts for heuristic, not for the backend that timed
+	// out).
+	Served uint64 `json:"served"`
+	// Hits counts cache hits whose entry this backend originally produced.
+	Hits uint64 `json:"hits"`
+	// Fallbacks counts optimizations that exceeded the budget on this
+	// backend and fell back to a heuristic.
+	Fallbacks uint64 `json:"fallbacks"`
 }
 
 // Snapshot is a point-in-time copy of the counters with derived rates.
@@ -40,8 +97,13 @@ type Snapshot struct {
 
 	RouteDPCCP   uint64 `json:"route_dpccp"`
 	RouteMPDP    uint64 `json:"route_mpdp_cpu"`
+	RouteMPDPGPU uint64 `json:"route_mpdp_gpu"`
 	RouteIDP2    uint64 `json:"route_idp2"`
 	RouteUnionDP uint64 `json:"route_uniondp"`
+
+	// Backends breaks requests down by execution substrate, keyed by
+	// backend ID (cpu-seq, cpu-parallel, gpu, heuristic).
+	Backends map[string]BackendCounts `json:"backends"`
 
 	HitRate       float64 `json:"hit_rate"`
 	AvgHitMicros  float64 `json:"avg_hit_us"`
@@ -60,8 +122,22 @@ func (c *Counters) Snapshot() Snapshot {
 		Errors:       c.errors.Load(),
 		RouteDPCCP:   c.routeDPCCP.Load(),
 		RouteMPDP:    c.routeMPDP.Load(),
+		RouteMPDPGPU: c.routeMPDPGPU.Load(),
 		RouteIDP2:    c.routeIDP2.Load(),
 		RouteUnionDP: c.routeUnionDP.Load(),
+		Backends:     make(map[string]BackendCounts, numBackends),
+	}
+	for _, id := range backend.IDs() {
+		b := c.slot(id)
+		if b == nil {
+			continue
+		}
+		s.Backends[string(id)] = BackendCounts{
+			Routed:    b.routed.Load(),
+			Served:    b.served.Load(),
+			Hits:      b.hits.Load(),
+			Fallbacks: b.fallbacks.Load(),
+		}
 	}
 	if served := s.Hits + s.Misses + s.Coalesced; served > 0 {
 		s.HitRate = float64(s.Hits+s.Coalesced) / float64(served)
@@ -84,9 +160,12 @@ func (c *Counters) String() string {
 	return string(b)
 }
 
-func (c *Counters) observeHit(d time.Duration) {
+func (c *Counters) observeHit(d time.Duration, id backend.ID) {
 	c.hits.Add(1)
 	c.hitNanos.Add(uint64(d))
+	if b := c.slot(id); b != nil {
+		b.hits.Add(1)
+	}
 }
 
 func (c *Counters) observeMiss(d time.Duration) {
@@ -94,15 +173,33 @@ func (c *Counters) observeMiss(d time.Duration) {
 	c.missNanos.Add(uint64(d))
 }
 
-func (c *Counters) observeRoute(alg core.Algorithm) {
+func (c *Counters) observeRoute(alg core.Algorithm, id backend.ID) {
 	switch alg {
 	case core.AlgDPCCP:
 		c.routeDPCCP.Add(1)
 	case core.AlgMPDPParallel:
 		c.routeMPDP.Add(1)
+	case core.AlgMPDPGPU:
+		c.routeMPDPGPU.Add(1)
 	case core.AlgIDP2:
 		c.routeIDP2.Add(1)
 	case core.AlgUnionDP:
 		c.routeUnionDP.Add(1)
+	}
+	if b := c.slot(id); b != nil {
+		b.routed.Add(1)
+	}
+}
+
+func (c *Counters) observeServed(id backend.ID) {
+	if b := c.slot(id); b != nil {
+		b.served.Add(1)
+	}
+}
+
+func (c *Counters) observeFallback(id backend.ID) {
+	c.fallbacks.Add(1)
+	if b := c.slot(id); b != nil {
+		b.fallbacks.Add(1)
 	}
 }

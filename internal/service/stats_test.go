@@ -1,0 +1,34 @@
+package service
+
+import (
+	"testing"
+
+	"repro/internal/backend"
+)
+
+// TestBackendSlotCoversRegistry pins the counter-array capacity to the
+// backend registry: adding a backend to backend.IDs() without bumping
+// numBackends would otherwise silently drop its counters (slot returns
+// nil rather than panicking, by design).
+func TestBackendSlotCoversRegistry(t *testing.T) {
+	ids := backend.IDs()
+	if len(ids) != numBackends {
+		t.Fatalf("numBackends = %d but backend.IDs() has %d entries — extend the counter array", numBackends, len(ids))
+	}
+	var c Counters
+	for _, id := range ids {
+		if c.slot(id) == nil {
+			t.Errorf("backend %s has no counter slot", id)
+		}
+	}
+	if c.slot(backend.ID("unknown")) != nil {
+		t.Error("unknown backend ID should have no slot")
+	}
+	// Every registered backend must appear in a snapshot, even at zero.
+	snap := c.Snapshot()
+	for _, id := range ids {
+		if _, ok := snap.Backends[string(id)]; !ok {
+			t.Errorf("snapshot missing backend %s", id)
+		}
+	}
+}

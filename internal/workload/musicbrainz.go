@@ -1,8 +1,10 @@
 package workload
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
+	"strings"
 
 	"repro/internal/catalog"
 	"repro/internal/cost"
@@ -113,4 +115,29 @@ func largestComponent(n int, fks []catalog.FKEdge) []int {
 		}
 	}
 	return best
+}
+
+// CycleSQL renders an n-relation cyclic join in the internal/sql dialect
+// against the MusicBrainz schema: n aliases of artist joined in a ring,
+// each edge on its own column pair so the binder's equivalence-class
+// closure adds no extra edges and the bound join graph is an exact
+// n-cycle. The serving layers' acceptance tests and demos use it to drive
+// the optimizer's large-cyclic band end to end.
+func CycleSQL(n int) string {
+	var b strings.Builder
+	b.WriteString("SELECT a0.id FROM ")
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "artist a%d", i)
+	}
+	b.WriteString(" WHERE ")
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteString(" AND ")
+		}
+		fmt.Fprintf(&b, "a%d.c%d = a%d.c%d", i, i, (i+1)%n, i)
+	}
+	return b.String()
 }
