@@ -9,6 +9,7 @@
 package repro
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -147,7 +148,7 @@ func benchFigure(b *testing.B, kind workload.Kind, sizes []int) {
 				q := benchQuery(kind, n)
 				var sim float64
 				for i := 0; i < b.N; i++ {
-					res, err := core.Optimize(q, core.Options{Algorithm: g.alg})
+					res, err := core.Optimize(context.Background(), q, core.Options{Algorithm: g.alg})
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -174,7 +175,7 @@ func BenchmarkFig10ExecOptRatio(b *testing.B) {
 			q := benchQuery(workload.KindMB, n)
 			var ratio float64
 			for i := 0; i < b.N; i++ {
-				res, err := core.Optimize(q, core.Options{Algorithm: core.AlgMPDPGPU})
+				res, err := core.Optimize(context.Background(), q, core.Options{Algorithm: core.AlgMPDPGPU})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -272,7 +273,7 @@ func benchHeuristicTable(b *testing.B, kind workload.Kind, sizes []int) {
 		// Reference: best plan across the suite (computed once, not timed).
 		best := 0.0
 		for _, s := range suite {
-			res, err := core.Optimize(q, core.Options{Algorithm: s.alg, K: s.k, Timeout: 30 * time.Second})
+			res, err := core.Optimize(context.Background(), q, core.Options{Algorithm: s.alg, K: s.k, Timeout: 30 * time.Second})
 			if err != nil {
 				continue
 			}
@@ -284,7 +285,7 @@ func benchHeuristicTable(b *testing.B, kind workload.Kind, sizes []int) {
 			b.Run(fmt.Sprintf("%s/n=%d", s.name, n), func(b *testing.B) {
 				var norm float64
 				for i := 0; i < b.N; i++ {
-					res, err := core.Optimize(q, core.Options{Algorithm: s.alg, K: s.k, Timeout: 30 * time.Second})
+					res, err := core.Optimize(context.Background(), q, core.Options{Algorithm: s.alg, K: s.k, Timeout: 30 * time.Second})
 					if err != nil {
 						b.Skip(err)
 					}
@@ -332,7 +333,7 @@ func BenchmarkServiceThroughput(b *testing.B) {
 					if i >= b.N {
 						return
 					}
-					if _, err := svc.Optimize(next(i)); err != nil {
+					if _, err := svc.Optimize(context.Background(), next(i)); err != nil {
 						b.Error(err)
 						return
 					}
@@ -349,7 +350,7 @@ func BenchmarkServiceThroughput(b *testing.B) {
 			svc := service.New(service.Config{})
 			defer svc.Close()
 			q := benchQuery(workload.KindMB, 20)
-			if _, err := svc.Optimize(q); err != nil { // prime the cache
+			if _, err := svc.Optimize(context.Background(), q); err != nil { // prime the cache
 				b.Fatal(err)
 			}
 			run(b, clients, func(int) *cost.Query { return q }, svc)
@@ -469,7 +470,7 @@ func BenchmarkClusterThroughput(b *testing.B) {
 						// clustered cache entry.
 						q = workload.PermuteQuery(q, rng.Perm(q.N()))
 					}
-					if _, err := c.Optimize(q); err != nil {
+					if _, err := c.Optimize(context.Background(), q); err != nil {
 						b.Errorf("request %d lost: %v", i, err)
 						return
 					}
@@ -535,7 +536,7 @@ func BenchmarkClusterThroughput(b *testing.B) {
 			Service:  service.Config{Workers: perNode},
 		})
 		for _, q := range hot { // warm every owner before the timer starts
-			if _, err := c.Optimize(q); err != nil {
+			if _, err := c.Optimize(context.Background(), q); err != nil {
 				b.Fatal(err)
 			}
 		}

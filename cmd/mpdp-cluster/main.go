@@ -3,30 +3,30 @@
 // (internal/service); the front door consistent-hashes every statement's
 // canonical join-graph fingerprint to an owner node plus replicas, so
 // isomorphic queries from any client warm and reuse the same plan-cache
-// entry, and a node loss fails over to the replicas. See CLUSTER.md.
+// entry, and a node loss fails over to the replicas. The HTTP surface is
+// the shared versioned mux of internal/httpapi — identical to mpdp-serve's
+// — plus the cluster admin endpoints. See CLUSTER.md and API.md.
 //
 // Usage:
 //
 //	mpdp-cluster -http :8080 -nodes 4 -replicas 2 &
-//	curl -d "SELECT ..." localhost:8080/optimize
-//	curl localhost:8080/stats          # cluster + per-node counters
-//	curl localhost:8080/cluster       # membership and ring summary
-//	curl localhost:8080/healthz
+//	curl -d "SELECT ..." localhost:8080/v1/optimize
+//	curl localhost:8080/v1/stats          # cluster + per-node counters
+//	curl localhost:8080/cluster           # membership and ring summary
+//	curl localhost:8080/v1/healthz
 //	curl -X POST "localhost:8080/cluster/kill?node=node-1"   # crash a node
 //	curl -X POST "localhost:8080/cluster/revive?node=node-1" # bring it back
 //	curl -X POST localhost:8080/cluster/add                  # grow the ring
 //	curl -X POST localhost:8080/cluster/flush                # invalidate all plans
 //
 // SIGINT/SIGTERM drains in-flight requests (bounded by -drain) before the
-// nodes close.
+// nodes close; a client that disconnects mid-request cancels its in-flight
+// optimization on the serving node.
 package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
-	"fmt"
-	"io"
 	"log"
 	"net/http"
 	"os"
@@ -37,176 +37,16 @@ import (
 
 	"repro/internal/backend"
 	"repro/internal/cluster"
+	"repro/internal/httpapi"
 	"repro/internal/service"
-	"repro/internal/sql"
 )
 
-// response is the wire format of one optimized statement: the single-node
-// fields plus the routing information only a cluster has.
-type response struct {
-	Relations int     `json:"relations"`
-	Edges     int     `json:"edges"`
-	Cost      float64 `json:"cost"`
-	Rows      float64 `json:"rows"`
-	Algorithm string  `json:"algorithm"`
-	// Backend is the execution substrate that produced the plan on the
-	// serving node (cpu-seq, cpu-parallel, gpu, heuristic); replicated and
-	// cache-hit plans keep their original backend.
-	Backend   string  `json:"backend"`
-	Shape     string  `json:"shape"`
-	CacheHit  bool    `json:"cache_hit"`
-	Coalesced bool    `json:"coalesced"`
-	FellBack  bool    `json:"fell_back"`
-	ElapsedUs float64 `json:"elapsed_us"`
-	// GPUDevices/GPUSimMS carry the device work model when the GPU
-	// backend produced the plan.
-	GPUDevices int     `json:"gpu_devices,omitempty"`
-	GPUSimMS   float64 `json:"gpu_sim_ms,omitempty"`
-	Node       string  `json:"node"`
-	Failover   bool    `json:"failover"`
-}
-
-type frontDoor struct {
-	c      *cluster.Cluster
-	schema sql.Schema
-}
-
-const maxStatementBytes = 1 << 20
-
-func (f *frontDoor) handleOptimize(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST one SQL statement", http.StatusMethodNotAllowed)
-		return
-	}
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxStatementBytes+1))
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	if len(body) > maxStatementBytes {
-		http.Error(w, fmt.Sprintf("statement exceeds %d bytes", maxStatementBytes),
-			http.StatusRequestEntityTooLarge)
-		return
-	}
-	bound, err := sql.Compile(string(body), f.schema)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
-		return
-	}
-	res, err := f.c.Optimize(bound.Query)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusServiceUnavailable)
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	out := response{
-		Relations: bound.Query.N(),
-		Edges:     len(bound.Query.G.Edges),
-		Cost:      res.Plan.Cost,
-		Rows:      res.Plan.Rows,
-		Algorithm: string(res.Algorithm),
-		Backend:   string(res.Backend),
-		Shape:     string(res.Shape),
-		CacheHit:  res.CacheHit,
-		Coalesced: res.Coalesced,
-		FellBack:  res.FellBack,
-		ElapsedUs: float64(res.Elapsed.Nanoseconds()) / 1e3,
-		Node:      res.Node,
-		Failover:  res.Failover,
-	}
-	if res.GPU != nil {
-		out.GPUDevices = res.GPU.Devices
-		out.GPUSimMS = res.GPU.SimTimeMS
-	}
-	json.NewEncoder(w).Encode(out)
-}
-
-func (f *frontDoor) handleStats(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	io.WriteString(w, f.c.Snapshot().String())
-	io.WriteString(w, "\n")
-}
-
-func (f *frontDoor) handleCluster(w http.ResponseWriter, _ *http.Request) {
-	snap := f.c.Snapshot()
-	out := map[string]any{
-		"alive_nodes": snap.AliveNodes,
-		"dead_nodes":  snap.DeadNodes,
-		"replicas":    snap.Replicas,
-		"cache_len":   f.c.CacheLen(),
-		"deaths":      snap.Deaths,
-		"rejoins":     snap.Rejoins,
-	}
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(out)
-}
-
-func (f *frontDoor) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	alive := len(f.c.AliveNodes())
-	w.Header().Set("Content-Type", "application/json")
-	if alive == 0 {
-		w.WriteHeader(http.StatusServiceUnavailable)
-	}
-	fmt.Fprintf(w, "{\"status\":%q,\"alive_nodes\":%d}\n", map[bool]string{true: "ok", false: "down"}[alive > 0], alive)
-}
-
-// admin wraps the membership operations as POST handlers taking ?node=.
-func (f *frontDoor) admin(op func(node string) (string, error)) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			http.Error(w, "POST", http.StatusMethodNotAllowed)
-			return
-		}
-		msg, err := op(r.URL.Query().Get("node"))
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintf(w, "{\"ok\":true,\"detail\":%q}\n", msg)
-	}
-}
-
-func (f *frontDoor) mux() *http.ServeMux {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/optimize", f.handleOptimize)
-	mux.HandleFunc("/stats", f.handleStats)
-	mux.HandleFunc("/cluster", f.handleCluster)
-	mux.HandleFunc("/healthz", f.handleHealthz)
-	needNode := func(node string) error {
-		if node == "" {
-			return fmt.Errorf("missing ?node=")
-		}
-		return nil
-	}
-	mux.HandleFunc("/cluster/add", f.admin(func(string) (string, error) {
-		return "added " + f.c.AddNode(), nil
-	}))
-	mux.HandleFunc("/cluster/remove", f.admin(func(node string) (string, error) {
-		if err := needNode(node); err != nil {
-			return "", err
-		}
-		return "removed " + node, f.c.RemoveNode(node)
-	}))
-	mux.HandleFunc("/cluster/kill", f.admin(func(node string) (string, error) {
-		if err := needNode(node); err != nil {
-			return "", err
-		}
-		f.c.KillNode(node)
-		return "killed " + node, nil
-	}))
-	mux.HandleFunc("/cluster/revive", f.admin(func(node string) (string, error) {
-		if err := needNode(node); err != nil {
-			return "", err
-		}
-		f.c.ReviveNode(node)
-		return "revived " + node, nil
-	}))
-	mux.HandleFunc("/cluster/flush", f.admin(func(string) (string, error) {
-		f.c.FlushAll()
-		return "flushed all plan caches", nil
-	}))
-	return mux
+// newAPI builds the shared HTTP surface plus the admin routes; split out of
+// main so tests can drive the full mux through httptest.
+func newAPI(c *cluster.Cluster) *httpapi.API {
+	api := httpapi.New(httpapi.ClusterEngine(c), httpapi.Options{})
+	httpapi.MountClusterAdmin(api, c)
+	return api
 }
 
 func main() {
@@ -257,13 +97,13 @@ func main() {
 	})
 	defer c.Close()
 
-	fd := &frontDoor{c: c, schema: sql.MusicBrainzSchema()}
+	api := newAPI(c)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	httpSrv := &http.Server{Addr: *httpAddr, Handler: fd.mux()}
+	httpSrv := &http.Server{Addr: *httpAddr, Handler: api.Mux()}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("mpdp-cluster: %d nodes, %d replicas, front door on %s", *nodes, *replicas, *httpAddr)
+	log.Printf("mpdp-cluster: %d nodes, %d replicas, front door on %s (/v1/* + legacy aliases)", *nodes, *replicas, *httpAddr)
 	select {
 	case err := <-errc:
 		log.Fatal(err)

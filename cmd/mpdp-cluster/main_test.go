@@ -9,27 +9,26 @@ import (
 
 	"repro/internal/backend"
 	"repro/internal/cluster"
+	"repro/internal/httpapi"
 	"repro/internal/service"
-	"repro/internal/sql"
 	"repro/internal/workload"
 )
 
 const testStatement = "SELECT r.id FROM release r, release_group rg, artist_credit ac " +
 	"WHERE r.release_group = rg.id AND r.artist_credit = ac.id AND rg.artist_credit = ac.id"
 
-func newTestFrontDoor(t *testing.T) (*frontDoor, *httptest.Server) {
+func newTestFrontDoor(t *testing.T) *httptest.Server {
 	t.Helper()
 	c := cluster.New(cluster.Config{Nodes: 3, Replicas: 2, Service: service.Config{Workers: 2}})
 	t.Cleanup(c.Close)
-	fd := &frontDoor{c: c, schema: sql.MusicBrainzSchema()}
-	ts := httptest.NewServer(fd.mux())
+	ts := httptest.NewServer(newAPI(c).Mux())
 	t.Cleanup(ts.Close)
-	return fd, ts
+	return ts
 }
 
-func postOptimize(t *testing.T, ts *httptest.Server) response {
+func postOptimize(t *testing.T, ts *httptest.Server, path string) httpapi.Response {
 	t.Helper()
-	resp, err := http.Post(ts.URL+"/optimize", "text/plain", strings.NewReader(testStatement))
+	resp, err := http.Post(ts.URL+path, "text/plain", strings.NewReader(testStatement))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +36,7 @@ func postOptimize(t *testing.T, ts *httptest.Server) response {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status = %d, want 200", resp.StatusCode)
 	}
-	var r response
+	var r httpapi.Response
 	if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
 		t.Fatal(err)
 	}
@@ -45,13 +44,13 @@ func postOptimize(t *testing.T, ts *httptest.Server) response {
 }
 
 func TestFrontDoorOptimizeAndFailoverOverHTTP(t *testing.T) {
-	_, ts := newTestFrontDoor(t)
+	ts := newTestFrontDoor(t)
 
-	cold := postOptimize(t, ts)
+	cold := postOptimize(t, ts, "/v1/optimize")
 	if cold.CacheHit || cold.Node == "" {
 		t.Errorf("cold = hit %v node %q, want miss on a named node", cold.CacheHit, cold.Node)
 	}
-	warm := postOptimize(t, ts)
+	warm := postOptimize(t, ts, "/v1/optimize")
 	if !warm.CacheHit || warm.Node != cold.Node {
 		t.Errorf("warm = hit %v on %s, want hit on owner %s", warm.CacheHit, warm.Node, cold.Node)
 	}
@@ -66,7 +65,7 @@ func TestFrontDoorOptimizeAndFailoverOverHTTP(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("kill status = %d", resp.StatusCode)
 	}
-	over := postOptimize(t, ts)
+	over := postOptimize(t, ts, "/optimize") // legacy alias: same handler
 	if over.Node == cold.Node {
 		t.Errorf("request served by killed node %s", cold.Node)
 	}
@@ -78,21 +77,92 @@ func TestFrontDoorOptimizeAndFailoverOverHTTP(t *testing.T) {
 	}
 }
 
+// TestClusterV1ErrorEnvelopes mirrors the serve binary's golden error-path
+// suite on the cluster front door: both binaries answer every failure
+// class with the same structured envelope.
+func TestClusterV1ErrorEnvelopes(t *testing.T) {
+	ts := newTestFrontDoor(t)
+	check := func(resp *http.Response, wantStatus int, wantCode string) {
+		t.Helper()
+		defer resp.Body.Close()
+		if resp.StatusCode != wantStatus {
+			t.Errorf("status = %d, want %d", resp.StatusCode, wantStatus)
+		}
+		var e httpapi.Error
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+			t.Fatalf("error body is not an envelope: %v", err)
+		}
+		if e.Code != wantCode || e.RequestID == "" {
+			t.Errorf("envelope = %+v, want code %q with request id", e, wantCode)
+		}
+	}
+	for _, path := range []string{"/v1/optimize", "/optimize"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(resp, http.StatusMethodNotAllowed, httpapi.CodeMethodNotAllowed)
+
+		resp, err = http.Post(ts.URL+path, "application/json", strings.NewReader("{not json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(resp, http.StatusBadRequest, httpapi.CodeBadRequest)
+
+		resp, err = http.Post(ts.URL+path, "text/plain", strings.NewReader(strings.Repeat("x", 1<<20+1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(resp, http.StatusRequestEntityTooLarge, httpapi.CodeTooLarge)
+
+		resp, err = http.Post(ts.URL+path, "text/plain", strings.NewReader("SELECT FROM WHERE"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(resp, http.StatusUnprocessableEntity, httpapi.CodeInvalidQuery)
+	}
+
+	// 503: empty the cluster — no alive node can serve.
+	c := cluster.New(cluster.Config{Nodes: 1, Replicas: 1, Service: service.Config{Workers: 1}})
+	t.Cleanup(c.Close)
+	ts2 := httptest.NewServer(newAPI(c).Mux())
+	t.Cleanup(ts2.Close)
+	for _, id := range c.AliveNodes() {
+		if err := c.RemoveNode(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := http.Post(ts2.URL+"/v1/optimize", "text/plain", strings.NewReader(testStatement))
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(resp, http.StatusServiceUnavailable, httpapi.CodeUnavailable)
+
+	hresp, err := http.Get(ts2.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("empty-cluster healthz = %d, want 503", hresp.StatusCode)
+	}
+}
+
 func TestFrontDoorStatsClusterHealthz(t *testing.T) {
-	_, ts := newTestFrontDoor(t)
-	postOptimize(t, ts)
+	ts := newTestFrontDoor(t)
+	postOptimize(t, ts, "/v1/optimize")
 
 	var stats map[string]any
-	resp, err := http.Get(ts.URL + "/stats")
+	resp, err := http.Get(ts.URL + "/v1/stats")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
-		t.Fatalf("/stats is not JSON: %v", err)
+		t.Fatalf("/v1/stats is not JSON: %v", err)
 	}
 	resp.Body.Close()
 	if _, ok := stats["per_node"]; !ok {
-		t.Errorf("/stats lacks per_node: %v", stats)
+		t.Errorf("/v1/stats lacks per_node: %v", stats)
 	}
 
 	var info struct {
@@ -111,18 +181,27 @@ func TestFrontDoorStatsClusterHealthz(t *testing.T) {
 		t.Errorf("/cluster = %+v, want 3 alive nodes, 2 replicas", info)
 	}
 
-	resp, err = http.Get(ts.URL + "/healthz")
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Errorf("/healthz = %d, want 200", resp.StatusCode)
+	for _, path := range []string{"/v1/healthz", "/healthz"} {
+		resp, err = http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var health struct {
+			Status string `json:"status"`
+			Alive  int    `json:"alive_nodes"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+			t.Fatalf("%s is not JSON: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || health.Status != "ok" || health.Alive != 3 {
+			t.Errorf("%s = %d %q alive=%d, want 200 ok 3", path, resp.StatusCode, health.Status, health.Alive)
+		}
 	}
 }
 
 func TestFrontDoorAdminValidation(t *testing.T) {
-	_, ts := newTestFrontDoor(t)
+	ts := newTestFrontDoor(t)
 	resp, err := http.Get(ts.URL + "/cluster/kill?node=node-0")
 	if err != nil {
 		t.Fatal(err)
@@ -152,13 +231,14 @@ func TestFrontDoorAdminValidation(t *testing.T) {
 // TestFrontDoorReportsBackendIdentity: a large cyclic statement through the
 // cluster front door is served exactly by a node's GPU backend, the
 // response identifies the backend and device work, replicas keep the
-// attribution, and /stats aggregates the per-backend counters cluster-wide.
+// attribution, and /v1/stats aggregates the per-backend counters
+// cluster-wide.
 func TestFrontDoorReportsBackendIdentity(t *testing.T) {
-	_, ts := newTestFrontDoor(t)
+	ts := newTestFrontDoor(t)
 
-	post := func() response {
+	post := func() httpapi.Response {
 		t.Helper()
-		resp, err := http.Post(ts.URL+"/optimize", "text/plain", strings.NewReader(workload.CycleSQL(40)))
+		resp, err := http.Post(ts.URL+"/v1/optimize", "text/plain", strings.NewReader(workload.CycleSQL(40)))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -166,7 +246,7 @@ func TestFrontDoorReportsBackendIdentity(t *testing.T) {
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("status = %d, want 200", resp.StatusCode)
 		}
-		var r response
+		var r httpapi.Response
 		if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
 			t.Fatal(err)
 		}
@@ -186,14 +266,14 @@ func TestFrontDoorReportsBackendIdentity(t *testing.T) {
 		t.Errorf("warm = hit %v backend %s, want hit with gpu attribution", warm.CacheHit, warm.Backend)
 	}
 
-	resp, err := http.Get(ts.URL + "/stats")
+	resp, err := http.Get(ts.URL + "/v1/stats")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
 	var snap cluster.Snapshot
 	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
-		t.Fatalf("/stats is not JSON: %v", err)
+		t.Fatalf("/v1/stats is not JSON: %v", err)
 	}
 	gpu := snap.Backends[string(backend.GPU)]
 	if gpu.Routed != 1 || gpu.Served != 1 {

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -56,7 +57,7 @@ func main() {
 		}
 	}
 
-	res, err := core.Optimize(q, core.Options{
+	res, err := core.Optimize(context.Background(), q, core.Options{
 		Algorithm: core.Algorithm(*alg),
 		Timeout:   *timeout,
 		K:         *k,

@@ -1,27 +1,30 @@
 // Command mpdp-serve runs the optimizer as a service: a line protocol over
-// stdin (default) or HTTP that accepts one SQL statement in the
-// internal/sql dialect per line/request, binds it against the built-in
-// MusicBrainz schema and answers with the chosen plan's cost, algorithm and
-// cache status. See SERVICE.md for the protocol and the service design.
+// stdin (default) or the shared versioned HTTP surface (internal/httpapi)
+// that accepts one SQL statement in the internal/sql dialect per
+// line/request, binds it against the built-in MusicBrainz schema and
+// answers with the chosen plan's cost, algorithm and cache status. See
+// SERVICE.md for the protocol and API.md for the wire spec.
 //
 // Usage:
 //
 //	echo "SELECT * FROM artist a, release r ... WHERE ..." | mpdp-serve
 //	mpdp-serve -http :8080 &
-//	curl -d "SELECT ..." localhost:8080/optimize
-//	curl localhost:8080/stats
-//	curl localhost:8080/healthz
+//	curl -d "SELECT ..." localhost:8080/v1/optimize
+//	curl -d '{"statements":["SELECT ..."]}' -H 'Content-Type: application/json' localhost:8080/v1/batch
+//	curl localhost:8080/v1/stats
+//	curl localhost:8080/v1/healthz
 //
-// In stdin mode, lines starting with # are ignored and the directive
-// ".stats" prints the counters. In HTTP mode, SIGINT/SIGTERM shuts down
-// gracefully: in-flight optimizations drain (bounded by -drain) before the
-// service closes.
+// The pre-versioning endpoints (/optimize, /stats, /healthz) remain as
+// aliases of the same handlers. In stdin mode, lines starting with # are
+// ignored and the directive ".stats" prints the counters. In HTTP mode,
+// SIGINT/SIGTERM shuts down gracefully: in-flight optimizations drain
+// (bounded by -drain) before the service closes, and a client that
+// disconnects mid-request cancels its in-flight optimization.
 package main
 
 import (
 	"bufio"
 	"context"
-	"encoding/json"
 	"expvar"
 	"flag"
 	"fmt"
@@ -36,73 +39,21 @@ import (
 
 	"repro/internal/backend"
 	"repro/internal/core"
+	"repro/internal/httpapi"
 	"repro/internal/service"
 	"repro/internal/sql"
 )
 
-// response is the wire format of one optimized statement.
-type response struct {
-	Relations int     `json:"relations"`
-	Edges     int     `json:"edges"`
-	Cost      float64 `json:"cost"`
-	Rows      float64 `json:"rows"`
-	Algorithm string  `json:"algorithm"`
-	// Backend is the execution substrate that produced the plan (cpu-seq,
-	// cpu-parallel, gpu, heuristic); cache hits report the original
-	// optimization's backend.
-	Backend   string  `json:"backend"`
-	Shape     string  `json:"shape"`
-	CacheHit  bool    `json:"cache_hit"`
-	Coalesced bool    `json:"coalesced"`
-	FellBack  bool    `json:"fell_back"`
-	ElapsedUs float64 `json:"elapsed_us"`
-	// GPUDevices/GPUSimMS carry the device work model when the GPU
-	// backend produced the plan.
-	GPUDevices int     `json:"gpu_devices,omitempty"`
-	GPUSimMS   float64 `json:"gpu_sim_ms,omitempty"`
-	Plan       string  `json:"plan,omitempty"`
-}
+// maxStatementBytes bounds one SQL statement on either protocol.
+const maxStatementBytes = 1 << 20
 
-type server struct {
+// stdinServer drives the line protocol; the HTTP surface is the shared
+// internal/httpapi mux.
+type stdinServer struct {
 	svc     *service.Service
 	schema  sql.Schema
 	explain bool
 }
-
-func (s *server) optimize(text string, explain bool) (*response, error) {
-	bound, err := sql.Compile(text, s.schema)
-	if err != nil {
-		return nil, err
-	}
-	res, err := s.svc.Optimize(bound.Query)
-	if err != nil {
-		return nil, err
-	}
-	resp := &response{
-		Relations: bound.Query.N(),
-		Edges:     len(bound.Query.G.Edges),
-		Cost:      res.Plan.Cost,
-		Rows:      res.Plan.Rows,
-		Algorithm: string(res.Algorithm),
-		Backend:   string(res.Backend),
-		Shape:     string(res.Shape),
-		CacheHit:  res.CacheHit,
-		Coalesced: res.Coalesced,
-		FellBack:  res.FellBack,
-		ElapsedUs: float64(res.Elapsed.Nanoseconds()) / 1e3,
-	}
-	if res.GPU != nil {
-		resp.GPUDevices = res.GPU.Devices
-		resp.GPUSimMS = res.GPU.SimTimeMS
-	}
-	if explain {
-		resp.Plan = core.Explain(bound.Query, res.Plan)
-	}
-	return resp, nil
-}
-
-// maxStatementBytes bounds one SQL statement on either protocol.
-const maxStatementBytes = 1 << 20
 
 // readLine reads one newline-terminated line of at most maxStatementBytes.
 // Longer lines are discarded to the next newline and reported as tooLong,
@@ -129,7 +80,7 @@ func readLine(r *bufio.Reader) (line string, tooLong bool, err error) {
 	}
 }
 
-func (s *server) serveStdin(in io.Reader, out io.Writer) error {
+func (s *stdinServer) serveStdin(in io.Reader, out io.Writer) error {
 	rd := bufio.NewReader(in)
 	for {
 		raw, tooLong, err := readLine(rd)
@@ -151,66 +102,23 @@ func (s *server) serveStdin(in io.Reader, out io.Writer) error {
 			fmt.Fprintln(out, s.svc.Counters().String())
 			continue
 		}
-		resp, err := s.optimize(line, s.explain)
+		bound, err := sql.Compile(line, s.schema)
+		if err != nil {
+			fmt.Fprintf(out, "error: %v\n", err)
+			continue
+		}
+		res, err := s.svc.Optimize(context.Background(), bound.Query)
 		if err != nil {
 			fmt.Fprintf(out, "error: %v\n", err)
 			continue
 		}
 		fmt.Fprintf(out, "cost=%.6g rows=%.6g rels=%d alg=%s backend=%s shape=%s hit=%v coalesced=%v elapsed=%.1fus\n",
-			resp.Cost, resp.Rows, resp.Relations, resp.Algorithm, resp.Backend, resp.Shape,
-			resp.CacheHit, resp.Coalesced, resp.ElapsedUs)
-		if resp.Plan != "" {
-			fmt.Fprint(out, resp.Plan)
+			res.Plan.Cost, res.Plan.Rows, bound.Query.N(), res.Algorithm, res.Backend, res.Shape,
+			res.CacheHit, res.Coalesced, float64(res.Elapsed.Nanoseconds())/1e3)
+		if s.explain {
+			fmt.Fprint(out, core.Explain(bound.Query, res.Plan))
 		}
 	}
-}
-
-func (s *server) handleOptimize(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST one SQL statement", http.StatusMethodNotAllowed)
-		return
-	}
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxStatementBytes+1))
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	if len(body) > maxStatementBytes {
-		http.Error(w, fmt.Sprintf("statement exceeds %d bytes", maxStatementBytes),
-			http.StatusRequestEntityTooLarge)
-		return
-	}
-	resp, err := s.optimize(string(body), r.URL.Query().Get("explain") != "")
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(resp)
-}
-
-func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	io.WriteString(w, s.svc.Counters().String())
-	io.WriteString(w, "\n")
-}
-
-// handleHealthz is the liveness probe load balancers and the cluster's
-// health checker poll.
-func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	io.WriteString(w, "{\"status\":\"ok\"}\n")
-}
-
-// mux wires the HTTP surface; split out of main so tests can drive the
-// handlers through httptest.
-func (s *server) mux() *http.ServeMux {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/optimize", s.handleOptimize)
-	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.Handle("/debug/vars", expvar.Handler())
-	return mux
 }
 
 func main() {
@@ -250,24 +158,28 @@ func main() {
 	defer svc.Close()
 	expvar.Publish("optimizer", svc.Counters())
 
-	srv := &server{svc: svc, schema: sql.MusicBrainzSchema(), explain: *explain}
-
 	if *httpAddr == "" {
+		srv := &stdinServer{svc: svc, schema: sql.MusicBrainzSchema(), explain: *explain}
 		if err := srv.serveStdin(os.Stdin, os.Stdout); err != nil {
 			log.Fatal(err)
 		}
 		return
 	}
 
+	api := httpapi.New(httpapi.ServiceEngine(svc), httpapi.Options{
+		MaxStatementBytes: maxStatementBytes,
+	})
+	api.Handle("/debug/vars", expvar.Handler())
+
 	// SIGINT/SIGTERM drains in-flight optimizations instead of dropping
 	// them: Shutdown stops accepting, waits for active handlers up to the
 	// drain budget, then the deferred svc.Close releases the worker pool.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	httpSrv := &http.Server{Addr: *httpAddr, Handler: srv.mux()}
+	httpSrv := &http.Server{Addr: *httpAddr, Handler: api.Mux()}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("mpdp-serve: listening on %s (POST /optimize, GET /stats /healthz)", *httpAddr)
+	log.Printf("mpdp-serve: listening on %s (POST /v1/optimize /v1/batch, GET /v1/stats /v1/healthz; legacy aliases kept)", *httpAddr)
 	select {
 	case err := <-errc:
 		log.Fatal(err)

@@ -11,66 +11,148 @@ import (
 	"testing"
 
 	"repro/internal/backend"
+	"repro/internal/httpapi"
 	"repro/internal/service"
-	"repro/internal/sql"
 	"repro/internal/workload"
 )
 
-func newTestServer(t *testing.T) (*server, *httptest.Server) {
+func newTestServer(t *testing.T) *httptest.Server {
 	t.Helper()
 	svc := service.New(service.Config{Workers: 2})
 	t.Cleanup(svc.Close)
-	srv := &server{svc: svc, schema: sql.MusicBrainzSchema()}
-	ts := httptest.NewServer(srv.mux())
+	api := httpapi.New(httpapi.ServiceEngine(svc), httpapi.Options{MaxStatementBytes: maxStatementBytes})
+	ts := httptest.NewServer(api.Mux())
 	t.Cleanup(ts.Close)
-	return srv, ts
+	return ts
 }
 
 const testStatement = "SELECT r.id FROM release r, release_group rg, artist_credit ac " +
 	"WHERE r.release_group = rg.id AND r.artist_credit = ac.id AND rg.artist_credit = ac.id"
 
-func TestOptimizeRejectsNonPOST(t *testing.T) {
-	_, ts := newTestServer(t)
-	resp, err := http.Get(ts.URL + "/optimize")
-	if err != nil {
-		t.Fatal(err)
+// decodeEnvelope asserts the body is the structured error envelope with
+// the expected code and a request id.
+func decodeEnvelope(t *testing.T, resp *http.Response, wantStatus int, wantCode string) {
+	t.Helper()
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Errorf("status = %d, want %d", resp.StatusCode, wantStatus)
 	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusMethodNotAllowed {
-		t.Errorf("GET /optimize = %d, want %d", resp.StatusCode, http.StatusMethodNotAllowed)
+	var e httpapi.Error
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatalf("error body is not an envelope: %v", err)
 	}
-}
-
-func TestOptimizeRejectsOversizedStatement(t *testing.T) {
-	_, ts := newTestServer(t)
-	huge := strings.Repeat("x", maxStatementBytes+1)
-	resp, err := http.Post(ts.URL+"/optimize", "text/plain", strings.NewReader(huge))
-	if err != nil {
-		t.Fatal(err)
+	if e.Code != wantCode {
+		t.Errorf("code = %q, want %q", e.Code, wantCode)
 	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusRequestEntityTooLarge {
-		t.Errorf("oversized statement = %d, want %d", resp.StatusCode, http.StatusRequestEntityTooLarge)
+	if e.Message == "" || e.RequestID == "" {
+		t.Errorf("envelope incomplete: %+v", e)
+	}
+	if hdr := resp.Header.Get("X-Request-Id"); hdr != e.RequestID {
+		t.Errorf("X-Request-Id header %q != envelope request_id %q", hdr, e.RequestID)
 	}
 }
 
-func TestOptimizeRejectsParseError(t *testing.T) {
-	_, ts := newTestServer(t)
-	resp, err := http.Post(ts.URL+"/optimize", "text/plain", strings.NewReader("SELECT FROM WHERE"))
+// TestV1ErrorEnvelopes is the golden error-path suite of the satellite
+// task: every failure class on both /v1/optimize and its legacy alias
+// answers with the structured envelope and the right status.
+func TestV1ErrorEnvelopes(t *testing.T) {
+	ts := newTestServer(t)
+	for _, path := range []string{"/v1/optimize", "/optimize"} {
+		t.Run(path, func(t *testing.T) {
+			// 405
+			resp, err := http.Get(ts.URL + path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			decodeEnvelope(t, resp, http.StatusMethodNotAllowed, httpapi.CodeMethodNotAllowed)
+
+			// 400: malformed JSON body
+			resp, err = http.Post(ts.URL+path, "application/json", strings.NewReader("{not json"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			decodeEnvelope(t, resp, http.StatusBadRequest, httpapi.CodeBadRequest)
+
+			// 413: oversized statement
+			huge := strings.Repeat("x", maxStatementBytes+1)
+			resp, err = http.Post(ts.URL+path, "text/plain", strings.NewReader(huge))
+			if err != nil {
+				t.Fatal(err)
+			}
+			decodeEnvelope(t, resp, http.StatusRequestEntityTooLarge, httpapi.CodeTooLarge)
+
+			// 422: parse error
+			resp, err = http.Post(ts.URL+path, "text/plain", strings.NewReader("SELECT FROM WHERE"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			decodeEnvelope(t, resp, http.StatusUnprocessableEntity, httpapi.CodeInvalidQuery)
+		})
+	}
+}
+
+// TestV1ClosedServiceReturns503 covers the unavailable envelope.
+func TestV1ClosedServiceReturns503(t *testing.T) {
+	svc := service.New(service.Config{Workers: 1})
+	api := httpapi.New(httpapi.ServiceEngine(svc), httpapi.Options{})
+	ts := httptest.NewServer(api.Mux())
+	t.Cleanup(ts.Close)
+	svc.Close()
+	resp, err := http.Post(ts.URL+"/v1/optimize", "text/plain", strings.NewReader(testStatement))
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusUnprocessableEntity {
-		t.Errorf("parse error = %d, want %d", resp.StatusCode, http.StatusUnprocessableEntity)
+	decodeEnvelope(t, resp, http.StatusServiceUnavailable, httpapi.CodeUnavailable)
+}
+
+// TestLegacyAliasEquivalence pins the satellite requirement that the
+// legacy endpoints are the same handlers: identical JSON key sets and
+// identical stable field values on /optimize vs /v1/optimize.
+func TestLegacyAliasEquivalence(t *testing.T) {
+	ts := newTestServer(t)
+	post := func(path string) map[string]any {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "text/plain", strings.NewReader(testStatement))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s status = %d", path, resp.StatusCode)
+		}
+		var m map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	legacy := post("/optimize")
+	v1 := post("/v1/optimize")
+	for k := range legacy {
+		if _, ok := v1[k]; !ok {
+			t.Errorf("legacy key %q missing from /v1/optimize", k)
+		}
+	}
+	for k := range v1 {
+		if _, ok := legacy[k]; !ok && k != "cache_hit" {
+			t.Errorf("/v1 key %q missing from legacy response", k)
+		}
+	}
+	for _, k := range []string{"relations", "edges", "cost", "rows", "algorithm", "backend", "shape", "fingerprint"} {
+		if legacy[k] != v1[k] {
+			t.Errorf("field %q: legacy %v != v1 %v", k, legacy[k], v1[k])
+		}
+	}
+	if v1["cache_hit"] != true {
+		t.Errorf("second request through the alias pair missed the cache")
 	}
 }
 
 func TestOptimizeHappyPathJSONShape(t *testing.T) {
-	_, ts := newTestServer(t)
-	post := func() response {
+	ts := newTestServer(t)
+	post := func() httpapi.Response {
 		t.Helper()
-		resp, err := http.Post(ts.URL+"/optimize", "text/plain", strings.NewReader(testStatement))
+		resp, err := http.Post(ts.URL+"/v1/optimize", "text/plain", strings.NewReader(testStatement))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -81,7 +163,7 @@ func TestOptimizeHappyPathJSONShape(t *testing.T) {
 		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
 			t.Errorf("Content-Type = %q, want application/json", ct)
 		}
-		var r response
+		var r httpapi.Response
 		if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
 			t.Fatalf("response is not JSON: %v", err)
 		}
@@ -95,14 +177,17 @@ func TestOptimizeHappyPathJSONShape(t *testing.T) {
 	if cold.Cost <= 0 || cold.Rows <= 0 {
 		t.Errorf("cost/rows = %g/%g, want positive", cold.Cost, cold.Rows)
 	}
-	if cold.Algorithm == "" || cold.Shape == "" {
-		t.Errorf("algorithm/shape empty: %+v", cold)
+	if cold.Algorithm == "" || cold.Shape == "" || cold.Fingerprint == "" {
+		t.Errorf("algorithm/shape/fingerprint empty: %+v", cold)
 	}
 	if cold.CacheHit {
 		t.Error("first request reported a cache hit")
 	}
 	if cold.Plan != "" {
 		t.Errorf("plan rendered without explain: %q", cold.Plan)
+	}
+	if cold.Node != "" || cold.Failover {
+		t.Errorf("single-node response carries cluster fields: %+v", cold)
 	}
 
 	warm := post()
@@ -111,6 +196,9 @@ func TestOptimizeHappyPathJSONShape(t *testing.T) {
 	}
 	if warm.Cost != cold.Cost {
 		t.Errorf("warm cost %g != cold cost %g", warm.Cost, cold.Cost)
+	}
+	if warm.Fingerprint != cold.Fingerprint {
+		t.Errorf("fingerprint changed between identical requests")
 	}
 }
 
@@ -121,7 +209,7 @@ var expvarSeq atomic.Int64
 
 // TestLargeCyclicQueryServedExactlyByGPU is the serving-layer acceptance
 // criterion of the GPU backend: a 40-relation cyclic statement POSTed to
-// /optimize comes back as an exact GPU plan — not a heuristic fallback —
+// /v1/optimize comes back as an exact GPU plan — not a heuristic fallback —
 // with the backend identified in the response, and /debug/vars (expvar)
 // reports the GPU route.
 func TestLargeCyclicQueryServedExactlyByGPU(t *testing.T) {
@@ -129,11 +217,12 @@ func TestLargeCyclicQueryServedExactlyByGPU(t *testing.T) {
 	t.Cleanup(svc.Close)
 	varName := fmt.Sprintf("optimizer-gpu-test-%d", expvarSeq.Add(1))
 	expvar.Publish(varName, svc.Counters())
-	srv := &server{svc: svc, schema: sql.MusicBrainzSchema()}
-	ts := httptest.NewServer(srv.mux())
+	api := httpapi.New(httpapi.ServiceEngine(svc), httpapi.Options{})
+	api.Handle("/debug/vars", expvar.Handler())
+	ts := httptest.NewServer(api.Mux())
 	t.Cleanup(ts.Close)
 
-	resp, err := http.Post(ts.URL+"/optimize", "text/plain", strings.NewReader(workload.CycleSQL(40)))
+	resp, err := http.Post(ts.URL+"/v1/optimize", "text/plain", strings.NewReader(workload.CycleSQL(40)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +230,7 @@ func TestLargeCyclicQueryServedExactlyByGPU(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status = %d, want 200", resp.StatusCode)
 	}
-	var r response
+	var r httpapi.Response
 	if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
 		t.Fatal(err)
 	}
@@ -186,64 +275,102 @@ func TestLargeCyclicQueryServedExactlyByGPU(t *testing.T) {
 		t.Errorf("/debug/vars gpu backend counters %+v, want routed=1 served=1 fallbacks=0", gpu)
 	}
 
-	// /stats carries the same per-backend breakdown.
-	sresp, err := http.Get(ts.URL + "/stats")
+	// /v1/stats carries the same per-backend breakdown.
+	sresp, err := http.Get(ts.URL + "/v1/stats")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer sresp.Body.Close()
 	var snap service.Snapshot
 	if err := json.NewDecoder(sresp.Body).Decode(&snap); err != nil {
-		t.Fatalf("/stats is not JSON: %v", err)
+		t.Fatalf("/v1/stats is not JSON: %v", err)
 	}
 	if snap.Backends[string(backend.GPU)].Served != 1 {
-		t.Errorf("/stats gpu served = %d, want 1", snap.Backends[string(backend.GPU)].Served)
+		t.Errorf("/v1/stats gpu served = %d, want 1", snap.Backends[string(backend.GPU)].Served)
 	}
 }
 
 func TestOptimizeExplainIncludesPlan(t *testing.T) {
-	_, ts := newTestServer(t)
-	resp, err := http.Post(ts.URL+"/optimize?explain=1", "text/plain", strings.NewReader(testStatement))
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	var r response
-	if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
-		t.Fatal(err)
-	}
-	if r.Plan == "" {
-		t.Error("explain=1 response has no plan")
+	ts := newTestServer(t)
+	for _, path := range []string{"/v1/optimize?explain=1", "/v1/explain"} {
+		resp, err := http.Post(ts.URL+path, "text/plain", strings.NewReader(testStatement))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var r httpapi.Response
+		if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if r.Plan == "" {
+			t.Errorf("%s response has no plan", path)
+		}
 	}
 }
 
 func TestStatsAndHealthz(t *testing.T) {
-	_, ts := newTestServer(t)
-	resp, err := http.Get(ts.URL + "/stats")
-	if err != nil {
-		t.Fatal(err)
-	}
-	var stats map[string]any
-	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
-		t.Fatalf("/stats is not JSON: %v", err)
-	}
-	resp.Body.Close()
-	if _, ok := stats["requests"]; !ok {
-		t.Errorf("/stats lacks requests: %v", stats)
+	ts := newTestServer(t)
+	for _, path := range []string{"/v1/stats", "/stats"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var stats map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+			t.Fatalf("%s is not JSON: %v", path, err)
+		}
+		resp.Body.Close()
+		if _, ok := stats["requests"]; !ok {
+			t.Errorf("%s lacks requests: %v", path, stats)
+		}
+		if _, ok := stats["canceled"]; !ok {
+			t.Errorf("%s lacks canceled counter: %v", path, stats)
+		}
 	}
 
-	resp, err = http.Get(ts.URL + "/healthz")
+	for _, path := range []string{"/v1/healthz", "/healthz"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var health struct {
+			Status string `json:"status"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+			t.Fatalf("%s is not JSON: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || health.Status != "ok" {
+			t.Errorf("%s = %d %q, want 200 ok", path, resp.StatusCode, health.Status)
+		}
+	}
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	body := fmt.Sprintf(`{"statements":[%q,%q]}`, testStatement, workload.CycleSQL(10))
+	resp, err := http.Post(ts.URL+"/v1/batch", "application/json", strings.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
-	var health struct {
-		Status string `json:"status"`
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status = %d", resp.StatusCode)
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
-		t.Fatalf("/healthz is not JSON: %v", err)
+	var br httpapi.BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatal(err)
 	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK || health.Status != "ok" {
-		t.Errorf("/healthz = %d %q, want 200 ok", resp.StatusCode, health.Status)
+	if len(br.Results) != 2 {
+		t.Fatalf("batch results = %d, want 2", len(br.Results))
+	}
+	for i, item := range br.Results {
+		if item.Error != nil {
+			t.Errorf("batch item %d failed: %+v", i, item.Error)
+			continue
+		}
+		if item.Response == nil || item.Response.Cost <= 0 {
+			t.Errorf("batch item %d has no valid response", i)
+		}
 	}
 }

@@ -16,7 +16,14 @@
 // rebalancing, so isomorphic queries from any entry point share one warm
 // plan cache and a node loss costs no requests.
 //
-// Start with internal/core for the one-shot optimizer API, internal/service
+// The public, embeddable entry point is pkg/optimizer: typed Query/Catalog
+// builders, the algorithm registry, and one context-first interface —
+// Optimize(ctx, q, opts...) — with three drivers (InProcess over the
+// library, Served over the service, Remote over the versioned /v1 HTTP
+// API that both binaries serve from the shared internal/httpapi mux).
+// Cancelling the context aborts in-flight enumerations on every driver.
+//
+// Start with pkg/optimizer and API.md for the public surface, internal/service
 // and SERVICE.md for the serving layer, internal/cluster and CLUSTER.md for
 // the distributed layer, cmd/mpdp-bench for the experiment driver, and
 // DESIGN.md for the system inventory.

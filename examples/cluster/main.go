@@ -1,59 +1,68 @@
-// Cluster demo: the optimizer scaled out to four nodes behind one front
-// door. Concurrent clients replay a skewed stream of MusicBrainz join
-// queries — repeats and isomorphic renamings — against the cluster; halfway
-// through, one node is killed. Every request is still answered: the
-// consistent-hash ring routes isomorphic queries to the same warm cache,
-// replicas absorb the dead node's keys, and the failure detector rebalances
-// the ring. The run ends by reviving the node and printing the cluster's
-// counters.
+// Cluster demo: the optimizer scaled out to four nodes behind one HTTP
+// front door, driven entirely through the public SDK's Remote client. The
+// server side is exactly what cmd/mpdp-cluster runs: a cluster coordinator
+// behind the shared versioned /v1 API. Concurrent clients replay a skewed
+// stream of MusicBrainz join queries — repeats and isomorphic renamings —
+// over HTTP; halfway through, one node is killed through the admin
+// surface. Every request is still answered: the consistent-hash ring
+// routes isomorphic queries to the same warm cache, replicas absorb the
+// dead node's keys, and the failure detector rebalances the ring.
 //
 //	go run ./examples/cluster
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cluster"
-	"repro/internal/cost"
+	"repro/internal/httpapi"
 	"repro/internal/service"
-	"repro/internal/workload"
+	"repro/pkg/optimizer"
 )
 
-// rename relabels the query's relations through a random permutation: the
-// same join problem as written by a different client.
-func rename(q *cost.Query, rng *rand.Rand) *cost.Query {
-	return workload.PermuteQuery(q, rng.Perm(q.N()))
-}
-
 func main() {
+	// Server side: the same wiring as cmd/mpdp-cluster, on an ephemeral
+	// port.
 	c := cluster.New(cluster.Config{
 		Nodes:    4,
 		Replicas: 2,
 		Service:  service.Config{Workers: 2},
 	})
 	defer c.Close()
+	api := httpapi.New(httpapi.ClusterEngine(c), httpapi.Options{})
+	httpapi.MountClusterAdmin(api, c)
+	front := httptest.NewServer(api.Mux())
+	defer front.Close()
+
+	// Client side: the SDK Remote driver against the front door.
+	client, err := optimizer.Remote(optimizer.RemoteConfig{Endpoints: []string{front.URL}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
 
 	// Twelve distinct 14-relation MusicBrainz join problems form the hot
 	// working set.
-	var hot []*cost.Query
+	var hot []*optimizer.Query
 	for seed := int64(1); seed <= 12; seed++ {
-		q, err := workload.Generate(workload.KindMB, 14, rand.New(rand.NewSource(seed)))
-		if err != nil {
-			log.Fatal(err)
-		}
-		hot = append(hot, q)
+		hot = append(hot, optimizer.MusicBrainz(14, seed))
 	}
 
 	const clients, perClient = 8, 50
 	victim := c.AliveNodes()[0]
 	fmt.Printf("replaying %d requests from %d clients over %d distinct queries on %d nodes\n",
 		clients*perClient, clients, len(hot), len(c.AliveNodes()))
-	fmt.Printf("killing %s halfway through...\n\n", victim)
+	fmt.Printf("killing %s halfway through (via POST /cluster/kill)...\n\n", victim)
 
+	var warm, failovers atomic.Int64
 	start := time.Now()
 	var wg sync.WaitGroup
 	var killOnce sync.Once
@@ -64,14 +73,30 @@ func main() {
 			rng := rand.New(rand.NewSource(int64(w)))
 			for i := 0; i < perClient; i++ {
 				if i == perClient/2 {
-					killOnce.Do(func() { c.KillNode(victim) })
+					killOnce.Do(func() {
+						resp, err := http.Post(front.URL+"/cluster/kill?node="+victim, "", nil)
+						if err != nil {
+							log.Fatal(err)
+						}
+						resp.Body.Close()
+						if resp.StatusCode != http.StatusOK {
+							log.Fatalf("kill failed: %d", resp.StatusCode)
+						}
+					})
 				}
 				q := hot[rng.Intn(len(hot))]
 				if rng.Intn(2) == 0 {
-					q = rename(q, rng)
+					q = q.Permuted(rng.Int63()) // isomorphic renaming
 				}
-				if _, err := c.Optimize(q); err != nil {
+				res, err := client.Optimize(context.Background(), q)
+				if err != nil {
 					log.Fatalf("client %d lost a request: %v", w, err)
+				}
+				if res.CacheHit || res.Coalesced {
+					warm.Add(1)
+				}
+				if res.Failover {
+					failovers.Add(1)
 				}
 			}
 		}(w)
@@ -79,11 +104,15 @@ func main() {
 	wg.Wait()
 	wall := time.Since(start)
 
-	snap := c.Snapshot()
+	total := int64(clients * perClient)
 	fmt.Printf("%d requests in %v (%.0f req/s), zero lost\n",
-		snap.Requests, wall.Round(time.Millisecond), float64(snap.Requests)/wall.Seconds())
-	fmt.Printf("cluster-wide warm ratio %.1f%%, %d failovers, %d entries replicated, %d rebalanced\n",
-		100*snap.HitRate, snap.Failovers, snap.Replicated, snap.Rebalanced)
+		total, wall.Round(time.Millisecond), float64(total)/wall.Seconds())
+	fmt.Printf("client-observed warm ratio %.1f%%, %d failover responses\n",
+		100*float64(warm.Load())/float64(total), failovers.Load())
+
+	snap := c.Snapshot()
+	fmt.Printf("cluster: %d failovers, %d entries replicated, %d rebalanced\n",
+		snap.Failovers, snap.Replicated, snap.Rebalanced)
 	fmt.Printf("membership: alive=%v dead=%v (deaths=%d)\n\n",
 		snap.AliveNodes, snap.DeadNodes, snap.Deaths)
 
@@ -91,11 +120,4 @@ func main() {
 	c.CheckHealth()
 	fmt.Printf("revived %s: alive=%v (rejoins=%d)\n",
 		victim, c.AliveNodes(), c.Snapshot().Rejoins)
-
-	fmt.Println("\nper-node requests served:")
-	for _, id := range c.AliveNodes() {
-		ns := c.Snapshot().PerNode[id]
-		fmt.Printf("  %-8s requests=%-5d hits=%-5d cache=%d\n",
-			id, ns.Requests, ns.Hits, ns.CacheLen)
-	}
 }

@@ -1,44 +1,52 @@
-// Counters: reproduce the paper's Figure 2 analysis on a MusicBrainz query —
-// how many join pairs each enumeration strategy evaluates relative to the
-// number of valid (CCP) pairs, the quantity that separates MPDP from the
-// vertex-based DPSub/DPSize family.
+// Counters: reproduce the paper's Figure 2 analysis on a MusicBrainz query
+// through the public SDK — how many join pairs each enumeration strategy
+// evaluates relative to the number of valid (CCP) pairs, the quantity that
+// separates MPDP from the vertex-based DPSub/DPSize family.
 //
 //	go run ./examples/counters [-rels 20]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
-	"math/rand"
 
-	"repro/internal/cost"
-	"repro/internal/dp"
-	"repro/internal/workload"
+	"repro/pkg/optimizer"
 )
 
 func main() {
 	rels := flag.Int("rels", 20, "query size (random-walk over the MusicBrainz schema)")
 	flag.Parse()
 
-	q := workload.MusicBrainzQuery(*rels, rand.New(rand.NewSource(3)))
-	rep, err := dp.Counters(dp.Input{Q: q, M: cost.DefaultModel()})
-	if err != nil {
-		log.Fatal(err)
+	q := optimizer.MusicBrainz(*rels, 3)
+	fmt.Printf("MusicBrainz random-walk query: %d relations, %d predicates\n\n",
+		q.Relations(), q.Joins())
+
+	opt := optimizer.InProcess()
+	suite := []optimizer.Algorithm{
+		optimizer.AlgDPCCP, optimizer.AlgMPDP, optimizer.AlgDPSub, optimizer.AlgDPSize,
 	}
 
-	fmt.Printf("MusicBrainz random-walk query: %d relations, %d predicates\n", q.N(), len(q.G.Edges))
-	fmt.Printf("connected subsets (DP lattice size): %d\n", rep.ConnectedSets)
-	fmt.Printf("CCP-Counter (valid join pairs):      %d\n\n", rep.CCP)
+	// Every exact enumerator reports the paper's two counters in its
+	// Result; DPCCP's EvaluatedCounter equals the CCP lower bound.
+	results := make(map[optimizer.Algorithm]*optimizer.Result, len(suite))
+	var ccp uint64
+	for _, alg := range suite {
+		res, err := opt.Optimize(context.Background(), q, optimizer.WithAlgorithm(alg))
+		if err != nil {
+			log.Fatalf("%s: %v", alg, err)
+		}
+		results[alg] = res
+		ccp = res.CCPPairs
+	}
+	fmt.Printf("CCP-Counter (valid join pairs): %d\n\n", ccp)
 
 	fmt.Printf("%-8s %16s %14s\n", "", "EvaluatedCounter", "× valid pairs")
-	row := func(name string, v uint64) {
-		fmt.Printf("%-8s %16d %13.1fx\n", name, v, float64(v)/float64(rep.CCP))
+	for _, alg := range suite {
+		v := results[alg].Evaluated
+		fmt.Printf("%-8s %16d %13.1fx\n", alg, v, float64(v)/float64(ccp))
 	}
-	row("DPCCP", rep.DPCCPEvaluated)
-	row("MPDP", rep.MPDPEvaluated)
-	row("DPSub", rep.DPSubEvaluated)
-	row("DPSize", rep.DPSizeEvaluated)
 
 	fmt.Println("\nDPCCP meets the bound but is sequential; DPSub/DPSize parallelize but")
 	fmt.Println("waste orders of magnitude of work; MPDP keeps both properties (Fig. 2).")

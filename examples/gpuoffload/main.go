@@ -1,97 +1,78 @@
-// Gpuoffload: walk through the GPU execution model of §5 on a snowflake
-// query — per-level kernels (unrank → filter → evaluate → prune → scatter),
-// the effect of the paper's two enhancements (fused pruning and
-// Collaborative Context Collection), the resulting simulated device times
-// for MPDP vs DPSub — and the multi-device scheduler: the same query
-// level-partitioned across 1/2/4/8 simulated GPUs, plus a 40-relation
-// cycle that only the GPU backend serves exactly.
+// Gpuoffload: the GPU execution model of §5 through the public SDK — the
+// simulated device times of MPDP vs the DPSub/DPSize baselines on a
+// snowflake query, then the multi-device scheduler: a 40-relation cycle
+// (which no CPU enumerator's band touches) served exactly by the GPU
+// backend of the Served driver, swept across 1/2/4/8 simulated devices.
 //
 //	go run ./examples/gpuoffload [-rels 18]
 package main
 
 import (
-	"flag"
+	"context"
 	"fmt"
 	"log"
-	"math/rand"
-	"time"
 
-	"repro/internal/cost"
-	"repro/internal/dp"
-	"repro/internal/gpusim"
-	"repro/internal/workload"
+	"flag"
+
+	"repro/pkg/optimizer"
 )
 
 func main() {
 	rels := flag.Int("rels", 18, "snowflake query size")
 	flag.Parse()
 
-	q := workload.Snowflake(*rels, rand.New(rand.NewSource(11)))
-	in := dp.Input{Q: q, M: cost.DefaultModel()}
+	q := optimizer.Snowflake(*rels, 11)
+	opt := optimizer.InProcess()
+	fmt.Printf("snowflake query: %d relations on the simulated device model\n\n", q.Relations())
 
-	fmt.Printf("snowflake query: %d relations on a simulated %s\n\n", q.N(), gpusim.GTX1080().Name)
-
-	show := func(label string, gs gpusim.Stats) {
-		fmt.Printf("%-34s %10.3f ms  kernels=%-4d candidates=%-10d valid=%-8d writes=%d\n",
-			label, gs.SimTimeMS, gs.KernelLaunches, gs.CandidatePairs, gs.ValidPairs, gs.GlobalWrites)
+	type entry struct {
+		label string
+		alg   optimizer.Algorithm
 	}
-
-	full := gpusim.Config{Device: gpusim.GTX1080(), FusedPrune: true, CCC: true}
-	plain := gpusim.Config{Device: gpusim.GTX1080()}
-
-	_, _, gs, err := gpusim.MPDPGPU(in, full)
-	if err != nil {
-		log.Fatal(err)
+	suite := []entry{
+		{"MPDP (GPU, fused prune + CCC)", optimizer.AlgMPDPGPU},
+		{"DPSub (GPU)", optimizer.AlgDPSubGPU},
+		{"DPSize (GPU)", optimizer.AlgDPSizeGPU},
 	}
-	show("MPDP (GPU, fused prune + CCC)", gs)
-	phases := gs.PhaseMS(gpusim.GTX1080())
-	fmt.Print("  kernel time by phase:")
-	for p := gpusim.PhaseUnrank; p <= gpusim.PhaseScatter; p++ {
-		fmt.Printf("  %s=%.4fms", p, phases[p])
+	var exact float64
+	for _, e := range suite {
+		res, err := opt.Optimize(context.Background(), q, optimizer.WithAlgorithm(e.alg))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if exact == 0 {
+			exact = res.Cost
+		} else if res.Cost != exact {
+			log.Fatalf("%s cost %g != %g", e.label, res.Cost, exact)
+		}
+		fmt.Printf("%-32s %10.3f ms simulated  (evaluated %d pairs, %d valid)\n",
+			e.label, res.GPUSimMS, res.Evaluated, res.CCPPairs)
 	}
-	fmt.Println()
-
-	_, _, gs, err = gpusim.MPDPGPU(in, plain)
-	if err != nil {
-		log.Fatal(err)
-	}
-	show("MPDP (GPU, baseline kernels [23])", gs)
-
-	_, _, gs, err = gpusim.DPSubGPU(in, full)
-	if err != nil {
-		log.Fatal(err)
-	}
-	show("DPSub (GPU, fused prune + CCC)", gs)
-
-	_, _, gs, err = gpusim.DPSizeGPU(in, full)
-	if err != nil {
-		log.Fatal(err)
-	}
-	show("DPSize (GPU)", gs)
-
 	fmt.Println("\nMPDP's candidate volume tracks the valid-pair count, so its kernels do")
 	fmt.Println("less lockstep work; CCC compacts what divergence remains (§5, §7.2.5).")
 
 	// The multi-device scheduler on a query no CPU enumerator's band can
-	// touch: a 40-relation cycle, whose 2^40 unrank lattice is
-	// compute-bound (the snowflake above is transfer-bound, so extra
-	// devices would not help it — the paper's small-query overhead).
-	cyc := workload.Cycle(40, rand.New(rand.NewSource(7)))
-	cin := dp.Input{Q: cyc, M: cost.DefaultModel()}
-	fmt.Println("\n40-relation cycle, level-partitioned across N devices:")
+	// touch: a 40-relation cycle, whose 2^40 unrank lattice is compute-
+	// bound. Each Served driver routes it to its GPU backend with N
+	// simulated devices; more devices shorten the level-synchronous wall.
+	cyc := optimizer.Cycle(40, 7)
+	fmt.Println("\n40-relation cycle, level-partitioned across N devices (Served driver):")
 	var cost40 float64
 	for _, ndev := range []int{1, 2, 4, 8} {
-		cfg := full
-		cfg.Devices = ndev
-		start := time.Now()
-		p, _, ms, err := gpusim.MPDPGPUMulti(cin, cfg)
+		svc := optimizer.Served(optimizer.ServedConfig{Workers: 2, GPUDevices: ndev})
+		res, err := svc.Optimize(context.Background(), cyc)
+		svc.Close()
 		if err != nil {
 			log.Fatal(err)
 		}
-		cost40 = p.Cost
-		fmt.Printf("  %d device(s): %9.0f ms simulated  (utilization %3.0f%%, %.1f ms real wall time)\n",
-			ndev, ms.SimTimeMS, 100*ms.Utilization(), float64(time.Since(start).Microseconds())/1e3)
+		if res.Backend != "gpu" || res.FellBack {
+			log.Fatalf("%d devices: routed to %s (fellback=%v), want exact gpu", ndev, res.Backend, res.FellBack)
+		}
+		cost40 = res.Cost
+		fmt.Printf("  %d device(s): %9.0f ms simulated  (%s on %s, %.1f ms real wall time)\n",
+			ndev, res.GPUSimMS, res.Algorithm, res.Backend,
+			float64(res.Elapsed.Microseconds())/1e3)
 	}
-	fmt.Printf("exact plan cost %.4g — the band the service router now serves exactly\n", cost40)
+	fmt.Printf("exact plan cost %.4g — the band the service router serves exactly\n", cost40)
 	fmt.Println("instead of heuristically (costing is output-sensitive, the lattice is modeled).")
 }

@@ -1,56 +1,55 @@
-// Largequery: the paper's headline heuristic scenario — optimize a
-// 1000-relation snowflake query with UnionDP and IDP2-MPDP, comparing plan
-// quality and time against the GOO baseline ("optimizes queries with 1000
-// relations under 1 minute", §1).
+// Largequery: the paper's headline heuristic scenario through the public
+// SDK — optimize a 1000-relation snowflake query with UnionDP and
+// IDP2-MPDP, comparing plan quality and time against the GOO baseline
+// ("optimizes queries with 1000 relations under 1 minute", §1).
 //
 //	go run ./examples/largequery [-rels 1000]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
-	"math/rand"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/workload"
+	"repro/pkg/optimizer"
 )
 
 func main() {
 	rels := flag.Int("rels", 1000, "number of relations")
 	flag.Parse()
 
-	q := workload.Snowflake(*rels, rand.New(rand.NewSource(7)))
-	fmt.Printf("snowflake query with %d relations, %d join predicates\n\n", q.N(), len(q.G.Edges))
+	q := optimizer.Snowflake(*rels, 7)
+	fmt.Printf("snowflake query with %d relations, %d join predicates\n\n", q.Relations(), q.Joins())
 
+	opt := optimizer.InProcess()
 	type entry struct {
 		label string
-		alg   core.Algorithm
+		alg   optimizer.Algorithm
 		k     int
 	}
 	suite := []entry{
-		{"GOO (greedy baseline)", core.AlgGOO, 0},
-		{"IDP2-MPDP (k=15)", core.AlgIDP2, 15},
-		{"UnionDP-MPDP (k=15)", core.AlgUnionDP, 15},
+		{"GOO (greedy baseline)", optimizer.AlgGOO, 0},
+		{"IDP2-MPDP (k=15)", optimizer.AlgIDP2, 15},
+		{"UnionDP-MPDP (k=15)", optimizer.AlgUnionDP, 15},
 	}
 
 	best := 0.0
 	costs := make([]float64, len(suite))
 	for i, e := range suite {
-		res, err := core.Optimize(q, core.Options{
-			Algorithm: e.alg,
-			K:         e.k,
-			Timeout:   time.Minute,
-		})
+		res, err := opt.Optimize(context.Background(), q,
+			optimizer.WithAlgorithm(e.alg),
+			optimizer.WithK(e.k),
+			optimizer.WithTimeout(time.Minute))
 		if err != nil {
 			log.Fatalf("%s: %v", e.label, err)
 		}
-		costs[i] = res.Plan.Cost
-		if best == 0 || res.Plan.Cost < best {
-			best = res.Plan.Cost
+		costs[i] = res.Cost
+		if best == 0 || res.Cost < best {
+			best = res.Cost
 		}
-		fmt.Printf("%-24s cost %.4g   time %v\n", e.label, res.Plan.Cost, res.Elapsed.Round(time.Millisecond))
+		fmt.Printf("%-24s cost %.4g   time %v\n", e.label, res.Cost, res.Elapsed.Round(time.Millisecond))
 	}
 	fmt.Println()
 	for i, e := range suite {

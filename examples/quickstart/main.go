@@ -1,38 +1,44 @@
-// Quickstart: build a 12-relation star query, optimize it with MPDP and
-// print the chosen plan.
+// Quickstart: build a 12-relation star query, optimize it with MPDP
+// through the public SDK (pkg/optimizer) and print the chosen plan.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"math/rand"
 
-	"repro/internal/core"
-	"repro/internal/workload"
+	"repro/pkg/optimizer"
 )
 
 func main() {
 	// A 12-relation star join: one fact table, eleven filtered dimensions.
-	q := workload.Star(12, rand.New(rand.NewSource(42)))
+	q := optimizer.Star(12, 42)
 
-	// Optimize with the paper's MPDP (exact, optimal, no cross products).
-	res, err := core.Optimize(q, core.Options{Algorithm: core.AlgMPDP})
+	// The InProcess driver runs the paper's MPDP (exact, optimal, no cross
+	// products) directly in this process.
+	opt := optimizer.InProcess()
+	res, err := opt.Optimize(context.Background(), q,
+		optimizer.WithAlgorithm(optimizer.AlgMPDP), optimizer.WithExplain())
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("optimal cost: %.1f (found in %v)\n", res.Plan.Cost, res.Elapsed)
+	fmt.Printf("optimal cost: %.1f (found in %v)\n", res.Cost, res.Elapsed)
 	fmt.Printf("join pairs evaluated: %d (valid: %d — MPDP meets the lower bound on trees)\n\n",
-		res.Stats.Evaluated, res.Stats.CCP)
-	fmt.Println(core.Explain(q, res.Plan))
+		res.Evaluated, res.CCPPairs)
+	fmt.Println(res.Explain)
 
 	// The same query through the simulated GPU pipeline.
-	gpu, err := core.Optimize(q, core.Options{Algorithm: core.AlgMPDPGPU})
+	gpu, err := opt.Optimize(context.Background(), q,
+		optimizer.WithAlgorithm(optimizer.AlgMPDPGPU))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("MPDP (GPU model): same cost %.1f, simulated device time %.3f ms (%d kernels)\n",
-		gpu.Plan.Cost, gpu.GPU.SimTimeMS, gpu.GPU.KernelLaunches)
+	fmt.Printf("MPDP (GPU model): same cost %.1f, simulated device time %.3f ms\n",
+		gpu.Cost, gpu.GPUSimMS)
+	if gpu.Cost != res.Cost {
+		log.Fatalf("GPU cost %g differs from CPU cost %g", gpu.Cost, res.Cost)
+	}
 }

@@ -1,67 +1,44 @@
-// Service demo: the optimizer as a concurrent front-end. A pool of client
-// goroutines replays a skewed stream of MusicBrainz join queries — repeats,
+// Service demo: the optimizer as a concurrent front-end, driven entirely
+// through the public SDK's Served driver. A pool of client goroutines
+// replays a skewed stream of MusicBrainz join queries — repeats,
 // isomorphic renamings and fresh queries mixed — against one shared
-// service, then prints the cache/router statistics and the cold-vs-warm
-// latency gap.
+// service, then prints the cache statistics and the cold-vs-warm latency
+// gap.
 //
 //	go run ./examples/service
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
-	"repro/internal/backend"
-	"repro/internal/catalog"
-	"repro/internal/cost"
-	"repro/internal/graph"
-	"repro/internal/service"
-	"repro/internal/workload"
+	"repro/pkg/optimizer"
 )
 
-// rename relabels the query's relations through a random permutation: a
-// different SQL text for the same join problem. The service's canonical
-// fingerprint makes these hit the same cache entry.
-func rename(q *cost.Query, rng *rand.Rand) *cost.Query {
-	perm := rng.Perm(q.N())
-	rels := make([]catalog.Relation, q.N())
-	for i, r := range q.Cat.Rels {
-		rels[perm[i]] = r
-	}
-	var cat catalog.Catalog
-	for _, r := range rels {
-		cat.Add(r)
-	}
-	g := graph.New(q.N())
-	for _, e := range q.G.Edges {
-		g.AddEdge(perm[e.A], perm[e.B], e.Sel)
-	}
-	return &cost.Query{Cat: cat, G: g}
-}
-
 func main() {
-	svc := service.New(service.Config{})
+	svc := optimizer.Served(optimizer.ServedConfig{})
 	defer svc.Close()
 
 	// Twelve distinct 14-relation MusicBrainz join problems form the "hot"
 	// working set a production query stream would repeat.
-	var hot []*cost.Query
+	var hot []*optimizer.Query
 	for seed := int64(1); seed <= 12; seed++ {
-		q, err := workload.Generate(workload.KindMB, 14, rand.New(rand.NewSource(seed)))
-		if err != nil {
-			log.Fatal(err)
-		}
-		hot = append(hot, q)
+		hot = append(hot, optimizer.MusicBrainz(14, seed))
 	}
 
 	clients := runtime.GOMAXPROCS(0)
 	const perClient = 60
 	fmt.Printf("replaying %d requests from %d clients over %d distinct queries...\n",
 		clients*perClient, clients, len(hot))
+
+	var hits, coalesced, fellBack atomic.Int64
+	var hitNanos, missNanos, misses atomic.Int64
 
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -73,10 +50,27 @@ func main() {
 			for i := 0; i < perClient; i++ {
 				q := hot[rng.Intn(len(hot))]
 				if rng.Intn(2) == 0 {
-					q = rename(q, rng) // same query, different relation order
+					// The same join problem as written by a different
+					// client: the canonical fingerprint makes it hit the
+					// twin's cache entry.
+					q = q.Permuted(rng.Int63())
 				}
-				if _, err := svc.Optimize(q); err != nil {
+				res, err := svc.Optimize(context.Background(), q)
+				if err != nil {
 					log.Fatal(err)
+				}
+				switch {
+				case res.CacheHit:
+					hits.Add(1)
+					hitNanos.Add(int64(res.Elapsed))
+				case res.Coalesced:
+					coalesced.Add(1)
+				default:
+					misses.Add(1)
+					missNanos.Add(int64(res.Elapsed))
+				}
+				if res.FellBack {
+					fellBack.Add(1)
 				}
 			}
 		}(c)
@@ -84,18 +78,16 @@ func main() {
 	wg.Wait()
 	wall := time.Since(start)
 
-	snap := svc.Counters().Snapshot()
+	total := int64(clients * perClient)
 	fmt.Printf("\n%d requests in %v (%.0f req/s)\n",
-		snap.Requests, wall.Round(time.Millisecond), float64(snap.Requests)/wall.Seconds())
-	fmt.Printf("cache: %d hits, %d misses, %d coalesced (hit rate %.1f%%)\n",
-		snap.Hits, snap.Misses, snap.Coalesced, 100*snap.HitRate)
-	fmt.Printf("routes: dpccp=%d mpdp-cpu=%d mpdp-gpu=%d idp2=%d uniondp=%d\n",
-		snap.RouteDPCCP, snap.RouteMPDP, snap.RouteMPDPGPU, snap.RouteIDP2, snap.RouteUnionDP)
-	for _, id := range backend.IDs() {
-		bc := snap.Backends[string(id)]
-		fmt.Printf("backend %-12s routed=%-4d served=%-4d hits=%-4d fallbacks=%d\n",
-			id, bc.Routed, bc.Served, bc.Hits, bc.Fallbacks)
+		total, wall.Round(time.Millisecond), float64(total)/wall.Seconds())
+	fmt.Printf("cache: %d hits, %d misses, %d coalesced (hit rate %.1f%%), %d fallbacks\n",
+		hits.Load(), misses.Load(), coalesced.Load(),
+		100*float64(hits.Load()+coalesced.Load())/float64(total), fellBack.Load())
+	if misses.Load() > 0 && hits.Load() > 0 {
+		avgMiss := float64(missNanos.Load()) / float64(misses.Load()) / 1e3
+		avgHit := float64(hitNanos.Load()) / float64(hits.Load()) / 1e3
+		fmt.Printf("latency: cold (optimize) %.0fus, warm (cache hit) %.0fus — %.0fx\n",
+			avgMiss, avgHit, avgMiss/avgHit)
 	}
-	fmt.Printf("latency: cold (optimize) %.0fus, warm (cache hit) %.0fus — %.0fx\n",
-		snap.AvgMissMicros, snap.AvgHitMicros, snap.AvgMissMicros/snap.AvgHitMicros)
 }

@@ -1,17 +1,17 @@
-// Sqlfrontend: optimize SQL text end to end — parse, bind against the
-// MusicBrainz catalog, build the join graph (including the implicit edges
-// introduced by equivalence classes, the paper's footnote 8), and plan with
-// MPDP.
+// Sqlfrontend: optimize SQL text end to end through the public SDK —
+// parse, bind against the MusicBrainz catalog, build the join graph
+// (including the implicit edges introduced by equivalence classes, the
+// paper's footnote 8), and plan with MPDP.
 //
 //	go run ./examples/sqlfrontend
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/sql"
+	"repro/pkg/optimizer"
 )
 
 const query = `
@@ -29,19 +29,19 @@ WHERE r.release_group = rg.id
   AND a.name = 'radiohead'`
 
 func main() {
-	bound, err := sql.Compile(query, sql.MusicBrainzSchema())
+	q, err := optimizer.CompileSQL(query)
 	if err != nil {
 		log.Fatal(err)
 	}
-	q := bound.Query
-	fmt.Printf("bound %d relations, %d join edges (%d implicit from equivalence classes)\n\n",
-		q.N(), len(q.G.Edges), bound.ImplicitEdges)
+	fmt.Printf("bound %d relations, %d join edges (equivalence classes add the implicit ones)\n\n",
+		q.Relations(), q.Joins())
 
-	res, err := core.Optimize(q, core.Options{Algorithm: core.AlgMPDP})
+	res, err := optimizer.InProcess().Optimize(context.Background(), q,
+		optimizer.WithAlgorithm(optimizer.AlgMPDP), optimizer.WithExplain())
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("optimal cost %.4g in %v (evaluated %d join pairs, %d valid)\n\n",
-		res.Plan.Cost, res.Elapsed, res.Stats.Evaluated, res.Stats.CCP)
-	fmt.Print(core.Explain(q, res.Plan))
+		res.Cost, res.Elapsed, res.Evaluated, res.CCPPairs)
+	fmt.Print(res.Explain)
 }

@@ -13,6 +13,7 @@
 package backend
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/core"
@@ -79,10 +80,11 @@ type Backend interface {
 	ID() ID
 	// Supports reports whether the backend can execute alg.
 	Supports(alg core.Algorithm) bool
-	// Optimize plans q with alg. Implementations must be safe for
+	// Optimize plans q with alg. Cancelling ctx aborts the run promptly
+	// with the context's error. Implementations must be safe for
 	// concurrent use — the service worker pool calls them from many
 	// goroutines.
-	Optimize(q *cost.Query, alg core.Algorithm, opts Options) (*Result, error)
+	Optimize(ctx context.Context, q *cost.Query, alg core.Algorithm, opts Options) (*Result, error)
 	// Close releases backend resources (the GPU backend's batcher).
 	Close()
 }

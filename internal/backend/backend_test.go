@@ -1,6 +1,7 @@
 package backend
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -92,7 +93,7 @@ func TestBackendsCostIdentical(t *testing.T) {
 			{core.AlgMPDPParallel, CPUParallel},
 			{core.AlgMPDPGPU, GPU},
 		} {
-			res, err := s.Get(tc.id).Optimize(q, tc.alg, Options{Model: m})
+			res, err := s.Get(tc.id).Optimize(context.Background(), q, tc.alg, Options{Model: m})
 			if err != nil {
 				t.Fatalf("%s/%s: %v", kind, tc.id, err)
 			}
@@ -142,7 +143,7 @@ func TestGPUCoalescing(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], errs[i] = gpu.Optimize(qs[i], core.AlgMPDPGPU, Options{Model: m})
+			results[i], errs[i] = gpu.Optimize(context.Background(), qs[i], core.AlgMPDPGPU, Options{Model: m})
 		}(i)
 	}
 	wg.Wait()
@@ -162,7 +163,7 @@ func TestGPUTimeout(t *testing.T) {
 	s := NewSet(GPUConfig{Devices: 2})
 	defer s.Close()
 	q := genQuery(t, workload.KindClique, 17, 1)
-	_, err := s.Get(GPU).Optimize(q, core.AlgMPDPGPU, Options{Model: cost.DefaultModel(), Timeout: time.Nanosecond})
+	_, err := s.Get(GPU).Optimize(context.Background(), q, core.AlgMPDPGPU, Options{Model: cost.DefaultModel(), Timeout: time.Nanosecond})
 	if !errors.Is(err, dp.ErrTimeout) {
 		t.Errorf("err = %v, want dp.ErrTimeout", err)
 	}
@@ -174,7 +175,7 @@ func TestGPUUnbatchedPath(t *testing.T) {
 	defer s.Close()
 	q := genQuery(t, workload.KindChain, 10, 2)
 	m := cost.DefaultModel()
-	res, err := s.Get(GPU).Optimize(q, core.AlgMPDPGPU, Options{Model: m})
+	res, err := s.Get(GPU).Optimize(context.Background(), q, core.AlgMPDPGPU, Options{Model: m})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +203,7 @@ func TestGPUBaselineAlgorithms(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, alg := range []core.Algorithm{core.AlgDPSubGPU, core.AlgDPSizeGPU} {
-		res, err := s.Get(GPU).Optimize(q, alg, Options{Model: m})
+		res, err := s.Get(GPU).Optimize(context.Background(), q, alg, Options{Model: m})
 		if err != nil {
 			t.Fatalf("%s: %v", alg, err)
 		}
@@ -233,7 +234,7 @@ func TestGPUOptimizeAfterCloseFailsLoudly(t *testing.T) {
 	s.Close()
 	done := make(chan error, 1)
 	go func() {
-		_, err := gpu.Optimize(genQuery(t, workload.KindChain, 8, 1), core.AlgMPDPGPU, Options{Model: cost.DefaultModel()})
+		_, err := gpu.Optimize(context.Background(), genQuery(t, workload.KindChain, 8, 1), core.AlgMPDPGPU, Options{Model: cost.DefaultModel()})
 		done <- err
 	}()
 	select {

@@ -1,6 +1,7 @@
 package backend
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/core"
@@ -10,9 +11,9 @@ import (
 // coreOptimize is the shared thin wrapper: the CPU and heuristic backends
 // all execute through core.Optimize and differ only in which algorithms
 // they claim and how many threads they hand over.
-func coreOptimize(id ID, q *cost.Query, alg core.Algorithm, opts Options, threads int) (*Result, error) {
+func coreOptimize(ctx context.Context, id ID, q *cost.Query, alg core.Algorithm, opts Options, threads int) (*Result, error) {
 	start := time.Now()
-	res, err := core.Optimize(q, core.Options{
+	res, err := core.Optimize(ctx, q, core.Options{
 		Algorithm: alg,
 		Model:     opts.Model,
 		Timeout:   opts.Timeout,
@@ -48,8 +49,8 @@ func (cpuSeq) Supports(alg core.Algorithm) bool {
 	return false
 }
 
-func (cpuSeq) Optimize(q *cost.Query, alg core.Algorithm, opts Options) (*Result, error) {
-	return coreOptimize(CPUSeq, q, alg, opts, 1)
+func (cpuSeq) Optimize(ctx context.Context, q *cost.Query, alg core.Algorithm, opts Options) (*Result, error) {
+	return coreOptimize(ctx, CPUSeq, q, alg, opts, 1)
 }
 
 func (cpuSeq) Close() {}
@@ -69,8 +70,8 @@ func (cpuParallel) Supports(alg core.Algorithm) bool {
 	return false
 }
 
-func (cpuParallel) Optimize(q *cost.Query, alg core.Algorithm, opts Options) (*Result, error) {
-	return coreOptimize(CPUParallel, q, alg, opts, opts.Threads)
+func (cpuParallel) Optimize(ctx context.Context, q *cost.Query, alg core.Algorithm, opts Options) (*Result, error) {
+	return coreOptimize(ctx, CPUParallel, q, alg, opts, opts.Threads)
 }
 
 func (cpuParallel) Close() {}
@@ -91,8 +92,8 @@ func (heuristicBackend) Supports(alg core.Algorithm) bool {
 	return false
 }
 
-func (heuristicBackend) Optimize(q *cost.Query, alg core.Algorithm, opts Options) (*Result, error) {
-	return coreOptimize(Heuristic, q, alg, opts, opts.Threads)
+func (heuristicBackend) Optimize(ctx context.Context, q *cost.Query, alg core.Algorithm, opts Options) (*Result, error) {
+	return coreOptimize(ctx, Heuristic, q, alg, opts, opts.Threads)
 }
 
 func (heuristicBackend) Close() {}

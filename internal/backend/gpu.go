@@ -1,6 +1,7 @@
 package backend
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -99,7 +100,7 @@ func (b *gpuBackend) Supports(alg core.Algorithm) bool {
 // Devices returns the simulated device count.
 func (b *gpuBackend) Devices() int { return b.cfg.Devices }
 
-func (b *gpuBackend) Optimize(q *cost.Query, alg core.Algorithm, opts Options) (*Result, error) {
+func (b *gpuBackend) Optimize(ctx context.Context, q *cost.Query, alg core.Algorithm, opts Options) (*Result, error) {
 	start := time.Now()
 	m := opts.Model
 	if m == nil {
@@ -109,7 +110,7 @@ func (b *gpuBackend) Optimize(q *cost.Query, alg core.Algorithm, opts Options) (
 	if opts.Timeout > 0 {
 		deadline = start.Add(opts.Timeout)
 	}
-	in := dp.Input{Q: q, M: m, Arena: opts.Arena, Deadline: deadline}
+	in := dp.Input{Q: q, M: m, Ctx: ctx, Arena: opts.Arena, Deadline: deadline}
 
 	var br gpusim.BatchResult
 	switch alg {
@@ -128,6 +129,10 @@ func (b *gpuBackend) Optimize(q *cost.Query, alg core.Algorithm, opts Options) (
 			}
 			select {
 			case br = <-job.done:
+			case <-ctx.Done():
+				// The batch will still run (and abort promptly via in.Ctx);
+				// done is buffered, so the batcher's delivery never blocks.
+				return nil, context.Cause(ctx)
 			case <-b.quit:
 				// The final drain may still have delivered our result.
 				select {

@@ -11,6 +11,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -190,7 +191,14 @@ func (c *Cluster) AliveNodes() []string {
 // over to replicas while the failure detector catches up with dead nodes.
 // Fresh plans are replicated to the other owners, so a warm entry survives
 // the loss of Replicas-1 nodes.
-func (c *Cluster) Optimize(q *cost.Query) (*Result, error) {
+//
+// Cancelling ctx propagates through the transport into the serving node's
+// service, aborting the in-flight optimization; the cancellation is not
+// treated as a node failure. A nil ctx means context.Background().
+func (c *Cluster) Optimize(ctx context.Context, q *cost.Query) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -217,7 +225,7 @@ func (c *Cluster) Optimize(q *cost.Query) (*Result, error) {
 			break
 		}
 		for i, id := range owners {
-			resp, err := c.transport.Call(id, Request{Kind: ReqOptimize, Query: q})
+			resp, err := c.transport.Call(ctx, id, Request{Kind: ReqOptimize, Query: q})
 			switch {
 			case err == nil:
 				c.noteSuccess(id)
@@ -239,8 +247,14 @@ func (c *Cluster) Optimize(q *cost.Query) (*Result, error) {
 				c.noteFailure(id)
 			default:
 				// The node answered and rejected the query; replicas are
-				// deterministic copies and would answer the same.
-				c.counters.errors.add(1)
+				// deterministic copies and would answer the same. Caller
+				// cancellation is accounted separately — a disconnecting
+				// client is not a cluster error.
+				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+					c.counters.canceled.add(1)
+				} else {
+					c.counters.errors.add(1)
+				}
 				return nil, err
 			}
 		}
@@ -258,7 +272,7 @@ func (c *Cluster) replicate(key, from string, owners []string) {
 	if len(owners) <= 1 {
 		return
 	}
-	resp, err := c.transport.Call(from, Request{Kind: ReqExport, Key: key})
+	resp, err := c.transport.Call(context.Background(), from, Request{Kind: ReqExport, Key: key})
 	if err != nil || len(resp.Entries) == 0 {
 		return
 	}
@@ -267,7 +281,7 @@ func (c *Cluster) replicate(key, from string, owners []string) {
 		if id == from {
 			continue
 		}
-		if _, err := c.transport.Call(id, req); err == nil {
+		if _, err := c.transport.Call(context.Background(), id, req); err == nil {
 			c.counters.replicated.add(1)
 		} else if errors.Is(err, ErrUnreachable) {
 			c.noteFailure(id)
@@ -309,7 +323,7 @@ func (c *Cluster) RemoveNode(id string) error {
 	if !wasDead {
 		// Drain while still registered on the transport.
 		c.rebalanceMu.Lock()
-		if resp, err := c.transport.Call(id, Request{Kind: ReqExport}); err == nil {
+		if resp, err := c.transport.Call(context.Background(), id, Request{Kind: ReqExport}); err == nil {
 			c.pushEntries(resp.Entries, id)
 		}
 		c.rebalanceMu.Unlock()
@@ -372,7 +386,7 @@ func (c *Cluster) CheckHealth() {
 
 	changed := false
 	for _, id := range ids {
-		_, err := c.transport.Call(id, Request{Kind: ReqPing})
+		_, err := c.transport.Call(context.Background(), id, Request{Kind: ReqPing})
 		c.mu.Lock()
 		st := c.state[id]
 		if st == nil { // removed concurrently
@@ -415,7 +429,7 @@ func (c *Cluster) rebalance() {
 	c.rebalanceMu.Lock()
 	defer c.rebalanceMu.Unlock()
 	for _, id := range c.AliveNodes() {
-		resp, err := c.transport.Call(id, Request{Kind: ReqExport})
+		resp, err := c.transport.Call(context.Background(), id, Request{Kind: ReqExport})
 		if err != nil {
 			continue
 		}
@@ -439,7 +453,7 @@ func (c *Cluster) pushEntries(entries []service.Entry, holder string) {
 		}
 	}
 	for id, batch := range batches {
-		if _, err := c.transport.Call(id, Request{Kind: ReqImport, Entries: batch}); err == nil {
+		if _, err := c.transport.Call(context.Background(), id, Request{Kind: ReqImport, Entries: batch}); err == nil {
 			c.counters.rebalanced.add(uint64(len(batch)))
 		}
 	}
@@ -459,7 +473,7 @@ func (c *Cluster) FlushAll() {
 	}
 	c.mu.Unlock()
 	for _, id := range ids {
-		c.transport.Call(id, Request{Kind: ReqFlush})
+		c.transport.Call(context.Background(), id, Request{Kind: ReqFlush})
 	}
 }
 
@@ -490,6 +504,7 @@ func (c *Cluster) Snapshot() Snapshot {
 		Deaths:     c.counters.deaths.load(),
 		Rejoins:    c.counters.rejoins.load(),
 		Errors:     c.counters.errors.load(),
+		Canceled:   c.counters.canceled.load(),
 		Replicas:   c.cfg.Replicas,
 		PerNode:    make(map[string]NodeSnapshot),
 	}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -141,7 +142,7 @@ func TestIsomorphicQueriesShareOneWarmEntry(t *testing.T) {
 	c := newTestCluster(t, 4, 2)
 
 	q := genQuery(t, workload.KindMB, 11, 5)
-	cold, err := c.Optimize(q)
+	cold, err := c.Optimize(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +152,7 @@ func TestIsomorphicQueriesShareOneWarmEntry(t *testing.T) {
 
 	rng := rand.New(rand.NewSource(3))
 	for trial := 0; trial < 5; trial++ {
-		iso, err := c.Optimize(permuteQuery(q, rng.Perm(q.N())))
+		iso, err := c.Optimize(context.Background(), permuteQuery(q, rng.Perm(q.N())))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -173,7 +174,7 @@ func TestIsomorphicQueriesShareOneWarmEntry(t *testing.T) {
 func TestFreshPlansReplicateToAllOwners(t *testing.T) {
 	c := newTestCluster(t, 4, 3)
 
-	res, err := c.Optimize(genQuery(t, workload.KindMB, 10, 9))
+	res, err := c.Optimize(context.Background(), genQuery(t, workload.KindMB, 10, 9))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +201,7 @@ func TestFailoverServesFromReplica(t *testing.T) {
 	c := newTestCluster(t, 4, 2)
 
 	q := genQuery(t, workload.KindMB, 11, 1)
-	cold, err := c.Optimize(q)
+	cold, err := c.Optimize(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +210,7 @@ func TestFailoverServesFromReplica(t *testing.T) {
 	c.KillNode(owner)
 
 	// Still served — warm, from the replica — while the detector catches up.
-	warm, err := c.Optimize(q)
+	warm, err := c.Optimize(context.Background(), q)
 	if err != nil {
 		t.Fatalf("request lost after owner kill: %v", err)
 	}
@@ -228,7 +229,7 @@ func TestFailoverServesFromReplica(t *testing.T) {
 
 	// One more failed contact crosses the failure threshold (2): the ring
 	// rebalances away from the dead node.
-	if _, err := c.Optimize(q); err != nil {
+	if _, err := c.Optimize(context.Background(), q); err != nil {
 		t.Fatalf("request lost during failure detection: %v", err)
 	}
 	for _, id := range c.AliveNodes() {
@@ -254,7 +255,7 @@ func TestFailoverServesFromReplica(t *testing.T) {
 	}
 
 	// After the rebalance the new owner set serves the entry warm.
-	again, err := c.Optimize(q)
+	again, err := c.Optimize(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -278,7 +279,7 @@ func TestKillMidStreamLosesNoRequests(t *testing.T) {
 	}
 	want := make([]float64, len(jobs))
 	for i, q := range jobs {
-		res, err := c.Optimize(q)
+		res, err := c.Optimize(context.Background(), q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -304,7 +305,7 @@ func TestKillMidStreamLosesNoRequests(t *testing.T) {
 				if rng.Intn(2) == 0 {
 					q = permuteQuery(q, rng.Perm(q.N()))
 				}
-				res, err := c.Optimize(q)
+				res, err := c.Optimize(context.Background(), q)
 				if err != nil {
 					errs[w] = err
 					return
@@ -339,7 +340,7 @@ func TestHealthSweepDetectsDeathAndRejoin(t *testing.T) {
 	c := newTestCluster(t, 3, 2)
 
 	q := genQuery(t, workload.KindMB, 10, 2)
-	if _, err := c.Optimize(q); err != nil {
+	if _, err := c.Optimize(context.Background(), q); err != nil {
 		t.Fatal(err)
 	}
 
@@ -363,7 +364,7 @@ func TestHealthSweepDetectsDeathAndRejoin(t *testing.T) {
 
 	// The rejoin rebalanced: if the revived node owns the key again, it
 	// must hold the entry and serve it warm.
-	res, err := c.Optimize(q)
+	res, err := c.Optimize(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -379,7 +380,7 @@ func TestAddNodeRebalancesWarmEntries(t *testing.T) {
 	for seed := int64(0); seed < 8; seed++ {
 		q := genQuery(t, workload.KindChain, 8, seed)
 		queries = append(queries, q)
-		if _, err := c.Optimize(q); err != nil {
+		if _, err := c.Optimize(context.Background(), q); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -391,7 +392,7 @@ func TestAddNodeRebalancesWarmEntries(t *testing.T) {
 	// Every repeat must stay warm: entries whose ownership moved to the new
 	// node were migrated by the rebalance.
 	for i, q := range queries {
-		res, err := c.Optimize(q)
+		res, err := c.Optimize(context.Background(), q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -408,7 +409,7 @@ func TestRemoveNodeMigratesEntries(t *testing.T) {
 	for seed := int64(0); seed < 8; seed++ {
 		q := genQuery(t, workload.KindChain, 8, seed)
 		queries = append(queries, q)
-		if _, err := c.Optimize(q); err != nil {
+		if _, err := c.Optimize(context.Background(), q); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -420,7 +421,7 @@ func TestRemoveNodeMigratesEntries(t *testing.T) {
 		t.Error("second RemoveNode of the same node did not error")
 	}
 	for i, q := range queries {
-		res, err := c.Optimize(q)
+		res, err := c.Optimize(context.Background(), q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -438,7 +439,7 @@ func TestAllNodesDeadReturnsErrNoNodes(t *testing.T) {
 	for _, id := range c.AliveNodes() {
 		c.KillNode(id)
 	}
-	_, err := c.Optimize(genQuery(t, workload.KindChain, 5, 1))
+	_, err := c.Optimize(context.Background(), genQuery(t, workload.KindChain, 5, 1))
 	if !errors.Is(err, ErrNoNodes) {
 		t.Errorf("err = %v, want ErrNoNodes", err)
 	}
@@ -446,7 +447,7 @@ func TestAllNodesDeadReturnsErrNoNodes(t *testing.T) {
 
 func TestFlushAllDropsEveryCache(t *testing.T) {
 	c := newTestCluster(t, 3, 2)
-	if _, err := c.Optimize(genQuery(t, workload.KindMB, 10, 4)); err != nil {
+	if _, err := c.Optimize(context.Background(), genQuery(t, workload.KindMB, 10, 4)); err != nil {
 		t.Fatal(err)
 	}
 	if c.CacheLen() == 0 {
@@ -465,7 +466,7 @@ func TestFlushAllDropsEveryCache(t *testing.T) {
 func TestFlushAllReachesDeadButReachableNodes(t *testing.T) {
 	c := newTestCluster(t, 3, 3) // full replication: every node holds the entry
 	q := genQuery(t, workload.KindMB, 10, 4)
-	if _, err := c.Optimize(q); err != nil {
+	if _, err := c.Optimize(context.Background(), q); err != nil {
 		t.Fatal(err)
 	}
 	victim := c.AliveNodes()[0]
@@ -482,7 +483,7 @@ func TestFlushAllReachesDeadButReachableNodes(t *testing.T) {
 	if got := c.CacheLen(); got != 0 {
 		t.Errorf("cache len after FlushAll + rejoin = %d, want 0 (stale entries spread)", got)
 	}
-	res, err := c.Optimize(q)
+	res, err := c.Optimize(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -500,7 +501,7 @@ func TestClusterClosedAndBadQuery(t *testing.T) {
 	cat.Add(catalog.NewRelation("a", 100, 32))
 	cat.Add(catalog.NewRelation("b", 100, 32))
 	disc := &cost.Query{Cat: cat, G: graph.New(2)}
-	if _, err := c.Optimize(disc); err == nil {
+	if _, err := c.Optimize(context.Background(), disc); err == nil {
 		t.Error("disconnected query did not error")
 	}
 	if len(c.AliveNodes()) != 2 {
@@ -509,7 +510,7 @@ func TestClusterClosedAndBadQuery(t *testing.T) {
 
 	c.Close()
 	c.Close() // idempotent
-	if _, err := c.Optimize(genQuery(t, workload.KindChain, 4, 1)); !errors.Is(err, ErrClosed) {
+	if _, err := c.Optimize(context.Background(), genQuery(t, workload.KindChain, 4, 1)); !errors.Is(err, ErrClosed) {
 		t.Errorf("err after Close = %v, want ErrClosed", err)
 	}
 }
@@ -528,11 +529,11 @@ func TestInjectedLatencyIsApplied(t *testing.T) {
 	})
 	defer c.Close()
 	q := genQuery(t, workload.KindChain, 5, 1)
-	if _, err := c.Optimize(q); err != nil {
+	if _, err := c.Optimize(context.Background(), q); err != nil {
 		t.Fatal(err)
 	}
 	start := time.Now()
-	res, err := c.Optimize(q) // warm: elapsed is dominated by injected latency
+	res, err := c.Optimize(context.Background(), q) // warm: elapsed is dominated by injected latency
 	if err != nil {
 		t.Fatal(err)
 	}

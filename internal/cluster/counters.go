@@ -26,6 +26,7 @@ type counters struct {
 	deaths     atomicCounter
 	rejoins    atomicCounter
 	errors     atomicCounter
+	canceled   atomicCounter
 }
 
 // NodeSnapshot is one node's view in a cluster snapshot: its service
@@ -46,6 +47,9 @@ type Snapshot struct {
 	Deaths     uint64 `json:"deaths"`
 	Rejoins    uint64 `json:"rejoins"`
 	Errors     uint64 `json:"errors"`
+	// Canceled counts requests whose caller context was cancelled (client
+	// disconnects included); they are not errors.
+	Canceled uint64 `json:"canceled"`
 
 	Replicas   int      `json:"replicas"`
 	AliveNodes []string `json:"alive_nodes"`

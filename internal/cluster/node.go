@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/service"
@@ -21,12 +22,12 @@ func newNode(id string, cfg service.Config) *node {
 
 func (n *node) close() { n.svc.Close() }
 
-func (n *node) handle(req Request) (*Response, error) {
+func (n *node) handle(ctx context.Context, req Request) (*Response, error) {
 	switch req.Kind {
 	case ReqPing:
 		return &Response{}, nil
 	case ReqOptimize:
-		res, err := n.svc.Optimize(req.Query)
+		res, err := n.svc.Optimize(ctx, req.Query)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -61,15 +62,16 @@ type Response struct {
 // crashed, or its reply was lost.
 var ErrUnreachable = errors.New("cluster: node unreachable")
 
-// Transport delivers RPCs from the coordinator to nodes. Implementations
-// must be safe for concurrent use.
+// Transport delivers RPCs from the coordinator to nodes. The context
+// carries the caller's cancellation through to the target node's service.
+// Implementations must be safe for concurrent use.
 type Transport interface {
-	Call(to string, req Request) (*Response, error)
+	Call(ctx context.Context, to string, req Request) (*Response, error)
 }
 
 // handler is the node side of the transport.
 type handler interface {
-	handle(req Request) (*Response, error)
+	handle(ctx context.Context, req Request) (*Response, error)
 }
 
 // LocalTransport is a deterministic in-process Transport, simulator style:
@@ -139,7 +141,7 @@ func (t *LocalTransport) Calls() uint64 { return t.calls.load() }
 func (t *LocalTransport) Fails() uint64 { return t.fails.load() }
 
 // Call dispatches one RPC.
-func (t *LocalTransport) Call(to string, req Request) (*Response, error) {
+func (t *LocalTransport) Call(ctx context.Context, to string, req Request) (*Response, error) {
 	t.calls.add(1)
 	t.mu.RLock()
 	h, ok := t.nodes[to]
@@ -156,7 +158,7 @@ func (t *LocalTransport) Call(to string, req Request) (*Response, error) {
 		t.fails.add(1)
 		return nil, fmt.Errorf("%w: %s (%s)", ErrUnreachable, to, req.Kind)
 	}
-	resp, err := h.handle(req)
+	resp, err := h.handle(ctx, req)
 	// A cut that landed while the call was running drops the reply.
 	t.mu.RLock()
 	down = t.cut[to]

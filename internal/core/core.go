@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -107,10 +108,16 @@ type Result struct {
 	GPU *gpusim.Stats
 }
 
-// Optimize plans the query with the selected algorithm.
-func Optimize(q *cost.Query, opts Options) (*Result, error) {
+// Optimize plans the query with the selected algorithm. The context is
+// checked cooperatively throughout the enumeration: cancelling it aborts an
+// in-flight run promptly with the context's error, independently of (and in
+// addition to) Options.Timeout. A nil ctx means context.Background().
+func Optimize(ctx context.Context, q *cost.Query, opts Options) (*Result, error) {
 	if opts.Algorithm == "" {
 		opts.Algorithm = AlgAuto
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	m := opts.Model
 	if m == nil {
@@ -120,9 +127,9 @@ func Optimize(q *cost.Query, opts Options) (*Result, error) {
 	if opts.Timeout > 0 {
 		deadline = time.Now().Add(opts.Timeout)
 	}
-	in := dp.Input{Q: q, M: m, Arena: opts.Arena, Deadline: deadline, Threads: opts.Threads}
+	in := dp.Input{Q: q, M: m, Ctx: ctx, Arena: opts.Arena, Deadline: deadline, Threads: opts.Threads}
 	hOpt := heuristic.Options{
-		Model: m, K: opts.K, Deadline: deadline, Threads: opts.Threads, Seed: opts.Seed,
+		Model: m, K: opts.K, Ctx: ctx, Deadline: deadline, Threads: opts.Threads, Seed: opts.Seed,
 	}
 	gcfg := gpusim.DefaultConfig()
 	if opts.GPU != nil {

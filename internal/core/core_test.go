@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"strings"
@@ -14,7 +15,7 @@ func TestEveryAlgorithmOptimizesAStarQuery(t *testing.T) {
 	q := workload.Star(10, rand.New(rand.NewSource(1)))
 	var optimal float64
 	for _, alg := range Algorithms() {
-		res, err := Optimize(q, Options{Algorithm: alg, Timeout: 30 * time.Second, K: 5})
+		res, err := Optimize(context.Background(), q, Options{Algorithm: alg, Timeout: 30 * time.Second, K: 5})
 		if err != nil {
 			t.Fatalf("%s: %v", alg, err)
 		}
@@ -39,7 +40,7 @@ func TestEveryAlgorithmOptimizesAStarQuery(t *testing.T) {
 func TestGPUAlgorithmsReportDeviceStats(t *testing.T) {
 	q := workload.Snowflake(12, rand.New(rand.NewSource(2)))
 	for _, alg := range []Algorithm{AlgMPDPGPU, AlgDPSubGPU, AlgDPSizeGPU} {
-		res, err := Optimize(q, Options{Algorithm: alg})
+		res, err := Optimize(context.Background(), q, Options{Algorithm: alg})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -47,7 +48,7 @@ func TestGPUAlgorithmsReportDeviceStats(t *testing.T) {
 			t.Errorf("%s: missing GPU stats: %+v", alg, res.GPU)
 		}
 	}
-	res, err := Optimize(q, Options{Algorithm: AlgMPDP})
+	res, err := Optimize(context.Background(), q, Options{Algorithm: AlgMPDP})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +59,7 @@ func TestGPUAlgorithmsReportDeviceStats(t *testing.T) {
 
 func TestAutoPolicySwitchesAtFallbackLimit(t *testing.T) {
 	small := workload.Star(8, rand.New(rand.NewSource(3)))
-	res, err := Optimize(small, Options{Algorithm: AlgAuto})
+	res, err := Optimize(context.Background(), small, Options{Algorithm: AlgAuto})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestAutoPolicySwitchesAtFallbackLimit(t *testing.T) {
 		t.Error("Auto below the fall-back limit must plan exactly (GPU MPDP)")
 	}
 	big := workload.Snowflake(40, rand.New(rand.NewSource(4)))
-	res, err = Optimize(big, Options{Algorithm: AlgAuto, Timeout: 30 * time.Second})
+	res, err = Optimize(context.Background(), big, Options{Algorithm: AlgAuto, Timeout: 30 * time.Second})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func TestAutoPolicySwitchesAtFallbackLimit(t *testing.T) {
 		t.Error("Auto above the fall-back limit must use the heuristic")
 	}
 	// A custom limit flips the decision.
-	res, err = Optimize(small, Options{Algorithm: AlgAuto, FallbackLimit: 4, Timeout: 30 * time.Second})
+	res, err = Optimize(context.Background(), small, Options{Algorithm: AlgAuto, FallbackLimit: 4, Timeout: 30 * time.Second})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,14 +86,14 @@ func TestAutoPolicySwitchesAtFallbackLimit(t *testing.T) {
 
 func TestUnknownAlgorithmRejected(t *testing.T) {
 	q := workload.Star(5, rand.New(rand.NewSource(5)))
-	if _, err := Optimize(q, Options{Algorithm: "nope"}); err == nil {
+	if _, err := Optimize(context.Background(), q, Options{Algorithm: "nope"}); err == nil {
 		t.Error("unknown algorithm must error")
 	}
 }
 
 func TestExplainUsesRelationNames(t *testing.T) {
 	q := workload.MusicBrainzQuery(6, rand.New(rand.NewSource(6)))
-	res, err := Optimize(q, Options{Algorithm: AlgMPDP})
+	res, err := Optimize(context.Background(), q, Options{Algorithm: AlgMPDP})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func TestExplainUsesRelationNames(t *testing.T) {
 func TestTimeoutPropagates(t *testing.T) {
 	q := workload.Clique(18, rand.New(rand.NewSource(7)))
 	start := time.Now()
-	_, err := Optimize(q, Options{Algorithm: AlgDPSub, Timeout: 50 * time.Millisecond})
+	_, err := Optimize(context.Background(), q, Options{Algorithm: AlgDPSub, Timeout: 50 * time.Millisecond})
 	if err == nil {
 		t.Skip("machine fast enough to finish; nothing to assert")
 	}

@@ -35,7 +35,7 @@ func Counters(in Input) (CounterReport, error) {
 	if n > 64 {
 		return rep, ErrTooLarge
 	}
-	dl := NewDeadline(in.Deadline)
+	dl := in.NewDeadline()
 	isTree := g.IsTree()
 
 	cnt := make([]uint64, n+1)
@@ -63,7 +63,7 @@ func Counters(in Input) (CounterReport, error) {
 		return true
 	})
 	if expired {
-		return rep, ErrTimeout
+		return rep, dl.Err()
 	}
 	rep.PerSizeConnected = cnt
 	for size := 1; size <= n; size++ {
@@ -85,7 +85,7 @@ func Counters(in Input) (CounterReport, error) {
 	} else {
 		ok := ccpPairs(g, dl, func(_, _ bitset.Mask) { rep.CCP += 2 })
 		if !ok {
-			return rep, ErrTimeout
+			return rep, dl.Err()
 		}
 	}
 	rep.DPCCPEvaluated = rep.CCP

@@ -15,6 +15,7 @@
 package dp
 
 import (
+	"context"
 	"errors"
 	"time"
 
@@ -60,6 +61,12 @@ type Input struct {
 	Q *cost.Query
 	M *cost.Model
 
+	// Ctx, when non-nil, carries caller cancellation: the enumerators abort
+	// with the context's error as soon as their deadline checker observes
+	// Done. A nil Ctx means "never cancelled" (context.Background semantics
+	// without the interface call on the hot path).
+	Ctx context.Context
+
 	// Leaves optionally overrides the base plans for each relation; the
 	// heuristic layer passes materialized composite plans here (IDP2 temp
 	// tables, UnionDP partition plans). When nil, sequential scans are used.
@@ -89,11 +96,16 @@ type Func func(in Input) (*plan.Node, Stats, error)
 // split of the set plus its costing); see plan.Winner.
 type Winner = plan.Winner
 
-// Deadline is a cheap cooperative timeout checker: Expired polls the clock
-// only every few thousand iterations.
+// Deadline is a cheap cooperative budget checker: Expired polls the clock
+// and the caller's context only every few thousand iterations. It trips on
+// whichever comes first — the wall-clock budget (ErrTimeout) or context
+// cancellation (the context's error); Err reports which.
 type Deadline struct {
-	at time.Time
-	n  uint
+	at   time.Time
+	done <-chan struct{}
+	ctx  context.Context
+	err  error
+	n    uint
 }
 
 // NewDeadline wraps at; the zero time means "no deadline".
@@ -101,18 +113,67 @@ func NewDeadline(at time.Time) *Deadline {
 	return &Deadline{at: at}
 }
 
+// NewDeadline builds the checker for this input: the wall-clock budget plus
+// the caller's cancellation context. Every driver (sequential, parallel,
+// GPU-model) creates its per-worker checkers through this so that caller
+// cancellation reaches every enumeration loop.
+func (in *Input) NewDeadline() *Deadline {
+	d := &Deadline{at: in.Deadline, ctx: in.Ctx}
+	if in.Ctx != nil {
+		d.done = in.Ctx.Done()
+	}
+	return d
+}
+
 const deadlinePollInterval = 8192
 
-// Expired reports whether the deadline passed, polling the clock sparsely.
+// Expired reports whether the budget is exhausted or the caller cancelled,
+// polling sparsely. Once it returns true it keeps returning true and Err
+// returns the cause.
 func (d *Deadline) Expired() bool {
-	if d.at.IsZero() {
+	if d.err != nil {
+		return true
+	}
+	if d.at.IsZero() && d.done == nil {
 		return false
 	}
 	d.n++
 	if d.n%deadlinePollInterval != 0 {
 		return false
 	}
-	return time.Now().After(d.at)
+	if d.done != nil {
+		select {
+		case <-d.done:
+			d.err = context.Cause(d.ctx)
+			return true
+		default:
+		}
+	}
+	if !d.at.IsZero() && time.Now().After(d.at) {
+		d.err = ErrTimeout
+		return true
+	}
+	return false
+}
+
+// Err returns why the deadline tripped: ErrTimeout for the wall-clock
+// budget, the context's cancellation error otherwise. Callers use it as the
+// return value after Expired reported true; if the checker never tripped
+// (e.g. a sibling worker's did), it re-derives the cause, defaulting to
+// ErrTimeout.
+func (d *Deadline) Err() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.done != nil {
+		select {
+		case <-d.done:
+			d.err = context.Cause(d.ctx)
+			return d.err
+		default:
+		}
+	}
+	return ErrTimeout
 }
 
 // Scratch holds the per-worker reusable buffers of the set evaluators so
@@ -161,12 +222,12 @@ func (p *Prepared) Seed(hint int) *plan.Table {
 
 // ConnectedBuckets enumerates every connected subset of the query graph and
 // buckets them by cardinality (result[i] holds the size-i sets). It returns
-// ErrTimeout if the deadline expires mid-enumeration.
+// ErrTimeout (or the context's error) if the budget expires mid-enumeration.
 func ConnectedBuckets(in Input) ([][]bitset.Mask, error) {
-	dl := NewDeadline(in.Deadline)
+	dl := in.NewDeadline()
 	buckets := connectedSetsBySize(in.Q.G, dl)
 	if buckets == nil {
-		return nil, ErrTimeout
+		return nil, dl.Err()
 	}
 	return buckets, nil
 }

@@ -23,7 +23,7 @@ func DPCCP(in Input) (*plan.Node, Stats, error) {
 	tab := prep.Seed(plan.TableSizeHint(n))
 	stats.ConnectedSets = uint64(n)
 
-	st, err := CostCCPStream(in, tab, NewDeadline(in.Deadline), nil)
+	st, err := CostCCPStream(in, tab, in.NewDeadline(), nil)
 	stats.Add(st)
 	if err != nil {
 		return nil, stats, err
@@ -75,7 +75,7 @@ func CostCCPStream(in Input, tab *plan.Table, dl *Deadline, onPair func(level in
 		}
 	})
 	if !ok {
-		return stats, ErrTimeout
+		return stats, dl.Err()
 	}
 	return stats, nil
 }
@@ -84,11 +84,11 @@ func CostCCPStream(in Input, tab *plan.Table, dl *Deadline, onPair func(level in
 // CCP-Counter (symmetric count) without building any plans. The Fig. 2 and
 // Fig. 4 experiments use it as the per-query lower bound.
 func CCPCount(in Input) (uint64, error) {
-	dl := NewDeadline(in.Deadline)
+	dl := in.NewDeadline()
 	var count uint64
 	ok := ccpPairs(in.Q.G, dl, func(_, _ bitset.Mask) { count += 2 })
 	if !ok {
-		return count, ErrTimeout
+		return count, dl.Err()
 	}
 	return count, nil
 }

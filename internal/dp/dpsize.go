@@ -17,7 +17,7 @@ func DPSize(in Input) (*plan.Node, Stats, error) {
 		return nil, stats, err
 	}
 	n := in.Q.N()
-	dl := NewDeadline(in.Deadline)
+	dl := in.NewDeadline()
 
 	tab := prep.Seed(plan.TableSizeHint(n))
 	bySize := make([][]bitset.Mask, n+1)
@@ -33,7 +33,7 @@ func DPSize(in Input) (*plan.Node, Stats, error) {
 				pa := tab.MustView(a)
 				for _, b := range bySize[s2] {
 					if dl.Expired() {
-						return nil, stats, ErrTimeout
+						return nil, stats, dl.Err()
 					}
 					stats.Evaluated++
 					if !a.Disjoint(b) {

@@ -29,7 +29,7 @@ func EvaluateSetDPSub(in Input, tab *plan.Table, s bitset.Mask, dl *Deadline, _ 
 	var bw bestWin
 	for lb := s.LowestBit(); !lb.Empty(); lb = lb.NextSubset(s) {
 		if dl != nil && dl.Expired() {
-			return bw.Winner, stats, ErrTimeout
+			return bw.Winner, stats, dl.Err()
 		}
 		rb := s.Diff(lb)
 		// CCP block (lines 12-16): non-empty, connected sides, disjoint

@@ -49,10 +49,10 @@ func runLevels(in Input, evaluate SetEvaluator) (*plan.Node, Stats, error) {
 		return nil, stats, err
 	}
 	n := in.Q.N()
-	dl := NewDeadline(in.Deadline)
+	dl := in.NewDeadline()
 	buckets := connectedSetsBySize(in.Q.G, dl)
 	if buckets == nil {
-		return nil, stats, ErrTimeout
+		return nil, stats, dl.Err()
 	}
 	tab := prep.Seed(BucketCount(buckets))
 	stats.ConnectedSets = uint64(n)
@@ -90,7 +90,7 @@ func EvaluateSetMPDP(in Input, tab *plan.Table, s bitset.Mask, dl *Deadline, sc 
 				continue // lb == block is not a proper subset
 			}
 			if dl != nil && dl.Expired() {
-				return bw.Winner, stats, ErrTimeout
+				return bw.Winner, stats, dl.Err()
 			}
 			stats.Evaluated++
 			// CCP block at block level (lines 10-14); disjointness holds
@@ -141,7 +141,7 @@ func EvaluateSetMPDPTree(in Input, tab *plan.Table, s bitset.Mask, dl *Deadline,
 			continue
 		}
 		if dl != nil && dl.Expired() {
-			return bw.Winner, stats, ErrTimeout
+			return bw.Winner, stats, dl.Err()
 		}
 		left := g.Grow(bitset.Single(e.A), s.Remove(e.B))
 		right := s.Diff(left)

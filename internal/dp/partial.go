@@ -38,7 +38,7 @@ func RunPartial(in Input, maxSize int) (*Partial, [][]bitset.Mask, Stats, error)
 	if maxSize > n {
 		maxSize = n
 	}
-	dl := NewDeadline(in.Deadline)
+	dl := in.NewDeadline()
 	buckets, err := boundedConnectedSets(in, maxSize, dl)
 	if err != nil {
 		return nil, nil, stats, err
@@ -102,7 +102,7 @@ func boundedConnectedSets(in Input, maxSize int, dl *Deadline) ([][]bitset.Mask,
 		buckets[1] = append(buckets[1], s)
 		rec(s, bitset.Full(v+1))
 		if expired {
-			return nil, ErrTimeout
+			return nil, dl.Err()
 		}
 	}
 	return buckets, nil

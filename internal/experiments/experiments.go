@@ -12,6 +12,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -105,7 +106,7 @@ type suiteEntry struct {
 // milliseconds (simulated device time for GPU algorithms, wall time
 // otherwise) and whether it finished within the timeout.
 func measure(q *cost.Query, alg core.Algorithm, threads int, timeout time.Duration) (float64, bool) {
-	res, err := core.Optimize(q, core.Options{
+	res, err := core.Optimize(context.Background(), q, core.Options{
 		Algorithm: alg,
 		Timeout:   timeout,
 		Threads:   threads,

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -123,7 +124,7 @@ func Fig10(w io.Writer, cfg Config) error {
 				rng := rand.New(rand.NewSource(cfg.Seed + int64(qi)*131 + int64(n)))
 				q := part.gen(n, rng)
 				// MPDP (GPU): optimal plan, simulated optimization time.
-				res, err := core.Optimize(q, core.Options{
+				res, err := core.Optimize(context.Background(), q, core.Options{
 					Algorithm: core.AlgMPDPGPU, Timeout: cfg.timeout(),
 				})
 				if err != nil {
@@ -132,7 +133,7 @@ func Fig10(w io.Writer, cfg Config) error {
 				exec := cost.EstimatedExecTimeMS(res.Plan.Cost)
 				gpuR = append(gpuR, exec/res.GPU.SimTimeMS)
 				if !pgDead {
-					pg, err := core.Optimize(q, core.Options{
+					pg, err := core.Optimize(context.Background(), q, core.Options{
 						Algorithm: core.AlgDPSize, Timeout: cfg.timeout(), Threads: 1,
 					})
 					if err != nil {
@@ -302,7 +303,7 @@ func Fig13(w io.Writer, cfg Config) error {
 			}
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(n)))
 			q := workload.Star(n, rng)
-			res, err := core.Optimize(q, core.Options{
+			res, err := core.Optimize(context.Background(), q, core.Options{
 				Algorithm: s.alg, Timeout: cfg.timeout(), Threads: s.threads, GPU: s.gpu,
 			})
 			if err != nil {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -77,7 +78,7 @@ func runQualityTable(w io.Writer, cfg Config, title string, sizes []int,
 					dead[si][ni] = true
 					continue
 				}
-				res, err := core.Optimize(q, core.Options{
+				res, err := core.Optimize(context.Background(), q, core.Options{
 					Algorithm: s.alg,
 					Timeout:   cfg.timeout(),
 					Threads:   cfg.Threads,

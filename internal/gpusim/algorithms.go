@@ -71,7 +71,7 @@ func run(in dp.Input, cfg Config, algo Algo) (*plan.Node, dp.Stats, Stats, error
 	// the §5 GPU memo layout (open addressing on Murmur3).
 	tab := prep.Seed(dp.BucketCount(buckets))
 	astats.ConnectedSets = uint64(n)
-	dl := dp.NewDeadline(in.Deadline)
+	dl := in.NewDeadline()
 	var sc dp.Scratch
 
 	// Tree join graphs use the Algorithm 2 evaluator (same plans, same

@@ -244,7 +244,7 @@ func multiEvaluateTree(in dp.Input, tab *plan.Table, buckets [][]bitset.Mask, to
 				counts[d] = dp.Stats{}
 				errs[d] = nil
 				// Each device polls its own deadline and owns its scratch.
-				dl := dp.NewDeadline(in.Deadline)
+				dl := in.NewDeadline()
 				for _, s := range sets[lo:hi] {
 					win, st, err := dp.EvaluateSetMPDPTree(in, tab, s, dl, &scratch[d])
 					if err != nil {
@@ -279,7 +279,7 @@ func multiEvaluateTree(in dp.Input, tab *plan.Table, buckets [][]bitset.Mask, to
 // kernel's per-level candidate volume arithmetically from each set's
 // block decomposition — the count the real per-set evaluator reports.
 func multiEvaluateGeneral(in dp.Input, tab *plan.Table, buckets [][]bitset.Mask, totals []levelTotals) error {
-	dl := dp.NewDeadline(in.Deadline)
+	dl := in.NewDeadline()
 	if _, err := dp.CostCCPStream(in, tab, dl, func(level int) {
 		totals[level].valid += 2
 	}); err != nil {
@@ -290,7 +290,7 @@ func multiEvaluateGeneral(in dp.Input, tab *plan.Table, buckets [][]bitset.Mask,
 	for size := 2; size <= in.Q.N(); size++ {
 		for _, s := range buckets[size] {
 			if dl.Expired() {
-				return dp.ErrTimeout
+				return dl.Err()
 			}
 			for _, b := range g.FindBlocksInto(s, &bsc) {
 				totals[size].evalCand += (uint64(1) << uint(b.Count())) - 2

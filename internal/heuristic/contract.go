@@ -107,6 +107,7 @@ func innerMPDP(c *contractedProblem, opt Options) (*plan.Node, dp.Stats, error) 
 		Q:        c.local,
 		M:        opt.model(),
 		Leaves:   c.leafWrappers(),
+		Ctx:      opt.Ctx,
 		Deadline: opt.Deadline,
 		Threads:  opt.Threads,
 	}

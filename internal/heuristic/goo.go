@@ -62,8 +62,8 @@ func gooOverUnits(q *cost.Query, opt Options, groups []*plan.Node, sets []bitset
 
 	live := len(units)
 	for live > 1 {
-		if opt.expired() {
-			return nil, bitset.Set{}, ErrTimeout
+		if err := opt.expiredErr(); err != nil {
+			return nil, bitset.Set{}, err
 		}
 		edges := liveEdges()
 		if len(edges) == 0 {

@@ -12,6 +12,7 @@
 package heuristic
 
 import (
+	"context"
 	"errors"
 	"time"
 
@@ -29,6 +30,9 @@ type Options struct {
 	K int
 	// Deadline, when non-zero, bounds optimization time.
 	Deadline time.Time
+	// Ctx, when non-nil, carries caller cancellation; the heuristics abort
+	// with the context's error between contraction steps.
+	Ctx context.Context
 	// Threads is the CPU parallelism for inner MPDP calls (0 = all cores).
 	Threads int
 	// Seed drives the randomized heuristics (GEQO). Zero means seed 1.
@@ -72,7 +76,24 @@ func (o Options) seed() int64 {
 }
 
 func (o Options) expired() bool {
-	return !o.Deadline.IsZero() && time.Now().After(o.Deadline)
+	return o.expiredErr() != nil
+}
+
+// expiredErr returns nil while the run may continue, the context's error
+// once the caller cancelled, and ErrTimeout once the wall-clock budget
+// passed.
+func (o Options) expiredErr() error {
+	if o.Ctx != nil {
+		select {
+		case <-o.Ctx.Done():
+			return context.Cause(o.Ctx)
+		default:
+		}
+	}
+	if !o.Deadline.IsZero() && time.Now().After(o.Deadline) {
+		return ErrTimeout
+	}
+	return nil
 }
 
 func (o Options) inner() InnerDP {

@@ -19,8 +19,8 @@ func IDP1(q *cost.Query, opt Options) (*plan.Node, error) {
 	groups, sets := baseScans(q, m)
 
 	for len(groups) > 1 {
-		if opt.expired() {
-			return nil, ErrTimeout
+		if err := opt.expiredErr(); err != nil {
+			return nil, err
 		}
 		c := newContractedProblem(q, groups, sets)
 		if len(groups) <= k {
@@ -31,7 +31,7 @@ func IDP1(q *cost.Query, opt Options) (*plan.Node, error) {
 			return Recost(q, m, p), nil
 		}
 		// Partial DP up to k units over the contracted query.
-		in := dp.Input{Q: c.local, M: m, Leaves: c.leafWrappers(), Deadline: opt.Deadline}
+		in := dp.Input{Q: c.local, M: m, Leaves: c.leafWrappers(), Ctx: opt.Ctx, Deadline: opt.Deadline}
 		part, buckets, _, err := dp.RunPartial(in, k)
 		if err != nil {
 			return nil, err

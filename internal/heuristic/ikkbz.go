@@ -42,11 +42,11 @@ func IKKBZOrder(q *cost.Query, opt Options) ([]int, error) {
 	bestCout := math.Inf(1)
 	var best []int
 	for root := 0; root < n; root++ {
-		if opt.expired() {
+		if err := opt.expiredErr(); err != nil {
 			if best != nil {
 				return best, nil // degrade gracefully with what we have
 			}
-			return nil, ErrTimeout
+			return nil, err
 		}
 		order := ikkbzLinearize(q, span, root)
 		c := coutOfOrder(q, order)

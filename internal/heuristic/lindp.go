@@ -76,8 +76,8 @@ func linDPOverOrder(q *cost.Query, opt Options, order []int, leaves []*plan.Node
 		table[i][i] = leaf(order[i])
 	}
 	for length := 2; length <= nn; length++ {
-		if opt.expired() {
-			return nil, ErrTimeout
+		if err := opt.expiredErr(); err != nil {
+			return nil, err
 		}
 		for i := 0; i+length-1 < nn; i++ {
 			j := i + length - 1
@@ -133,7 +133,7 @@ func Adaptive(q *cost.Query, opt Options) (*plan.Node, error) {
 	switch {
 	case n < 14:
 		p, _, err := parallel.MPDP(dp.Input{
-			Q: q, M: opt.model(), Deadline: opt.Deadline, Threads: opt.Threads,
+			Q: q, M: opt.model(), Ctx: opt.Ctx, Deadline: opt.Deadline, Threads: opt.Threads,
 		})
 		return p, err
 	case n <= 100:

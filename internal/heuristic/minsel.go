@@ -36,8 +36,8 @@ func MinSel(q *cost.Query, opt Options) (*plan.Node, error) {
 	in.Add(start)
 	cur := m.Scan(q, start)
 	for joined := 1; joined < n; joined++ {
-		if opt.expired() {
-			return nil, ErrTimeout
+		if err := opt.expiredErr(); err != nil {
+			return nil, err
 		}
 		// Most selective edge from the current prefix to an outside vertex;
 		// ties broken by smaller outside relation.

@@ -32,8 +32,8 @@ func unionDPRec(q *cost.Query, opt Options, groups []*plan.Node, sets []bitset.S
 	if k < 2 {
 		k = 2
 	}
-	if opt.expired() {
-		return nil, ErrTimeout
+	if err := opt.expiredErr(); err != nil {
+		return nil, err
 	}
 	// Line 1: small enough — hand the whole problem to MPDP.
 	if len(groups) <= k {
@@ -48,8 +48,8 @@ func unionDPRec(q *cost.Query, opt Options, groups []*plan.Node, sets []bitset.S
 	var newGroups []*plan.Node
 	var newSets []bitset.Set
 	for _, members := range parts {
-		if opt.expired() {
-			return nil, ErrTimeout
+		if err := opt.expiredErr(); err != nil {
+			return nil, err
 		}
 		if len(members) == 1 {
 			newGroups = append(newGroups, groups[members[0]])

@@ -1,0 +1,85 @@
+package httpapi
+
+import (
+	"context"
+
+	"repro/internal/cluster"
+	"repro/internal/cost"
+	"repro/internal/service"
+)
+
+// Answer is one engine result: the service-level result plus the routing
+// information only a cluster front door has.
+type Answer struct {
+	*service.Result
+	Node     string
+	Failover bool
+}
+
+// Health is an engine's liveness view.
+type Health struct {
+	OK bool
+	// Status is "ok" or "down".
+	Status string
+	// AliveNodes is reported by cluster engines (-1 on single-node
+	// engines, which omit the field from the healthz body).
+	AliveNodes int
+}
+
+// Engine abstracts what the shared HTTP surface serves: a single
+// optimizer-as-a-service instance (mpdp-serve) or a whole cluster behind
+// its coordinator (mpdp-cluster). Both binaries mount the same API over
+// their engine, which is what keeps the two wire surfaces identical.
+type Engine interface {
+	// Optimize plans q; ctx carries the HTTP client's cancellation.
+	Optimize(ctx context.Context, q *cost.Query) (*Answer, error)
+	// StatsJSON returns the counters snapshot as a JSON object.
+	StatsJSON() string
+	// Health reports liveness for /healthz.
+	Health() Health
+}
+
+// serviceEngine adapts service.Service.
+type serviceEngine struct{ svc *service.Service }
+
+// ServiceEngine wraps a single-node service as an Engine.
+func ServiceEngine(svc *service.Service) Engine { return serviceEngine{svc: svc} }
+
+func (e serviceEngine) Optimize(ctx context.Context, q *cost.Query) (*Answer, error) {
+	res, err := e.svc.Optimize(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	return &Answer{Result: res}, nil
+}
+
+func (e serviceEngine) StatsJSON() string { return e.svc.Counters().String() }
+
+func (e serviceEngine) Health() Health {
+	return Health{OK: true, Status: "ok", AliveNodes: -1}
+}
+
+// clusterEngine adapts cluster.Cluster.
+type clusterEngine struct{ c *cluster.Cluster }
+
+// ClusterEngine wraps a cluster coordinator as an Engine.
+func ClusterEngine(c *cluster.Cluster) Engine { return clusterEngine{c: c} }
+
+func (e clusterEngine) Optimize(ctx context.Context, q *cost.Query) (*Answer, error) {
+	res, err := e.c.Optimize(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	return &Answer{Result: res.Result, Node: res.Node, Failover: res.Failover}, nil
+}
+
+func (e clusterEngine) StatsJSON() string { return e.c.Snapshot().String() }
+
+func (e clusterEngine) Health() Health {
+	alive := len(e.c.AliveNodes())
+	h := Health{OK: alive > 0, Status: "ok", AliveNodes: alive}
+	if alive == 0 {
+		h.Status = "down"
+	}
+	return h
+}

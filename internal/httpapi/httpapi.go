@@ -1,0 +1,361 @@
+// Package httpapi is the one versioned HTTP surface of the optimizer: the
+// shared mux both mpdp-serve and mpdp-cluster mount, so the two binaries
+// answer with byte-identical wire shapes by construction instead of two
+// hand-copied handler sets.
+//
+// Endpoints (all under /v1, with the pre-versioning paths kept as aliases
+// of the same handlers):
+//
+//	POST /v1/optimize     one SQL statement (text) or WireQuery (JSON)
+//	POST /v1/explain      like optimize, with the plan tree rendered
+//	POST /v1/batch        many statements, optimized concurrently
+//	POST /v1/fingerprint  canonical cache identity without optimizing
+//	GET  /v1/stats        counters snapshot
+//	GET  /v1/healthz      liveness (503 when a cluster has no alive node)
+//
+// Every failure returns the structured envelope {code, message, detail,
+// request_id}; every response echoes X-Request-Id. The request context is
+// the HTTP request's context, so a disconnecting client cancels its
+// in-flight optimization (see service.Optimize).
+package httpapi
+
+import (
+	"context"
+	crand "crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/service"
+	"repro/internal/sql"
+)
+
+// StatusClientClosedRequest is the non-standard (nginx-convention) status
+// reported when the client disconnected before its optimization finished.
+const StatusClientClosedRequest = 499
+
+// Options tunes an API.
+type Options struct {
+	// Schema binds SQL statements (nil: sql.MusicBrainzSchema()).
+	Schema sql.Schema
+	// MaxStatementBytes bounds one request body (0: 1MiB).
+	MaxStatementBytes int
+	// MaxBatch bounds the statements per /v1/batch request (0: 64).
+	MaxBatch int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Schema == nil {
+		o.Schema = sql.MusicBrainzSchema()
+	}
+	if o.MaxStatementBytes == 0 {
+		o.MaxStatementBytes = 1 << 20
+	}
+	if o.MaxBatch == 0 {
+		o.MaxBatch = 64
+	}
+	return o
+}
+
+// API serves the versioned HTTP surface over an Engine. Create with New;
+// the zero value is not usable.
+type API struct {
+	engine Engine
+	opts   Options
+	mux    *http.ServeMux
+	ridSeq atomic.Uint64
+	ridPfx string
+}
+
+// New builds the API and its mux with the /v1 endpoints and the legacy
+// aliases registered.
+func New(engine Engine, opts Options) *API {
+	a := &API{engine: engine, opts: opts.withDefaults(), mux: http.NewServeMux()}
+	var b [3]byte
+	if _, err := crand.Read(b[:]); err == nil {
+		a.ridPfx = hex.EncodeToString(b[:])
+	} else {
+		a.ridPfx = "req"
+	}
+	a.mux.HandleFunc("/v1/optimize", a.handleOptimize)
+	a.mux.HandleFunc("/v1/explain", a.handleExplain)
+	a.mux.HandleFunc("/v1/batch", a.handleBatch)
+	a.mux.HandleFunc("/v1/fingerprint", a.handleFingerprint)
+	a.mux.HandleFunc("/v1/stats", a.handleStats)
+	a.mux.HandleFunc("/v1/healthz", a.handleHealthz)
+	// Pre-versioning aliases: same handlers, same shapes.
+	a.mux.HandleFunc("/optimize", a.handleOptimize)
+	a.mux.HandleFunc("/stats", a.handleStats)
+	a.mux.HandleFunc("/healthz", a.handleHealthz)
+	return a
+}
+
+// Mux returns the handler to mount on an http.Server.
+func (a *API) Mux() *http.ServeMux { return a.mux }
+
+// Handle registers an extra, binary-specific route (the cluster's admin
+// surface) on the shared mux.
+func (a *API) Handle(pattern string, h http.Handler) { a.mux.Handle(pattern, h) }
+
+// requestID returns the inbound X-Request-Id or mints one.
+func (a *API) requestID(r *http.Request) string {
+	if id := r.Header.Get("X-Request-Id"); id != "" {
+		return id
+	}
+	return fmt.Sprintf("%s-%06d", a.ridPfx, a.ridSeq.Add(1))
+}
+
+// fail writes the structured error envelope.
+func (a *API) fail(w http.ResponseWriter, rid string, status int, code, msg string, err error) {
+	e := &Error{Code: code, Message: msg, RequestID: rid}
+	if err != nil {
+		e.Detail = err.Error()
+	}
+	a.failEnv(w, status, e)
+}
+
+// failEnv writes a prebuilt envelope.
+func (a *API) failEnv(w http.ResponseWriter, status int, e *Error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Request-Id", e.RequestID)
+	w.WriteHeader(status)
+	w.Write(mustJSON(e))
+	w.Write([]byte("\n"))
+}
+
+func (a *API) ok(w http.ResponseWriter, rid string, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Request-Id", rid)
+	w.Write(mustJSON(body))
+	w.Write([]byte("\n"))
+}
+
+// readQuery decodes one request body into a WireQuery: JSON bodies are
+// structured wire queries, anything else is SQL text. It returns an
+// error envelope (and HTTP status) on failure.
+func (a *API) readQuery(r *http.Request, rid string) (*WireQuery, *Error, int) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, int64(a.opts.MaxStatementBytes)+1))
+	if err != nil {
+		return nil, &Error{Code: CodeBadRequest, Message: "reading request body", Detail: err.Error(), RequestID: rid}, http.StatusBadRequest
+	}
+	if len(body) > a.opts.MaxStatementBytes {
+		return nil, &Error{Code: CodeTooLarge, Message: fmt.Sprintf("request exceeds %d bytes", a.opts.MaxStatementBytes), RequestID: rid}, http.StatusRequestEntityTooLarge
+	}
+	ct := r.Header.Get("Content-Type")
+	if strings.Contains(ct, "json") {
+		var wq WireQuery
+		if err := json.Unmarshal(body, &wq); err != nil {
+			return nil, &Error{Code: CodeBadRequest, Message: "parsing JSON body", Detail: err.Error(), RequestID: rid}, http.StatusBadRequest
+		}
+		return &wq, nil, 0
+	}
+	return &WireQuery{SQL: string(body)}, nil, 0
+}
+
+// optimizeOne compiles and optimizes one wire query; on failure it returns
+// the envelope and status instead.
+func (a *API) optimizeOne(ctx context.Context, wq *WireQuery, explain bool, rid string) (*Response, *Error, int) {
+	q, err := wq.ToQuery(a.opts.Schema)
+	if err != nil {
+		return nil, &Error{Code: CodeInvalidQuery, Message: "invalid query", Detail: err.Error(), RequestID: rid}, http.StatusUnprocessableEntity
+	}
+	ans, err := a.engine.Optimize(ctx, q)
+	if err != nil {
+		e, status := classify(err, rid)
+		return nil, e, status
+	}
+	res := ans.Result
+	resp := &Response{
+		Relations:   q.N(),
+		Edges:       len(q.G.Edges),
+		Cost:        res.Plan.Cost,
+		Rows:        res.Plan.Rows,
+		Algorithm:   string(res.Algorithm),
+		Backend:     string(res.Backend),
+		Shape:       string(res.Shape),
+		CacheHit:    res.CacheHit,
+		Coalesced:   res.Coalesced,
+		FellBack:    res.FellBack,
+		ElapsedUs:   float64(res.Elapsed.Nanoseconds()) / 1e3,
+		Fingerprint: res.Key,
+		Node:        ans.Node,
+		Failover:    ans.Failover,
+	}
+	if res.GPU != nil {
+		resp.GPUDevices = res.GPU.Devices
+		resp.GPUSimMS = res.GPU.SimTimeMS
+	}
+	if explain {
+		resp.Plan = core.Explain(q, res.Plan)
+	}
+	return resp, nil, 0
+}
+
+// classify maps an engine error to an envelope and status.
+func classify(err error, rid string) (*Error, int) {
+	switch {
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return &Error{Code: CodeCanceled, Message: "client closed request", Detail: err.Error(), RequestID: rid}, StatusClientClosedRequest
+	case errors.Is(err, service.ErrClosed), errors.Is(err, cluster.ErrClosed), errors.Is(err, cluster.ErrNoNodes):
+		return &Error{Code: CodeUnavailable, Message: "optimizer unavailable", Detail: err.Error(), RequestID: rid}, http.StatusServiceUnavailable
+	default:
+		return &Error{Code: CodeInvalidQuery, Message: "optimization rejected", Detail: err.Error(), RequestID: rid}, http.StatusUnprocessableEntity
+	}
+}
+
+func (a *API) requirePOST(w http.ResponseWriter, r *http.Request, rid string) bool {
+	if r.Method != http.MethodPost {
+		a.fail(w, rid, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "POST required", nil)
+		return false
+	}
+	return true
+}
+
+func (a *API) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	a.serveOptimize(w, r, r.URL.Query().Get("explain") != "")
+}
+
+func (a *API) handleExplain(w http.ResponseWriter, r *http.Request) {
+	a.serveOptimize(w, r, true)
+}
+
+func (a *API) serveOptimize(w http.ResponseWriter, r *http.Request, explain bool) {
+	rid := a.requestID(r)
+	if !a.requirePOST(w, r, rid) {
+		return
+	}
+	wq, e, status := a.readQuery(r, rid)
+	if e != nil {
+		a.failEnv(w, status, e)
+		return
+	}
+	resp, e, status := a.optimizeOne(r.Context(), wq, explain, rid)
+	if e != nil {
+		a.failEnv(w, status, e)
+		return
+	}
+	a.ok(w, rid, resp)
+}
+
+func (a *API) handleBatch(w http.ResponseWriter, r *http.Request) {
+	rid := a.requestID(r)
+	if !a.requirePOST(w, r, rid) {
+		return
+	}
+	// The per-statement bound applies per statement; the batch body may
+	// hold MaxBatch of them (plus JSON framing slack).
+	maxBody := int64(a.opts.MaxStatementBytes)*int64(a.opts.MaxBatch) + (1 << 20)
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBody+1))
+	if err != nil {
+		a.fail(w, rid, http.StatusBadRequest, CodeBadRequest, "reading request body", err)
+		return
+	}
+	if int64(len(body)) > maxBody {
+		a.fail(w, rid, http.StatusRequestEntityTooLarge, CodeTooLarge,
+			fmt.Sprintf("batch body exceeds %d bytes", maxBody), nil)
+		return
+	}
+	var req BatchRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		a.fail(w, rid, http.StatusBadRequest, CodeBadRequest, "parsing JSON body", err)
+		return
+	}
+	total := len(req.Statements) + len(req.Queries)
+	if total == 0 {
+		a.fail(w, rid, http.StatusUnprocessableEntity, CodeInvalidQuery, "empty batch", nil)
+		return
+	}
+	if total > a.opts.MaxBatch {
+		a.fail(w, rid, http.StatusRequestEntityTooLarge, CodeTooLarge,
+			fmt.Sprintf("batch of %d exceeds the limit of %d", total, a.opts.MaxBatch), nil)
+		return
+	}
+	// One goroutine per statement: concurrent submission is what lets the
+	// service's worker pool and the GPU batcher's coalescing window turn
+	// one HTTP request into device-saturating batches.
+	wqs := make([]*WireQuery, 0, total)
+	for i := range req.Statements {
+		wqs = append(wqs, &WireQuery{SQL: req.Statements[i]})
+	}
+	for i := range req.Queries {
+		wqs = append(wqs, &req.Queries[i])
+	}
+	out := BatchResponse{Results: make([]BatchItem, total)}
+	var wg sync.WaitGroup
+	for i, wq := range wqs {
+		if len(wq.SQL) > a.opts.MaxStatementBytes {
+			out.Results[i] = BatchItem{Error: &Error{
+				Code:      CodeTooLarge,
+				Message:   fmt.Sprintf("statement exceeds %d bytes", a.opts.MaxStatementBytes),
+				RequestID: rid,
+			}}
+			continue
+		}
+		wg.Add(1)
+		go func(i int, wq *WireQuery) {
+			defer wg.Done()
+			resp, e, _ := a.optimizeOne(r.Context(), wq, req.Explain, rid)
+			if e != nil {
+				out.Results[i] = BatchItem{Error: e}
+				return
+			}
+			out.Results[i] = BatchItem{Response: resp}
+		}(i, wq)
+	}
+	wg.Wait()
+	a.ok(w, rid, out)
+}
+
+func (a *API) handleFingerprint(w http.ResponseWriter, r *http.Request) {
+	rid := a.requestID(r)
+	if !a.requirePOST(w, r, rid) {
+		return
+	}
+	wq, e, status := a.readQuery(r, rid)
+	if e != nil {
+		a.failEnv(w, status, e)
+		return
+	}
+	q, err := wq.ToQuery(a.opts.Schema)
+	if err != nil {
+		a.fail(w, rid, http.StatusUnprocessableEntity, CodeInvalidQuery, "invalid query", err)
+		return
+	}
+	a.ok(w, rid, &FingerprintResponse{
+		Fingerprint: service.FingerprintQuery(q).Key,
+		Relations:   q.N(),
+		Edges:       len(q.G.Edges),
+		Shape:       string(service.DetectShape(q.G)),
+	})
+}
+
+func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
+	rid := a.requestID(r)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Request-Id", rid)
+	io.WriteString(w, a.engine.StatsJSON())
+	io.WriteString(w, "\n")
+}
+
+func (a *API) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	rid := a.requestID(r)
+	h := a.engine.Health()
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Request-Id", rid)
+	if !h.OK {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	if h.AliveNodes >= 0 {
+		fmt.Fprintf(w, "{\"status\":%q,\"alive_nodes\":%d}\n", h.Status, h.AliveNodes)
+		return
+	}
+	fmt.Fprintf(w, "{\"status\":%q}\n", h.Status)
+}

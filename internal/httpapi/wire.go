@@ -1,0 +1,214 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/cost"
+	"repro/internal/graph"
+	"repro/internal/sql"
+)
+
+// Response is the wire shape of one optimized statement. It is the single
+// source of truth for both binaries: mpdp-serve and mpdp-cluster marshal
+// the same struct, so their field names cannot drift (the parity test in
+// this package additionally pins the key set). Single-node servers leave
+// the cluster-only fields (node, failover) at their zero values, which
+// omitempty drops from the JSON.
+type Response struct {
+	Relations int     `json:"relations"`
+	Edges     int     `json:"edges"`
+	Cost      float64 `json:"cost"`
+	Rows      float64 `json:"rows"`
+	Algorithm string  `json:"algorithm"`
+	// Backend is the execution substrate that produced the plan (cpu-seq,
+	// cpu-parallel, gpu, heuristic); cache hits and replicated plans report
+	// the original optimization's backend.
+	Backend   string  `json:"backend"`
+	Shape     string  `json:"shape"`
+	CacheHit  bool    `json:"cache_hit"`
+	Coalesced bool    `json:"coalesced"`
+	FellBack  bool    `json:"fell_back"`
+	ElapsedUs float64 `json:"elapsed_us"`
+	// Fingerprint is the canonical join-graph fingerprint the plan is
+	// cached under: isomorphic queries with identical statistics share it.
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// GPUDevices/GPUSimMS carry the device work model when the GPU backend
+	// produced the plan.
+	GPUDevices int     `json:"gpu_devices,omitempty"`
+	GPUSimMS   float64 `json:"gpu_sim_ms,omitempty"`
+	Plan       string  `json:"plan,omitempty"`
+	// Node and Failover are set only by cluster front doors.
+	Node     string `json:"node,omitempty"`
+	Failover bool   `json:"failover,omitempty"`
+}
+
+// Error is the structured error envelope every /v1 endpoint (and the
+// legacy aliases) returns on failure.
+type Error struct {
+	// Code is a stable, machine-readable error class (see the Code*
+	// constants).
+	Code string `json:"code"`
+	// Message is a short human-readable description.
+	Message string `json:"message"`
+	// Detail carries the underlying error text, when there is one.
+	Detail string `json:"detail,omitempty"`
+	// RequestID identifies the failed request; it is also echoed in the
+	// X-Request-Id response header.
+	RequestID string `json:"request_id"`
+}
+
+// The error-code registry, paired with their HTTP status codes.
+const (
+	CodeMethodNotAllowed = "method_not_allowed" // 405
+	CodeBadRequest       = "bad_request"        // 400
+	CodeTooLarge         = "too_large"          // 413
+	CodeInvalidQuery     = "invalid_query"      // 422
+	CodeUnavailable      = "unavailable"        // 503
+	CodeCanceled         = "client_closed_request"
+	CodeInternal         = "internal"
+)
+
+// WireRelation is one base relation of a structured wire query.
+type WireRelation struct {
+	Name string  `json:"name"`
+	Rows float64 `json:"rows"`
+	// Pages, when zero, is derived from Rows and Width the same way the
+	// catalog does for SQL-bound queries.
+	Pages   float64 `json:"pages,omitempty"`
+	Width   int     `json:"width,omitempty"`
+	PKIndex bool    `json:"pk_index,omitempty"`
+}
+
+// WireEdge is one join predicate of a structured wire query.
+type WireEdge struct {
+	A   int     `json:"a"`
+	B   int     `json:"b"`
+	Sel float64 `json:"sel"`
+}
+
+// WireQuery is the JSON request body of the /v1 optimization endpoints:
+// either a SQL statement in the internal dialect (bound against the
+// server's schema) or an explicit catalog + join graph, which lets SDK
+// clients ship programmatically built queries with exact statistics.
+type WireQuery struct {
+	SQL       string         `json:"sql,omitempty"`
+	Relations []WireRelation `json:"relations,omitempty"`
+	Edges     []WireEdge     `json:"edges,omitempty"`
+}
+
+// ToQuery materializes the wire query against schema.
+func (wq *WireQuery) ToQuery(schema sql.Schema) (*cost.Query, error) {
+	if wq.SQL != "" {
+		if len(wq.Relations) > 0 || len(wq.Edges) > 0 {
+			return nil, fmt.Errorf("wire query carries both sql and relations")
+		}
+		bound, err := sql.Compile(wq.SQL, schema)
+		if err != nil {
+			return nil, err
+		}
+		return bound.Query, nil
+	}
+	n := len(wq.Relations)
+	if n == 0 {
+		return nil, fmt.Errorf("wire query has no sql and no relations")
+	}
+	var cat catalog.Catalog
+	for i, r := range wq.Relations {
+		if r.Name == "" {
+			return nil, fmt.Errorf("relation %d has no name", i)
+		}
+		if r.Rows < 0 {
+			return nil, fmt.Errorf("relation %q has negative rows", r.Name)
+		}
+		rel := catalog.Relation{
+			Name: r.Name, Rows: r.Rows, Pages: r.Pages, Width: r.Width,
+			HasPKIndex: r.PKIndex,
+		}
+		if rel.Pages == 0 {
+			width := rel.Width
+			if width == 0 {
+				width = 100
+			}
+			derived := catalog.NewRelation(r.Name, r.Rows, width)
+			derived.HasPKIndex = r.PKIndex
+			rel = derived
+			rel.Width = r.Width
+		}
+		cat.Add(rel)
+	}
+	g := graph.New(n)
+	for _, e := range wq.Edges {
+		if e.A < 0 || e.A >= n || e.B < 0 || e.B >= n || e.A == e.B {
+			return nil, fmt.Errorf("edge (%d,%d) out of range for %d relations", e.A, e.B, n)
+		}
+		if e.Sel <= 0 {
+			return nil, fmt.Errorf("edge (%d,%d) has non-positive selectivity %g", e.A, e.B, e.Sel)
+		}
+		g.AddEdge(e.A, e.B, e.Sel)
+	}
+	return &cost.Query{Cat: cat, G: g}, nil
+}
+
+// FromQuery serializes a query into wire form (the SDK's Remote driver
+// uses this to ship builder-made queries).
+func FromQuery(q *cost.Query) *WireQuery {
+	wq := &WireQuery{
+		Relations: make([]WireRelation, q.N()),
+		Edges:     make([]WireEdge, 0, len(q.G.Edges)),
+	}
+	for i, r := range q.Cat.Rels {
+		wq.Relations[i] = WireRelation{
+			Name: r.Name, Rows: r.Rows, Pages: r.Pages, Width: r.Width,
+			PKIndex: r.HasPKIndex,
+		}
+	}
+	for _, e := range q.G.Edges {
+		wq.Edges = append(wq.Edges, WireEdge{A: e.A, B: e.B, Sel: e.Sel})
+	}
+	return wq
+}
+
+// BatchRequest is the body of POST /v1/batch: a set of statements and/or
+// structured queries optimized concurrently, which lets the GPU backend's
+// batcher coalesce them into device-saturating batches within one request.
+type BatchRequest struct {
+	// Statements are SQL texts in the internal dialect.
+	Statements []string `json:"statements,omitempty"`
+	// Queries are structured wire queries, appended after Statements in
+	// the result order.
+	Queries []WireQuery `json:"queries,omitempty"`
+	// Explain asks for the plan tree of every result.
+	Explain bool `json:"explain,omitempty"`
+}
+
+// BatchItem is one element of a batch response: exactly one of Response or
+// Error is set.
+type BatchItem struct {
+	Response *Response `json:"response,omitempty"`
+	Error    *Error    `json:"error,omitempty"`
+}
+
+// BatchResponse is the body of a /v1/batch answer, results in request
+// order (statements first, then structured queries).
+type BatchResponse struct {
+	Results []BatchItem `json:"results"`
+}
+
+// FingerprintResponse is the body of a /v1/fingerprint answer: the
+// canonical cache identity of a query without optimizing it.
+type FingerprintResponse struct {
+	Fingerprint string `json:"fingerprint"`
+	Relations   int    `json:"relations"`
+	Edges       int    `json:"edges"`
+	Shape       string `json:"shape"`
+}
+
+func mustJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return []byte("{}")
+	}
+	return b
+}

@@ -175,7 +175,7 @@ func levelParallel(in dp.Input, evaluate dp.SetEvaluator) (*plan.Node, dp.Stats,
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
-				dl := dp.NewDeadline(in.Deadline)
+				dl := in.NewDeadline()
 				sc := &scratch[w]
 				for {
 					i := int(next.Add(1)) - 1
@@ -263,7 +263,7 @@ func PDP(in dp.Input) (*plan.Node, dp.Stats, error) {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
-				dl := dp.NewDeadline(in.Deadline)
+				dl := in.NewDeadline()
 				local := map[bitset.Mask]dp.Winner{}
 				for {
 					bi := int(next.Add(1)) - 1
@@ -276,7 +276,7 @@ func PDP(in dp.Input) (*plan.Node, dp.Stats, error) {
 						pa := tab.MustView(a)
 						for _, b := range bySize[s2] {
 							if dl.Expired() {
-								errs[w] = dp.ErrTimeout
+								errs[w] = dl.Err()
 								return
 							}
 							evalCtr.Add(1)
@@ -345,12 +345,12 @@ func DPE(in dp.Input) (*plan.Node, dp.Stats, error) {
 	// Producer phase: sequential enumeration into a dependency-aware buffer.
 	type pair struct{ s1, s2 bitset.Mask }
 	levels := make([][]pair, n+1)
-	dl := dp.NewDeadline(in.Deadline)
+	dl := in.NewDeadline()
 	if !dp.CCPPairsSeq(in.Q.G, dl, func(s1, s2 bitset.Mask) {
 		size := s1.Union(s2).Count()
 		levels[size] = append(levels[size], pair{s1, s2})
 	}) {
-		return nil, stats, dp.ErrTimeout
+		return nil, stats, dl.Err()
 	}
 
 	for size := 2; size <= n; size++ {
@@ -373,11 +373,11 @@ func DPE(in dp.Input) (*plan.Node, dp.Stats, error) {
 			wg.Add(1)
 			go func(w, lo, hi int) {
 				defer wg.Done()
-				wdl := dp.NewDeadline(in.Deadline)
+				wdl := in.NewDeadline()
 				local := map[bitset.Mask]dp.Winner{}
 				for _, p := range work[lo:hi] {
 					if wdl.Expired() {
-						errs[w] = dp.ErrTimeout
+						errs[w] = wdl.Err()
 						return
 					}
 					l, r := tab.MustView(p.s1), tab.MustView(p.s2)

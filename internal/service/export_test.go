@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -12,7 +13,7 @@ func TestFlushDropsCachedPlans(t *testing.T) {
 	defer s.Close()
 
 	q := genQuery(t, workload.KindMB, 10, 3)
-	if _, err := s.Optimize(q); err != nil {
+	if _, err := s.Optimize(context.Background(), q); err != nil {
 		t.Fatal(err)
 	}
 	if s.CacheLen() != 1 {
@@ -23,7 +24,7 @@ func TestFlushDropsCachedPlans(t *testing.T) {
 	if s.CacheLen() != 0 {
 		t.Fatalf("cache len after Flush = %d, want 0", s.CacheLen())
 	}
-	res, err := s.Optimize(q)
+	res, err := s.Optimize(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +44,7 @@ func TestExportImportMigratesWarmEntry(t *testing.T) {
 	defer b.Close()
 
 	q := genQuery(t, workload.KindMB, 11, 7)
-	cold, err := a.Optimize(q)
+	cold, err := a.Optimize(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func TestExportImportMigratesWarmEntry(t *testing.T) {
 
 	perm := rand.New(rand.NewSource(1)).Perm(q.N())
 	pq := permuteQuery(q, perm)
-	warm, err := b.Optimize(pq)
+	warm, err := b.Optimize(context.Background(), pq)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestExportReturnsAllEntries(t *testing.T) {
 	const queries = 5
 	keys := make(map[string]bool)
 	for seed := int64(0); seed < queries; seed++ {
-		res, err := s.Optimize(genQuery(t, workload.KindChain, 6, seed))
+		res, err := s.Optimize(context.Background(), genQuery(t, workload.KindChain, 6, seed))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -136,11 +137,18 @@ type Result struct {
 var ErrClosed = errors.New("service: closed")
 
 // flight is one in-progress optimization that concurrent identical
-// requests coalesce onto.
+// requests coalesce onto. It owns a cancellable context detached from any
+// single caller: each caller holds a waiter reference, and when the last
+// waiter abandons the flight (its own context cancelled) the flight's
+// context is cancelled too, aborting the in-flight enumeration.
 type flight struct {
 	done  chan struct{}
 	entry *cached // canonical-space result, nil on error
 	err   error
+
+	ctx     context.Context
+	cancel  context.CancelCauseFunc
+	waiters int // guarded by Service.mu
 }
 
 // request is one unit of work for the pool.
@@ -265,8 +273,17 @@ func (s *Service) route(n int, shape Shape, edges int) (core.Algorithm, backend.
 // onto an identical in-flight request otherwise, and finally optimizing on
 // the worker pool with the algorithm the router picks for q's size and
 // shape. It is safe for concurrent use.
-func (s *Service) Optimize(q *cost.Query) (*Result, error) {
+//
+// Cancelling ctx makes this call return promptly with the context's error.
+// The underlying optimization keeps running only while some coalesced
+// caller still waits on it; when the last waiter cancels, the enumeration
+// itself is aborted mid-lattice and the flight completes with the
+// cancellation error. A nil ctx means context.Background().
+func (s *Service) Optimize(ctx context.Context, q *cost.Query) (*Result, error) {
 	start := time.Now()
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if q == nil || q.G == nil || q.N() == 0 {
 		s.counters.errors.Add(1)
 		return nil, fmt.Errorf("service: empty query")
@@ -275,36 +292,90 @@ func (s *Service) Optimize(q *cost.Query) (*Result, error) {
 
 	fp := FingerprintQuery(q)
 	inv := invert(fp.Perm)
-	if e, ok := s.cache.Get(fp.Key); ok {
-		elapsed := time.Since(start)
-		s.counters.observeHit(elapsed, e.backend)
-		return resultFrom(e, inv, elapsed, true, false), nil
-	}
 
-	s.mu.Lock()
-	fl, joined := s.inflight[fp.Key]
-	if !joined {
-		fl = &flight{done: make(chan struct{})}
-		s.inflight[fp.Key] = fl
+	var fl *flight
+	var joined bool
+	for {
+		if e, ok := s.cache.Get(fp.Key); ok {
+			elapsed := time.Since(start)
+			s.counters.observeHit(elapsed, e.backend)
+			return resultFrom(e, inv, elapsed, true, false), nil
+		}
+
+		s.mu.Lock()
+		fl, joined = s.inflight[fp.Key]
+		if joined && context.Cause(fl.ctx) != nil {
+			// The flight is dying: its last waiter already cancelled it.
+			// Joining would inherit someone else's cancellation, so wait for
+			// the dying flight to leave the map and retry.
+			s.mu.Unlock()
+			select {
+			case <-fl.done:
+				continue
+			case <-ctx.Done():
+				s.counters.canceled.Add(1)
+				return nil, context.Cause(ctx)
+			case <-s.quit:
+				return nil, ErrClosed
+			}
+		}
+		if !joined {
+			fl = &flight{done: make(chan struct{})}
+			// The flight's context is rooted at Background, not at this
+			// caller's ctx: coalesced followers must be able to keep the run
+			// alive after the initiating caller walks away.
+			fl.ctx, fl.cancel = context.WithCancelCause(context.Background())
+			s.inflight[fp.Key] = fl
+		}
+		fl.waiters++
+		s.mu.Unlock()
+		break
 	}
-	s.mu.Unlock()
 
 	if !joined {
 		select {
 		case s.reqs <- request{q: q, fp: fp, fl: fl}:
+		case <-ctx.Done():
+			// The initiator gives up while the queue is full, but followers
+			// may already be coalesced onto this flight and they cannot
+			// enqueue it themselves. Hand the enqueue off: it completes for
+			// the followers, or dies with the flight context once the last
+			// of them leaves too.
+			go func(r request) {
+				select {
+				case s.reqs <- r:
+				case <-r.fl.ctx.Done():
+					r.fl.err = context.Cause(r.fl.ctx)
+					s.finishFlight(r)
+				case <-s.quit:
+					r.fl.err = ErrClosed
+					s.finishFlight(r)
+				}
+			}(request{q: q, fp: fp, fl: fl})
+			s.leave(fl, ctx)
+			s.counters.canceled.Add(1)
+			return nil, context.Cause(ctx)
 		case <-s.quit:
-			s.abandon(fp.Key, fl)
+			s.abandon(fp.Key, fl, ErrClosed)
 			return nil, ErrClosed
 		}
 	}
 
 	select {
 	case <-fl.done:
+	case <-ctx.Done():
+		s.leave(fl, ctx)
+		s.counters.canceled.Add(1)
+		return nil, context.Cause(ctx)
 	case <-s.quit:
 		return nil, ErrClosed
 	}
 	if fl.err != nil {
-		s.counters.errors.Add(1)
+		if errors.Is(fl.err, context.Canceled) || errors.Is(fl.err, context.DeadlineExceeded) {
+			s.counters.canceled.Add(1)
+		} else {
+			s.counters.errors.Add(1)
+		}
 		return nil, fl.err
 	}
 	elapsed := time.Since(start)
@@ -316,13 +387,28 @@ func (s *Service) Optimize(q *cost.Query) (*Result, error) {
 	return resultFrom(fl.entry, inv, elapsed, false, joined), nil
 }
 
+// leave drops one waiter reference from a flight whose caller cancelled;
+// the last leaver aborts the in-flight optimization. The cancel happens
+// under s.mu — the same lock the join path holds while checking
+// context.Cause(fl.ctx) — so a joiner can never slip in between "waiters
+// hit zero" and "flight cancelled" and inherit a stranger's cancellation.
+func (s *Service) leave(fl *flight, ctx context.Context) {
+	s.mu.Lock()
+	fl.waiters--
+	if fl.waiters == 0 {
+		fl.cancel(context.Cause(ctx))
+	}
+	s.mu.Unlock()
+}
+
 // abandon removes a flight that was never enqueued and unblocks any
 // followers that joined it.
-func (s *Service) abandon(key string, fl *flight) {
+func (s *Service) abandon(key string, fl *flight, cause error) {
 	s.mu.Lock()
 	delete(s.inflight, key)
 	s.mu.Unlock()
-	fl.err = ErrClosed
+	fl.err = cause
+	fl.cancel(cause)
 	close(fl.done)
 }
 
@@ -371,12 +457,20 @@ func (s *Service) worker() {
 // cache and completes the flight. The optimizer's plan tree lives in the
 // worker's arena; only the remapped copy survives this call.
 func (s *Service) serve(r request, arena *plan.Arena) {
+	defer r.fl.cancel(nil) // release the flight context's resources
+	if err := context.Cause(r.fl.ctx); err != nil {
+		// Every waiter cancelled while the request sat in the queue: do not
+		// burn a worker on a result nobody wants.
+		r.fl.err = err
+		s.finishFlight(r)
+		return
+	}
 	shape := DetectShape(r.q.G)
 	alg, bid := s.route(r.q.N(), shape, len(r.q.G.Edges))
 	s.counters.observeRoute(alg, bid)
 
 	arena.Reset()
-	res, usedAlg, usedBid, err := s.optimizeWithFallback(r.q, alg, bid, shape, arena)
+	res, usedAlg, usedBid, err := s.optimizeWithFallback(r.fl.ctx, r.q, alg, bid, shape, arena)
 	if err == nil {
 		s.counters.observeServed(usedBid)
 		r.fl.entry = &cached{
@@ -393,6 +487,11 @@ func (s *Service) serve(r request, arena *plan.Arena) {
 	} else {
 		r.fl.err = err
 	}
+	s.finishFlight(r)
+}
+
+// finishFlight publishes the flight's outcome and wakes every waiter.
+func (s *Service) finishFlight(r request) {
 	s.mu.Lock()
 	delete(s.inflight, r.fp.Key)
 	s.mu.Unlock()
@@ -404,8 +503,9 @@ func (s *Service) serve(r request, arena *plan.Arena) {
 // with the shape's heuristic under a fresh budget (the adaptive part of
 // adaptive routing: the router's crossover thresholds are estimates, the
 // budget is the contract). The fallback is charged to the backend that
-// timed out.
-func (s *Service) optimizeWithFallback(q *cost.Query, alg core.Algorithm, bid backend.ID, shape Shape, arena *plan.Arena) (*backend.Result, core.Algorithm, backend.ID, error) {
+// timed out. Caller cancellation (ctx) aborts outright — a caller that
+// walked away gets no heuristic retry.
+func (s *Service) optimizeWithFallback(ctx context.Context, q *cost.Query, alg core.Algorithm, bid backend.ID, shape Shape, arena *plan.Arena) (*backend.Result, core.Algorithm, backend.ID, error) {
 	opts := backend.Options{
 		Model:   s.cfg.Model,
 		Timeout: s.cfg.Timeout,
@@ -413,7 +513,7 @@ func (s *Service) optimizeWithFallback(q *cost.Query, alg core.Algorithm, bid ba
 		K:       s.cfg.K,
 		Arena:   arena,
 	}
-	res, err := s.backends.Get(bid).Optimize(q, alg, opts)
+	res, err := s.backends.Get(bid).Optimize(ctx, q, alg, opts)
 	if err == nil || !errors.Is(err, dp.ErrTimeout) || !alg.IsExact() {
 		return res, alg, bid, err
 	}
@@ -422,6 +522,6 @@ func (s *Service) optimizeWithFallback(q *cost.Query, alg core.Algorithm, bid ba
 	if shape.IsTree() {
 		fb = core.AlgIDP2
 	}
-	res, err = s.backends.Get(backend.Heuristic).Optimize(q, fb, opts)
+	res, err = s.backends.Get(backend.Heuristic).Optimize(ctx, q, fb, opts)
 	return res, fb, backend.Heuristic, err
 }

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -46,7 +47,7 @@ func TestRouterMatchesDPCCPSmall(t *testing.T) {
 	} {
 		for n := 4; n <= 12; n += 2 {
 			q := genQuery(t, kind, n, int64(100*n))
-			res, err := s.Optimize(q)
+			res, err := s.Optimize(context.Background(), q)
 			if err != nil {
 				t.Fatalf("%s/%d: %v", kind, n, err)
 			}
@@ -165,7 +166,7 @@ func TestWarmCacheHitAndIsomorphicHit(t *testing.T) {
 	defer s.Close()
 	q := genQuery(t, workload.KindMB, 11, 9)
 
-	cold, err := s.Optimize(q)
+	cold, err := s.Optimize(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +174,7 @@ func TestWarmCacheHitAndIsomorphicHit(t *testing.T) {
 		t.Error("first request reported a cache hit")
 	}
 
-	warm, err := s.Optimize(q)
+	warm, err := s.Optimize(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +189,7 @@ func TestWarmCacheHitAndIsomorphicHit(t *testing.T) {
 	// remapped into its own relation-index space.
 	perm := rand.New(rand.NewSource(2)).Perm(q.N())
 	pq := permuteQuery(q, perm)
-	iso, err := s.Optimize(pq)
+	iso, err := s.Optimize(context.Background(), pq)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +225,7 @@ func TestCoalescingSharesOneOptimization(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], errs[i] = s.Optimize(q)
+			results[i], errs[i] = s.Optimize(context.Background(), q)
 		}(i)
 	}
 	wg.Wait()
@@ -285,7 +286,7 @@ func TestConcurrentHammer(t *testing.T) {
 				if rng.Intn(2) == 0 {
 					q = permuteQuery(q, rng.Perm(q.N()))
 				}
-				res, err := s.Optimize(q)
+				res, err := s.Optimize(context.Background(), q)
 				if err != nil {
 					t.Errorf("worker %d: %v", w, err)
 					return
@@ -317,7 +318,7 @@ func TestFallbackOnTimeout(t *testing.T) {
 	s := New(Config{SmallLimit: 16, Timeout: 150 * time.Millisecond, K: 8})
 	defer s.Close()
 	q := genQuery(t, workload.KindClique, 16, 2)
-	res, err := s.Optimize(q)
+	res, err := s.Optimize(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -356,7 +357,7 @@ func TestGPUBandServesExactPlans(t *testing.T) {
 		{workload.KindChain, 35},
 	} {
 		q := genQuery(t, tc.kind, tc.n, 1)
-		res, err := s.Optimize(q)
+		res, err := s.Optimize(context.Background(), q)
 		if err != nil {
 			t.Fatalf("%s/%d: %v", tc.kind, tc.n, err)
 		}
@@ -376,7 +377,7 @@ func TestGPUBandServesExactPlans(t *testing.T) {
 			t.Errorf("%s/%d: GPU-band cost %g, exact CPU cost %g", tc.kind, tc.n, res.Plan.Cost, want)
 		}
 		// A cache hit keeps the original backend attribution.
-		warm, err := s.Optimize(q)
+		warm, err := s.Optimize(context.Background(), q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -425,7 +426,7 @@ func TestHubHeavyGPUBandFallsBackWithinBudget(t *testing.T) {
 		t.Fatalf("precondition: hub tree detected as %s, want tree", shape)
 	}
 	start := time.Now()
-	res, err := s.Optimize(q)
+	res, err := s.Optimize(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -457,7 +458,7 @@ func TestLargeQueriesRouteToHeuristics(t *testing.T) {
 		{workload.KindCycle, 70, core.AlgUnionDP},
 	} {
 		q := genQuery(t, tc.kind, tc.n, 1)
-		res, err := s.Optimize(q)
+		res, err := s.Optimize(context.Background(), q)
 		if err != nil {
 			t.Fatalf("%s/%d: %v", tc.kind, tc.n, err)
 		}
@@ -473,7 +474,7 @@ func TestLargeQueriesRouteToHeuristics(t *testing.T) {
 
 func TestErrorPaths(t *testing.T) {
 	s := New(Config{})
-	if _, err := s.Optimize(nil); err == nil {
+	if _, err := s.Optimize(context.Background(), nil); err == nil {
 		t.Error("nil query should error")
 	}
 
@@ -482,7 +483,7 @@ func TestErrorPaths(t *testing.T) {
 	cat.Add(catalog.NewRelation("a", 100, 32))
 	cat.Add(catalog.NewRelation("b", 100, 32))
 	disc := &cost.Query{Cat: cat, G: graph.New(2)}
-	if _, err := s.Optimize(disc); !errors.Is(err, dp.ErrDisconnected) {
+	if _, err := s.Optimize(context.Background(), disc); !errors.Is(err, dp.ErrDisconnected) {
 		t.Errorf("disconnected graph: err = %v, want ErrDisconnected", err)
 	}
 	if snap := s.Counters().Snapshot(); snap.Errors == 0 {
@@ -490,7 +491,7 @@ func TestErrorPaths(t *testing.T) {
 	}
 
 	s.Close()
-	if _, err := s.Optimize(genQuery(t, workload.KindChain, 4, 1)); !errors.Is(err, ErrClosed) {
+	if _, err := s.Optimize(context.Background(), genQuery(t, workload.KindChain, 4, 1)); !errors.Is(err, ErrClosed) {
 		t.Errorf("after Close: err = %v, want ErrClosed", err)
 	}
 	s.Close() // idempotent
@@ -509,14 +510,14 @@ func TestWarmCacheSpeedup(t *testing.T) {
 	defer s.Close()
 	q := genQuery(t, workload.KindMB, 20, 42)
 
-	cold, err := s.Optimize(q)
+	cold, err := s.Optimize(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
 	const warmRuns = 20
 	start := time.Now()
 	for i := 0; i < warmRuns; i++ {
-		warm, err := s.Optimize(q)
+		warm, err := s.Optimize(context.Background(), q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -534,7 +535,7 @@ func TestWarmCacheSpeedup(t *testing.T) {
 func TestCountersExpvarString(t *testing.T) {
 	s := New(Config{})
 	defer s.Close()
-	if _, err := s.Optimize(genQuery(t, workload.KindChain, 5, 1)); err != nil {
+	if _, err := s.Optimize(context.Background(), genQuery(t, workload.KindChain, 5, 1)); err != nil {
 		t.Fatal(err)
 	}
 	got := s.Counters().String()

@@ -20,6 +20,7 @@ type Counters struct {
 	coalesced atomic.Uint64
 	fallbacks atomic.Uint64
 	errors    atomic.Uint64
+	canceled  atomic.Uint64
 
 	routeDPCCP   atomic.Uint64
 	routeMPDP    atomic.Uint64
@@ -94,6 +95,9 @@ type Snapshot struct {
 	Coalesced uint64 `json:"coalesced"`
 	Fallbacks uint64 `json:"fallbacks"`
 	Errors    uint64 `json:"errors"`
+	// Canceled counts requests whose caller context was cancelled (client
+	// disconnects included) before a plan was produced.
+	Canceled uint64 `json:"canceled"`
 
 	RouteDPCCP   uint64 `json:"route_dpccp"`
 	RouteMPDP    uint64 `json:"route_mpdp_cpu"`
@@ -120,6 +124,7 @@ func (c *Counters) Snapshot() Snapshot {
 		Coalesced:    c.coalesced.Load(),
 		Fallbacks:    c.fallbacks.Load(),
 		Errors:       c.errors.Load(),
+		Canceled:     c.canceled.Load(),
 		RouteDPCCP:   c.routeDPCCP.Load(),
 		RouteMPDP:    c.routeMPDP.Load(),
 		RouteMPDPGPU: c.routeMPDPGPU.Load(),

@@ -1,6 +1,7 @@
 package sql
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -202,7 +203,7 @@ func TestCompiledQueryOptimizesEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := core.Optimize(b.Query, core.Options{Algorithm: core.AlgMPDP})
+	res, err := core.Optimize(context.Background(), b.Query, core.Options{Algorithm: core.AlgMPDP})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +227,7 @@ func TestMusicBrainzSchemaBinds(t *testing.T) {
 	if b.Query.N() != 3 || len(b.Query.G.Edges) != 2 {
 		t.Fatalf("n=%d edges=%d", b.Query.N(), len(b.Query.G.Edges))
 	}
-	res, err := core.Optimize(b.Query, core.Options{Algorithm: core.AlgMPDPParallel})
+	res, err := core.Optimize(context.Background(), b.Query, core.Options{Algorithm: core.AlgMPDPParallel})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,186 @@
+// Package optimizer is the public SDK of the MPDP join-order optimizer: a
+// stable, embeddable surface over the repository's internal enumeration,
+// serving and cluster layers.
+//
+// The entry point is the Optimizer interface — a single context-first
+// Optimize call — with three drivers:
+//
+//   - InProcess runs the algorithms directly in the caller's process
+//     (wrapping internal/core): no cache, full per-call algorithm control.
+//   - Served runs a concurrent optimizer service in-process (wrapping
+//     internal/service): canonical-fingerprint plan cache, request
+//     coalescing, adaptive (algorithm, backend) routing.
+//   - Remote talks to one or more mpdp-serve / mpdp-cluster servers over
+//     the versioned /v1 HTTP API, hedging across endpoints.
+//
+// Queries are built with NewQueryBuilder (or a shared Catalog), compiled
+// from SQL with CompileSQL, or generated with the workload constructors.
+// Cancelling the context passed to Optimize aborts the in-flight
+// enumeration promptly on every driver, including across the wire.
+//
+// See API.md for the wire specification and a quickstart.
+package optimizer
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Algorithm names one of the registered join-order optimizers.
+type Algorithm string
+
+// The algorithm registry. The constants mirror the internal registry; the
+// wire API and the SDK accept exactly these names.
+const (
+	// Exact, sequential.
+	AlgDPSize Algorithm = "dpsize" // PostgreSQL's standard DP
+	AlgDPSub  Algorithm = "dpsub"
+	AlgDPCCP  Algorithm = "dpccp"
+	AlgMPDP   Algorithm = "mpdp"
+	// Exact, CPU-parallel.
+	AlgPDP          Algorithm = "pdp"
+	AlgDPE          Algorithm = "dpe"
+	AlgMPDPParallel Algorithm = "mpdp-cpu"
+	// Exact, GPU execution model.
+	AlgDPSizeGPU Algorithm = "dpsize-gpu"
+	AlgDPSubGPU  Algorithm = "dpsub-gpu"
+	AlgMPDPGPU   Algorithm = "mpdp-gpu"
+	// Heuristics.
+	AlgGEQO    Algorithm = "geqo"
+	AlgGOO     Algorithm = "goo"
+	AlgMinSel  Algorithm = "minsel"
+	AlgIKKBZ   Algorithm = "ikkbz"
+	AlgLinDP   Algorithm = "lindp"
+	AlgIDP1    Algorithm = "idp1"
+	AlgIDP2    Algorithm = "idp2-mpdp"
+	AlgUnionDP Algorithm = "uniondp-mpdp"
+	// AlgAuto picks the paper's recommended policy for the query size.
+	AlgAuto Algorithm = "auto"
+)
+
+// Algorithms lists every registered optimizer name.
+func Algorithms() []Algorithm {
+	out := make([]Algorithm, 0, len(core.Algorithms()))
+	for _, a := range core.Algorithms() {
+		out = append(out, Algorithm(a))
+	}
+	return out
+}
+
+// IsExact reports whether the algorithm guarantees the optimal plan.
+func (a Algorithm) IsExact() bool { return core.Algorithm(a).IsExact() }
+
+// Valid reports whether a names a registered algorithm.
+func (a Algorithm) Valid() bool {
+	for _, b := range core.Algorithms() {
+		if core.Algorithm(a) == b {
+			return true
+		}
+	}
+	return false
+}
+
+// Result is the outcome of one optimization, uniform across the three
+// drivers. Cost and Fingerprint are always set; the enumeration counters
+// (Evaluated, CCPPairs) are reported by the local drivers only.
+type Result struct {
+	// Cost and Rows of the chosen plan under the paper's cost model.
+	Cost float64
+	Rows float64
+	// Algorithm that produced the plan and the execution Backend it ran on
+	// (cpu-seq, cpu-parallel, gpu, heuristic; empty for InProcess runs of
+	// explicitly chosen algorithms).
+	Algorithm Algorithm
+	Backend   string
+	// Shape is the detected join-graph shape (chain, star, clique, tree,
+	// general; empty for InProcess).
+	Shape string
+	// Fingerprint is the canonical join-graph fingerprint: the cache
+	// identity shared by isomorphic queries with identical statistics.
+	Fingerprint string
+	// CacheHit/Coalesced/FellBack report the serving layers' behaviour.
+	CacheHit  bool
+	Coalesced bool
+	FellBack  bool
+	// Elapsed is the end-to-end latency observed by the driver.
+	Elapsed time.Duration
+	// Explain is the rendered plan tree, when requested with WithExplain.
+	Explain string
+	// Evaluated and CCPPairs are the paper's two enumeration counters
+	// (local drivers only).
+	Evaluated uint64
+	CCPPairs  uint64
+	// GPUDevices/GPUSimMS carry the simulated device work model when the
+	// GPU backend produced the plan.
+	GPUDevices int
+	GPUSimMS   float64
+	// Node and Failover are set when a Remote driver talked to a cluster.
+	Node     string
+	Failover bool
+}
+
+// Optimizer is the single public optimization interface.
+type Optimizer interface {
+	// Optimize plans q. Cancelling ctx aborts the in-flight enumeration
+	// promptly with the context's error. A nil ctx means
+	// context.Background().
+	Optimize(ctx context.Context, q *Query, opts ...Option) (*Result, error)
+	// Close releases the driver's resources. Results remain valid.
+	Close() error
+}
+
+// ErrServerRouted is returned when WithAlgorithm is passed to a driver
+// whose algorithm choice is server-side (Served, Remote): the adaptive
+// router picks the algorithm and backend per query shape.
+var ErrServerRouted = errors.New("optimizer: algorithm selection is server-side for this driver; drop WithAlgorithm or use InProcess")
+
+// callOptions collects the per-call options.
+type callOptions struct {
+	algorithm Algorithm
+	timeout   time.Duration
+	threads   int
+	k         int
+	seed      int64
+	explain   bool
+	gpuDev    int
+}
+
+// Option configures one Optimize call.
+type Option func(*callOptions)
+
+// WithAlgorithm selects the algorithm explicitly (InProcess driver only;
+// the serving drivers route server-side and reject it).
+func WithAlgorithm(a Algorithm) Option { return func(o *callOptions) { o.algorithm = a } }
+
+// WithTimeout bounds the optimization's wall-clock budget, independently
+// of the context's deadline. On the Served driver the service budget
+// applies instead; on Remote the timeout is enforced through the context.
+func WithTimeout(d time.Duration) Option { return func(o *callOptions) { o.timeout = d } }
+
+// WithThreads sets the CPU parallelism for the parallel algorithms (0:
+// all cores).
+func WithThreads(n int) Option { return func(o *callOptions) { o.threads = n } }
+
+// WithK bounds the sub-problem size of IDP2/UnionDP (0: 15).
+func WithK(k int) Option { return func(o *callOptions) { o.k = k } }
+
+// WithSeed seeds the randomized heuristics.
+func WithSeed(s int64) Option { return func(o *callOptions) { o.seed = s } }
+
+// WithExplain asks for the rendered plan tree in Result.Explain.
+func WithExplain() Option { return func(o *callOptions) { o.explain = true } }
+
+// WithGPUDevices sets the simulated device count for the *-gpu algorithms
+// (InProcess driver only; 0 keeps the default).
+func WithGPUDevices(n int) Option { return func(o *callOptions) { o.gpuDev = n } }
+
+func applyOptions(opts []Option) callOptions {
+	var o callOptions
+	for _, f := range opts {
+		f(&o)
+	}
+	return o
+}

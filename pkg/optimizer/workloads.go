@@ -1,0 +1,53 @@
+package optimizer
+
+import (
+	"math/rand"
+
+	"repro/internal/workload"
+)
+
+// The workload constructors generate the synthetic query families of the
+// paper's evaluation (§7.2) plus random walks over the MusicBrainz schema,
+// deterministically per seed. They are the quickest way to drive the SDK
+// without hand-building catalogs.
+
+// Star returns an n-relation star join (one fact table, n-1 dimensions).
+func Star(n int, seed int64) *Query {
+	return &Query{q: workload.Star(n, rand.New(rand.NewSource(seed)))}
+}
+
+// Snowflake returns an n-relation snowflake (a two-level star of stars).
+func Snowflake(n int, seed int64) *Query {
+	return &Query{q: workload.Snowflake(n, rand.New(rand.NewSource(seed)))}
+}
+
+// Chain returns an n-relation chain join.
+func Chain(n int, seed int64) *Query {
+	return &Query{q: workload.Chain(n, rand.New(rand.NewSource(seed)))}
+}
+
+// Cycle returns an n-relation cycle (the smallest cyclic shape).
+func Cycle(n int, seed int64) *Query {
+	return &Query{q: workload.Cycle(n, rand.New(rand.NewSource(seed)))}
+}
+
+// Clique returns an n-relation clique (every pair joined).
+func Clique(n int, seed int64) *Query {
+	return &Query{q: workload.Clique(n, rand.New(rand.NewSource(seed)))}
+}
+
+// MusicBrainz returns an n-relation random walk over the MusicBrainz
+// schema's foreign keys — the paper's real-world workload.
+func MusicBrainz(n int, seed int64) *Query {
+	return &Query{q: workload.MusicBrainzQuery(n, rand.New(rand.NewSource(seed)))}
+}
+
+// Permuted returns the same join problem with its relations relabelled
+// through a seed-derived random permutation — the query another client
+// would send for the identical problem. The serving drivers' canonical
+// fingerprint maps both to one cache entry, which this method exists to
+// demonstrate and test.
+func (q *Query) Permuted(seed int64) *Query {
+	rng := rand.New(rand.NewSource(seed))
+	return &Query{q: workload.PermuteQuery(q.q, rng.Perm(q.q.N()))}
+}
