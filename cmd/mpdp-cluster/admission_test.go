@@ -1,0 +1,126 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/httpapi"
+	"repro/internal/service"
+)
+
+// TestFrontDoorOverflowThenOverloaded drives the cluster past its admission
+// capacity through the HTTP front door: with a 1-token budget per node and
+// 2-way replication, the first request is served by the owner, the second
+// overflows to the replica (same warm entry, no failure-detector event),
+// and the third — every owner shed — returns the golden 503 overloaded
+// envelope with Retry-After. Past the knee the cluster answers fast with a
+// back-off hint; nothing queues unboundedly.
+func TestFrontDoorOverflowThenOverloaded(t *testing.T) {
+	c := cluster.New(cluster.Config{
+		Nodes:    2,
+		Replicas: 2,
+		Service: service.Config{
+			Workers: 1,
+			// Burst floor 1, negligible refill: one admitted request per
+			// node for the whole test.
+			Admission: service.Admission{RatePerSec: 0.001},
+		},
+	})
+	t.Cleanup(c.Close)
+	ts := httptest.NewServer(newAPI(c, httpapi.Options{}).Mux())
+	t.Cleanup(ts.Close)
+
+	first := postOptimize(t, ts, "/v1/optimize")
+	if first.Failover {
+		t.Errorf("first request reported failover: %+v", first)
+	}
+
+	second := postOptimize(t, ts, "/v1/optimize")
+	if second.Node == first.Node {
+		t.Errorf("second request served by exhausted owner %s, want overflow to the replica", first.Node)
+	}
+	if !second.CacheHit {
+		t.Errorf("overflow request missed the cache; replication should have warmed the replica")
+	}
+	if second.Failover {
+		t.Errorf("overflow mislabeled as failover (no node was unreachable): %+v", second)
+	}
+
+	// Third request: both owners shed. Golden envelope: 503, overloaded,
+	// Retry-After header + retry_after_ms, X-Request-Id echo intact.
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/optimize", strings.NewReader(testStatement))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "text/plain")
+	req.Header.Set("X-Request-Id", "cluster-shed-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503; body: %s", resp.StatusCode, body)
+	}
+	var e httpapi.Error
+	if err := json.Unmarshal(body, &e); err != nil {
+		t.Fatalf("shed response is not an envelope: %v (%s)", err, body)
+	}
+	if e.Code != httpapi.CodeOverloaded {
+		t.Errorf("code = %q, want %q", e.Code, httpapi.CodeOverloaded)
+	}
+	if e.RetryAfterMS <= 0 {
+		t.Errorf("envelope lacks retry_after_ms: %s", body)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" || ra == "0" {
+		t.Errorf("503 overloaded lacks a positive Retry-After header (got %q)", ra)
+	}
+	if got := resp.Header.Get("X-Request-Id"); got != "cluster-shed-1" {
+		t.Errorf("X-Request-Id echo lost on cluster shed path: got %q", got)
+	}
+	if e.RequestID != "cluster-shed-1" {
+		t.Errorf("envelope request_id = %q, want the inbound id", e.RequestID)
+	}
+
+	// The cluster snapshot aggregates the new counters: per-node sheds sum
+	// up, and the replica's rescue is an overflow, not a failover.
+	snap := c.Snapshot()
+	if snap.Shed < 2 {
+		t.Errorf("aggregated shed = %d, want >= 2 (owner on request 2, both on request 3)", snap.Shed)
+	}
+	if snap.Overflows != 1 {
+		t.Errorf("overflows = %d, want 1", snap.Overflows)
+	}
+	if snap.Failovers != 0 {
+		t.Errorf("failovers = %d, want 0 (nobody was unreachable)", snap.Failovers)
+	}
+	if snap.Errors != 0 {
+		t.Errorf("errors = %d, want 0 (sheds are not errors)", snap.Errors)
+	}
+
+	// /v1/stats carries the same aggregation over HTTP.
+	sresp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var stats struct {
+		Shed      uint64 `json:"shed"`
+		Overflows uint64 `json:"overflows"`
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatalf("/v1/stats is not JSON: %v", err)
+	}
+	if stats.Shed < 2 || stats.Overflows != 1 {
+		t.Errorf("/v1/stats shed=%d overflows=%d, want shed>=2 overflows=1", stats.Shed, stats.Overflows)
+	}
+}

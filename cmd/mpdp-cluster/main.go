@@ -43,8 +43,8 @@ import (
 
 // newAPI builds the shared HTTP surface plus the admin routes; split out of
 // main so tests can drive the full mux through httptest.
-func newAPI(c *cluster.Cluster) *httpapi.API {
-	api := httpapi.New(httpapi.ClusterEngine(c), httpapi.Options{})
+func newAPI(c *cluster.Cluster, opts httpapi.Options) *httpapi.API {
+	api := httpapi.New(httpapi.ClusterEngine(c), opts)
 	httpapi.MountClusterAdmin(api, c)
 	return api
 }
@@ -62,6 +62,11 @@ func main() {
 		gpuDevices = flag.Int("gpu-devices", 0, "simulated GPU devices per node (0 = 2)")
 		crossover  = flag.String("crossover", "", "JSON file with backend-crossover thresholds (empty = calibrated defaults)")
 		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight requests")
+		queueDepth = flag.Int("queue-depth", 0, "admission queue depth per node (0 = 4x workers)")
+		queueWait  = flag.Duration("queue-wait", 250*time.Millisecond, "max wait for a queue slot before a node sheds with 503 (0 = block indefinitely, <0 = shed immediately)")
+		nodeRate   = flag.Float64("node-rate", 0, "admitted requests/sec per node, 0 = uncapped")
+		quotaRate  = flag.Float64("quota-rate", 0, "per-tenant requests/sec quota at the front door, 0 = disabled")
+		quotaBurst = flag.Float64("quota-burst", 0, "per-tenant quota burst (0 = quota-rate/4, min 1)")
 	)
 	flag.Parse()
 
@@ -89,15 +94,23 @@ func main() {
 		HealthInterval: *health,
 		Service: service.Config{
 			Workers:       *workers,
+			QueueDepth:    *queueDepth,
 			CacheCapacity: *cacheCap,
 			Timeout:       *timeout,
 			Crossover:     xover,
 			GPU:           backend.GPUConfig{Devices: *gpuDevices},
+			Admission: service.Admission{
+				MaxQueueWait: *queueWait,
+				RatePerSec:   *nodeRate,
+			},
 		},
 	})
 	defer c.Close()
 
-	api := newAPI(c)
+	api := newAPI(c, httpapi.Options{Quota: httpapi.QuotaConfig{
+		RatePerSec: *quotaRate,
+		Burst:      *quotaBurst,
+	}})
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	httpSrv := &http.Server{Addr: *httpAddr, Handler: api.Mux()}

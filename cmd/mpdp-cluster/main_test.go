@@ -21,7 +21,7 @@ func newTestFrontDoor(t *testing.T) *httptest.Server {
 	t.Helper()
 	c := cluster.New(cluster.Config{Nodes: 3, Replicas: 2, Service: service.Config{Workers: 2}})
 	t.Cleanup(c.Close)
-	ts := httptest.NewServer(newAPI(c).Mux())
+	ts := httptest.NewServer(newAPI(c, httpapi.Options{}).Mux())
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -125,7 +125,7 @@ func TestClusterV1ErrorEnvelopes(t *testing.T) {
 	// 503: empty the cluster — no alive node can serve.
 	c := cluster.New(cluster.Config{Nodes: 1, Replicas: 1, Service: service.Config{Workers: 1}})
 	t.Cleanup(c.Close)
-	ts2 := httptest.NewServer(newAPI(c).Mux())
+	ts2 := httptest.NewServer(newAPI(c, httpapi.Options{}).Mux())
 	t.Cleanup(ts2.Close)
 	for _, id := range c.AliveNodes() {
 		if err := c.RemoveNode(id); err != nil {

@@ -1,0 +1,176 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/httpapi"
+	"repro/internal/service"
+)
+
+// postStatement sends testStatement with optional extra headers and returns
+// the response.
+func postStatement(t *testing.T, url string, headers map[string]string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/optimize", strings.NewReader(testStatement))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "text/plain")
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// decodeRetryable layers the Retry-After checks over decodeEnvelope: every
+// retryable envelope must carry both the header and the machine-readable
+// retry_after_ms hint.
+func decodeRetryable(t *testing.T, resp *http.Response, wantStatus int, wantCode string) {
+	t.Helper()
+	if ra := resp.Header.Get("Retry-After"); ra == "" || ra == "0" {
+		t.Errorf("retryable %s response lacks a positive Retry-After header (got %q)", wantCode, ra)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e httpapi.Error
+	if err := json.Unmarshal(body, &e); err == nil {
+		if e.RetryAfterMS <= 0 {
+			t.Errorf("retryable %s envelope lacks retry_after_ms: %s", wantCode, body)
+		}
+	}
+	resp.Body = io.NopCloser(bytes.NewReader(body))
+	decodeEnvelope(t, resp, wantStatus, wantCode)
+}
+
+// TestV1OverloadedReturns503WithRetryAfter is the golden shed envelope: a
+// service whose admission rate cap is exhausted answers 503 overloaded with
+// a Retry-After hint, and the X-Request-Id echo survives the shed path.
+func TestV1OverloadedReturns503WithRetryAfter(t *testing.T) {
+	// Rate 0.001/s with the default burst floor of 1 admits exactly one
+	// request; refill over the test's lifetime is negligible.
+	svc := service.New(service.Config{
+		Workers:   1,
+		Admission: service.Admission{RatePerSec: 0.001},
+	})
+	t.Cleanup(svc.Close)
+	ts := httptest.NewServer(httpapi.New(httpapi.ServiceEngine(svc), httpapi.Options{}).Mux())
+	t.Cleanup(ts.Close)
+
+	resp := postStatement(t, ts.URL, nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("burst-funded request status = %d, want 200", resp.StatusCode)
+	}
+
+	resp = postStatement(t, ts.URL, map[string]string{"X-Request-Id": "shed-probe-1"})
+	decodeRetryable(t, resp, http.StatusServiceUnavailable, httpapi.CodeOverloaded)
+	if got := resp.Header.Get("X-Request-Id"); got != "shed-probe-1" {
+		t.Errorf("X-Request-Id echo lost on shed path: got %q", got)
+	}
+
+	snap := svc.Counters().Snapshot()
+	if snap.Shed < 1 {
+		t.Errorf("shed counter = %d, want >= 1", snap.Shed)
+	}
+	if snap.Errors != 0 {
+		t.Errorf("errors counter = %d, want 0 (a shed is not an error)", snap.Errors)
+	}
+}
+
+// TestV1QuotaExhaustionIsolatesTenants: tenant A burning its quota gets 429
+// quota_exceeded + Retry-After while tenant B sails through, and /v1/stats
+// grows a quota section.
+func TestV1QuotaExhaustionIsolatesTenants(t *testing.T) {
+	svc := service.New(service.Config{Workers: 1})
+	t.Cleanup(svc.Close)
+	api := httpapi.New(httpapi.ServiceEngine(svc), httpapi.Options{
+		// Burst floor 1: each tenant gets exactly one request.
+		Quota: httpapi.QuotaConfig{RatePerSec: 0.001},
+	})
+	ts := httptest.NewServer(api.Mux())
+	t.Cleanup(ts.Close)
+
+	resp := postStatement(t, ts.URL, map[string]string{"X-Tenant": "tenant-a"})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("tenant-a first request status = %d, want 200", resp.StatusCode)
+	}
+
+	resp = postStatement(t, ts.URL, map[string]string{"X-Tenant": "tenant-a", "X-Request-Id": "quota-probe-1"})
+	decodeRetryable(t, resp, http.StatusTooManyRequests, httpapi.CodeQuotaExceeded)
+	if got := resp.Header.Get("X-Request-Id"); got != "quota-probe-1" {
+		t.Errorf("X-Request-Id echo lost on quota path: got %q", got)
+	}
+
+	// Tenant B has its own bucket: unaffected by A's exhaustion.
+	resp = postStatement(t, ts.URL, map[string]string{"X-Tenant": "tenant-b"})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("tenant-b status = %d, want 200 (quota must isolate tenants)", resp.StatusCode)
+	}
+
+	sresp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var stats struct {
+		Quota *struct {
+			Tenants int    `json:"tenants"`
+			Denied  uint64 `json:"denied"`
+		} `json:"quota"`
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatalf("/v1/stats is not JSON: %v", err)
+	}
+	if stats.Quota == nil {
+		t.Fatal("/v1/stats lacks the quota section with quotas enabled")
+	}
+	if stats.Quota.Tenants != 2 || stats.Quota.Denied < 1 {
+		t.Errorf("quota section = %+v, want 2 tenants and >= 1 denial", *stats.Quota)
+	}
+}
+
+// TestBatchChargesQuotaPerStatement closes the batching loophole: a batch
+// of N statements costs N tokens, so a 2-statement batch against a 1-token
+// bucket is rejected whole.
+func TestBatchChargesQuotaPerStatement(t *testing.T) {
+	svc := service.New(service.Config{Workers: 1})
+	t.Cleanup(svc.Close)
+	api := httpapi.New(httpapi.ServiceEngine(svc), httpapi.Options{
+		Quota: httpapi.QuotaConfig{RatePerSec: 0.001},
+	})
+	ts := httptest.NewServer(api.Mux())
+	t.Cleanup(ts.Close)
+
+	body := `{"statements":[` + jsonString(testStatement) + `,` + jsonString(testStatement) + `]}`
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/batch", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Tenant", "batcher")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeEnvelope(t, resp, http.StatusTooManyRequests, httpapi.CodeQuotaExceeded)
+}
+
+func jsonString(s string) string {
+	b, _ := json.Marshal(s)
+	return string(b)
+}

@@ -134,6 +134,11 @@ func main() {
 		crossover  = flag.String("crossover", "", "JSON file with backend-crossover thresholds (empty = calibrated defaults)")
 		explain    = flag.Bool("explain", false, "print the full plan tree in stdin mode")
 		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight requests")
+		queueDepth = flag.Int("queue-depth", 0, "admission queue depth (0 = 4x workers)")
+		queueWait  = flag.Duration("queue-wait", 250*time.Millisecond, "max wait for a queue slot before shedding with 503 (0 = block indefinitely, <0 = shed immediately)")
+		nodeRate   = flag.Float64("node-rate", 0, "admitted requests/sec for this instance, 0 = uncapped")
+		quotaRate  = flag.Float64("quota-rate", 0, "per-tenant requests/sec quota on HTTP endpoints, 0 = disabled")
+		quotaBurst = flag.Float64("quota-burst", 0, "per-tenant quota burst (0 = quota-rate/4, min 1)")
 	)
 	flag.Parse()
 
@@ -149,11 +154,16 @@ func main() {
 		CacheShards:   *shards,
 		CacheCapacity: *cacheCap,
 		Workers:       *workers,
+		QueueDepth:    *queueDepth,
 		Threads:       *threads,
 		Timeout:       *timeout,
 		K:             *k,
 		Crossover:     xover,
 		GPU:           backend.GPUConfig{Devices: *gpuDevices},
+		Admission: service.Admission{
+			MaxQueueWait: *queueWait,
+			RatePerSec:   *nodeRate,
+		},
 	})
 	defer svc.Close()
 	expvar.Publish("optimizer", svc.Counters())
@@ -168,6 +178,10 @@ func main() {
 
 	api := httpapi.New(httpapi.ServiceEngine(svc), httpapi.Options{
 		MaxStatementBytes: maxStatementBytes,
+		Quota: httpapi.QuotaConfig{
+			RatePerSec: *quotaRate,
+			Burst:      *quotaBurst,
+		},
 	})
 	api.Handle("/debug/vars", expvar.Handler())
 

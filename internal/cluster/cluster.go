@@ -224,13 +224,20 @@ func (c *Cluster) Optimize(ctx context.Context, q *cost.Query) (*Result, error) 
 		if len(owners) == 0 {
 			break
 		}
+		sawUnreachable := false
 		for i, id := range owners {
 			resp, err := c.transport.Call(ctx, id, Request{Kind: ReqOptimize, Query: q})
 			switch {
 			case err == nil:
 				c.noteSuccess(id)
 				if i > 0 {
-					c.counters.failovers.add(1)
+					if sawUnreachable {
+						c.counters.failovers.add(1)
+					} else {
+						// Every earlier owner shed: this replica absorbed
+						// overflow from a hot shard, not a failure.
+						c.counters.overflows.add(1)
+					}
 				}
 				if !resp.Result.CacheHit || i > 0 {
 					// Fresh plan, or a failover hit whose earlier owners may
@@ -238,12 +245,20 @@ func (c *Cluster) Optimize(ctx context.Context, q *cost.Query) (*Result, error) 
 					// (replication doubling as read-repair).
 					c.replicate(fp.Key, id, owners)
 				}
-				return &Result{Result: resp.Result, Node: id, Failover: i > 0}, nil
+				return &Result{Result: resp.Result, Node: id, Failover: i > 0 && sawUnreachable}, nil
+			case errors.Is(err, service.ErrOverloaded):
+				// The owner is alive but shedding load. Replicas hold the
+				// same warm entries, so overflowing to the next one spreads
+				// a Zipf-hot shard's traffic instead of rejecting it — and
+				// it must not feed the failure detector: an overloaded node
+				// is the last one the ring should remove.
+				lastErr = err
 			case errors.Is(err, ErrUnreachable), errors.Is(err, service.ErrClosed):
 				// Unreachable, or a node whose service closed under a racing
 				// RemoveNode/Close: either way this node cannot answer and a
 				// replica can.
 				lastErr = err
+				sawUnreachable = true
 				c.noteFailure(id)
 			default:
 				// The node answered and rejected the query; replicas are
@@ -258,6 +273,18 @@ func (c *Cluster) Optimize(ctx context.Context, q *cost.Query) (*Result, error) 
 				return nil, err
 			}
 		}
+		if !sawUnreachable {
+			// The sweep failed without a single unreachable owner — every
+			// owner shed. The ring will not change, so another sweep would
+			// only hammer nodes that just asked for relief.
+			break
+		}
+	}
+	if errors.Is(lastErr, service.ErrOverloaded) {
+		// All owners shed: surface the retryable condition (the HTTP layer
+		// maps it to 503 + Retry-After). Each node already counted its shed;
+		// the coordinator does not double it as an error.
+		return nil, fmt.Errorf("cluster: all owners overloaded: %w", lastErr)
 	}
 	c.counters.errors.add(1)
 	if lastErr == nil {
@@ -499,6 +526,7 @@ func (c *Cluster) Snapshot() Snapshot {
 	s := Snapshot{
 		Requests:   c.counters.requests.load(),
 		Failovers:  c.counters.failovers.load(),
+		Overflows:  c.counters.overflows.load(),
 		Replicated: c.counters.replicated.load(),
 		Rebalanced: c.counters.rebalanced.load(),
 		Deaths:     c.counters.deaths.load(),
@@ -532,6 +560,9 @@ func (c *Cluster) Snapshot() Snapshot {
 		s.PerNode[id] = NodeSnapshot{Snapshot: snap, CacheLen: ref.n.svc.CacheLen(), Dead: ref.dead}
 		served += snap.Hits + snap.Misses + snap.Coalesced
 		warm += snap.Hits + snap.Coalesced
+		s.Shed += snap.Shed
+		s.Queued += snap.Queued
+		s.QueueDepth += snap.QueueDepth
 		for bid, bc := range snap.Backends {
 			agg := s.Backends[bid]
 			agg.Routed += bc.Routed

@@ -21,6 +21,7 @@ func (c *atomicCounter) load() uint64 { return c.v.Load() }
 type counters struct {
 	requests   atomicCounter
 	failovers  atomicCounter
+	overflows  atomicCounter
 	replicated atomicCounter
 	rebalanced atomicCounter
 	deaths     atomicCounter
@@ -40,8 +41,12 @@ type NodeSnapshot struct {
 // Snapshot is a point-in-time copy of the whole cluster's instrumentation:
 // coordinator counters, membership, and per-node service counters.
 type Snapshot struct {
-	Requests   uint64 `json:"requests"`
-	Failovers  uint64 `json:"failovers"`
+	Requests  uint64 `json:"requests"`
+	Failovers uint64 `json:"failovers"`
+	// Overflows counts requests a replica served because every earlier
+	// owner shed them (admission control), with no node unreachable — the
+	// hot-shard relief valve, distinct from failure-driven failovers.
+	Overflows  uint64 `json:"overflows"`
 	Replicated uint64 `json:"replicated_entries"`
 	Rebalanced uint64 `json:"rebalanced_entries"`
 	Deaths     uint64 `json:"deaths"`
@@ -50,6 +55,12 @@ type Snapshot struct {
 	// Canceled counts requests whose caller context was cancelled (client
 	// disconnects included); they are not errors.
 	Canceled uint64 `json:"canceled"`
+	// Shed, Queued and QueueDepth sum the per-node admission-control
+	// counters: requests rejected with ErrOverloaded, requests that entered
+	// a worker queue, and the queue slots occupied at snapshot time.
+	Shed       uint64 `json:"shed"`
+	Queued     uint64 `json:"queued"`
+	QueueDepth int64  `json:"queue_depth"`
 
 	Replicas   int      `json:"replicas"`
 	AliveNodes []string `json:"alive_nodes"`

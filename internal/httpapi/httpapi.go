@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -50,6 +51,11 @@ type Options struct {
 	MaxStatementBytes int
 	// MaxBatch bounds the statements per /v1/batch request (0: 64).
 	MaxBatch int
+	// Quota, when RatePerSec is positive, rate-limits the optimization
+	// endpoints per tenant (identified by the Quota.Header request header).
+	// Exhausted tenants get 429 quota_exceeded + Retry-After; other tenants
+	// are unaffected.
+	Quota QuotaConfig
 }
 
 func (o Options) withDefaults() Options {
@@ -70,6 +76,7 @@ func (o Options) withDefaults() Options {
 type API struct {
 	engine Engine
 	opts   Options
+	quota  *quotas // nil when quotas are disabled
 	mux    *http.ServeMux
 	ridSeq atomic.Uint64
 	ridPfx string
@@ -79,6 +86,7 @@ type API struct {
 // aliases registered.
 func New(engine Engine, opts Options) *API {
 	a := &API{engine: engine, opts: opts.withDefaults(), mux: http.NewServeMux()}
+	a.quota = newQuotas(a.opts.Quota)
 	var b [3]byte
 	if _, err := crand.Read(b[:]); err == nil {
 		a.ridPfx = hex.EncodeToString(b[:])
@@ -122,10 +130,16 @@ func (a *API) fail(w http.ResponseWriter, rid string, status int, code, msg stri
 	a.failEnv(w, status, e)
 }
 
-// failEnv writes a prebuilt envelope.
+// failEnv writes a prebuilt envelope. Envelopes carrying a retry hint
+// (shed, quota, unavailable) also get a Retry-After header — the hint
+// rounded up to whole seconds, since the header has one-second granularity.
 func (a *API) failEnv(w http.ResponseWriter, status int, e *Error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Request-Id", e.RequestID)
+	if e.RetryAfterMS > 0 {
+		secs := (e.RetryAfterMS + 999) / 1000
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
 	w.WriteHeader(status)
 	w.Write(mustJSON(e))
 	w.Write([]byte("\n"))
@@ -199,15 +213,45 @@ func (a *API) optimizeOne(ctx context.Context, wq *WireQuery, explain bool, rid 
 	return resp, nil, 0
 }
 
+// retryAfterOverloadMS is the back-off hint attached to shed and
+// unavailable responses. One second: long enough to drain a burst, short
+// enough that clients re-probe a recovering server quickly.
+const retryAfterOverloadMS = 1000
+
 // classify maps an engine error to an envelope and status.
 func classify(err error, rid string) (*Error, int) {
 	switch {
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		return &Error{Code: CodeCanceled, Message: "client closed request", Detail: err.Error(), RequestID: rid}, StatusClientClosedRequest
+	case errors.Is(err, service.ErrOverloaded):
+		return &Error{Code: CodeOverloaded, Message: "optimizer overloaded, retry later", Detail: err.Error(), RequestID: rid, RetryAfterMS: retryAfterOverloadMS}, http.StatusServiceUnavailable
 	case errors.Is(err, service.ErrClosed), errors.Is(err, cluster.ErrClosed), errors.Is(err, cluster.ErrNoNodes):
-		return &Error{Code: CodeUnavailable, Message: "optimizer unavailable", Detail: err.Error(), RequestID: rid}, http.StatusServiceUnavailable
+		return &Error{Code: CodeUnavailable, Message: "optimizer unavailable", Detail: err.Error(), RequestID: rid, RetryAfterMS: retryAfterOverloadMS}, http.StatusServiceUnavailable
 	default:
 		return &Error{Code: CodeInvalidQuery, Message: "optimization rejected", Detail: err.Error(), RequestID: rid}, http.StatusUnprocessableEntity
+	}
+}
+
+// checkQuota charges n requests to the caller's tenant; a nil return means
+// admitted (or quotas disabled).
+func (a *API) checkQuota(r *http.Request, rid string, n float64) *Error {
+	if a.quota == nil {
+		return nil
+	}
+	tenant := r.Header.Get(a.quota.cfg.Header)
+	ok, retryAfter := a.quota.allow(tenant, n)
+	if ok {
+		return nil
+	}
+	ms := retryAfter.Milliseconds()
+	if ms < 1 {
+		ms = 1
+	}
+	return &Error{
+		Code:         CodeQuotaExceeded,
+		Message:      fmt.Sprintf("tenant %q exceeded its request quota", tenant),
+		RequestID:    rid,
+		RetryAfterMS: ms,
 	}
 }
 
@@ -230,6 +274,10 @@ func (a *API) handleExplain(w http.ResponseWriter, r *http.Request) {
 func (a *API) serveOptimize(w http.ResponseWriter, r *http.Request, explain bool) {
 	rid := a.requestID(r)
 	if !a.requirePOST(w, r, rid) {
+		return
+	}
+	if e := a.checkQuota(r, rid, 1); e != nil {
+		a.failEnv(w, http.StatusTooManyRequests, e)
 		return
 	}
 	wq, e, status := a.readQuery(r, rid)
@@ -276,6 +324,12 @@ func (a *API) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if total > a.opts.MaxBatch {
 		a.fail(w, rid, http.StatusRequestEntityTooLarge, CodeTooLarge,
 			fmt.Sprintf("batch of %d exceeds the limit of %d", total, a.opts.MaxBatch), nil)
+		return
+	}
+	// A batch charges its tenant one token per statement — otherwise
+	// batching would be a quota loophole.
+	if e := a.checkQuota(r, rid, float64(total)); e != nil {
+		a.failEnv(w, http.StatusTooManyRequests, e)
 		return
 	}
 	// One goroutine per statement: concurrent submission is what lets the
@@ -341,7 +395,21 @@ func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
 	rid := a.requestID(r)
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Request-Id", rid)
-	io.WriteString(w, a.engine.StatsJSON())
+	stats := a.engine.StatsJSON()
+	if a.quota != nil {
+		// Graft the HTTP layer's quota section onto the engine snapshot.
+		// The engine stays ignorant of tenancy; only the shape changes when
+		// quotas are enabled, so the parity test's default servers are
+		// unaffected.
+		var m map[string]json.RawMessage
+		if err := json.Unmarshal([]byte(stats), &m); err == nil {
+			m["quota"] = mustJSON(a.quota.snapshot())
+			if b, err := json.Marshal(m); err == nil {
+				stats = string(b)
+			}
+		}
+	}
+	io.WriteString(w, stats)
 	io.WriteString(w, "\n")
 }
 

@@ -57,6 +57,10 @@ type Error struct {
 	// RequestID identifies the failed request; it is also echoed in the
 	// X-Request-Id response header.
 	RequestID string `json:"request_id"`
+	// RetryAfterMS, on retryable codes (overloaded, quota_exceeded,
+	// unavailable), hints how long to back off before retrying. The same
+	// hint is rounded up to whole seconds in the Retry-After header.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
 }
 
 // The error-code registry, paired with their HTTP status codes.
@@ -66,6 +70,8 @@ const (
 	CodeTooLarge         = "too_large"          // 413
 	CodeInvalidQuery     = "invalid_query"      // 422
 	CodeUnavailable      = "unavailable"        // 503
+	CodeOverloaded       = "overloaded"         // 503, admission-control shed
+	CodeQuotaExceeded    = "quota_exceeded"     // 429, per-tenant quota
 	CodeCanceled         = "client_closed_request"
 	CodeInternal         = "internal"
 )

@@ -1,0 +1,149 @@
+package loadgen
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/cost"
+	"repro/internal/service"
+)
+
+func TestHistBucketRoundTrip(t *testing.T) {
+	// Every bucket's low bound must map back to that bucket, and bounds
+	// must be strictly increasing — the histogram's integrity invariants.
+	prev := int64(-1)
+	for i := 0; i < histBuckets; i++ {
+		low := bucketLow(i)
+		if low <= prev {
+			t.Fatalf("bucket %d low %d not above previous %d", i, low, prev)
+		}
+		if got := bucketIdx(low); got != i {
+			t.Fatalf("bucketIdx(bucketLow(%d)) = %d", i, got)
+		}
+		prev = low
+	}
+}
+
+func TestHistQuantileError(t *testing.T) {
+	// Uniform values 1..100ms: quantiles must land within the 6.25%
+	// log-linear bucket width of the exact answer.
+	h := &Hist{}
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	for _, tc := range []struct {
+		q     float64
+		exact time.Duration
+	}{
+		{0.50, 50 * time.Millisecond},
+		{0.95, 95 * time.Millisecond},
+		{0.99, 99 * time.Millisecond},
+		{1.00, 100 * time.Millisecond},
+	} {
+		got := h.Quantile(tc.q)
+		lo := tc.exact - tc.exact/16
+		hi := tc.exact + tc.exact/8
+		if got < lo || got > hi {
+			t.Errorf("p%.0f = %v, want within [%v, %v]", tc.q*100, got, lo, hi)
+		}
+	}
+	if h.Max() != 100*time.Millisecond {
+		t.Errorf("Max = %v, want exactly 100ms", h.Max())
+	}
+	if h.Count() != 100 {
+		t.Errorf("Count = %d, want 100", h.Count())
+	}
+}
+
+func TestRunMixAndDeterminism(t *testing.T) {
+	pool := NewPool(16, nil, 42)
+	served := func(ctx context.Context, q *cost.Query) error { return nil }
+	cfg := Config{
+		Rate:     2000,
+		Duration: 250 * time.Millisecond,
+		Pool:     pool,
+		ColdFrac: 0.1,
+		TwinFrac: 0.2,
+		Seed:     7,
+	}
+	res := Run(context.Background(), served, cfg)
+	if res.Offered < 300 {
+		t.Fatalf("offered only %d requests at 2000/s over 250ms", res.Offered)
+	}
+	if res.OK != res.Offered-res.Dropped {
+		t.Fatalf("OK %d != offered %d - dropped %d", res.OK, res.Offered, res.Dropped)
+	}
+	total := res.Cold + res.Twin + res.Replay
+	if total != res.Offered {
+		t.Fatalf("mix %d+%d+%d != offered %d", res.Cold, res.Twin, res.Replay, res.Offered)
+	}
+	// The mix fractions are Bernoulli draws; with 300+ samples a 2x band
+	// around the configured fractions is loose enough to never flake.
+	if f := float64(res.Cold) / float64(total); f < 0.03 || f > 0.25 {
+		t.Errorf("cold fraction %.3f far from configured 0.10", f)
+	}
+	if f := float64(res.Twin) / float64(total); f < 0.08 || f > 0.40 {
+		t.Errorf("twin fraction %.3f far from configured 0.20", f)
+	}
+	// Same seed, same schedule: the offered count and mix must reproduce.
+	res2 := Run(context.Background(), served, cfg)
+	if res2.Offered != res.Offered || res2.Cold != res.Cold || res2.Twin != res.Twin {
+		t.Errorf("same seed diverged: offered %d/%d cold %d/%d twin %d/%d",
+			res.Offered, res2.Offered, res.Cold, res2.Cold, res.Twin, res2.Twin)
+	}
+}
+
+func TestRunCountsShedsSeparately(t *testing.T) {
+	pool := NewPool(4, nil, 42)
+	n := 0
+	target := func(ctx context.Context, q *cost.Query) error {
+		n++
+		if n%2 == 0 {
+			return service.ErrOverloaded
+		}
+		return nil
+	}
+	// MaxInFlight 1 serializes the target so the closure needs no lock.
+	res := Run(context.Background(), target, Config{
+		Rate: 500, Duration: 100 * time.Millisecond, Pool: pool,
+		MaxInFlight: 1, Seed: 3,
+	})
+	if res.Shed == 0 {
+		t.Fatalf("no sheds recorded: %+v", res)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("sheds leaked into errors: %+v", res)
+	}
+	if got := uint64(res.OK); res.Hist.Count() != got {
+		t.Fatalf("hist holds %d samples, want OK=%d (sheds must stay out)", res.Hist.Count(), got)
+	}
+}
+
+func TestRunStaysOpenLoop(t *testing.T) {
+	// A closed-loop driver offers fewer requests when the target stalls —
+	// that is the coordinated-omission failure the harness exists to
+	// avoid. The offered count must track rate*duration regardless of the
+	// target: here every request parks until its 50ms deadline.
+	pool := NewPool(2, nil, 42)
+	stall := func(ctx context.Context, q *cost.Query) error {
+		<-ctx.Done()
+		return ctx.Err()
+	}
+	res := Run(context.Background(), stall, Config{
+		Rate: 1000, Duration: 200 * time.Millisecond, Pool: pool,
+		Timeout: 50 * time.Millisecond, Seed: 9,
+	})
+	// Poisson noise on ~200 arrivals is ~±30; anything above 120 proves
+	// the generator did not slow down with the target.
+	if res.Offered < 120 {
+		t.Fatalf("offered %d of ~200 expected: generator slowed with the target (closed-loop behaviour)", res.Offered)
+	}
+	if res.Timeout+res.Dropped != res.Offered {
+		t.Fatalf("stalled target: want all %d offered as timeouts(%d)+dropped(%d)",
+			res.Offered, res.Timeout, res.Dropped)
+	}
+	if res.Hist.Count() != 0 {
+		t.Fatalf("no request succeeded but hist holds %d samples", res.Hist.Count())
+	}
+}

@@ -56,6 +56,10 @@ type Config struct {
 	GPU backend.GPUConfig
 	// K is the sub-problem bound for IDP2/UnionDP (0: 15).
 	K int
+	// Admission tunes admission control: queue-wait shedding, deadline-
+	// aware shedding and the node-level rate cap. The zero value keeps the
+	// legacy blocking backpressure.
+	Admission Admission
 	// Timeout is the per-query optimization budget. An exact run that
 	// exceeds it falls back to the shape's heuristic with a fresh budget
 	// (0: 30s).
@@ -83,6 +87,7 @@ func (c Config) withDefaults() Config {
 	if c.Model == nil {
 		c.Model = cost.DefaultModel()
 	}
+	c.Admission = c.Admission.withDefaults()
 	return c
 }
 
@@ -136,6 +141,13 @@ type Result struct {
 // ErrClosed is returned by Optimize after Close.
 var ErrClosed = errors.New("service: closed")
 
+// ErrOverloaded is returned when admission control sheds a request: the
+// node-level rate cap is exhausted, the worker queue stayed full past
+// Admission.MaxQueueWait, or the caller's deadline cannot outlive the
+// estimated queue delay. It is a retryable condition — the HTTP surface
+// maps it to 503 with a Retry-After hint.
+var ErrOverloaded = errors.New("service: overloaded")
+
 // flight is one in-progress optimization that concurrent identical
 // requests coalesce onto. It owns a cancellable context detached from any
 // single caller: each caller holds a waiter reference, and when the last
@@ -166,6 +178,8 @@ type Service struct {
 	backends *backend.Set
 	cache    *Cache
 	counters Counters
+	// limiter is the node-level admission rate cap (nil: uncapped).
+	limiter *TokenBucket
 
 	mu       sync.Mutex
 	inflight map[string]*flight
@@ -187,6 +201,9 @@ func New(cfg Config) *Service {
 		inflight: make(map[string]*flight),
 		reqs:     make(chan request, cfg.QueueDepth),
 		quit:     make(chan struct{}),
+	}
+	if cfg.Admission.RatePerSec > 0 {
+		s.limiter = NewTokenBucket(cfg.Admission.RatePerSec, cfg.Admission.Burst)
 	}
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -289,6 +306,12 @@ func (s *Service) Optimize(ctx context.Context, q *cost.Query) (*Result, error) 
 		return nil, fmt.Errorf("service: empty query")
 	}
 	s.counters.requests.Add(1)
+	if s.limiter != nil {
+		if ok, _ := s.limiter.Allow(time.Now(), 1); !ok {
+			s.counters.shed.Add(1)
+			return nil, ErrOverloaded
+		}
+	}
 
 	fp := FingerprintQuery(q)
 	inv := invert(fp.Perm)
@@ -333,31 +356,8 @@ func (s *Service) Optimize(ctx context.Context, q *cost.Query) (*Result, error) 
 	}
 
 	if !joined {
-		select {
-		case s.reqs <- request{q: q, fp: fp, fl: fl}:
-		case <-ctx.Done():
-			// The initiator gives up while the queue is full, but followers
-			// may already be coalesced onto this flight and they cannot
-			// enqueue it themselves. Hand the enqueue off: it completes for
-			// the followers, or dies with the flight context once the last
-			// of them leaves too.
-			go func(r request) {
-				select {
-				case s.reqs <- r:
-				case <-r.fl.ctx.Done():
-					r.fl.err = context.Cause(r.fl.ctx)
-					s.finishFlight(r)
-				case <-s.quit:
-					r.fl.err = ErrClosed
-					s.finishFlight(r)
-				}
-			}(request{q: q, fp: fp, fl: fl})
-			s.leave(fl, ctx)
-			s.counters.canceled.Add(1)
-			return nil, context.Cause(ctx)
-		case <-s.quit:
-			s.abandon(fp.Key, fl, ErrClosed)
-			return nil, ErrClosed
+		if err := s.enqueue(ctx, request{q: q, fp: fp, fl: fl}); err != nil {
+			return nil, err
 		}
 	}
 
@@ -371,9 +371,13 @@ func (s *Service) Optimize(ctx context.Context, q *cost.Query) (*Result, error) 
 		return nil, ErrClosed
 	}
 	if fl.err != nil {
-		if errors.Is(fl.err, context.Canceled) || errors.Is(fl.err, context.DeadlineExceeded) {
+		switch {
+		case errors.Is(fl.err, context.Canceled), errors.Is(fl.err, context.DeadlineExceeded):
 			s.counters.canceled.Add(1)
-		} else {
+		case errors.Is(fl.err, ErrOverloaded):
+			// A coalesced follower of a flight whose initiator was shed.
+			s.counters.shed.Add(1)
+		default:
 			s.counters.errors.Add(1)
 		}
 		return nil, fl.err
@@ -385,6 +389,93 @@ func (s *Service) Optimize(ctx context.Context, q *cost.Query) (*Result, error) 
 		s.counters.observeMiss(elapsed)
 	}
 	return resultFrom(fl.entry, inv, elapsed, false, joined), nil
+}
+
+// enqueue submits a freshly created flight's request to the worker queue,
+// applying admission control on the way in. A non-nil return is what
+// Optimize should return: ErrOverloaded when the request was shed (the
+// flight is abandoned, waking any coalesced followers with the same error),
+// the context's cause when the initiator cancelled, ErrClosed on shutdown.
+func (s *Service) enqueue(ctx context.Context, r request) error {
+	// Deadline-aware shed: a caller whose deadline cannot outlive the
+	// estimated queue delay would time out while queued — rejecting now
+	// costs microseconds instead of a wasted queue slot and worker run.
+	if err := s.admit(ctx); err != nil {
+		s.counters.shed.Add(1)
+		s.abandon(r.fp.Key, r.fl, err)
+		return err
+	}
+	if s.cfg.Admission.MaxQueueWait < 0 {
+		// Never wait: shed unless a slot is free right now.
+		select {
+		case s.reqs <- r:
+			s.counters.observeQueued()
+			return nil
+		default:
+			s.counters.shed.Add(1)
+			s.abandon(r.fp.Key, r.fl, ErrOverloaded)
+			return ErrOverloaded
+		}
+	}
+	var shedC <-chan time.Time
+	if w := s.cfg.Admission.MaxQueueWait; w > 0 {
+		t := time.NewTimer(w)
+		defer t.Stop()
+		shedC = t.C
+	}
+	select {
+	case s.reqs <- r:
+		s.counters.observeQueued()
+		return nil
+	case <-shedC:
+		// The queue stayed full for the whole wait budget; one last
+		// non-blocking try resolves the race where the timer and a freed
+		// slot become ready together.
+		select {
+		case s.reqs <- r:
+			s.counters.observeQueued()
+			return nil
+		default:
+		}
+		s.counters.shed.Add(1)
+		s.abandon(r.fp.Key, r.fl, ErrOverloaded)
+		return ErrOverloaded
+	case <-ctx.Done():
+		// The initiator gives up while the queue is full, but followers
+		// may already be coalesced onto this flight and they cannot
+		// enqueue it themselves. Hand the enqueue off: it completes for
+		// the followers, is shed when the queue stays full past the wait
+		// budget, or dies with the flight context once the last of them
+		// leaves too.
+		go func(r request) {
+			var shedC <-chan time.Time
+			if w := s.cfg.Admission.MaxQueueWait; w > 0 {
+				t := time.NewTimer(w)
+				defer t.Stop()
+				shedC = t.C
+			}
+			select {
+			case s.reqs <- r:
+				s.counters.observeQueued()
+			case <-shedC:
+				r.fl.err = ErrOverloaded
+				r.fl.cancel(ErrOverloaded)
+				s.finishFlight(r)
+			case <-r.fl.ctx.Done():
+				r.fl.err = context.Cause(r.fl.ctx)
+				s.finishFlight(r)
+			case <-s.quit:
+				r.fl.err = ErrClosed
+				s.finishFlight(r)
+			}
+		}(r)
+		s.leave(r.fl, ctx)
+		s.counters.canceled.Add(1)
+		return context.Cause(ctx)
+	case <-s.quit:
+		s.abandon(r.fp.Key, r.fl, ErrClosed)
+		return ErrClosed
+	}
 }
 
 // leave drops one waiter reference from a flight whose caller cancelled;
@@ -448,6 +539,7 @@ func (s *Service) worker() {
 		case <-s.quit:
 			return
 		case r := <-s.reqs:
+			s.counters.queueDepth.Add(-1)
 			s.serve(r, arena)
 		}
 	}

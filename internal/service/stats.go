@@ -21,6 +21,13 @@ type Counters struct {
 	fallbacks atomic.Uint64
 	errors    atomic.Uint64
 	canceled  atomic.Uint64
+	// shed counts requests rejected by admission control (rate cap, queue
+	// wait budget, or deadline-aware shedding); queued counts requests that
+	// entered the worker queue, and queueDepth is the live gauge of slots
+	// occupied right now.
+	shed       atomic.Uint64
+	queued     atomic.Uint64
+	queueDepth atomic.Int64
 
 	routeDPCCP   atomic.Uint64
 	routeMPDP    atomic.Uint64
@@ -98,6 +105,12 @@ type Snapshot struct {
 	// Canceled counts requests whose caller context was cancelled (client
 	// disconnects included) before a plan was produced.
 	Canceled uint64 `json:"canceled"`
+	// Shed counts requests rejected by admission control with ErrOverloaded.
+	Shed uint64 `json:"shed"`
+	// Queued counts requests that entered the worker queue; QueueDepth is
+	// the number of queue slots occupied at snapshot time.
+	Queued     uint64 `json:"queued"`
+	QueueDepth int64  `json:"queue_depth"`
 
 	RouteDPCCP   uint64 `json:"route_dpccp"`
 	RouteMPDP    uint64 `json:"route_mpdp_cpu"`
@@ -125,6 +138,9 @@ func (c *Counters) Snapshot() Snapshot {
 		Fallbacks:    c.fallbacks.Load(),
 		Errors:       c.errors.Load(),
 		Canceled:     c.canceled.Load(),
+		Shed:         c.shed.Load(),
+		Queued:       c.queued.Load(),
+		QueueDepth:   c.queueDepth.Load(),
 		RouteDPCCP:   c.routeDPCCP.Load(),
 		RouteMPDP:    c.routeMPDP.Load(),
 		RouteMPDPGPU: c.routeMPDPGPU.Load(),
@@ -163,6 +179,11 @@ func (c *Counters) String() string {
 		return "{}"
 	}
 	return string(b)
+}
+
+func (c *Counters) observeQueued() {
+	c.queued.Add(1)
+	c.queueDepth.Add(1)
 }
 
 func (c *Counters) observeHit(d time.Duration, id backend.ID) {
