@@ -21,6 +21,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/cost"
 	"repro/internal/loadgen"
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -89,6 +90,20 @@ func BenchmarkClusterLoad(b *testing.B) {
 	}
 	pointDur := time.Duration(secs * float64(time.Second))
 
+	// BENCH_LOAD_SLOWLOG names a JSON-lines file that collects every request
+	// slower than 50ms across the sweep — the post-knee tail with its phase
+	// breakdown (queue_wait vs enumerate), which nightly CI uploads as an
+	// artifact next to the latency rows.
+	var slowCfg obs.SlowConfig
+	if path := os.Getenv("BENCH_LOAD_SLOWLOG"); path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer f.Close()
+		slowCfg = obs.SlowConfig{Threshold: 50 * time.Millisecond, Log: f}
+	}
+
 	pool := loadgen.NewPool(poolSize, nil, benchSeed+5000)
 
 	rows := make(map[string]loadBenchRow)
@@ -100,6 +115,7 @@ func BenchmarkClusterLoad(b *testing.B) {
 				c := cluster.New(cluster.Config{
 					Nodes:    nodes,
 					Replicas: replicas,
+					Slow:     slowCfg,
 					Service: service.Config{
 						Workers: 2,
 						Admission: service.Admission{

@@ -1,0 +1,69 @@
+// Command metricscheck is the CI gate for the /metrics endpoints: it
+// fetches a Prometheus text exposition body from a URL (or reads stdin when
+// the URL is "-"), fails on any malformed line, and fails unless every
+// metric family named as a further argument is present.
+//
+// Usage:
+//
+//	metricscheck http://127.0.0.1:8080/metrics mpdp_requests_total mpdp_request_seconds
+//	curl -s localhost:8080/metrics | metricscheck - mpdp_inflight
+//
+// Exit status 0 means the body parsed cleanly and all required families
+// were found; anything else prints the first problem and exits 1.
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: metricscheck <url|-> [required_family ...]")
+		os.Exit(2)
+	}
+	body, err := fetch(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "metricscheck:", err)
+		os.Exit(1)
+	}
+	families, err := obs.ValidateExposition(body)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "metricscheck: malformed exposition:", err)
+		os.Exit(1)
+	}
+	missing := 0
+	for _, want := range os.Args[2:] {
+		if !families[want] {
+			fmt.Fprintf(os.Stderr, "metricscheck: missing family %s\n", want)
+			missing++
+		}
+	}
+	if missing > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("metricscheck: ok (%d families)\n", len(families))
+}
+
+func fetch(src string) (string, error) {
+	if src == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(src)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET %s: status %d", src, resp.StatusCode)
+	}
+	b, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	return string(b), err
+}

@@ -67,6 +67,9 @@ func main() {
 		nodeRate   = flag.Float64("node-rate", 0, "admitted requests/sec per node, 0 = uncapped")
 		quotaRate  = flag.Float64("quota-rate", 0, "per-tenant requests/sec quota at the front door, 0 = disabled")
 		quotaBurst = flag.Float64("quota-burst", 0, "per-tenant quota burst (0 = quota-rate/4, min 1)")
+		slowMS     = flag.Float64("slow-query-ms", 0, "log requests slower than this many ms as JSON lines (0 = off; the /v1/debug/slow ring is always on)")
+		slowPath   = flag.String("slow-query-log", "", "slow-query log destination (empty = stderr)")
+		debugAddr  = flag.String("debug-addr", "", "serve pprof and expvar on this separate address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -87,11 +90,17 @@ func main() {
 		}
 		xover = &x
 	}
+	slowCfg, closeSlow, err := httpapi.SlowConfigFromFlags(*slowMS, *slowPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer closeSlow()
 	c := cluster.New(cluster.Config{
 		Nodes:          *nodes,
 		Replicas:       *replicas,
 		VirtualNodes:   *vnodes,
 		HealthInterval: *health,
+		Slow:           slowCfg,
 		Service: service.Config{
 			Workers:       *workers,
 			QueueDepth:    *queueDepth,
@@ -111,6 +120,7 @@ func main() {
 		RatePerSec: *quotaRate,
 		Burst:      *quotaBurst,
 	}})
+	httpapi.StartDebugServer(*debugAddr)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	httpSrv := &http.Server{Addr: *httpAddr, Handler: api.Mux()}

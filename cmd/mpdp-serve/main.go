@@ -139,6 +139,9 @@ func main() {
 		nodeRate   = flag.Float64("node-rate", 0, "admitted requests/sec for this instance, 0 = uncapped")
 		quotaRate  = flag.Float64("quota-rate", 0, "per-tenant requests/sec quota on HTTP endpoints, 0 = disabled")
 		quotaBurst = flag.Float64("quota-burst", 0, "per-tenant quota burst (0 = quota-rate/4, min 1)")
+		slowMS     = flag.Float64("slow-query-ms", 0, "log requests slower than this many ms as JSON lines (0 = off; the /v1/debug/slow ring is always on)")
+		slowPath   = flag.String("slow-query-log", "", "slow-query log destination (empty = stderr)")
+		debugAddr  = flag.String("debug-addr", "", "serve pprof and expvar on this separate address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -150,6 +153,11 @@ func main() {
 		}
 		xover = &x
 	}
+	slowCfg, closeSlow, err := httpapi.SlowConfigFromFlags(*slowMS, *slowPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer closeSlow()
 	svc := service.New(service.Config{
 		CacheShards:   *shards,
 		CacheCapacity: *cacheCap,
@@ -164,9 +172,11 @@ func main() {
 			MaxQueueWait: *queueWait,
 			RatePerSec:   *nodeRate,
 		},
+		Slow: slowCfg,
 	})
 	defer svc.Close()
 	expvar.Publish("optimizer", svc.Counters())
+	httpapi.StartDebugServer(*debugAddr)
 
 	if *httpAddr == "" {
 		srv := &stdinServer{svc: svc, schema: sql.MusicBrainzSchema(), explain: *explain}
@@ -193,7 +203,7 @@ func main() {
 	httpSrv := &http.Server{Addr: *httpAddr, Handler: api.Mux()}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("mpdp-serve: listening on %s (POST /v1/optimize /v1/batch, GET /v1/stats /v1/healthz; legacy aliases kept)", *httpAddr)
+	log.Printf("mpdp-serve: listening on %s (POST /v1/optimize /v1/batch, GET /v1/stats /v1/healthz /metrics /v1/debug/slow; legacy aliases kept)", *httpAddr)
 	select {
 	case err := <-errc:
 		log.Fatal(err)

@@ -50,6 +50,16 @@ func (c GPUConfig) simConfig() gpusim.Config {
 	return gpusim.Config{Device: c.Device, Devices: c.Devices, FusedPrune: true, CCC: true}
 }
 
+// DeviceModel resolves the configured device model (the default GTX 1080
+// when unset), so callers pricing a MultiStats — the service's trace
+// decomposition — bill against the same device the backend simulated.
+func (c GPUConfig) DeviceModel() *gpusim.Device {
+	if c.Device != nil {
+		return c.Device
+	}
+	return gpusim.GTX1080()
+}
+
 // ErrGPUClosed is returned by Optimize when the backend was closed before
 // the request could be serviced.
 var ErrGPUClosed = errors.New("backend: gpu backend closed")

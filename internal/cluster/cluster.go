@@ -14,11 +14,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/cost"
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -48,6 +50,11 @@ type Config struct {
 	// node gets its own worker pool: N nodes with default Workers hold
 	// N*GOMAXPROCS workers.
 	Service service.Config
+	// Slow configures the coordinator's slow-request ring and slow-query
+	// log. The coordinator sees the whole request (routing, failover,
+	// replication) where a node sees only its own serve, so the cluster
+	// front door logs here rather than per node.
+	Slow obs.SlowConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -95,6 +102,7 @@ type Cluster struct {
 	cfg       Config
 	transport *LocalTransport
 	counters  counters
+	slog      *obs.SlowLog
 
 	mu     sync.Mutex
 	ring   *ring
@@ -118,6 +126,7 @@ func New(cfg Config) *Cluster {
 	c := &Cluster{
 		cfg:       cfg,
 		transport: NewLocalTransport(),
+		slog:      obs.NewSlowLog(cfg.Slow),
 		ring:      newRing(cfg.VirtualNodes),
 		nodes:     make(map[string]*node),
 		state:     make(map[string]*nodeState),
@@ -196,9 +205,56 @@ func (c *Cluster) AliveNodes() []string {
 // service, aborting the in-flight optimization; the cancellation is not
 // treated as a node failure. A nil ctx means context.Background().
 func (c *Cluster) Optimize(ctx context.Context, q *cost.Query) (*Result, error) {
+	start := time.Now()
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	// The coordinator is the top of the request path for direct callers
+	// (the bench harness, the SDK's in-process driver): give them a trace
+	// too, so the slow-query log always carries a phase breakdown. Callers
+	// arriving through httpapi already attached one.
+	tr := obs.FromContext(ctx)
+	if tr == nil {
+		tr = obs.NewTrace("")
+		ctx = obs.WithTrace(ctx, tr)
+	}
+	res, err := c.optimize(ctx, q, tr)
+	if !errors.Is(err, ErrClosed) {
+		c.observeSlow(tr, q, res, start, err)
+	}
+	return res, err
+}
+
+// observeSlow feeds one finished front-door request into the coordinator's
+// slow-request ring and slow-query log.
+func (c *Cluster) observeSlow(tr *obs.Trace, q *cost.Query, res *Result, start time.Time, err error) {
+	e := obs.SlowEntry{
+		RequestID: tr.RequestID(),
+		WallUS:    float64(time.Since(start).Nanoseconds()) / 1e3,
+		Spans:     tr.Spans(),
+	}
+	if q != nil {
+		e.Relations = q.N()
+	}
+	if res != nil {
+		e.Node = res.Node
+		e.Shape = string(res.Shape)
+		e.Algorithm = string(res.Algorithm)
+		e.Backend = string(res.Backend)
+		e.CacheHit = res.CacheHit
+	}
+	if err != nil {
+		e.Error = err.Error()
+	}
+	c.slog.Observe(e)
+}
+
+// SlowLog returns the coordinator's slow-request ring (never nil).
+func (c *Cluster) SlowLog() *obs.SlowLog { return c.slog }
+
+// optimize is Optimize's body; the wrapper owns the trace and the slow-log
+// observation.
+func (c *Cluster) optimize(ctx context.Context, q *cost.Query, tr *obs.Trace) (*Result, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -243,7 +299,9 @@ func (c *Cluster) Optimize(ctx context.Context, q *cost.Query) (*Result, error) 
 					// Fresh plan, or a failover hit whose earlier owners may
 					// lack the entry: push it to the other owners
 					// (replication doubling as read-repair).
+					repDone := tr.StartSpan(obs.PhaseReplicate)
 					c.replicate(fp.Key, id, owners)
+					repDone()
 				}
 				return &Result{Result: resp.Result, Node: id, Failover: i > 0 && sawUnreachable}, nil
 			case errors.Is(err, service.ErrOverloaded):
@@ -553,16 +611,24 @@ func (c *Cluster) Snapshot() Snapshot {
 	}
 	c.mu.Unlock()
 
-	var served, warm uint64
+	var served, warm, hits, misses uint64
+	var hitUS, missUS float64
+	merged := &service.LatencySet{}
 	s.Backends = make(map[string]service.BackendCounts)
 	for id, ref := range refs {
 		snap := ref.n.svc.Counters().Snapshot()
 		s.PerNode[id] = NodeSnapshot{Snapshot: snap, CacheLen: ref.n.svc.CacheLen(), Dead: ref.dead}
 		served += snap.Hits + snap.Misses + snap.Coalesced
 		warm += snap.Hits + snap.Coalesced
+		hits += snap.Hits
+		misses += snap.Misses
+		hitUS += snap.AvgHitMicros * float64(snap.Hits)
+		missUS += snap.AvgMissMicros * float64(snap.Misses)
 		s.Shed += snap.Shed
 		s.Queued += snap.Queued
 		s.QueueDepth += snap.QueueDepth
+		s.InFlight += snap.InFlight
+		ref.n.svc.Counters().MergeLatencies(merged)
 		for bid, bc := range snap.Backends {
 			agg := s.Backends[bid]
 			agg.Routed += bc.Routed
@@ -575,7 +641,109 @@ func (c *Cluster) Snapshot() Snapshot {
 	if served > 0 {
 		s.HitRate = float64(warm) / float64(served)
 	}
+	// Request-weighted cluster means of the per-node service times — the
+	// roll-up of the avg_hit_us/avg_miss_us fields each node reports.
+	if hits > 0 {
+		s.AvgHitMicros = hitUS / float64(hits)
+	}
+	if misses > 0 {
+		s.AvgMissMicros = missUS / float64(misses)
+	}
+	s.Latency = merged.Quantiles()
 	sort.Strings(s.AliveNodes)
 	sort.Strings(s.DeadNodes)
 	return s
+}
+
+// WriteMetrics emits the cluster's live metrics in Prometheus text
+// exposition format: the coordinator's own counters (mpdp_cluster_*),
+// cluster-wide sums of the node counters, and the node latency histograms
+// merged bucket-wise — one scrape of the front door answers cluster-wide
+// p50/p95/p99 per backend.
+func (c *Cluster) WriteMetrics(w io.Writer) error {
+	s := c.Snapshot()
+	mw := obs.NewMetricsWriter(w)
+	mw.Counter("mpdp_cluster_requests_total", "Requests entering the cluster front door.", nil, s.Requests)
+	mw.Counter("mpdp_cluster_failovers_total", "Requests a replica served after an owner was unreachable.", nil, s.Failovers)
+	mw.Counter("mpdp_cluster_overflows_total", "Requests a replica absorbed after every earlier owner shed.", nil, s.Overflows)
+	mw.Counter("mpdp_cluster_replicated_entries_total", "Plan-cache entries pushed to replica owners.", nil, s.Replicated)
+	mw.Counter("mpdp_cluster_rebalanced_entries_total", "Plan-cache entries migrated on topology changes.", nil, s.Rebalanced)
+	mw.Counter("mpdp_cluster_deaths_total", "Nodes declared dead by the failure detector.", nil, s.Deaths)
+	mw.Counter("mpdp_cluster_rejoins_total", "Dead nodes that rejoined the ring.", nil, s.Rejoins)
+	mw.Counter("mpdp_cluster_errors_total", "Front-door requests that failed.", nil, s.Errors)
+	mw.Counter("mpdp_cluster_canceled_total", "Front-door requests whose caller cancelled.", nil, s.Canceled)
+	mw.Gauge("mpdp_cluster_alive_nodes", "Ring members alive.", nil, float64(len(s.AliveNodes)))
+	mw.Gauge("mpdp_cluster_cache_plans", "Cached plans summed over all nodes.", nil, float64(c.CacheLen()))
+
+	// Node-level sums under the same names mpdp-serve exposes, so the same
+	// dashboards read either binary.
+	var requests, hits, misses, coalesced, fallbacks, errs, canceled uint64
+	var rDPCCP, rMPDP, rGPU, rIDP2, rUnion uint64
+	for _, ns := range s.PerNode {
+		requests += ns.Requests
+		hits += ns.Hits
+		misses += ns.Misses
+		coalesced += ns.Coalesced
+		fallbacks += ns.Fallbacks
+		errs += ns.Errors
+		canceled += ns.Canceled
+		rDPCCP += ns.RouteDPCCP
+		rMPDP += ns.RouteMPDP
+		rGPU += ns.RouteMPDPGPU
+		rIDP2 += ns.RouteIDP2
+		rUnion += ns.RouteUnionDP
+	}
+	mw.Counter("mpdp_requests_total", "Optimize calls accepted for processing (all nodes).", nil, requests)
+	mw.Counter("mpdp_cache_hits_total", "Requests served from a plan cache (all nodes).", nil, hits)
+	mw.Counter("mpdp_cache_misses_total", "Requests that ran an optimization (all nodes).", nil, misses)
+	mw.Counter("mpdp_coalesced_total", "Requests coalesced onto an in-flight optimization (all nodes).", nil, coalesced)
+	mw.Counter("mpdp_fallbacks_total", "Heuristic fallbacks after budget overruns (all nodes).", nil, fallbacks)
+	mw.Counter("mpdp_errors_total", "Failed requests (all nodes).", nil, errs)
+	mw.Counter("mpdp_canceled_total", "Cancelled requests (all nodes).", nil, canceled)
+	mw.Counter("mpdp_shed_total", "Requests rejected by admission control (all nodes).", nil, s.Shed)
+	mw.Counter("mpdp_queued_total", "Requests that entered a worker queue (all nodes).", nil, s.Queued)
+	mw.Gauge("mpdp_queue_depth", "Worker-queue slots occupied (all nodes).", nil, float64(s.QueueDepth))
+	mw.Gauge("mpdp_inflight", "Node-side requests in progress (all nodes).", nil, float64(s.InFlight))
+	mw.Gauge("mpdp_cache_plans", "Cached plans summed over all nodes.", nil, float64(c.CacheLen()))
+	const routeHelp = "Routing decisions by algorithm (all nodes)."
+	mw.Counter("mpdp_route_total", routeHelp, obs.Labels{"algorithm": "dpccp"}, rDPCCP)
+	mw.Counter("mpdp_route_total", routeHelp, obs.Labels{"algorithm": "mpdp_cpu"}, rMPDP)
+	mw.Counter("mpdp_route_total", routeHelp, obs.Labels{"algorithm": "mpdp_gpu"}, rGPU)
+	mw.Counter("mpdp_route_total", routeHelp, obs.Labels{"algorithm": "idp2"}, rIDP2)
+	mw.Counter("mpdp_route_total", routeHelp, obs.Labels{"algorithm": "uniondp"}, rUnion)
+
+	// Sort the backend keys: exposition output must be deterministic for
+	// the golden-format tests.
+	const backendHelp = "Per-backend counters summed over all nodes."
+	bids := make([]string, 0, len(s.Backends))
+	for bid := range s.Backends {
+		bids = append(bids, bid)
+	}
+	sort.Strings(bids)
+	for _, bid := range bids {
+		bc := s.Backends[bid]
+		l := obs.Labels{"backend": bid}
+		mw.Counter("mpdp_backend_routed_total", backendHelp, l, bc.Routed)
+		mw.Counter("mpdp_backend_served_total", backendHelp, l, bc.Served)
+		mw.Counter("mpdp_backend_cache_hits_total", backendHelp, l, bc.Hits)
+		mw.Counter("mpdp_backend_fallbacks_total", backendHelp, l, bc.Fallbacks)
+	}
+
+	c.mergedLatencies().WriteMetrics(mw)
+	return mw.Flush()
+}
+
+// mergedLatencies merges every node's latency histograms into one set.
+func (c *Cluster) mergedLatencies() *service.LatencySet {
+	c.mu.Lock()
+	nodes := make([]*node, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		nodes = append(nodes, n)
+	}
+	c.mu.Unlock()
+	l := &service.LatencySet{}
+	for _, n := range nodes {
+		n.svc.Counters().MergeLatencies(l)
+	}
+	return l
 }

@@ -55,20 +55,30 @@ type Snapshot struct {
 	// Canceled counts requests whose caller context was cancelled (client
 	// disconnects included); they are not errors.
 	Canceled uint64 `json:"canceled"`
-	// Shed, Queued and QueueDepth sum the per-node admission-control
-	// counters: requests rejected with ErrOverloaded, requests that entered
-	// a worker queue, and the queue slots occupied at snapshot time.
+	// Shed, Queued, QueueDepth and InFlight sum the per-node admission-
+	// control counters: requests rejected with ErrOverloaded, requests that
+	// entered a worker queue, the queue slots occupied and the node-side
+	// requests in progress at snapshot time.
 	Shed       uint64 `json:"shed"`
 	Queued     uint64 `json:"queued"`
 	QueueDepth int64  `json:"queue_depth"`
+	InFlight   int64  `json:"in_flight"`
 
 	Replicas   int      `json:"replicas"`
 	AliveNodes []string `json:"alive_nodes"`
 	DeadNodes  []string `json:"dead_nodes,omitempty"`
 
 	// HitRate aggregates hits+coalesced over served requests across all
-	// nodes — the cluster-wide warm ratio.
-	HitRate float64 `json:"hit_rate"`
+	// nodes — the cluster-wide warm ratio. AvgHitMicros and AvgMissMicros
+	// are the request-weighted means of the per-node service times.
+	HitRate       float64 `json:"hit_rate"`
+	AvgHitMicros  float64 `json:"avg_hit_us"`
+	AvgMissMicros float64 `json:"avg_miss_us"`
+
+	// Latency holds cluster-wide latency quantiles, merged bucket-wise from
+	// every node's histograms (lossless — same error bound as one node),
+	// keyed "hit:<backend>", "miss:<backend>", "shed" and "queue_wait".
+	Latency map[string]service.Quantiles `json:"latency,omitempty"`
 
 	// Backends sums the per-backend counters over every node, so the
 	// front door reports which execution substrate (cpu-seq,

@@ -1,0 +1,57 @@
+package httpapi
+
+import (
+	"expvar"
+	"log"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// StartDebugServer exposes pprof and expvar on their own listener, kept off
+// the public port so profiling endpoints are never internet-facing by
+// accident. Both binaries gate it behind -debug-addr; no-op when addr is
+// empty.
+func StartDebugServer(addr string) {
+	if addr == "" {
+		return
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	go func() {
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			log.Printf("debug server on %s: %v", addr, err)
+		}
+	}()
+}
+
+// SlowConfigFromFlags turns the -slow-query-ms / -slow-query-log flag pair
+// into an obs.SlowConfig: the /v1/debug/slow ring is always on, threshold
+// logging only when thresholdMS is positive (JSON lines appended to path,
+// or stderr when path is empty). The returned func closes the log file.
+func SlowConfigFromFlags(thresholdMS float64, path string) (obs.SlowConfig, func(), error) {
+	cfg := obs.SlowConfig{}
+	closer := func() {}
+	if thresholdMS <= 0 {
+		return cfg, closer, nil
+	}
+	cfg.Threshold = time.Duration(thresholdMS * float64(time.Millisecond))
+	cfg.Log = os.Stderr
+	if path != "" {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return cfg, closer, err
+		}
+		cfg.Log = f
+		closer = func() { f.Close() }
+	}
+	return cfg, closer, nil
+}

@@ -2,9 +2,11 @@ package httpapi
 
 import (
 	"context"
+	"io"
 
 	"repro/internal/cluster"
 	"repro/internal/cost"
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -37,6 +39,11 @@ type Engine interface {
 	StatsJSON() string
 	// Health reports liveness for /healthz.
 	Health() Health
+	// WriteMetrics emits the engine's live counters and latency histograms
+	// in Prometheus exposition format (the /metrics body).
+	WriteMetrics(w io.Writer) error
+	// SlowLog returns the engine's ring of slowest requests (never nil).
+	SlowLog() *obs.SlowLog
 }
 
 // serviceEngine adapts service.Service.
@@ -59,6 +66,10 @@ func (e serviceEngine) Health() Health {
 	return Health{OK: true, Status: "ok", AliveNodes: -1}
 }
 
+func (e serviceEngine) WriteMetrics(w io.Writer) error { return e.svc.WriteMetrics(w) }
+
+func (e serviceEngine) SlowLog() *obs.SlowLog { return e.svc.SlowLog() }
+
 // clusterEngine adapts cluster.Cluster.
 type clusterEngine struct{ c *cluster.Cluster }
 
@@ -74,6 +85,10 @@ func (e clusterEngine) Optimize(ctx context.Context, q *cost.Query) (*Answer, er
 }
 
 func (e clusterEngine) StatsJSON() string { return e.c.Snapshot().String() }
+
+func (e clusterEngine) WriteMetrics(w io.Writer) error { return e.c.WriteMetrics(w) }
+
+func (e clusterEngine) SlowLog() *obs.SlowLog { return e.c.SlowLog() }
 
 func (e clusterEngine) Health() Health {
 	alive := len(e.c.AliveNodes())

@@ -35,6 +35,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/sql"
 )
@@ -99,10 +100,15 @@ func New(engine Engine, opts Options) *API {
 	a.mux.HandleFunc("/v1/fingerprint", a.handleFingerprint)
 	a.mux.HandleFunc("/v1/stats", a.handleStats)
 	a.mux.HandleFunc("/v1/healthz", a.handleHealthz)
-	// Pre-versioning aliases: same handlers, same shapes.
+	a.mux.HandleFunc("/v1/metrics", a.handleMetrics)
+	a.mux.HandleFunc("/v1/debug/slow", a.handleSlow)
+	// Pre-versioning aliases: same handlers, same shapes. /metrics is the
+	// conventional scrape path, aliased rather than versioned — Prometheus
+	// configs assume it.
 	a.mux.HandleFunc("/optimize", a.handleOptimize)
 	a.mux.HandleFunc("/stats", a.handleStats)
 	a.mux.HandleFunc("/healthz", a.handleHealthz)
+	a.mux.HandleFunc("/metrics", a.handleMetrics)
 	return a
 }
 
@@ -177,7 +183,10 @@ func (a *API) readQuery(r *http.Request, rid string) (*WireQuery, *Error, int) {
 // optimizeOne compiles and optimizes one wire query; on failure it returns
 // the envelope and status instead.
 func (a *API) optimizeOne(ctx context.Context, wq *WireQuery, explain bool, rid string) (*Response, *Error, int) {
+	tr := obs.FromContext(ctx)
+	compileDone := tr.StartSpan(obs.PhaseCompile)
 	q, err := wq.ToQuery(a.opts.Schema)
+	compileDone()
 	if err != nil {
 		return nil, &Error{Code: CodeInvalidQuery, Message: "invalid query", Detail: err.Error(), RequestID: rid}, http.StatusUnprocessableEntity
 	}
@@ -285,10 +294,18 @@ func (a *API) serveOptimize(w http.ResponseWriter, r *http.Request, explain bool
 		a.failEnv(w, status, e)
 		return
 	}
-	resp, e, status := a.optimizeOne(r.Context(), wq, explain, rid)
+	// Every request gets a trace — it is how the request id reaches the
+	// engine's slow log — but the spans only travel back on ?trace=1.
+	tr := obs.NewTrace(rid)
+	ctx := obs.WithTrace(r.Context(), tr)
+	resp, e, status := a.optimizeOne(ctx, wq, explain, rid)
 	if e != nil {
 		a.failEnv(w, status, e)
 		return
+	}
+	if r.URL.Query().Get("trace") != "" {
+		resp.Trace = tr.Spans()
+		resp.TraceWallUS = tr.WallUS()
 	}
 	a.ok(w, rid, resp)
 }
@@ -356,7 +373,11 @@ func (a *API) handleBatch(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(i int, wq *WireQuery) {
 			defer wg.Done()
-			resp, e, _ := a.optimizeOne(r.Context(), wq, req.Explain, rid)
+			// Each statement gets its own trace: spans from concurrent
+			// statements must not interleave, and the slow log should name
+			// the batch's request id.
+			ictx := obs.WithTrace(r.Context(), obs.NewTrace(rid))
+			resp, e, _ := a.optimizeOne(ictx, wq, req.Explain, rid)
 			if e != nil {
 				out.Results[i] = BatchItem{Error: e}
 				return
@@ -426,4 +447,56 @@ func (a *API) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	fmt.Fprintf(w, "{\"status\":%q}\n", h.Status)
+}
+
+// handleMetrics serves the engine's counters and latency histograms in
+// Prometheus text exposition format. GET only; no request id — scrapers
+// do not send or want one.
+func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		a.fail(w, a.requestID(r), http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET required", nil)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := a.engine.WriteMetrics(w); err != nil {
+		// Too late for a status change once the body started; the scrape
+		// just comes up short and the scraper's up-metric flags it.
+		return
+	}
+}
+
+// SlowResponse is the body of GET /v1/debug/slow: the engine's slowest
+// requests (slowest first) with their phase breakdowns, plus the
+// configured slow-query-log threshold (0 when threshold logging is off).
+type SlowResponse struct {
+	ThresholdMS float64         `json:"threshold_ms"`
+	Slowest     []obs.SlowEntry `json:"slowest"`
+}
+
+// handleSlow serves the slow-request ring; ?n= caps how many entries come
+// back (default all, at most the ring's top-K).
+func (a *API) handleSlow(w http.ResponseWriter, r *http.Request) {
+	rid := a.requestID(r)
+	if r.Method != http.MethodGet {
+		a.fail(w, rid, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET required", nil)
+		return
+	}
+	n := 0
+	if s := r.URL.Query().Get("n"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 1 {
+			a.fail(w, rid, http.StatusBadRequest, CodeBadRequest, "n must be a positive integer", err)
+			return
+		}
+		n = v
+	}
+	slog := a.engine.SlowLog()
+	entries := slog.Slowest(n)
+	if entries == nil {
+		entries = []obs.SlowEntry{}
+	}
+	a.ok(w, rid, &SlowResponse{
+		ThresholdMS: float64(slog.Threshold().Nanoseconds()) / 1e6,
+		Slowest:     entries,
+	})
 }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/cost"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/sql"
 )
 
@@ -42,6 +43,12 @@ type Response struct {
 	// Node and Failover are set only by cluster front doors.
 	Node     string `json:"node,omitempty"`
 	Failover bool   `json:"failover,omitempty"`
+	// Trace and TraceWallUS are set only when the request asked for its
+	// phase breakdown with ?trace=1: the spans recorded along the critical
+	// path (see OBSERVABILITY.md for the taxonomy) and the wall time the
+	// trace covers. Spans flagged sim are modeled GPU time, not wall time.
+	Trace       []obs.Span `json:"trace,omitempty"`
+	TraceWallUS float64    `json:"trace_wall_us,omitempty"`
 }
 
 // Error is the structured error envelope every /v1 endpoint (and the

@@ -1,128 +1,9 @@
 package loadgen
 
-import (
-	"math/bits"
-	"sync/atomic"
-	"time"
-)
+import "repro/internal/obs"
 
-// Hist is a lock-free HDR-style log-linear latency histogram: each
-// power-of-two octave of nanoseconds is split into 16 linear sub-buckets,
-// bounding the relative quantile error at 1/16 (6.25%) across the full
-// nanosecond-to-hours range in ~1KB of counters. Record is a single atomic
-// add, cheap enough to sit on the load generator's completion path without
-// perturbing the measurement.
-type Hist struct {
-	counts [histBuckets]atomic.Uint64
-	count  atomic.Uint64
-	sum    atomic.Uint64
-	max    atomic.Int64
-}
-
-const (
-	subBits  = 4
-	subCount = 1 << subBits // linear sub-buckets per octave
-	// 16 exact buckets below 2^4, then 16 per octave up to 2^63.
-	histBuckets = subCount + (63-subBits)*subCount
-)
-
-// bucketIdx maps a nanosecond value to its bucket.
-func bucketIdx(v int64) int {
-	if v < 0 {
-		v = 0
-	}
-	if v < subCount {
-		return int(v)
-	}
-	k := bits.Len64(uint64(v)) - 1 // octave: 2^k <= v < 2^(k+1), k >= subBits
-	sub := int(v>>(uint(k)-subBits)) - subCount
-	idx := subCount + (k-subBits)*subCount + sub
-	if idx >= histBuckets {
-		return histBuckets - 1
-	}
-	return idx
-}
-
-// bucketLow returns the smallest value mapping to bucket idx; together with
-// the next bucket's low bound it brackets every recorded value.
-func bucketLow(idx int) int64 {
-	if idx < subCount {
-		return int64(idx)
-	}
-	rem := idx - subCount
-	k := rem/subCount + subBits
-	sub := rem % subCount
-	return int64(subCount+sub) << (uint(k) - subBits)
-}
-
-// Record adds one latency observation.
-func (h *Hist) Record(d time.Duration) {
-	v := d.Nanoseconds()
-	h.counts[bucketIdx(v)].Add(1)
-	h.count.Add(1)
-	h.sum.Add(uint64(v))
-	for {
-		cur := h.max.Load()
-		if v <= cur || h.max.CompareAndSwap(cur, v) {
-			return
-		}
-	}
-}
-
-// Count returns the number of observations.
-func (h *Hist) Count() uint64 { return h.count.Load() }
-
-// Max returns the largest observation, exactly.
-func (h *Hist) Max() time.Duration { return time.Duration(h.max.Load()) }
-
-// Mean returns the arithmetic mean of all observations.
-func (h *Hist) Mean() time.Duration {
-	n := h.count.Load()
-	if n == 0 {
-		return 0
-	}
-	return time.Duration(h.sum.Load() / n)
-}
-
-// Quantile returns the latency at quantile q in [0,1]: the upper bound of
-// the bucket holding the q-th observation (conservative — a reported p99
-// is never below the true p99 by more than the 6.25% bucket width). The
-// top quantile is clamped to the exact recorded max.
-func (h *Hist) Quantile(q float64) time.Duration {
-	n := h.count.Load()
-	if n == 0 {
-		return 0
-	}
-	if q < 0 {
-		q = 0
-	}
-	if q > 1 {
-		q = 1
-	}
-	// Rank of the target observation, 1-based.
-	rank := uint64(q*float64(n) + 0.5)
-	if rank < 1 {
-		rank = 1
-	}
-	if rank > n {
-		rank = n
-	}
-	var seen uint64
-	for i := 0; i < histBuckets; i++ {
-		c := h.counts[i].Load()
-		if c == 0 {
-			continue
-		}
-		seen += c
-		if seen >= rank {
-			hi := h.max.Load()
-			if i+1 < histBuckets {
-				if b := bucketLow(i+1) - 1; b < hi {
-					hi = b
-				}
-			}
-			return time.Duration(hi)
-		}
-	}
-	return time.Duration(h.max.Load())
-}
+// Hist is the shared log-linear latency histogram, promoted to
+// internal/obs so the serving path and the cluster rollup can record into
+// the same mergeable structure the load generator measures with. The alias
+// keeps loadgen's published API (Result.Hist and its methods) unchanged.
+type Hist = obs.Histogram

@@ -9,53 +9,6 @@ import (
 	"repro/internal/service"
 )
 
-func TestHistBucketRoundTrip(t *testing.T) {
-	// Every bucket's low bound must map back to that bucket, and bounds
-	// must be strictly increasing — the histogram's integrity invariants.
-	prev := int64(-1)
-	for i := 0; i < histBuckets; i++ {
-		low := bucketLow(i)
-		if low <= prev {
-			t.Fatalf("bucket %d low %d not above previous %d", i, low, prev)
-		}
-		if got := bucketIdx(low); got != i {
-			t.Fatalf("bucketIdx(bucketLow(%d)) = %d", i, got)
-		}
-		prev = low
-	}
-}
-
-func TestHistQuantileError(t *testing.T) {
-	// Uniform values 1..100ms: quantiles must land within the 6.25%
-	// log-linear bucket width of the exact answer.
-	h := &Hist{}
-	for i := 1; i <= 100; i++ {
-		h.Record(time.Duration(i) * time.Millisecond)
-	}
-	for _, tc := range []struct {
-		q     float64
-		exact time.Duration
-	}{
-		{0.50, 50 * time.Millisecond},
-		{0.95, 95 * time.Millisecond},
-		{0.99, 99 * time.Millisecond},
-		{1.00, 100 * time.Millisecond},
-	} {
-		got := h.Quantile(tc.q)
-		lo := tc.exact - tc.exact/16
-		hi := tc.exact + tc.exact/8
-		if got < lo || got > hi {
-			t.Errorf("p%.0f = %v, want within [%v, %v]", tc.q*100, got, lo, hi)
-		}
-	}
-	if h.Max() != 100*time.Millisecond {
-		t.Errorf("Max = %v, want exactly 100ms", h.Max())
-	}
-	if h.Count() != 100 {
-		t.Errorf("Count = %d, want 100", h.Count())
-	}
-}
-
 func TestRunMixAndDeterminism(t *testing.T) {
 	pool := NewPool(16, nil, 42)
 	served := func(ctx context.Context, q *cost.Query) error { return nil }

@@ -1,0 +1,353 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// MetricsWriter emits Prometheus text exposition format (version 0.0.4)
+// without a client library. A handler builds one per scrape, emits its
+// counters/gauges/histograms, and Flushes:
+//
+//	mw := obs.NewMetricsWriter(w)
+//	mw.Counter("mpdp_requests_total", "Requests seen.", nil, hits+misses)
+//	mw.Gauge("mpdp_inflight", "Requests in flight.", nil, float64(inflight))
+//	mw.Histogram("mpdp_request_seconds", "Request latency.",
+//	    obs.Labels{"backend": "gpu", "outcome": "miss"}, hist)
+//	mw.Flush()
+//
+// Repeated calls for the same metric name (different label sets) emit the
+// # HELP/# TYPE header once, as the format requires.
+type MetricsWriter struct {
+	w      *bufio.Writer
+	headed map[string]bool
+	err    error
+}
+
+// Labels is one metric sample's label set; keys must be valid Prometheus
+// label names, values are escaped on write.
+type Labels map[string]string
+
+// NewMetricsWriter wraps w for exposition output.
+func NewMetricsWriter(w io.Writer) *MetricsWriter {
+	return &MetricsWriter{w: bufio.NewWriter(w), headed: make(map[string]bool)}
+}
+
+// Flush writes any buffered output and returns the first error encountered.
+func (m *MetricsWriter) Flush() error {
+	if m.err != nil {
+		return m.err
+	}
+	return m.w.Flush()
+}
+
+func (m *MetricsWriter) header(name, help, typ string) {
+	if m.headed[name] {
+		return
+	}
+	m.headed[name] = true
+	fmt.Fprintf(m.w, "# HELP %s %s\n", name, escapeHelp(help))
+	fmt.Fprintf(m.w, "# TYPE %s %s\n", name, typ)
+}
+
+// Counter emits one counter sample.
+func (m *MetricsWriter) Counter(name, help string, labels Labels, v uint64) {
+	m.header(name, help, "counter")
+	fmt.Fprintf(m.w, "%s%s %d\n", name, formatLabels(labels, "", 0), v)
+}
+
+// Gauge emits one gauge sample.
+func (m *MetricsWriter) Gauge(name, help string, labels Labels, v float64) {
+	m.header(name, help, "gauge")
+	fmt.Fprintf(m.w, "%s%s %s\n", name, formatLabels(labels, "", 0), formatFloat(v))
+}
+
+// Exposition le bounds for Histogram, in seconds: powers of 4 from 2^10ns
+// (~1µs) through 2^34ns (~17s). Each bound is a power of two of nanoseconds
+// ≥ 2^subBits, i.e. exactly a fine-bucket boundary of Histogram, so the
+// cumulative counts below are exact, not interpolated.
+var expoBoundsNS = func() []int64 {
+	var b []int64
+	for e := uint(10); e <= 34; e += 2 {
+		b = append(b, int64(1)<<e)
+	}
+	return b
+}()
+
+// Histogram emits h as a cumulative-bucket Prometheus histogram: one
+// `_bucket` sample per exposition bound plus `+Inf`, then `_sum` (seconds)
+// and `_count`. The exposition bounds coincide with h's internal bucket
+// boundaries, so each cumulative count is exact.
+func (m *MetricsWriter) Histogram(name, help string, labels Labels, h *Histogram) {
+	m.header(name, help, "histogram")
+	if h == nil {
+		h = &Histogram{}
+	}
+	total := h.Count()
+	for _, bound := range expoBoundsNS {
+		le := formatFloat(float64(bound) / 1e9)
+		fmt.Fprintf(m.w, "%s_bucket%s %d\n", name, formatLabels(labels, "le", len(le))+le+`"}`, h.CountBelowBoundary(bound))
+	}
+	fmt.Fprintf(m.w, "%s_bucket%s %d\n", name, formatLabels(labels, "le", 4)+`+Inf"}`, total)
+	fmt.Fprintf(m.w, "%s_sum%s %s\n", name, formatLabels(labels, "", 0), formatFloat(float64(h.Sum())/1e9))
+	fmt.Fprintf(m.w, "%s_count%s %d\n", name, formatLabels(labels, "", 0), total)
+}
+
+// formatLabels renders a label set in sorted-key order. When extraKey is
+// non-empty the returned string is left open for the caller to append the
+// extra value and the closing `"}` (used for the per-bucket `le` label);
+// extraLen only hints capacity.
+func formatLabels(labels Labels, extraKey string, extraLen int) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.Grow(32 + extraLen)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(labels[k]))
+		b.WriteString(`"`)
+	}
+	if extraKey != "" {
+		if len(keys) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraKey)
+		b.WriteString(`="`)
+		return b.String()
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// ValidateExposition parses body as Prometheus text exposition format and
+// returns an error on the first malformed line. It checks the grammar this
+// package emits (and that CI's /metrics scrape gate enforces): well-formed
+// # HELP/# TYPE comments, samples of the form `name{labels} value`, TYPE
+// declared before first sample of a family, histogram buckets cumulative
+// and capped by +Inf == _count. Returns the set of metric family names seen.
+func ValidateExposition(body string) (map[string]bool, error) {
+	families := make(map[string]bool)
+	typed := make(map[string]string)
+	// per histogram series (name+labels sans le): last cumulative count
+	lastBucket := make(map[string]uint64)
+	bucketInf := make(map[string]uint64)
+	counts := make(map[string]uint64)
+
+	lineNo := 0
+	for _, line := range strings.Split(body, "\n") {
+		lineNo++
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return nil, fmt.Errorf("line %d: malformed comment: %q", lineNo, line)
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("line %d: malformed TYPE: %q", lineNo, line)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("line %d: unknown type %q", lineNo, fields[3])
+				}
+				typed[fields[2]] = fields[3]
+				families[fields[2]] = true
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		family := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if base, ok := strings.CutSuffix(name, suffix); ok && typed[base] == "histogram" {
+				family = base
+				break
+			}
+		}
+		if _, ok := typed[family]; !ok {
+			return nil, fmt.Errorf("line %d: sample %q before its # TYPE", lineNo, name)
+		}
+		families[family] = true
+
+		if typed[family] == "histogram" {
+			le, rest := splitLE(labels)
+			key := family + "{" + rest + "}"
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				if le == "" {
+					return nil, fmt.Errorf("line %d: histogram bucket without le label", lineNo)
+				}
+				c := uint64(value)
+				if prev, ok := lastBucket[key]; ok && c < prev {
+					return nil, fmt.Errorf("line %d: non-cumulative bucket for %s: %d < %d", lineNo, key, c, prev)
+				}
+				lastBucket[key] = c
+				if le == "+Inf" {
+					bucketInf[key] = c
+				}
+			case strings.HasSuffix(name, "_count"):
+				counts[key] = uint64(value)
+			}
+		}
+	}
+	for key, n := range counts {
+		inf, ok := bucketInf[key]
+		if !ok {
+			return nil, fmt.Errorf("histogram %s has no +Inf bucket", key)
+		}
+		if inf != n {
+			return nil, fmt.Errorf("histogram %s: +Inf bucket %d != _count %d", key, inf, n)
+		}
+	}
+	return families, nil
+}
+
+// parseSample splits `name{labels} value` (labels optional) and validates
+// the metric name and the value.
+func parseSample(line string) (name, labels string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		j := strings.LastIndexByte(rest, '}')
+		if j < i {
+			return "", "", 0, fmt.Errorf("unterminated label set: %q", line)
+		}
+		labels = rest[i+1 : j]
+		rest = strings.TrimSpace(rest[j+1:])
+	} else {
+		fields := strings.SplitN(rest, " ", 2)
+		if len(fields) != 2 {
+			return "", "", 0, fmt.Errorf("malformed sample: %q", line)
+		}
+		name, rest = fields[0], strings.TrimSpace(fields[1])
+	}
+	if !validMetricName(name) {
+		return "", "", 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	// value may be followed by an optional timestamp.
+	valField := rest
+	if i := strings.IndexByte(rest, ' '); i >= 0 {
+		valField = rest[:i]
+	}
+	v, perr := parseValue(valField)
+	if perr != nil {
+		return "", "", 0, fmt.Errorf("bad value %q: %v", valField, perr)
+	}
+	return name, labels, v, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return 0, nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// splitLE pulls the le="..." pair out of a rendered label set, returning its
+// value and the remaining labels (used to key histogram series).
+func splitLE(labels string) (le, rest string) {
+	var kept []string
+	for _, part := range splitLabels(labels) {
+		if v, ok := strings.CutPrefix(part, `le="`); ok {
+			le = strings.TrimSuffix(v, `"`)
+			continue
+		}
+		kept = append(kept, part)
+	}
+	return le, strings.Join(kept, ",")
+}
+
+// splitLabels splits a label body on commas outside quoted values.
+func splitLabels(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var parts []string
+	var b strings.Builder
+	inQuote := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '\\' && inQuote && i+1 < len(s):
+			b.WriteByte(c)
+			i++
+			b.WriteByte(s[i])
+			continue
+		case c == '"':
+			inQuote = !inQuote
+		case c == ',' && !inQuote:
+			parts = append(parts, b.String())
+			b.Reset()
+			continue
+		}
+		b.WriteByte(c)
+	}
+	if b.Len() > 0 {
+		parts = append(parts, b.String())
+	}
+	return parts
+}

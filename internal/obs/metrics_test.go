@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMetricsWriterExposition(t *testing.T) {
+	h := &Histogram{}
+	h.Record(500 * time.Nanosecond) // below the first 2^10ns bound
+	h.Record(2 * time.Microsecond)
+	h.Record(3 * time.Millisecond)
+	h.Record(20 * time.Second) // above the last 2^34ns (~17s) bound
+
+	var sb strings.Builder
+	mw := NewMetricsWriter(&sb)
+	mw.Counter("mpdp_requests_total", "Requests seen.", nil, 12)
+	mw.Counter("mpdp_shed_total", "Requests shed.", Labels{"reason": "queue_full"}, 3)
+	mw.Gauge("mpdp_inflight", "Requests in flight.", nil, 2)
+	mw.Histogram("mpdp_request_seconds", "Latency.", Labels{"backend": "gpu", "outcome": "miss"}, h)
+	mw.Histogram("mpdp_request_seconds", "Latency.", Labels{"backend": "cpu-seq", "outcome": "hit"}, nil)
+	if err := mw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	body := sb.String()
+
+	for _, want := range []string{
+		"# HELP mpdp_requests_total Requests seen.\n",
+		"# TYPE mpdp_requests_total counter\n",
+		"mpdp_requests_total 12\n",
+		`mpdp_shed_total{reason="queue_full"} 3` + "\n",
+		"# TYPE mpdp_inflight gauge\n",
+		"# TYPE mpdp_request_seconds histogram\n",
+		`mpdp_request_seconds_bucket{backend="gpu",outcome="miss",le="+Inf"} 4` + "\n",
+		`mpdp_request_seconds_count{backend="gpu",outcome="miss"} 4` + "\n",
+		`mpdp_request_seconds_bucket{backend="cpu-seq",outcome="hit",le="+Inf"} 0` + "\n",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q\n---\n%s", want, body)
+		}
+	}
+	// The 2^10ns bound (1.024µs) admits only the 500ns sample; the 2^22ns
+	// (~4.19ms) bound admits everything but the 20s sample.
+	if !strings.Contains(body, `le="1.024e-06"} 1`+"\n") {
+		t.Errorf("first bucket not exact:\n%s", body)
+	}
+	if !strings.Contains(body, `le="0.004194304"} 3`+"\n") {
+		t.Errorf("2^22ns bucket not exact:\n%s", body)
+	}
+	// HELP/TYPE must appear once despite two Histogram calls for the family.
+	if n := strings.Count(body, "# TYPE mpdp_request_seconds histogram"); n != 1 {
+		t.Errorf("TYPE emitted %d times, want 1", n)
+	}
+
+	families, err := ValidateExposition(body)
+	if err != nil {
+		t.Fatalf("writer output failed validation: %v\n---\n%s", err, body)
+	}
+	for _, f := range []string{"mpdp_requests_total", "mpdp_shed_total", "mpdp_inflight", "mpdp_request_seconds"} {
+		if !families[f] {
+			t.Errorf("family %s not reported by validator", f)
+		}
+	}
+}
+
+func TestMetricsWriterLabelEscaping(t *testing.T) {
+	var sb strings.Builder
+	mw := NewMetricsWriter(&sb)
+	mw.Gauge("g", "help", Labels{"v": "a\"b\\c\nd"}, 1)
+	if err := mw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := `g{v="a\"b\\c\nd"} 1` + "\n"
+	if !strings.Contains(sb.String(), want) {
+		t.Fatalf("got %q, want contains %q", sb.String(), want)
+	}
+	if _, err := ValidateExposition(sb.String()); err != nil {
+		t.Fatalf("escaped output failed validation: %v", err)
+	}
+}
+
+func TestValidateExpositionRejects(t *testing.T) {
+	for name, body := range map[string]string{
+		"sample before TYPE":  "foo 1\n",
+		"bad metric name":     "# TYPE 9bad counter\n9bad 1\n",
+		"bad value":           "# TYPE foo counter\nfoo abc\n",
+		"unterminated labels": "# TYPE foo counter\nfoo{a=\"b\" 1\n",
+		"non-cumulative buckets": "# TYPE h histogram\n" +
+			`h_bucket{le="0.001"} 5` + "\n" +
+			`h_bucket{le="0.01"} 3` + "\n" +
+			`h_bucket{le="+Inf"} 5` + "\n" +
+			"h_sum 1\nh_count 5\n",
+		"inf != count": "# TYPE h histogram\n" +
+			`h_bucket{le="+Inf"} 4` + "\n" +
+			"h_sum 1\nh_count 5\n",
+		"missing inf": "# TYPE h histogram\n" +
+			`h_bucket{le="0.1"} 4` + "\n" +
+			"h_sum 1\nh_count 4\n",
+		"unknown type": "# TYPE foo thingy\nfoo 1\n",
+	} {
+		if _, err := ValidateExposition(body); err == nil {
+			t.Errorf("%s: validator accepted malformed body:\n%s", name, body)
+		}
+	}
+}
+
+func TestExpoBoundsAreBucketBoundaries(t *testing.T) {
+	// The exactness claim of MetricsWriter.Histogram: every exposition
+	// bound must itself be a fine-bucket low bound, so CountBelowBoundary
+	// counts whole buckets only.
+	for _, b := range expoBoundsNS {
+		idx := bucketIdx(b)
+		if bucketLow(idx) != b {
+			t.Errorf("exposition bound %d is inside bucket %d [%d, ...), not on a boundary",
+				b, idx, bucketLow(idx))
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// SlowConfig configures a serving layer's SlowLog.
+type SlowConfig struct {
+	// TopK bounds the in-memory ring of slowest requests (0 = default 32,
+	// negative = disabled).
+	TopK int
+	// Threshold is the latency at or above which a request is written to
+	// Log as a JSON line. Zero disables threshold logging.
+	Threshold time.Duration
+	// Log receives one JSON line per request at or above Threshold. Nil
+	// disables threshold logging regardless of Threshold.
+	Log io.Writer
+}
+
+// SlowEntry is one slow request: the identifying fields the serving layer
+// knows plus the trace's phase breakdown. It is both the /v1/debug/slow
+// element and the slow-query-log line.
+type SlowEntry struct {
+	RequestID string  `json:"request_id,omitempty"`
+	Time      string  `json:"time"`
+	WallUS    float64 `json:"wall_us"`
+	Relations int     `json:"relations,omitempty"`
+	Shape     string  `json:"shape,omitempty"`
+	Algorithm string  `json:"algorithm,omitempty"`
+	Backend   string  `json:"backend,omitempty"`
+	Node      string  `json:"node,omitempty"`
+	CacheHit  bool    `json:"cache_hit"`
+	Error     string  `json:"error,omitempty"`
+	Spans     []Span  `json:"spans,omitempty"`
+}
+
+// SlowLog keeps the top-K slowest requests seen (by wall time) and streams
+// entries over a threshold to a JSON-lines writer. Observe is cheap for the
+// common fast request: one comparison under a mutex against the current
+// K-th slowest.
+type SlowLog struct {
+	topK      int
+	threshold time.Duration
+
+	mu      sync.Mutex
+	entries []SlowEntry // sorted slowest-first, len <= topK
+	w       io.Writer
+	enc     *json.Encoder
+}
+
+const defaultSlowTopK = 32
+
+// NewSlowLog builds a SlowLog from cfg. It never returns nil; a fully
+// disabled config yields a log that ignores observations.
+func NewSlowLog(cfg SlowConfig) *SlowLog {
+	k := cfg.TopK
+	if k == 0 {
+		k = defaultSlowTopK
+	}
+	if k < 0 {
+		k = 0
+	}
+	s := &SlowLog{topK: k, threshold: cfg.Threshold, w: cfg.Log}
+	if cfg.Log != nil {
+		s.enc = json.NewEncoder(cfg.Log)
+	}
+	return s
+}
+
+// Observe records one finished request. The entry's Time and Spans fields
+// may be left empty; Observe stamps Time itself. Safe on a nil receiver.
+func (s *SlowLog) Observe(e SlowEntry) {
+	if s == nil {
+		return
+	}
+	wall := time.Duration(e.WallUS * float64(time.Microsecond))
+	e.Time = time.Now().UTC().Format(time.RFC3339Nano)
+
+	s.mu.Lock()
+	if s.topK > 0 && (len(s.entries) < s.topK || e.WallUS > s.entries[len(s.entries)-1].WallUS) {
+		s.entries = append(s.entries, e)
+		sort.SliceStable(s.entries, func(i, j int) bool {
+			return s.entries[i].WallUS > s.entries[j].WallUS
+		})
+		if len(s.entries) > s.topK {
+			s.entries = s.entries[:s.topK]
+		}
+	}
+	logIt := s.enc != nil && s.threshold > 0 && wall >= s.threshold
+	if logIt {
+		// Encode under the lock so concurrent entries cannot interleave
+		// within a line; the writer is typically an os.File or buffer.
+		_ = s.enc.Encode(e)
+	}
+	s.mu.Unlock()
+}
+
+// Slowest returns up to max entries, slowest first (all of them when
+// max <= 0). Safe on a nil receiver.
+func (s *SlowLog) Slowest(max int) []SlowEntry {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.entries)
+	if max > 0 && max < n {
+		n = max
+	}
+	out := make([]SlowEntry, n)
+	copy(out, s.entries[:n])
+	return out
+}
+
+// Threshold reports the configured slow-query threshold (0 when disabled).
+func (s *SlowLog) Threshold() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.threshold
+}

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSlowLogTopK(t *testing.T) {
+	s := NewSlowLog(SlowConfig{TopK: 3})
+	for _, us := range []float64{100, 900, 50, 700, 300, 800} {
+		s.Observe(SlowEntry{RequestID: "r", WallUS: us})
+	}
+	got := s.Slowest(0)
+	if len(got) != 3 {
+		t.Fatalf("kept %d entries, want 3", len(got))
+	}
+	for i, want := range []float64{900, 800, 700} {
+		if got[i].WallUS != want {
+			t.Fatalf("entry %d = %v us, want %v (slowest-first)", i, got[i].WallUS, want)
+		}
+	}
+	if got := s.Slowest(2); len(got) != 2 || got[0].WallUS != 900 {
+		t.Fatalf("Slowest(2) = %+v", got)
+	}
+	if s.Slowest(0)[0].Time == "" {
+		t.Fatal("Observe must stamp Time")
+	}
+}
+
+func TestSlowLogThresholdJSONL(t *testing.T) {
+	var sb strings.Builder
+	s := NewSlowLog(SlowConfig{
+		TopK:      4,
+		Threshold: 5 * time.Millisecond,
+		Log:       &sb,
+	})
+	s.Observe(SlowEntry{RequestID: "fast", WallUS: 1000})
+	s.Observe(SlowEntry{
+		RequestID: "slow-1",
+		WallUS:    12000,
+		Relations: 20,
+		Backend:   "cpu-parallel",
+		Spans:     []Span{{Phase: PhaseEnumerate, DurUS: 11000}},
+	})
+	s.Observe(SlowEntry{RequestID: "slow-2", WallUS: 6000, Error: "deadline exceeded"})
+
+	sc := bufio.NewScanner(strings.NewReader(sb.String()))
+	var lines []SlowEntry
+	for sc.Scan() {
+		var e SlowEntry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, e)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("logged %d lines, want 2 (fast request stays out)", len(lines))
+	}
+	if lines[0].RequestID != "slow-1" || lines[0].Spans[0].Phase != PhaseEnumerate {
+		t.Fatalf("line 0 = %+v", lines[0])
+	}
+	if lines[1].Error != "deadline exceeded" {
+		t.Fatalf("line 1 = %+v", lines[1])
+	}
+	if s.Threshold() != 5*time.Millisecond {
+		t.Fatalf("Threshold = %v", s.Threshold())
+	}
+}
+
+func TestSlowLogDisabled(t *testing.T) {
+	var nilLog *SlowLog
+	nilLog.Observe(SlowEntry{WallUS: 1})
+	if got := nilLog.Slowest(0); got != nil {
+		t.Fatalf("nil SlowLog returned %+v", got)
+	}
+	off := NewSlowLog(SlowConfig{TopK: -1})
+	off.Observe(SlowEntry{WallUS: 99})
+	if got := off.Slowest(0); len(got) != 0 {
+		t.Fatalf("disabled SlowLog kept %+v", got)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 	"time"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/dp"
 	"repro/internal/gpusim"
+	"repro/internal/obs"
 	"repro/internal/plan"
 )
 
@@ -60,6 +62,10 @@ type Config struct {
 	// aware shedding and the node-level rate cap. The zero value keeps the
 	// legacy blocking backpressure.
 	Admission Admission
+	// Slow configures the slow-request ring surfaced at /v1/debug/slow and
+	// the JSON-lines slow-query log. The zero value keeps a default-sized
+	// ring with threshold logging disabled.
+	Slow obs.SlowConfig
 	// Timeout is the per-query optimization budget. An exact run that
 	// exceeds it falls back to the shape's heuristic with a fresh budget
 	// (0: 30s).
@@ -163,11 +169,20 @@ type flight struct {
 	waiters int // guarded by Service.mu
 }
 
-// request is one unit of work for the pool.
+// request is one unit of work for the pool. tr is the initiating caller's
+// trace: the worker records the phases it owns (queue-wait, route,
+// enumerate, materialize) into it; coalesced followers see only their own
+// coalesce_wait. arrived is when the caller entered Optimize (for shed
+// latency accounting), enqueuedAt when the request entered the worker queue
+// (for queue-wait accounting).
 type request struct {
 	q  *cost.Query
 	fp Fingerprint
 	fl *flight
+
+	tr         *obs.Trace
+	arrived    time.Time
+	enqueuedAt time.Time
 }
 
 // Service is a concurrent, thread-safe optimizer front-end; see the
@@ -178,6 +193,7 @@ type Service struct {
 	backends *backend.Set
 	cache    *Cache
 	counters Counters
+	slog     *obs.SlowLog
 	// limiter is the node-level admission rate cap (nil: uncapped).
 	limiter *TokenBucket
 
@@ -198,6 +214,7 @@ func New(cfg Config) *Service {
 		xover:    cfg.crossover(),
 		backends: backend.NewSet(cfg.GPU),
 		cache:    NewCache(cfg.CacheShards, cfg.CacheCapacity),
+		slog:     obs.NewSlowLog(cfg.Slow),
 		inflight: make(map[string]*flight),
 		reqs:     make(chan request, cfg.QueueDepth),
 		quit:     make(chan struct{}),
@@ -225,6 +242,15 @@ func (s *Service) Close() {
 
 // Counters returns the live instrumentation (expvar.Var compatible).
 func (s *Service) Counters() *Counters { return &s.counters }
+
+// WriteMetrics emits the service's live metrics — counters, gauges and
+// latency histograms — in Prometheus text exposition format.
+func (s *Service) WriteMetrics(w io.Writer) error {
+	mw := obs.NewMetricsWriter(w)
+	s.counters.writeMetrics(mw)
+	mw.Gauge("mpdp_cache_plans", "Plans resident in the cache.", nil, float64(s.cache.Len()))
+	return mw.Flush()
+}
 
 // CacheLen returns the number of cached plans.
 func (s *Service) CacheLen() int { return s.cache.Len() }
@@ -305,24 +331,72 @@ func (s *Service) Optimize(ctx context.Context, q *cost.Query) (*Result, error) 
 		s.counters.errors.Add(1)
 		return nil, fmt.Errorf("service: empty query")
 	}
+	s.counters.inflight.Add(1)
+	res, err := s.optimize(ctx, q, start)
+	s.counters.inflight.Add(-1)
+	if !errors.Is(err, ErrClosed) {
+		s.observeSlow(obs.FromContext(ctx), q, res, start, err)
+	}
+	return res, err
+}
+
+// observeSlow feeds one finished request into the slow-request ring and the
+// slow-query log.
+func (s *Service) observeSlow(tr *obs.Trace, q *cost.Query, res *Result, start time.Time, err error) {
+	e := obs.SlowEntry{
+		RequestID: tr.RequestID(),
+		WallUS:    float64(time.Since(start).Nanoseconds()) / 1e3,
+		Relations: q.N(),
+		Spans:     tr.Spans(),
+	}
+	if res != nil {
+		e.Shape = string(res.Shape)
+		e.Algorithm = string(res.Algorithm)
+		e.Backend = string(res.Backend)
+		e.CacheHit = res.CacheHit
+	}
+	if err != nil {
+		e.Error = err.Error()
+	}
+	s.slog.Observe(e)
+}
+
+// SlowLog returns the service's slow-request ring (never nil).
+func (s *Service) SlowLog() *obs.SlowLog { return s.slog }
+
+// optimize is Optimize's body; the wrapper owns validation, the in-flight
+// gauge and the slow-log observation.
+func (s *Service) optimize(ctx context.Context, q *cost.Query, start time.Time) (*Result, error) {
+	tr := obs.FromContext(ctx)
 	s.counters.requests.Add(1)
 	if s.limiter != nil {
 		if ok, _ := s.limiter.Allow(time.Now(), 1); !ok {
-			s.counters.shed.Add(1)
+			s.counters.observeShed(time.Since(start))
 			return nil, ErrOverloaded
 		}
 	}
 
+	probeStart := time.Now()
 	fp := FingerprintQuery(q)
 	inv := invert(fp.Perm)
 
 	var fl *flight
-	var joined bool
+	var joined, probed bool
 	for {
-		if e, ok := s.cache.Get(fp.Key); ok {
-			elapsed := time.Since(start)
-			s.counters.observeHit(elapsed, e.backend)
-			return resultFrom(e, inv, elapsed, true, false), nil
+		e, ok := s.cache.Get(fp.Key)
+		if !probed {
+			// The probe span covers fingerprinting plus the first cache
+			// lookup; retries after a dying flight are coalesce territory.
+			tr.ObserveSince(obs.PhaseCacheProbe, probeStart)
+			probed = true
+		}
+		if ok {
+			done := tr.StartSpan(obs.PhaseMaterialize)
+			res := resultFrom(e, inv, 0, true, false)
+			done()
+			res.Elapsed = time.Since(start)
+			s.counters.observeHit(res.Elapsed, e.backend)
+			return res, nil
 		}
 
 		s.mu.Lock()
@@ -356,11 +430,12 @@ func (s *Service) Optimize(ctx context.Context, q *cost.Query) (*Result, error) 
 	}
 
 	if !joined {
-		if err := s.enqueue(ctx, request{q: q, fp: fp, fl: fl}); err != nil {
+		if err := s.enqueue(ctx, request{q: q, fp: fp, fl: fl, tr: tr, arrived: start}); err != nil {
 			return nil, err
 		}
 	}
 
+	waitStart := time.Now()
 	select {
 	case <-fl.done:
 	case <-ctx.Done():
@@ -370,25 +445,31 @@ func (s *Service) Optimize(ctx context.Context, q *cost.Query) (*Result, error) 
 	case <-s.quit:
 		return nil, ErrClosed
 	}
+	if joined {
+		tr.ObserveSince(obs.PhaseCoalesceWait, waitStart)
+	}
 	if fl.err != nil {
 		switch {
 		case errors.Is(fl.err, context.Canceled), errors.Is(fl.err, context.DeadlineExceeded):
 			s.counters.canceled.Add(1)
 		case errors.Is(fl.err, ErrOverloaded):
 			// A coalesced follower of a flight whose initiator was shed.
-			s.counters.shed.Add(1)
+			s.counters.observeShed(time.Since(start))
 		default:
 			s.counters.errors.Add(1)
 		}
 		return nil, fl.err
 	}
-	elapsed := time.Since(start)
+	done := tr.StartSpan(obs.PhaseMaterialize)
+	res := resultFrom(fl.entry, inv, 0, false, joined)
+	done()
+	res.Elapsed = time.Since(start)
 	if joined {
 		s.counters.coalesced.Add(1)
 	} else {
-		s.counters.observeMiss(elapsed)
+		s.counters.observeMiss(res.Elapsed, fl.entry.backend)
 	}
-	return resultFrom(fl.entry, inv, elapsed, false, joined), nil
+	return res, nil
 }
 
 // enqueue submits a freshly created flight's request to the worker queue,
@@ -401,10 +482,11 @@ func (s *Service) enqueue(ctx context.Context, r request) error {
 	// estimated queue delay would time out while queued — rejecting now
 	// costs microseconds instead of a wasted queue slot and worker run.
 	if err := s.admit(ctx); err != nil {
-		s.counters.shed.Add(1)
+		s.counters.observeShed(time.Since(r.arrived))
 		s.abandon(r.fp.Key, r.fl, err)
 		return err
 	}
+	r.enqueuedAt = time.Now()
 	if s.cfg.Admission.MaxQueueWait < 0 {
 		// Never wait: shed unless a slot is free right now.
 		select {
@@ -412,7 +494,7 @@ func (s *Service) enqueue(ctx context.Context, r request) error {
 			s.counters.observeQueued()
 			return nil
 		default:
-			s.counters.shed.Add(1)
+			s.counters.observeShed(time.Since(r.arrived))
 			s.abandon(r.fp.Key, r.fl, ErrOverloaded)
 			return ErrOverloaded
 		}
@@ -437,7 +519,7 @@ func (s *Service) enqueue(ctx context.Context, r request) error {
 			return nil
 		default:
 		}
-		s.counters.shed.Add(1)
+		s.counters.observeShed(time.Since(r.arrived))
 		s.abandon(r.fp.Key, r.fl, ErrOverloaded)
 		return ErrOverloaded
 	case <-ctx.Done():
@@ -550,6 +632,10 @@ func (s *Service) worker() {
 // worker's arena; only the remapped copy survives this call.
 func (s *Service) serve(r request, arena *plan.Arena) {
 	defer r.fl.cancel(nil) // release the flight context's resources
+	if !r.enqueuedAt.IsZero() {
+		s.counters.observeQueueWait(time.Since(r.enqueuedAt))
+		r.tr.ObserveSince(obs.PhaseQueueWait, r.enqueuedAt)
+	}
 	if err := context.Cause(r.fl.ctx); err != nil {
 		// Every waiter cancelled while the request sat in the queue: do not
 		// burn a worker on a result nobody wants.
@@ -557,14 +643,23 @@ func (s *Service) serve(r request, arena *plan.Arena) {
 		s.finishFlight(r)
 		return
 	}
+	routeDone := r.tr.StartSpan(obs.PhaseRoute)
 	shape := DetectShape(r.q.G)
 	alg, bid := s.route(r.q.N(), shape, len(r.q.G.Edges))
 	s.counters.observeRoute(alg, bid)
+	routeDone()
 
 	arena.Reset()
+	enumDone := r.tr.StartSpan(obs.PhaseEnumerate)
 	res, usedAlg, usedBid, err := s.optimizeWithFallback(r.fl.ctx, r.q, alg, bid, shape, arena)
+	enumDone()
 	if err == nil {
 		s.counters.observeServed(usedBid)
+		// The GPU's modeled device time decomposes into Sim spans: launch,
+		// transfer, per-kernel cycles, memory — the paper's per-level cost
+		// breakdown, per request.
+		res.GPU.TraceInto(r.tr, s.cfg.GPU.DeviceModel())
+		matDone := r.tr.StartSpan(obs.PhaseMaterialize)
 		r.fl.entry = &cached{
 			key:      r.fp.Key,
 			plan:     remapPlan(res.Plan, r.fp.Perm),
@@ -576,6 +671,7 @@ func (s *Service) serve(r request, arena *plan.Arena) {
 			fellBack: usedAlg != alg,
 		}
 		s.cache.Put(r.fl.entry)
+		matDone()
 	} else {
 		r.fl.err = err
 	}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/backend"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Counters is the service's expvar-style instrumentation: lock-free atomic
@@ -23,11 +24,13 @@ type Counters struct {
 	canceled  atomic.Uint64
 	// shed counts requests rejected by admission control (rate cap, queue
 	// wait budget, or deadline-aware shedding); queued counts requests that
-	// entered the worker queue, and queueDepth is the live gauge of slots
-	// occupied right now.
+	// entered the worker queue, queueDepth is the live gauge of slots
+	// occupied right now, and inflight the live gauge of Optimize calls in
+	// progress (queued, coalesced and executing alike).
 	shed       atomic.Uint64
 	queued     atomic.Uint64
 	queueDepth atomic.Int64
+	inflight   atomic.Int64
 
 	routeDPCCP   atomic.Uint64
 	routeMPDP    atomic.Uint64
@@ -43,6 +46,11 @@ type Counters struct {
 
 	hitNanos  atomic.Uint64
 	missNanos atomic.Uint64
+
+	// lat holds the live latency histograms behind the avg_* fields: full
+	// hit/miss distributions per backend plus shed and queue-wait, for
+	// /metrics and the quantile rollup in /v1/stats.
+	lat LatencySet
 }
 
 // backendCounters is one substrate's slice of the instrumentation.
@@ -73,10 +81,16 @@ var backendSlot = func() map[backend.ID]int {
 // keeps the per-backend hit sum ≤ total hits and makes every path,
 // including Snapshot, panic-free by construction.
 func (c *Counters) slot(id backend.ID) *backendCounters {
-	if i, ok := backendSlot[id]; ok && i < numBackends {
+	if i, ok := slotIdx(id); ok {
 		return &c.backends[i]
 	}
 	return nil
+}
+
+// slotIdx resolves a backend's counter-array index.
+func slotIdx(id backend.ID) (int, bool) {
+	i, ok := backendSlot[id]
+	return i, ok && i < numBackends
 }
 
 // BackendCounts is the snapshot of one backend's counters.
@@ -108,9 +122,11 @@ type Snapshot struct {
 	// Shed counts requests rejected by admission control with ErrOverloaded.
 	Shed uint64 `json:"shed"`
 	// Queued counts requests that entered the worker queue; QueueDepth is
-	// the number of queue slots occupied at snapshot time.
+	// the number of queue slots occupied at snapshot time, InFlight the
+	// number of Optimize calls in progress.
 	Queued     uint64 `json:"queued"`
 	QueueDepth int64  `json:"queue_depth"`
+	InFlight   int64  `json:"in_flight"`
 
 	RouteDPCCP   uint64 `json:"route_dpccp"`
 	RouteMPDP    uint64 `json:"route_mpdp_cpu"`
@@ -125,6 +141,11 @@ type Snapshot struct {
 	HitRate       float64 `json:"hit_rate"`
 	AvgHitMicros  float64 `json:"avg_hit_us"`
 	AvgMissMicros float64 `json:"avg_miss_us"`
+
+	// Latency holds quantiles of the live latency distributions, keyed
+	// "hit:<backend>", "miss:<backend>", "shed" and "queue_wait"; empty
+	// distributions are omitted.
+	Latency map[string]Quantiles `json:"latency,omitempty"`
 }
 
 // Snapshot copies the counters. Each counter is read atomically; the set is
@@ -141,6 +162,7 @@ func (c *Counters) Snapshot() Snapshot {
 		Shed:         c.shed.Load(),
 		Queued:       c.queued.Load(),
 		QueueDepth:   c.queueDepth.Load(),
+		InFlight:     c.inflight.Load(),
 		RouteDPCCP:   c.routeDPCCP.Load(),
 		RouteMPDP:    c.routeMPDP.Load(),
 		RouteMPDPGPU: c.routeMPDPGPU.Load(),
@@ -169,8 +191,13 @@ func (c *Counters) Snapshot() Snapshot {
 	if s.Misses > 0 {
 		s.AvgMissMicros = float64(c.missNanos.Load()) / float64(s.Misses) / 1e3
 	}
+	s.Latency = c.lat.Quantiles()
 	return s
 }
+
+// MergeLatencies adds this counter set's latency histograms into dst — the
+// cluster coordinator's rollup primitive.
+func (c *Counters) MergeLatencies(dst *LatencySet) { dst.Merge(&c.lat) }
 
 // String renders the snapshot as JSON; it makes Counters an expvar.Var.
 func (c *Counters) String() string {
@@ -189,14 +216,27 @@ func (c *Counters) observeQueued() {
 func (c *Counters) observeHit(d time.Duration, id backend.ID) {
 	c.hits.Add(1)
 	c.hitNanos.Add(uint64(d))
-	if b := c.slot(id); b != nil {
-		b.hits.Add(1)
+	if i, ok := slotIdx(id); ok {
+		c.backends[i].hits.Add(1)
+		c.lat.Hit[i].Record(d)
 	}
 }
 
-func (c *Counters) observeMiss(d time.Duration) {
+func (c *Counters) observeMiss(d time.Duration, id backend.ID) {
 	c.misses.Add(1)
 	c.missNanos.Add(uint64(d))
+	if i, ok := slotIdx(id); ok {
+		c.lat.Miss[i].Record(d)
+	}
+}
+
+func (c *Counters) observeShed(d time.Duration) {
+	c.shed.Add(1)
+	c.lat.Shed.Record(d)
+}
+
+func (c *Counters) observeQueueWait(d time.Duration) {
+	c.lat.QueueWait.Record(d)
 }
 
 func (c *Counters) observeRoute(alg core.Algorithm, id backend.ID) {
@@ -215,6 +255,45 @@ func (c *Counters) observeRoute(alg core.Algorithm, id backend.ID) {
 	if b := c.slot(id); b != nil {
 		b.routed.Add(1)
 	}
+}
+
+// writeMetrics emits every counter, gauge and latency histogram in
+// Prometheus exposition format. Metric names are documented in
+// OBSERVABILITY.md; the golden-format test pins them.
+func (c *Counters) writeMetrics(mw *obs.MetricsWriter) {
+	mw.Counter("mpdp_requests_total", "Optimize calls accepted for processing.", nil, c.requests.Load())
+	mw.Counter("mpdp_cache_hits_total", "Requests served from the plan cache.", nil, c.hits.Load())
+	mw.Counter("mpdp_cache_misses_total", "Requests that ran an optimization.", nil, c.misses.Load())
+	mw.Counter("mpdp_coalesced_total", "Requests that piggybacked on an identical in-flight optimization.", nil, c.coalesced.Load())
+	mw.Counter("mpdp_fallbacks_total", "Exact optimizations that timed out and fell back to a heuristic.", nil, c.fallbacks.Load())
+	mw.Counter("mpdp_errors_total", "Requests that failed.", nil, c.errors.Load())
+	mw.Counter("mpdp_canceled_total", "Requests whose caller cancelled before a plan was produced.", nil, c.canceled.Load())
+	mw.Counter("mpdp_shed_total", "Requests rejected by admission control.", nil, c.shed.Load())
+	mw.Counter("mpdp_queued_total", "Requests that entered the worker queue.", nil, c.queued.Load())
+	mw.Gauge("mpdp_queue_depth", "Worker-queue slots occupied.", nil, float64(c.queueDepth.Load()))
+	mw.Gauge("mpdp_inflight", "Optimize calls in progress.", nil, float64(c.inflight.Load()))
+
+	const routeHelp = "Routing decisions by algorithm."
+	mw.Counter("mpdp_route_total", routeHelp, obs.Labels{"algorithm": "dpccp"}, c.routeDPCCP.Load())
+	mw.Counter("mpdp_route_total", routeHelp, obs.Labels{"algorithm": "mpdp_cpu"}, c.routeMPDP.Load())
+	mw.Counter("mpdp_route_total", routeHelp, obs.Labels{"algorithm": "mpdp_gpu"}, c.routeMPDPGPU.Load())
+	mw.Counter("mpdp_route_total", routeHelp, obs.Labels{"algorithm": "idp2"}, c.routeIDP2.Load())
+	mw.Counter("mpdp_route_total", routeHelp, obs.Labels{"algorithm": "uniondp"}, c.routeUnionDP.Load())
+
+	for _, id := range backend.IDs() {
+		i, ok := slotIdx(id)
+		if !ok {
+			continue
+		}
+		b := &c.backends[i]
+		l := obs.Labels{"backend": string(id)}
+		mw.Counter("mpdp_backend_routed_total", "Requests the router dispatched to each backend.", l, b.routed.Load())
+		mw.Counter("mpdp_backend_served_total", "Optimizations each backend completed.", l, b.served.Load())
+		mw.Counter("mpdp_backend_cache_hits_total", "Cache hits whose entry each backend produced.", l, b.hits.Load())
+		mw.Counter("mpdp_backend_fallbacks_total", "Budget overruns per backend.", l, b.fallbacks.Load())
+	}
+
+	c.lat.WriteMetrics(mw)
 }
 
 func (c *Counters) observeServed(id backend.ID) {

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Algorithm names one of the registered join-order optimizers.
@@ -120,6 +121,39 @@ type Result struct {
 	// Node and Failover are set when a Remote driver talked to a cluster.
 	Node     string
 	Failover bool
+	// Trace is the request's phase breakdown, recorded when WithTrace was
+	// passed (Served and Remote drivers; see OBSERVABILITY.md for the span
+	// taxonomy). TraceWallUS is the wall time the trace covers.
+	Trace       []TraceSpan
+	TraceWallUS float64
+}
+
+// TraceSpan is one phase of a traced request: where the time went between
+// the request entering the serving layer and its plan coming back. Spans
+// with Sim set report modeled GPU time, not wall time.
+type TraceSpan struct {
+	// Phase names the pipeline stage (compile, cache_probe, queue_wait,
+	// coalesce_wait, route, enumerate, materialize, replicate, gpu_*).
+	Phase string `json:"phase"`
+	// StartUS is the span's start relative to the trace's origin;
+	// DurUS its duration. Both in microseconds.
+	StartUS float64 `json:"start_us"`
+	DurUS   float64 `json:"dur_us"`
+	// Sim marks modeled (simulated-GPU) time that did not occupy the
+	// request's critical path wall-clock.
+	Sim bool `json:"sim,omitempty"`
+}
+
+// traceSpans converts the internal span slice into the SDK's stable shape.
+func traceSpans(spans []obs.Span) []TraceSpan {
+	if len(spans) == 0 {
+		return nil
+	}
+	out := make([]TraceSpan, len(spans))
+	for i, s := range spans {
+		out[i] = TraceSpan{Phase: s.Phase, StartUS: s.StartUS, DurUS: s.DurUS, Sim: s.Sim}
+	}
+	return out
 }
 
 // Optimizer is the single public optimization interface.
@@ -146,6 +180,7 @@ type callOptions struct {
 	seed      int64
 	explain   bool
 	gpuDev    int
+	trace     bool
 }
 
 // Option configures one Optimize call.
@@ -176,6 +211,12 @@ func WithExplain() Option { return func(o *callOptions) { o.explain = true } }
 // WithGPUDevices sets the simulated device count for the *-gpu algorithms
 // (InProcess driver only; 0 keeps the default).
 func WithGPUDevices(n int) Option { return func(o *callOptions) { o.gpuDev = n } }
+
+// WithTrace asks the serving drivers for the request's phase breakdown in
+// Result.Trace: Served records it in-process, Remote forwards ?trace=1 so
+// the server ships its spans back. InProcess has no serving pipeline and
+// ignores it.
+func WithTrace() Option { return func(o *callOptions) { o.trace = true } }
 
 func applyOptions(opts []Option) callOptions {
 	var o callOptions

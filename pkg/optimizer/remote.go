@@ -114,6 +114,9 @@ func (r *remote) Optimize(ctx context.Context, q *Query, opts ...Option) (*Resul
 	if o.explain {
 		path = "/v1/explain"
 	}
+	if o.trace {
+		path += "?trace=1"
+	}
 
 	start := time.Now()
 	resp, err := r.hedged(ctx, path, body)
@@ -136,6 +139,8 @@ func (r *remote) Optimize(ctx context.Context, q *Query, opts ...Option) (*Resul
 		GPUSimMS:    resp.GPUSimMS,
 		Node:        resp.Node,
 		Failover:    resp.Failover,
+		Trace:       traceSpans(resp.Trace),
+		TraceWallUS: resp.TraceWallUS,
 	}
 	return out, nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/backend"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -65,6 +66,14 @@ func (s *served) Optimize(ctx context.Context, q *Query, opts ...Option) (*Resul
 	if o.algorithm != "" {
 		return nil, ErrServerRouted
 	}
+	var tr *obs.Trace
+	if o.trace {
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		tr = obs.NewTrace("")
+		ctx = obs.WithTrace(ctx, tr)
+	}
 	res, err := s.svc.Optimize(ctx, q.q)
 	if err != nil {
 		return nil, err
@@ -89,6 +98,10 @@ func (s *served) Optimize(ctx context.Context, q *Query, opts ...Option) (*Resul
 	}
 	if o.explain {
 		out.Explain = core.Explain(q.q, res.Plan)
+	}
+	if tr != nil {
+		out.Trace = traceSpans(tr.Spans())
+		out.TraceWallUS = tr.WallUS()
 	}
 	return out, nil
 }

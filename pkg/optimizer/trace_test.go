@@ -1,0 +1,104 @@
+package optimizer
+
+import (
+	"context"
+	"testing"
+)
+
+func checkTrace(t *testing.T, driver string, res *Result, wantEnumerate bool) {
+	t.Helper()
+	if len(res.Trace) == 0 {
+		t.Fatalf("%s: WithTrace returned no spans", driver)
+	}
+	if res.TraceWallUS <= 0 {
+		t.Fatalf("%s: TraceWallUS = %g", driver, res.TraceWallUS)
+	}
+	var sum float64
+	sawEnumerate := false
+	for _, s := range res.Trace {
+		if s.DurUS < 0 {
+			t.Errorf("%s: span %s duration %g", driver, s.Phase, s.DurUS)
+		}
+		if s.Phase == "enumerate" {
+			sawEnumerate = true
+		}
+		if !s.Sim {
+			sum += s.DurUS
+		}
+	}
+	if sawEnumerate != wantEnumerate {
+		t.Errorf("%s: enumerate span present = %v, want %v (spans %+v)",
+			driver, sawEnumerate, wantEnumerate, res.Trace)
+	}
+	// Wall spans partition the request's critical path; they can never
+	// exceed the wall time they decompose (sim spans are modeled GPU time
+	// and excluded). Small scheduling slack for span-end rounding.
+	if sum > res.TraceWallUS*1.05 {
+		t.Errorf("%s: non-sim span sum %.1fus exceeds wall %.1fus", driver, sum, res.TraceWallUS)
+	}
+}
+
+// TestWithTraceAcrossServingDrivers: WithTrace must surface the same phase
+// breakdown from the in-process Served driver and over the wire via
+// Remote's ?trace=1 forwarding, and stay absent when not requested.
+func TestWithTraceAcrossServingDrivers(t *testing.T) {
+	ctx := context.Background()
+
+	s := Served(ServedConfig{Workers: 2})
+	defer s.Close()
+	q := MusicBrainz(14, 5)
+	res, err := s.Optimize(ctx, q, WithTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTrace(t, "served", res, true)
+	hit, err := s.Optimize(ctx, q, WithTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit.CacheHit {
+		t.Fatal("served: repeat query missed the cache")
+	}
+	checkTrace(t, "served-hit", hit, false)
+	plain, err := s.Optimize(ctx, MusicBrainz(10, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Trace != nil || plain.TraceWallUS != 0 {
+		t.Errorf("served: trace present without WithTrace: %+v", plain.Trace)
+	}
+
+	r := newRemoteOverService(t)
+	rq := MusicBrainz(14, 7)
+	rres, err := r.Optimize(ctx, rq, WithTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTrace(t, "remote", rres, true)
+	sawCompile := false
+	for _, sp := range rres.Trace {
+		if sp.Phase == "compile" {
+			sawCompile = true
+		}
+	}
+	if !sawCompile {
+		t.Errorf("remote: server-side compile span missing: %+v", rres.Trace)
+	}
+	rplain, err := r.Optimize(ctx, MusicBrainz(10, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rplain.Trace != nil {
+		t.Errorf("remote: trace present without WithTrace: %+v", rplain.Trace)
+	}
+
+	c := newRemoteOverCluster(t)
+	cres, err := c.Optimize(ctx, MusicBrainz(14, 9), WithTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTrace(t, "remote-cluster", cres, true)
+	if cres.Node == "" {
+		t.Error("remote-cluster: no serving node reported")
+	}
+}
