@@ -19,6 +19,15 @@
 //	curl -X POST localhost:8080/cluster/add                  # grow the ring
 //	curl -X POST localhost:8080/cluster/flush                # invalidate all plans
 //
+// Transports: by default the coordinator calls its nodes in-process
+// (-transport=local). With -transport=http every node gets a real loopback
+// TCP listener and all coordinator→node RPCs are JSON over HTTP — the same
+// wire path a multi-process deployment uses. A separate process can run a
+// single node with -mode=node and be joined to a coordinator via -peers:
+//
+//	mpdp-cluster -mode=node -node-id peer-0 -node-listen 127.0.0.1:9100 &
+//	mpdp-cluster -transport=http -nodes 2 -peers peer-0=127.0.0.1:9100
+//
 // SIGINT/SIGTERM drains in-flight requests (bounded by -drain) before the
 // nodes close; a client that disconnects mid-request cancels its in-flight
 // optimization on the serving node.
@@ -27,11 +36,13 @@ package main
 import (
 	"context"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -70,6 +81,11 @@ func main() {
 		slowMS     = flag.Float64("slow-query-ms", 0, "log requests slower than this many ms as JSON lines (0 = off; the /v1/debug/slow ring is always on)")
 		slowPath   = flag.String("slow-query-log", "", "slow-query log destination (empty = stderr)")
 		debugAddr  = flag.String("debug-addr", "", "serve pprof and expvar on this separate address (e.g. localhost:6060)")
+		transport  = flag.String("transport", "local", "coordinator→node transport: local (in-process) or http (JSON over loopback TCP)")
+		mode       = flag.String("mode", "serve", "serve (coordinator + nodes) or node (one node server, no front door)")
+		nodeID     = flag.String("node-id", "node-0", "node mode: this node's cluster ID")
+		nodeListen = flag.String("node-listen", "127.0.0.1:0", "node mode: RPC listen address")
+		peers      = flag.String("peers", "", "comma-separated id=addr list of remote node servers to join (requires -transport=http)")
 	)
 	flag.Parse()
 
@@ -77,7 +93,11 @@ func main() {
 		*nodes = 4 // mirror cluster.Config's default before the workers split
 	}
 	if *workers == 0 {
-		*workers = runtime.GOMAXPROCS(0) / *nodes
+		div := *nodes
+		if *mode == "node" {
+			div = 1 // a node-mode process runs exactly one node
+		}
+		*workers = runtime.GOMAXPROCS(0) / div
 		if *workers < 1 {
 			*workers = 1
 		}
@@ -90,6 +110,39 @@ func main() {
 		}
 		xover = &x
 	}
+	svcCfg := service.Config{
+		Workers:       *workers,
+		QueueDepth:    *queueDepth,
+		CacheCapacity: *cacheCap,
+		Timeout:       *timeout,
+		Crossover:     xover,
+		GPU:           backend.GPUConfig{Devices: *gpuDevices},
+		Admission: service.Admission{
+			MaxQueueWait: *queueWait,
+			RatePerSec:   *nodeRate,
+		},
+	}
+
+	if *mode == "node" {
+		runNode(*nodeID, *nodeListen, svcCfg)
+		return
+	}
+	if *mode != "serve" {
+		log.Fatalf("mpdp-cluster: unknown -mode=%s (serve or node)", *mode)
+	}
+
+	var tr cluster.Transport
+	switch *transport {
+	case "local":
+		if *peers != "" {
+			log.Fatal("mpdp-cluster: -peers requires -transport=http")
+		}
+	case "http":
+		tr = cluster.NewHTTPTransport()
+	default:
+		log.Fatalf("mpdp-cluster: unknown -transport=%s (local or http)", *transport)
+	}
+
 	slowCfg, closeSlow, err := httpapi.SlowConfigFromFlags(*slowMS, *slowPath)
 	if err != nil {
 		log.Fatal(err)
@@ -100,21 +153,16 @@ func main() {
 		Replicas:       *replicas,
 		VirtualNodes:   *vnodes,
 		HealthInterval: *health,
+		Transport:      tr,
 		Slow:           slowCfg,
-		Service: service.Config{
-			Workers:       *workers,
-			QueueDepth:    *queueDepth,
-			CacheCapacity: *cacheCap,
-			Timeout:       *timeout,
-			Crossover:     xover,
-			GPU:           backend.GPUConfig{Devices: *gpuDevices},
-			Admission: service.Admission{
-				MaxQueueWait: *queueWait,
-				RatePerSec:   *nodeRate,
-			},
-		},
+		Service:        svcCfg,
 	})
 	defer c.Close()
+	if *peers != "" {
+		if err := joinPeers(c, *peers); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	api := newAPI(c, httpapi.Options{Quota: httpapi.QuotaConfig{
 		RatePerSec: *quotaRate,
@@ -126,7 +174,8 @@ func main() {
 	httpSrv := &http.Server{Addr: *httpAddr, Handler: api.Mux()}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("mpdp-cluster: %d nodes, %d replicas, front door on %s (/v1/* + legacy aliases)", *nodes, *replicas, *httpAddr)
+	log.Printf("mpdp-cluster: %d nodes, %d replicas, %s transport, front door on %s (/v1/* + legacy aliases)",
+		len(c.AliveNodes()), *replicas, *transport, *httpAddr)
 	select {
 	case err := <-errc:
 		log.Fatal(err)
@@ -139,4 +188,37 @@ func main() {
 			log.Printf("mpdp-cluster: drain incomplete: %v", err)
 		}
 	}
+}
+
+// runNode serves a single cluster node over the RPC wire protocol: the
+// whole process is one optimizer-as-a-service instance plus a /healthz. A
+// coordinator adopts it with -peers id=addr (or cluster.JoinPeer).
+func runNode(id, listen string, svcCfg service.Config) {
+	ns := cluster.NewNodeServer(id, svcCfg)
+	defer ns.Close()
+	addr, err := ns.Start(listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("mpdp-cluster: node %s serving cluster RPC on %s", id, addr)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	log.Printf("mpdp-cluster: node %s shutting down", id)
+}
+
+// joinPeers parses "id=addr,id=addr" and joins each remote node server to
+// the coordinator's ring.
+func joinPeers(c *cluster.Cluster, spec string) error {
+	for _, pair := range strings.Split(spec, ",") {
+		id, addr, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || id == "" || addr == "" {
+			return fmt.Errorf("mpdp-cluster: bad -peers entry %q (want id=addr)", pair)
+		}
+		if err := c.JoinPeer(id, addr); err != nil {
+			return fmt.Errorf("mpdp-cluster: join %s at %s: %w", id, addr, err)
+		}
+		log.Printf("mpdp-cluster: joined remote node %s at %s", id, addr)
+	}
+	return nil
 }

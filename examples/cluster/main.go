@@ -29,12 +29,15 @@ import (
 )
 
 func main() {
-	// Server side: the same wiring as cmd/mpdp-cluster, on an ephemeral
-	// port.
+	// Server side: the same wiring as cmd/mpdp-cluster -transport=http, on
+	// an ephemeral port. The HTTP transport gives every node a real
+	// loopback TCP listener, so coordinator→node RPCs — including the
+	// failover traffic after the kill below — cross actual sockets.
 	c := cluster.New(cluster.Config{
-		Nodes:    4,
-		Replicas: 2,
-		Service:  service.Config{Workers: 2},
+		Nodes:     4,
+		Replicas:  2,
+		Transport: cluster.NewHTTPTransport(),
+		Service:   service.Config{Workers: 2},
 	})
 	defer c.Close()
 	api := httpapi.New(httpapi.ClusterEngine(c), httpapi.Options{})

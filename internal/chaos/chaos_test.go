@@ -1,0 +1,95 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/leaktest"
+)
+
+// TestMain installs the goroutine-leak guard: chaos runs spin up whole
+// clusters and the suite must leave nothing behind.
+func TestMain(m *testing.M) {
+	leaktest.Main(m)
+}
+
+// testCfg keeps chaos runs CI-sized: ~1.2s of load per run.
+var testCfg = Config{Rate: 150, Phase: 800 * time.Millisecond}
+
+// runAndCheck replays sched and fails the test on any invariant
+// violation, returning the report for schedule-specific assertions.
+//
+// Determinism note: the schedule, the fault transport's probabilistic
+// decisions and the offered load mix are all derived from sched.Seed, so a
+// failing run replays with the same faults and the same queries. Wall-
+// clock interleaving still varies; the invariants hold for every
+// interleaving, which is the point.
+func runAndCheck(t *testing.T, sched Schedule) *Report {
+	t.Helper()
+	rep := Run(testCfg, sched)
+	for _, v := range rep.Violations() {
+		t.Error(v)
+	}
+	t.Logf("%s/seed=%d: offered=%d ok=%d shed=%d timeouts=%d unavailable=%d injected=%d "+
+		"failovers=%d overflows=%d breaker_skips=%d retries=%d storm_p99=%v healed_p99=%v",
+		rep.Schedule, rep.Seed, rep.Offered, rep.OK, rep.Shed, rep.Timeouts, rep.Unavailable,
+		rep.Injected, rep.Cluster.Failovers, rep.Cluster.Overflows, rep.Cluster.BreakerSkips,
+		rep.Cluster.Retries, rep.StormP99, rep.HealedP99)
+	return rep
+}
+
+func TestChaosKill(t *testing.T) {
+	rep := runAndCheck(t, KillSchedule(1, testCfg.Phase))
+	if rep.Cluster.Deaths == 0 {
+		t.Error("kill schedule detected no death")
+	}
+	if rep.Cluster.Failovers == 0 {
+		t.Error("kill schedule produced no failovers")
+	}
+}
+
+func TestChaosAsymmetricPartition(t *testing.T) {
+	rep := runAndCheck(t, PartitionSchedule(2, testCfg.Phase))
+	if rep.Injected == 0 {
+		t.Error("partition schedule injected no transport faults")
+	}
+	if rep.Cluster.Retries == 0 {
+		t.Error("lossy reply link never exercised the retry path")
+	}
+}
+
+func TestChaosSlowFlap(t *testing.T) {
+	rep := runAndCheck(t, SlowFlapSchedule(3, testCfg.Phase))
+	if rep.Cluster.Deaths < 2 {
+		t.Errorf("flap produced %d deaths, want >= 2", rep.Cluster.Deaths)
+	}
+	if rep.Cluster.Quarantined == 0 {
+		t.Error("flapping node was never quarantined")
+	}
+}
+
+// TestChaosControl is the null hypothesis: a fault-free run must show a
+// perfectly quiet guarded path — any failover, breaker skip, timeout or
+// unavailable on it means the fault machinery leaks into healthy
+// operation.
+func TestChaosControl(t *testing.T) {
+	runAndCheck(t, ControlSchedule(4))
+}
+
+// TestSchedulesDeterministic pins that a schedule is pure data derived
+// from (seed, phase): building it twice yields identical events.
+func TestSchedulesDeterministic(t *testing.T) {
+	phase := testCfg.Phase
+	build := map[string]func() Schedule{
+		"kill":      func() Schedule { return KillSchedule(7, phase) },
+		"partition": func() Schedule { return PartitionSchedule(7, phase) },
+		"slow+flap": func() Schedule { return SlowFlapSchedule(7, phase) },
+		"control":   func() Schedule { return ControlSchedule(7) },
+	}
+	for name, f := range build {
+		if !reflect.DeepEqual(f(), f()) {
+			t.Errorf("%s schedule is not deterministic", name)
+		}
+	}
+}

@@ -4,10 +4,19 @@
 // queries entering through any front door land on the same warm plan
 // cache; a coordinator handles node join/leave, ping-based failure
 // detection, failover to replicas, cache-aware rebalancing on ring
-// changes, and read-repair of plan-cache entries between replicas. The
-// transport is an in-process simulator with injectable latency and
-// failures, so every distributed behaviour is deterministic and testable.
-// See CLUSTER.md for the design.
+// changes, and read-repair of plan-cache entries between replicas.
+//
+// Two transports carry the coordinator→node RPCs: LocalTransport is an
+// in-process simulator with injectable latency and failures, so every
+// distributed behaviour is deterministic and testable; HTTPTransport ships
+// the same RPCs as JSON over real TCP sockets, hosting in-process nodes on
+// loopback listeners or dialing remote node-mode peers (JoinPeer). The
+// FaultTransport middleware layers seeded asymmetric partitions, drops,
+// latency and slowdowns over either. Request-path calls go through a
+// guarded path: per-attempt timeouts carved from the caller's deadline,
+// retry with full-jitter backoff on transport faults, and a per-node
+// circuit breaker that routes around nodes that keep failing. See
+// CLUSTER.md for the design.
 package cluster
 
 import (
@@ -27,7 +36,8 @@ import (
 // Config tunes a Cluster. The zero value selects the defaults listed on
 // each field.
 type Config struct {
-	// Nodes is the initial node count (0: 4).
+	// Nodes is the initial node count (0: 4; negative: start empty — the
+	// peers mode, where members arrive via JoinPeer or AddNode).
 	Nodes int
 	// Replicas is the number of nodes that hold each key, owner included
 	// (0: 2). Clamped to the live node count when the cluster is smaller.
@@ -43,8 +53,31 @@ type Config struct {
 	// disables the background checker; CheckHealth can always be called
 	// manually (tests drive it deterministically).
 	HealthInterval time.Duration
-	// Latency, when non-nil, is installed as the transport's injectable
-	// latency model.
+	// Transport carries the coordinator→node RPCs (nil: a fresh
+	// LocalTransport). Pass an HTTPTransport to host nodes on real loopback
+	// sockets, or a FaultTransport wrapping either for chaos schedules.
+	// Close closes the transport along with the cluster.
+	Transport Transport
+	// Retry tunes the guarded request path: per-attempt timeouts, retry
+	// count and backoff. Zero fields take RetryPolicy's defaults.
+	Retry RetryPolicy
+	// Breaker tunes the per-node circuit breakers. Zero fields take
+	// BreakerConfig's defaults.
+	Breaker BreakerConfig
+	// Seed seeds the coordinator's jitter RNG (0: 1); fault schedules get
+	// their own seed in NewFaultTransport.
+	Seed int64
+	// FlapThreshold deaths within FlapWindow mark a node as flapping: its
+	// next ring re-entry is deferred by an exponentially growing
+	// quarantine, QuarantineBase doubling up to QuarantineMax, so a node
+	// stuck in a crash loop stops churning the ring and the caches.
+	// Defaults: 3 deaths in 10s, quarantine 500ms..30s.
+	FlapThreshold  int
+	FlapWindow     time.Duration
+	QuarantineBase time.Duration
+	QuarantineMax  time.Duration
+	// Latency, when non-nil, is installed as the LocalTransport's
+	// injectable latency model (ignored for other transports).
 	Latency func(to string, kind ReqKind) time.Duration
 	// Service configures each node's service.Service. Remember that every
 	// node gets its own worker pool: N nodes with default Workers hold
@@ -58,8 +91,11 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
-	if c.Nodes <= 0 {
+	if c.Nodes == 0 {
 		c.Nodes = 4
+	}
+	if c.Nodes < 0 {
+		c.Nodes = 0
 	}
 	if c.Replicas <= 0 {
 		c.Replicas = 2
@@ -70,6 +106,23 @@ func (c Config) withDefaults() Config {
 	if c.FailureThreshold <= 0 {
 		c.FailureThreshold = 2
 	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.FlapThreshold <= 0 {
+		c.FlapThreshold = 3
+	}
+	if c.FlapWindow <= 0 {
+		c.FlapWindow = 10 * time.Second
+	}
+	if c.QuarantineBase <= 0 {
+		c.QuarantineBase = 500 * time.Millisecond
+	}
+	if c.QuarantineMax <= 0 {
+		c.QuarantineMax = 30 * time.Second
+	}
+	c.Retry = c.Retry.withDefaults()
+	c.Breaker = c.Breaker.withDefaults()
 	return c
 }
 
@@ -90,23 +143,55 @@ var ErrNoNodes = errors.New("cluster: no alive nodes")
 // ErrClosed is returned by cluster operations after Close.
 var ErrClosed = errors.New("cluster: closed")
 
-// nodeState is the coordinator's health view of one node.
+// nodeState is the coordinator's health view of one node, including the
+// flap history behind the quarantine logic.
 type nodeState struct {
 	fails int // consecutive failed RPCs
 	dead  bool
+
+	deaths    []time.Time // recent deaths, pruned to FlapWindow
+	quarUntil time.Time   // no ring re-entry before this
+	quarSet   time.Time   // when the current quarantine was imposed
+	quarLevel int         // exponential-backoff level
+}
+
+// noteDeath records one death for flap detection; callers hold c.mu.
+func (st *nodeState) noteDeath(now time.Time, window time.Duration) {
+	st.deaths = append(st.deaths, now)
+	st.pruneDeaths(now, window)
+}
+
+func (st *nodeState) pruneDeaths(now time.Time, window time.Duration) {
+	i := 0
+	for i < len(st.deaths) && now.Sub(st.deaths[i]) > window {
+		i++
+	}
+	st.deaths = st.deaths[i:]
 }
 
 // Cluster is the coordinator plus its member nodes; create with New,
 // release with Close. All methods are safe for concurrent use.
 type Cluster struct {
 	cfg       Config
-	transport *LocalTransport
+	transport Transport
+	retry     RetryPolicy
+	rng       *lockedRand
 	counters  counters
 	slog      *obs.SlowLog
 
+	// callLatOK/callLatFail are the guarded transport path's per-attempt
+	// latency distributions, by outcome.
+	callLatOK   obs.Histogram
+	callLatFail obs.Histogram
+
+	breakersMu sync.Mutex
+	breakers   map[string]*breaker
+
 	mu     sync.Mutex
 	ring   *ring
-	nodes  map[string]*node
+	nodes  map[string]*node  // in-process members
+	detach map[string]func() // their transport detach hooks
+	remote map[string]bool   // node-mode peers joined via JoinPeer
 	state  map[string]*nodeState
 	nextID int
 	closed bool
@@ -124,18 +209,31 @@ type Cluster struct {
 func New(cfg Config) *Cluster {
 	cfg = cfg.withDefaults()
 	c := &Cluster{
-		cfg:       cfg,
-		transport: NewLocalTransport(),
-		slog:      obs.NewSlowLog(cfg.Slow),
-		ring:      newRing(cfg.VirtualNodes),
-		nodes:     make(map[string]*node),
-		state:     make(map[string]*nodeState),
-		quit:      make(chan struct{}),
+		cfg:      cfg,
+		retry:    cfg.Retry,
+		rng:      newLockedRand(cfg.Seed),
+		slog:     obs.NewSlowLog(cfg.Slow),
+		breakers: make(map[string]*breaker),
+		ring:     newRing(cfg.VirtualNodes),
+		nodes:    make(map[string]*node),
+		detach:   make(map[string]func()),
+		remote:   make(map[string]bool),
+		state:    make(map[string]*nodeState),
+		quit:     make(chan struct{}),
+	}
+	c.transport = cfg.Transport
+	if c.transport == nil {
+		c.transport = NewLocalTransport()
 	}
 	if cfg.Latency != nil {
-		c.transport.SetLatency(cfg.Latency)
+		if lt, ok := unwrapTransport[*LocalTransport](c.transport); ok {
+			lt.SetLatency(cfg.Latency)
+		}
 	}
 	for i := 0; i < cfg.Nodes; i++ {
+		// An attach failure (a transport that cannot listen) surfaces as a
+		// smaller cluster and, at zero members, ErrNoNodes on first use;
+		// LocalTransport attaches never fail.
 		c.AddNode()
 	}
 	if cfg.HealthInterval > 0 {
@@ -157,7 +255,25 @@ func New(cfg Config) *Cluster {
 	return c
 }
 
-// Close stops the health checker and every node's service. Idempotent.
+// unwrapTransport finds a concrete transport type under any FaultTransport
+// wrapping.
+func unwrapTransport[T Transport](t Transport) (T, bool) {
+	for {
+		if v, ok := t.(T); ok {
+			return v, true
+		}
+		ft, ok := t.(*FaultTransport)
+		if !ok {
+			var zero T
+			return zero, false
+		}
+		t = ft.base
+	}
+}
+
+// Close stops the health checker, detaches and closes every in-process
+// node's service, and closes the transport when it is closable (an
+// HTTPTransport's loopback listeners, for instance). Idempotent.
 func (c *Cluster) Close() {
 	c.mu.Lock()
 	if c.closed {
@@ -166,20 +282,37 @@ func (c *Cluster) Close() {
 	}
 	c.closed = true
 	nodes := make([]*node, 0, len(c.nodes))
+	detaches := make([]func(), 0, len(c.detach))
 	for _, n := range c.nodes {
 		nodes = append(nodes, n)
+	}
+	for _, d := range c.detach {
+		detaches = append(detaches, d)
 	}
 	c.mu.Unlock()
 	close(c.quit)
 	c.wg.Wait()
+	for _, d := range detaches {
+		d()
+	}
 	for _, n := range nodes {
 		n.close()
+	}
+	if tc, ok := c.transport.(interface{ Close() error }); ok {
+		tc.Close()
 	}
 }
 
 // Transport returns the cluster's transport, for fault and latency
 // injection in tests and demos.
-func (c *Cluster) Transport() *LocalTransport { return c.transport }
+func (c *Cluster) Transport() Transport { return c.transport }
+
+// maintCtx bounds one background maintenance RPC (replication, rebalance,
+// pings, drains): maintenance must not hang on a wedged socket, and it has
+// no caller deadline of its own to inherit.
+func (c *Cluster) maintCtx() (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), c.retry.AttemptTimeout)
+}
 
 // Owners returns the nodes currently responsible for a canonical key,
 // owner first.
@@ -252,6 +385,84 @@ func (c *Cluster) observeSlow(tr *obs.Trace, q *cost.Query, res *Result, start t
 // SlowLog returns the coordinator's slow-request ring (never nil).
 func (c *Cluster) SlowLog() *obs.SlowLog { return c.slog }
 
+// sweepOutcome is what one pass over a key's owners produced.
+type sweepOutcome struct {
+	res            *Result // non-nil: a node served the request
+	err            error   // non-nil: terminal error to surface as-is
+	sawUnreachable bool
+	sawShed        bool
+	skipped        int // owners bypassed because their breaker was open
+	lastErr        error
+}
+
+// sweep tries a key's owners in ring order through the guarded call path.
+// force pushes through open breakers — the all-owners-open fallback.
+func (c *Cluster) sweep(ctx context.Context, q *cost.Query, fpKey string, tr *obs.Trace, owners []string, force bool) sweepOutcome {
+	var out sweepOutcome
+	req := Request{Kind: ReqOptimize, Query: q}
+	for i, id := range owners {
+		resp, err := c.call(ctx, id, req, force)
+		switch {
+		case err == nil:
+			c.noteSuccess(id)
+			if i > 0 {
+				if out.sawUnreachable {
+					c.counters.failovers.add(1)
+				} else if out.sawShed {
+					// Every earlier owner shed: this replica absorbed
+					// overflow from a hot shard, not a failure.
+					c.counters.overflows.add(1)
+				}
+				// Owners skipped on an open breaker were already counted
+				// under breaker_skips when the skip happened.
+			}
+			if !resp.Result.CacheHit || i > 0 {
+				// Fresh plan, or a failover hit whose earlier owners may
+				// lack the entry: push it to the other owners
+				// (replication doubling as read-repair).
+				repDone := tr.StartSpan(obs.PhaseReplicate)
+				c.replicate(fpKey, id, owners)
+				repDone()
+			}
+			out.res = &Result{Result: resp.Result, Node: id, Failover: i > 0 && out.sawUnreachable}
+			return out
+		case errors.Is(err, ErrBreakerOpen):
+			// The breaker routed around this node without a call; the next
+			// replica holds the same warm entries.
+			out.skipped++
+			out.lastErr = err
+		case errors.Is(err, service.ErrOverloaded):
+			// The owner is alive but shedding load. Replicas hold the
+			// same warm entries, so overflowing to the next one spreads
+			// a Zipf-hot shard's traffic instead of rejecting it — and
+			// it must not feed the failure detector: an overloaded node
+			// is the last one the ring should remove.
+			out.sawShed = true
+			out.lastErr = err
+		case errors.Is(err, ErrUnreachable), errors.Is(err, service.ErrClosed):
+			// Unreachable (after the guarded path's own retries), or a node
+			// whose service closed under a racing RemoveNode/Close: either
+			// way this node cannot answer and a replica can.
+			out.lastErr = err
+			out.sawUnreachable = true
+			c.noteFailure(id)
+		default:
+			// The node answered and rejected the query; replicas are
+			// deterministic copies and would answer the same. Caller
+			// cancellation is accounted separately — a disconnecting
+			// client is not a cluster error.
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				c.counters.canceled.add(1)
+			} else {
+				c.counters.errors.add(1)
+			}
+			out.err = err
+			return out
+		}
+	}
+	return out
+}
+
 // optimize is Optimize's body; the wrapper owns the trace and the slow-log
 // observation.
 func (c *Cluster) optimize(ctx context.Context, q *cost.Query, tr *obs.Trace) (*Result, error) {
@@ -265,6 +476,7 @@ func (c *Cluster) optimize(ctx context.Context, q *cost.Query, tr *obs.Trace) (*
 
 	fp := service.FingerprintQuery(q)
 	var lastErr error
+	var lastOut sweepOutcome
 	// Each sweep over an all-unreachable owner set adds one failure per
 	// owner, so after FailureThreshold sweeps those nodes are dead, the
 	// ring has changed, and the next sweep sees fresh owners: the loop is
@@ -280,69 +492,33 @@ func (c *Cluster) optimize(ctx context.Context, q *cost.Query, tr *obs.Trace) (*
 		if len(owners) == 0 {
 			break
 		}
-		sawUnreachable := false
-		for i, id := range owners {
-			resp, err := c.transport.Call(ctx, id, Request{Kind: ReqOptimize, Query: q})
-			switch {
-			case err == nil:
-				c.noteSuccess(id)
-				if i > 0 {
-					if sawUnreachable {
-						c.counters.failovers.add(1)
-					} else {
-						// Every earlier owner shed: this replica absorbed
-						// overflow from a hot shard, not a failure.
-						c.counters.overflows.add(1)
-					}
-				}
-				if !resp.Result.CacheHit || i > 0 {
-					// Fresh plan, or a failover hit whose earlier owners may
-					// lack the entry: push it to the other owners
-					// (replication doubling as read-repair).
-					repDone := tr.StartSpan(obs.PhaseReplicate)
-					c.replicate(fp.Key, id, owners)
-					repDone()
-				}
-				return &Result{Result: resp.Result, Node: id, Failover: i > 0 && sawUnreachable}, nil
-			case errors.Is(err, service.ErrOverloaded):
-				// The owner is alive but shedding load. Replicas hold the
-				// same warm entries, so overflowing to the next one spreads
-				// a Zipf-hot shard's traffic instead of rejecting it — and
-				// it must not feed the failure detector: an overloaded node
-				// is the last one the ring should remove.
-				lastErr = err
-			case errors.Is(err, ErrUnreachable), errors.Is(err, service.ErrClosed):
-				// Unreachable, or a node whose service closed under a racing
-				// RemoveNode/Close: either way this node cannot answer and a
-				// replica can.
-				lastErr = err
-				sawUnreachable = true
-				c.noteFailure(id)
-			default:
-				// The node answered and rejected the query; replicas are
-				// deterministic copies and would answer the same. Caller
-				// cancellation is accounted separately — a disconnecting
-				// client is not a cluster error.
-				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-					c.counters.canceled.add(1)
-				} else {
-					c.counters.errors.add(1)
-				}
-				return nil, err
-			}
+		out := c.sweep(ctx, q, fp.Key, tr, owners, false)
+		if out.res == nil && out.err == nil && out.skipped == len(owners) {
+			// Every owner's breaker is open. Breakers are an optimization —
+			// they may redirect traffic, never refuse it — so force a pass
+			// through them rather than fail the request.
+			out = c.sweep(ctx, q, fp.Key, tr, owners, true)
 		}
-		if !sawUnreachable {
+		if out.res != nil || out.err != nil {
+			return out.res, out.err
+		}
+		lastOut = out
+		if out.lastErr != nil {
+			lastErr = out.lastErr
+		}
+		if !out.sawUnreachable {
 			// The sweep failed without a single unreachable owner — every
-			// owner shed. The ring will not change, so another sweep would
-			// only hammer nodes that just asked for relief.
+			// owner shed or sat behind a breaker. The ring will not change,
+			// so another sweep would only hammer nodes that just asked for
+			// relief.
 			break
 		}
 	}
-	if errors.Is(lastErr, service.ErrOverloaded) {
+	if lastOut.sawShed && !lastOut.sawUnreachable {
 		// All owners shed: surface the retryable condition (the HTTP layer
 		// maps it to 503 + Retry-After). Each node already counted its shed;
 		// the coordinator does not double it as an error.
-		return nil, fmt.Errorf("cluster: all owners overloaded: %w", lastErr)
+		return nil, fmt.Errorf("cluster: all owners overloaded: %w", service.ErrOverloaded)
 	}
 	c.counters.errors.add(1)
 	if lastErr == nil {
@@ -352,12 +528,16 @@ func (c *Cluster) optimize(ctx context.Context, q *cost.Query, tr *obs.Trace) (*
 }
 
 // replicate copies the cache entry under key from the node that just
-// served it to the remaining owners.
+// served it to the remaining owners. Maintenance traffic uses the raw
+// transport — a failed replication is repaired by the next read, so it
+// earns neither retries nor breaker feeding.
 func (c *Cluster) replicate(key, from string, owners []string) {
 	if len(owners) <= 1 {
 		return
 	}
-	resp, err := c.transport.Call(context.Background(), from, Request{Kind: ReqExport, Key: key})
+	ctx, cancel := c.maintCtx()
+	defer cancel()
+	resp, err := c.transport.Call(ctx, from, Request{Kind: ReqExport, Key: key})
 	if err != nil || len(resp.Entries) == 0 {
 		return
 	}
@@ -366,36 +546,100 @@ func (c *Cluster) replicate(key, from string, owners []string) {
 		if id == from {
 			continue
 		}
-		if _, err := c.transport.Call(context.Background(), id, req); err == nil {
+		ictx, icancel := c.maintCtx()
+		if _, err := c.transport.Call(ictx, id, req); err == nil {
 			c.counters.replicated.add(1)
 		} else if errors.Is(err, ErrUnreachable) {
 			c.noteFailure(id)
 		}
+		icancel()
 	}
 }
 
-// AddNode creates a node, joins it to the ring and rebalances warm entries
-// onto it. It returns the new node's ID.
-func (c *Cluster) AddNode() string {
+// attachNode makes a node reachable on the transport.
+func (c *Cluster) attachNode(id string, h handler) (func(), error) {
+	a, ok := c.transport.(nodeAttacher)
+	if !ok {
+		return nil, fmt.Errorf("cluster: transport %T cannot host nodes", c.transport)
+	}
+	return a.attach(id, h)
+}
+
+// AddNode creates an in-process node, joins it to the ring and rebalances
+// warm entries onto it. It returns the new node's ID. The error is nil for
+// LocalTransport clusters; socket transports can fail to listen.
+func (c *Cluster) AddNode() (string, error) {
 	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return "", ErrClosed
+	}
 	id := fmt.Sprintf("node-%d", c.nextID)
 	c.nextID++
+	c.mu.Unlock()
+
 	n := newNode(id, c.cfg.Service)
+	det, err := c.attachNode(id, n)
+	if err != nil {
+		n.close()
+		return "", err
+	}
+	c.mu.Lock()
 	c.nodes[id] = n
+	c.detach[id] = det
 	c.state[id] = &nodeState{}
-	c.transport.register(id, n)
 	c.ring.add(id)
 	c.mu.Unlock()
 	c.rebalance()
-	return id
+	return id, nil
 }
 
-// RemoveNode gracefully drains a node: it leaves the ring, its warm cache
-// entries migrate to their new owners, and its service is closed.
+// JoinPeer adds a remote node-mode peer (see NewNodeServer) to the ring
+// under id, reachable at addr. The coordinator pings it once before
+// admitting it. Requires a transport with a peer table (HTTPTransport,
+// possibly under a FaultTransport).
+func (c *Cluster) JoinPeer(id, addr string) error {
+	ht, ok := unwrapTransport[*HTTPTransport](c.transport)
+	if !ok {
+		return fmt.Errorf("cluster: transport %T has no peer table", c.transport)
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	if _, dup := c.nodes[id]; dup || c.remote[id] {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: node %s already a member", id)
+	}
+	c.mu.Unlock()
+
+	ht.SetPeer(id, addr)
+	ctx, cancel := c.maintCtx()
+	_, err := c.transport.Call(ctx, id, Request{Kind: ReqPing})
+	cancel()
+	if err != nil {
+		ht.RemovePeer(id)
+		return fmt.Errorf("cluster: peer %s at %s unreachable: %w", id, addr, err)
+	}
+	c.mu.Lock()
+	c.remote[id] = true
+	c.state[id] = &nodeState{}
+	c.ring.add(id)
+	c.mu.Unlock()
+	c.rebalance()
+	return nil
+}
+
+// RemoveNode gracefully drains a member: it leaves the ring, its warm
+// cache entries migrate to their new owners, and (for in-process nodes)
+// its service is closed. Remote peers keep running — they just stop being
+// members.
 func (c *Cluster) RemoveNode(id string) error {
 	c.mu.Lock()
-	n, ok := c.nodes[id]
-	if !ok {
+	n, local := c.nodes[id]
+	isRemote := c.remote[id]
+	if !local && !isRemote {
 		c.mu.Unlock()
 		return fmt.Errorf("cluster: unknown node %s", id)
 	}
@@ -403,28 +647,52 @@ func (c *Cluster) RemoveNode(id string) error {
 	c.ring.remove(id)
 	delete(c.state, id)
 	delete(c.nodes, id)
+	delete(c.remote, id)
+	det := c.detach[id]
+	delete(c.detach, id)
 	c.mu.Unlock()
 
 	if !wasDead {
-		// Drain while still registered on the transport.
+		// Drain while still reachable on the transport.
 		c.rebalanceMu.Lock()
-		if resp, err := c.transport.Call(context.Background(), id, Request{Kind: ReqExport}); err == nil {
+		ctx, cancel := c.maintCtx()
+		if resp, err := c.transport.Call(ctx, id, Request{Kind: ReqExport}); err == nil {
 			c.pushEntries(resp.Entries, id)
 		}
+		cancel()
 		c.rebalanceMu.Unlock()
 	}
-	c.transport.deregister(id)
-	n.close()
+	if det != nil {
+		det()
+	}
+	if isRemote {
+		if ht, ok := unwrapTransport[*HTTPTransport](c.transport); ok {
+			ht.RemovePeer(id)
+		}
+	}
+	if n != nil {
+		n.close()
+	}
 	return nil
 }
 
 // KillNode makes a node unreachable without any cleanup — a simulated
-// crash. The failure detector will declare it dead and rebalance.
-func (c *Cluster) KillNode(id string) { c.transport.Cut(id) }
+// crash. The failure detector will declare it dead and rebalance. It is a
+// no-op on transports without fault control.
+func (c *Cluster) KillNode(id string) {
+	if fc, ok := c.transport.(FaultController); ok {
+		fc.Cut(id)
+	}
+}
 
 // ReviveNode reconnects a killed node; the next health sweep rejoins it to
-// the ring and rebalances warm entries back onto it.
-func (c *Cluster) ReviveNode(id string) { c.transport.Heal(id) }
+// the ring (quarantine permitting) and rebalances warm entries back onto
+// it.
+func (c *Cluster) ReviveNode(id string) {
+	if fc, ok := c.transport.(FaultController); ok {
+		fc.Heal(id)
+	}
+}
 
 // noteSuccess resets a node's consecutive-failure count.
 func (c *Cluster) noteSuccess(id string) {
@@ -450,28 +718,30 @@ func (c *Cluster) noteFailure(id string) {
 		return
 	}
 	st.dead = true
+	st.noteDeath(time.Now(), c.cfg.FlapWindow)
 	c.ring.remove(id)
 	c.counters.deaths.add(1)
 	c.mu.Unlock()
 	c.rebalance()
 }
 
-// CheckHealth pings every node once, applying the failure detector to the
-// results: repeatedly unreachable nodes are declared dead and leave the
-// ring, previously dead nodes that answer rejoin it. Any membership change
-// triggers a rebalance. The background checker (Config.HealthInterval)
-// calls this on a ticker; tests call it directly.
+// CheckHealth pings every member once, applying the failure detector to
+// the results: repeatedly unreachable nodes are declared dead and leave
+// the ring; previously dead nodes that answer rejoin it — unless they are
+// flapping, in which case re-entry waits out an exponentially growing
+// quarantine (Config.Flap*/Quarantine*), so a crash-looping node stops
+// churning the ring. Any membership change triggers a rebalance, which
+// re-warms a rejoining node's cache. Pings bypass the circuit breaker: the
+// health checker is how a dead node's recovery is noticed, so it must keep
+// probing nodes the request path has written off. The background checker
+// (Config.HealthInterval) calls this on a ticker; tests call it directly.
 func (c *Cluster) CheckHealth() {
-	c.mu.Lock()
-	ids := make([]string, 0, len(c.nodes))
-	for id := range c.nodes {
-		ids = append(ids, id)
-	}
-	c.mu.Unlock()
-
+	ids := c.memberIDs()
 	changed := false
 	for _, id := range ids {
-		_, err := c.transport.Call(context.Background(), id, Request{Kind: ReqPing})
+		ctx, cancel := c.maintCtx()
+		_, err := c.transport.Call(ctx, id, Request{Kind: ReqPing})
+		cancel()
 		c.mu.Lock()
 		st := c.state[id]
 		if st == nil { // removed concurrently
@@ -480,16 +750,14 @@ func (c *Cluster) CheckHealth() {
 		}
 		if err == nil {
 			st.fails = 0
-			if st.dead {
-				st.dead = false
-				c.ring.add(id)
-				c.counters.rejoins.add(1)
+			if st.dead && c.tryRejoin(id, st) {
 				changed = true
 			}
 		} else {
 			st.fails++
 			if !st.dead && st.fails >= c.cfg.FailureThreshold {
 				st.dead = true
+				st.noteDeath(time.Now(), c.cfg.FlapWindow)
 				c.ring.remove(id)
 				c.counters.deaths.add(1)
 				changed = true
@@ -500,6 +768,54 @@ func (c *Cluster) CheckHealth() {
 	if changed {
 		c.rebalance()
 	}
+}
+
+// tryRejoin decides whether a dead-but-answering node re-enters the ring
+// now, applying the flap quarantine. Callers hold c.mu.
+func (c *Cluster) tryRejoin(id string, st *nodeState) bool {
+	now := time.Now()
+	st.pruneDeaths(now, c.cfg.FlapWindow)
+	if now.Before(st.quarUntil) {
+		// Serving its quarantine; keep probing, keep it out of the ring.
+		return false
+	}
+	diedAgain := len(st.deaths) > 0 && st.deaths[len(st.deaths)-1].After(st.quarSet)
+	if len(st.deaths) >= c.cfg.FlapThreshold && diedAgain {
+		// Flapping: this is a fresh flap episode (a death since the last
+		// quarantine), so impose the next, longer quarantine instead of
+		// letting the node churn the ring again.
+		d := c.cfg.QuarantineBase << uint(st.quarLevel)
+		if d <= 0 || d > c.cfg.QuarantineMax {
+			d = c.cfg.QuarantineMax
+		}
+		st.quarUntil = now.Add(d)
+		st.quarSet = now
+		st.quarLevel++
+		c.counters.quarantined.add(1)
+		return false
+	}
+	st.dead = false
+	if len(st.deaths) == 0 {
+		st.quarLevel = 0
+	}
+	c.ring.add(id)
+	c.counters.rejoins.add(1)
+	return true
+}
+
+// memberIDs lists every member, in-process and remote.
+func (c *Cluster) memberIDs() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ids := make([]string, 0, len(c.nodes)+len(c.remote))
+	for id := range c.nodes {
+		ids = append(ids, id)
+	}
+	for id := range c.remote {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
 }
 
 // rebalance migrates warm cache entries after a topology change: every
@@ -514,7 +830,9 @@ func (c *Cluster) rebalance() {
 	c.rebalanceMu.Lock()
 	defer c.rebalanceMu.Unlock()
 	for _, id := range c.AliveNodes() {
-		resp, err := c.transport.Call(context.Background(), id, Request{Kind: ReqExport})
+		ctx, cancel := c.maintCtx()
+		resp, err := c.transport.Call(ctx, id, Request{Kind: ReqExport})
+		cancel()
 		if err != nil {
 			continue
 		}
@@ -538,62 +856,110 @@ func (c *Cluster) pushEntries(entries []service.Entry, holder string) {
 		}
 	}
 	for id, batch := range batches {
-		if _, err := c.transport.Call(context.Background(), id, Request{Kind: ReqImport, Entries: batch}); err == nil {
+		ctx, cancel := c.maintCtx()
+		if _, err := c.transport.Call(ctx, id, Request{Kind: ReqImport, Entries: batch}); err == nil {
 			c.counters.rebalanced.add(uint64(len(batch)))
 		}
+		cancel()
 	}
 }
 
-// FlushAll drops every node's plan cache — the cluster-wide invalidation
-// hook for statistics or catalog changes. It targets all known nodes, not
-// just ring members, so a node that is dead-but-revivable does not carry
-// pre-flush entries back on rejoin; a node that is partitioned at flush
-// time still misses the call (see CLUSTER.md's limits — a real deployment
-// would version entries with a catalog epoch).
+// FlushAll drops every member's plan cache — the cluster-wide invalidation
+// hook for statistics or catalog changes. It targets all known members,
+// not just ring members, so a node that is dead-but-revivable does not
+// carry pre-flush entries back on rejoin; a node that is partitioned at
+// flush time still misses the call (see CLUSTER.md's limits — a real
+// deployment would version entries with a catalog epoch).
 func (c *Cluster) FlushAll() {
-	c.mu.Lock()
-	ids := make([]string, 0, len(c.nodes))
-	for id := range c.nodes {
-		ids = append(ids, id)
-	}
-	c.mu.Unlock()
-	for _, id := range ids {
-		c.transport.Call(context.Background(), id, Request{Kind: ReqFlush})
+	for _, id := range c.memberIDs() {
+		ctx, cancel := c.maintCtx()
+		c.transport.Call(ctx, id, Request{Kind: ReqFlush})
+		cancel()
 	}
 }
 
-// CacheLen sums the cached-plan count over all nodes (replicated entries
-// count once per holder).
+// statsOf fetches a remote member's stats over the transport.
+func (c *Cluster) statsOf(id string) (*NodeStats, error) {
+	ctx, cancel := c.maintCtx()
+	defer cancel()
+	resp, err := c.transport.Call(ctx, id, Request{Kind: ReqStats})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Stats == nil {
+		return nil, fmt.Errorf("cluster: node %s returned no stats", id)
+	}
+	return resp.Stats, nil
+}
+
+// CacheLen sums the cached-plan count over all members (replicated entries
+// count once per holder). Unreachable remote peers contribute zero.
 func (c *Cluster) CacheLen() int {
 	c.mu.Lock()
 	nodes := make([]*node, 0, len(c.nodes))
 	for _, n := range c.nodes {
 		nodes = append(nodes, n)
 	}
+	remotes := make([]string, 0, len(c.remote))
+	for id := range c.remote {
+		remotes = append(remotes, id)
+	}
 	c.mu.Unlock()
 	total := 0
 	for _, n := range nodes {
 		total += n.svc.CacheLen()
 	}
+	for _, id := range remotes {
+		if st, err := c.statsOf(id); err == nil {
+			total += st.CacheLen
+		}
+	}
 	return total
 }
 
 // Snapshot copies the cluster's instrumentation: coordinator counters,
-// membership and per-node service counters.
+// membership and per-node service counters (remote peers are polled over
+// the transport).
 func (c *Cluster) Snapshot() Snapshot {
+	s, _ := c.collectStats()
+	return s
+}
+
+// collectStats builds the snapshot and the cluster-wide merged latency
+// set in one pass over the members, so /metrics polls each remote peer
+// once, not twice.
+func (c *Cluster) collectStats() (Snapshot, *service.LatencySet) {
 	s := Snapshot{
-		Requests:   c.counters.requests.load(),
-		Failovers:  c.counters.failovers.load(),
-		Overflows:  c.counters.overflows.load(),
-		Replicated: c.counters.replicated.load(),
-		Rebalanced: c.counters.rebalanced.load(),
-		Deaths:     c.counters.deaths.load(),
-		Rejoins:    c.counters.rejoins.load(),
-		Errors:     c.counters.errors.load(),
-		Canceled:   c.counters.canceled.load(),
-		Replicas:   c.cfg.Replicas,
-		PerNode:    make(map[string]NodeSnapshot),
+		Requests:       c.counters.requests.load(),
+		Failovers:      c.counters.failovers.load(),
+		Overflows:      c.counters.overflows.load(),
+		Replicated:     c.counters.replicated.load(),
+		Rebalanced:     c.counters.rebalanced.load(),
+		Deaths:         c.counters.deaths.load(),
+		Rejoins:        c.counters.rejoins.load(),
+		Errors:         c.counters.errors.load(),
+		Canceled:       c.counters.canceled.load(),
+		Retries:        c.counters.retries.load(),
+		TransportCalls: c.counters.transportCalls.load(),
+		TransportFails: c.counters.transportFails.load(),
+		BreakerSkips:   c.counters.breakerSkips.load(),
+		BreakerForced:  c.counters.breakerForced.load(),
+		Quarantined:    c.counters.quarantined.load(),
+		Replicas:       c.cfg.Replicas,
+		PerNode:        make(map[string]NodeSnapshot),
 	}
+	now := time.Now()
+	c.breakersMu.Lock()
+	if len(c.breakers) > 0 {
+		s.Breakers = make(map[string]string, len(c.breakers))
+		for id, b := range c.breakers {
+			state, opens := b.snapshot(now)
+			s.Breakers[id] = state.String()
+			s.BreakerOpens += opens
+		}
+	}
+	c.breakersMu.Unlock()
+
 	c.mu.Lock()
 	type nodeRef struct {
 		n    *node
@@ -609,15 +975,28 @@ func (c *Cluster) Snapshot() Snapshot {
 			s.AliveNodes = append(s.AliveNodes, id)
 		}
 	}
+	type remoteRef struct {
+		id   string
+		dead bool
+	}
+	remotes := make([]remoteRef, 0, len(c.remote))
+	for id := range c.remote {
+		dead := c.state[id].dead
+		remotes = append(remotes, remoteRef{id, dead})
+		if dead {
+			s.DeadNodes = append(s.DeadNodes, id)
+		} else {
+			s.AliveNodes = append(s.AliveNodes, id)
+		}
+	}
 	c.mu.Unlock()
 
 	var served, warm, hits, misses uint64
 	var hitUS, missUS float64
 	merged := &service.LatencySet{}
 	s.Backends = make(map[string]service.BackendCounts)
-	for id, ref := range refs {
-		snap := ref.n.svc.Counters().Snapshot()
-		s.PerNode[id] = NodeSnapshot{Snapshot: snap, CacheLen: ref.n.svc.CacheLen(), Dead: ref.dead}
+	fold := func(id string, snap service.Snapshot, cacheLen int, dead bool) {
+		s.PerNode[id] = NodeSnapshot{Snapshot: snap, CacheLen: cacheLen, Dead: dead}
 		served += snap.Hits + snap.Misses + snap.Coalesced
 		warm += snap.Hits + snap.Coalesced
 		hits += snap.Hits
@@ -628,7 +1007,6 @@ func (c *Cluster) Snapshot() Snapshot {
 		s.Queued += snap.Queued
 		s.QueueDepth += snap.QueueDepth
 		s.InFlight += snap.InFlight
-		ref.n.svc.Counters().MergeLatencies(merged)
 		for bid, bc := range snap.Backends {
 			agg := s.Backends[bid]
 			agg.Routed += bc.Routed
@@ -637,6 +1015,21 @@ func (c *Cluster) Snapshot() Snapshot {
 			agg.Fallbacks += bc.Fallbacks
 			s.Backends[bid] = agg
 		}
+	}
+	for id, ref := range refs {
+		fold(id, ref.n.svc.Counters().Snapshot(), ref.n.svc.CacheLen(), ref.dead)
+		ref.n.svc.Counters().MergeLatencies(merged)
+	}
+	for _, r := range remotes {
+		st, err := c.statsOf(r.id)
+		if err != nil {
+			// Unreachable peer: keep it in the membership view with zero
+			// counters rather than dropping it from the snapshot.
+			s.PerNode[r.id] = NodeSnapshot{Dead: r.dead}
+			continue
+		}
+		fold(r.id, st.Snapshot, st.CacheLen, r.dead)
+		merged.MergeExport(st.Latencies)
 	}
 	if served > 0 {
 		s.HitRate = float64(warm) / float64(served)
@@ -652,16 +1045,21 @@ func (c *Cluster) Snapshot() Snapshot {
 	s.Latency = merged.Quantiles()
 	sort.Strings(s.AliveNodes)
 	sort.Strings(s.DeadNodes)
-	return s
+	return s, merged
 }
 
 // WriteMetrics emits the cluster's live metrics in Prometheus text
-// exposition format: the coordinator's own counters (mpdp_cluster_*),
-// cluster-wide sums of the node counters, and the node latency histograms
-// merged bucket-wise — one scrape of the front door answers cluster-wide
-// p50/p95/p99 per backend.
+// exposition format: the coordinator's own counters (mpdp_cluster_*), the
+// guarded transport path (mpdp_transport_*: attempts, fails, retries,
+// breaker activity and per-node breaker state), cluster-wide sums of the
+// node counters, and the node latency histograms merged bucket-wise — one
+// scrape of the front door answers cluster-wide p50/p95/p99 per backend.
 func (c *Cluster) WriteMetrics(w io.Writer) error {
-	s := c.Snapshot()
+	s, merged := c.collectStats()
+	cachePlans := 0
+	for _, ns := range s.PerNode {
+		cachePlans += ns.CacheLen
+	}
 	mw := obs.NewMetricsWriter(w)
 	mw.Counter("mpdp_cluster_requests_total", "Requests entering the cluster front door.", nil, s.Requests)
 	mw.Counter("mpdp_cluster_failovers_total", "Requests a replica served after an owner was unreachable.", nil, s.Failovers)
@@ -670,10 +1068,38 @@ func (c *Cluster) WriteMetrics(w io.Writer) error {
 	mw.Counter("mpdp_cluster_rebalanced_entries_total", "Plan-cache entries migrated on topology changes.", nil, s.Rebalanced)
 	mw.Counter("mpdp_cluster_deaths_total", "Nodes declared dead by the failure detector.", nil, s.Deaths)
 	mw.Counter("mpdp_cluster_rejoins_total", "Dead nodes that rejoined the ring.", nil, s.Rejoins)
+	mw.Counter("mpdp_cluster_quarantined_total", "Ring re-entries deferred because the node was flapping.", nil, s.Quarantined)
 	mw.Counter("mpdp_cluster_errors_total", "Front-door requests that failed.", nil, s.Errors)
 	mw.Counter("mpdp_cluster_canceled_total", "Front-door requests whose caller cancelled.", nil, s.Canceled)
 	mw.Gauge("mpdp_cluster_alive_nodes", "Ring members alive.", nil, float64(len(s.AliveNodes)))
-	mw.Gauge("mpdp_cluster_cache_plans", "Cached plans summed over all nodes.", nil, float64(c.CacheLen()))
+	mw.Gauge("mpdp_cluster_cache_plans", "Cached plans summed over all nodes.", nil, float64(cachePlans))
+
+	// The guarded transport path.
+	mw.Counter("mpdp_transport_calls_total", "Guarded request-path transport attempts.", nil, s.TransportCalls)
+	mw.Counter("mpdp_transport_fails_total", "Transport attempts that failed at the transport layer.", nil, s.TransportFails)
+	mw.Counter("mpdp_transport_retries_total", "Extra transport attempts after a fault.", nil, s.Retries)
+	mw.Counter("mpdp_transport_breaker_skips_total", "Owners bypassed without a call because their breaker was open.", nil, s.BreakerSkips)
+	mw.Counter("mpdp_transport_breaker_forced_total", "Calls pushed through an open breaker because every owner was open.", nil, s.BreakerForced)
+	mw.Counter("mpdp_transport_breaker_opens_total", "Circuit-breaker open transitions across all nodes.", nil, s.BreakerOpens)
+	const stateHelp = "Per-node circuit-breaker state: 0 closed, 1 open, 2 half-open."
+	bnodes := make([]string, 0, len(s.Breakers))
+	for id := range s.Breakers {
+		bnodes = append(bnodes, id)
+	}
+	sort.Strings(bnodes)
+	for _, id := range bnodes {
+		var v float64
+		switch s.Breakers[id] {
+		case "open":
+			v = 1
+		case "half_open":
+			v = 2
+		}
+		mw.Gauge("mpdp_transport_breaker_state", stateHelp, obs.Labels{"node": id}, v)
+	}
+	const attemptHelp = "Latency of guarded transport attempts by outcome."
+	mw.Histogram("mpdp_transport_attempt_seconds", attemptHelp, obs.Labels{"outcome": "ok"}, &c.callLatOK)
+	mw.Histogram("mpdp_transport_attempt_seconds", attemptHelp, obs.Labels{"outcome": "fail"}, &c.callLatFail)
 
 	// Node-level sums under the same names mpdp-serve exposes, so the same
 	// dashboards read either binary.
@@ -704,7 +1130,7 @@ func (c *Cluster) WriteMetrics(w io.Writer) error {
 	mw.Counter("mpdp_queued_total", "Requests that entered a worker queue (all nodes).", nil, s.Queued)
 	mw.Gauge("mpdp_queue_depth", "Worker-queue slots occupied (all nodes).", nil, float64(s.QueueDepth))
 	mw.Gauge("mpdp_inflight", "Node-side requests in progress (all nodes).", nil, float64(s.InFlight))
-	mw.Gauge("mpdp_cache_plans", "Cached plans summed over all nodes.", nil, float64(c.CacheLen()))
+	mw.Gauge("mpdp_cache_plans", "Cached plans summed over all nodes.", nil, float64(cachePlans))
 	const routeHelp = "Routing decisions by algorithm (all nodes)."
 	mw.Counter("mpdp_route_total", routeHelp, obs.Labels{"algorithm": "dpccp"}, rDPCCP)
 	mw.Counter("mpdp_route_total", routeHelp, obs.Labels{"algorithm": "mpdp_cpu"}, rMPDP)
@@ -729,21 +1155,6 @@ func (c *Cluster) WriteMetrics(w io.Writer) error {
 		mw.Counter("mpdp_backend_fallbacks_total", backendHelp, l, bc.Fallbacks)
 	}
 
-	c.mergedLatencies().WriteMetrics(mw)
+	merged.WriteMetrics(mw)
 	return mw.Flush()
-}
-
-// mergedLatencies merges every node's latency histograms into one set.
-func (c *Cluster) mergedLatencies() *service.LatencySet {
-	c.mu.Lock()
-	nodes := make([]*node, 0, len(c.nodes))
-	for _, n := range c.nodes {
-		nodes = append(nodes, n)
-	}
-	c.mu.Unlock()
-	l := &service.LatencySet{}
-	for _, n := range nodes {
-		n.svc.Counters().MergeLatencies(l)
-	}
-	return l
 }

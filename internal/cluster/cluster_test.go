@@ -385,7 +385,10 @@ func TestAddNodeRebalancesWarmEntries(t *testing.T) {
 		}
 	}
 
-	id := c.AddNode()
+	id, err := c.AddNode()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(c.AliveNodes()) != 3 {
 		t.Fatalf("alive = %v, want 3", c.AliveNodes())
 	}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -28,6 +29,30 @@ type counters struct {
 	rejoins    atomicCounter
 	errors     atomicCounter
 	canceled   atomicCounter
+
+	// The guarded-transport layer: retries counts extra attempts after a
+	// transport fault; breakerSkips counts owners skipped because their
+	// circuit breaker was open (distinct from failovers — the skip happens
+	// before any call is made); breakerForced counts calls pushed through an
+	// open breaker because every owner was open; transportCalls/Fails count
+	// individual attempts and their transport-level failures; quarantined
+	// counts ring re-entries deferred because the node was flapping.
+	retries        atomicCounter
+	breakerSkips   atomicCounter
+	breakerForced  atomicCounter
+	transportCalls atomicCounter
+	transportFails atomicCounter
+	quarantined    atomicCounter
+}
+
+// NodeStats answers the stats RPC: one node's service counters, cache size
+// and latency histograms in serializable form. It is how a remote
+// (node-mode) peer's instrumentation reaches the coordinator's /v1/stats
+// rollup and /metrics exposition.
+type NodeStats struct {
+	Snapshot  service.Snapshot                 `json:"snapshot"`
+	CacheLen  int                              `json:"cache_len"`
+	Latencies map[string]obs.HistogramSnapshot `json:"latencies,omitempty"`
 }
 
 // NodeSnapshot is one node's view in a cluster snapshot: its service
@@ -55,6 +80,26 @@ type Snapshot struct {
 	// Canceled counts requests whose caller context was cancelled (client
 	// disconnects included); they are not errors.
 	Canceled uint64 `json:"canceled"`
+	// Retries counts extra transport attempts made after a fault;
+	// TransportCalls and TransportFails count individual attempts and the
+	// transport-level failures among them.
+	Retries        uint64 `json:"retries"`
+	TransportCalls uint64 `json:"transport_calls"`
+	TransportFails uint64 `json:"transport_fails"`
+	// BreakerSkips counts owners bypassed without a call because their
+	// circuit breaker was open — routing went straight to the next replica.
+	// Distinct from Failovers (a call failed first) and Overflows (the node
+	// shed the request itself). BreakerForced counts calls pushed through an
+	// open breaker because every owner in the sweep was open; BreakerOpens
+	// sums closed→open transitions across all nodes.
+	BreakerSkips  uint64 `json:"breaker_skips"`
+	BreakerForced uint64 `json:"breaker_forced"`
+	BreakerOpens  uint64 `json:"breaker_opens"`
+	// Breakers maps each node to its breaker state (closed/open/half_open).
+	Breakers map[string]string `json:"breakers,omitempty"`
+	// Quarantined counts ring re-entries deferred because the node was
+	// flapping (repeated death/rejoin inside the flap window).
+	Quarantined uint64 `json:"quarantined"`
 	// Shed, Queued, QueueDepth and InFlight sum the per-node admission-
 	// control counters: requests rejected with ErrOverloaded, requests that
 	// entered a worker queue, the queue slots occupied and the node-side

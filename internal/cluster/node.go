@@ -50,6 +50,12 @@ func (n *node) handle(ctx context.Context, req Request) (*Response, error) {
 	case ReqFlush:
 		n.svc.Flush()
 		return &Response{}, nil
+	case ReqStats:
+		return &Response{Stats: &NodeStats{
+			Snapshot:  n.svc.Counters().Snapshot(),
+			CacheLen:  n.svc.CacheLen(),
+			Latencies: n.svc.Counters().ExportLatencies(),
+		}}, nil
 	}
 	return nil, fmt.Errorf("cluster: node %s: unknown request kind %v", n.id, req.Kind)
 }

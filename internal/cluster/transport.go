@@ -26,6 +26,10 @@ const (
 	ReqImport
 	// ReqFlush drops the node's cache.
 	ReqFlush
+	// ReqStats returns the node's service counters, cache size and latency
+	// histograms — how the coordinator folds remote (node-mode) peers into
+	// its cluster-wide snapshot and /metrics rollup.
+	ReqStats
 )
 
 func (k ReqKind) String() string {
@@ -40,6 +44,8 @@ func (k ReqKind) String() string {
 		return "import"
 	case ReqFlush:
 		return "flush"
+	case ReqStats:
+		return "stats"
 	}
 	return fmt.Sprintf("reqkind(%d)", int(k))
 }
@@ -56,10 +62,14 @@ type Request struct {
 type Response struct {
 	Result  *service.Result
 	Entries []service.Entry
+	// Stats answers ReqStats.
+	Stats *NodeStats
 }
 
 // ErrUnreachable is the transport-level failure: the node is partitioned,
-// crashed, or its reply was lost.
+// crashed, its reply was lost, or the per-attempt timeout expired before
+// an answer arrived. It is the retryable error class — the coordinator's
+// retry/backoff and circuit-breaker machinery keys off it.
 var ErrUnreachable = errors.New("cluster: node unreachable")
 
 // Transport delivers RPCs from the coordinator to nodes. The context
@@ -72,6 +82,42 @@ type Transport interface {
 // handler is the node side of the transport.
 type handler interface {
 	handle(ctx context.Context, req Request) (*Response, error)
+}
+
+// nodeAttacher is implemented by transports that can host in-process nodes:
+// attach makes h reachable under id and returns the detach function. The
+// LocalTransport dispatches by function call; the HTTPTransport starts a
+// real loopback listener per node, so the same cluster wiring exercises
+// actual sockets.
+type nodeAttacher interface {
+	attach(id string, h handler) (detach func(), err error)
+}
+
+// FaultController is the whole-node fault surface every cluster transport
+// supports: Cut makes a node unreachable (crash/partition), Heal reconnects
+// it. The FaultTransport middleware layers finer-grained faults (asymmetric
+// partitions, probabilistic drops, latency, slowdowns) over any Transport.
+type FaultController interface {
+	Cut(id string)
+	Heal(id string)
+}
+
+// sleepCtx waits for d or until ctx is cancelled, whichever comes first,
+// and reports whether the full duration elapsed. Injected latency and
+// retry backoff both use it so a cancelled caller is never parked on a
+// timer it no longer cares about.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }
 
 // LocalTransport is a deterministic in-process Transport, simulator style:
@@ -114,6 +160,12 @@ func (t *LocalTransport) register(id string, h handler) {
 	t.mu.Unlock()
 }
 
+// attach implements nodeAttacher: in-process nodes dispatch by direct call.
+func (t *LocalTransport) attach(id string, h handler) (func(), error) {
+	t.register(id, h)
+	return func() { t.deregister(id) }, nil
+}
+
 // deregister detaches a node (graceful leave; subsequent calls fail).
 func (t *LocalTransport) deregister(id string) {
 	t.mu.Lock()
@@ -150,8 +202,10 @@ func (t *LocalTransport) Call(ctx context.Context, to string, req Request) (*Res
 	t.mu.RUnlock()
 
 	if lat != nil {
-		if d := lat(to, req.Kind); d > 0 {
-			time.Sleep(d)
+		// The injected delay honours the caller's cancellation: a caller
+		// that gave up must not stay parked for the full simulated RTT.
+		if !sleepCtx(ctx, lat(to, req.Kind)) {
+			return nil, ctx.Err() // caller gave up, not a node fault
 		}
 	}
 	if !ok || down {

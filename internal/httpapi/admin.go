@@ -49,7 +49,11 @@ func MountClusterAdmin(a *API, c *cluster.Cluster) {
 		json.NewEncoder(w).Encode(out)
 	}))
 	a.Handle("/cluster/add", op(func(string) (string, error) {
-		return "added " + c.AddNode(), nil
+		id, err := c.AddNode()
+		if err != nil {
+			return "", err
+		}
+		return "added " + id, nil
 	}))
 	a.Handle("/cluster/remove", op(func(node string) (string, error) {
 		if err := needNode(node); err != nil {

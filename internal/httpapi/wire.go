@@ -2,13 +2,10 @@ package httpapi
 
 import (
 	"encoding/json"
-	"fmt"
 
-	"repro/internal/catalog"
 	"repro/internal/cost"
-	"repro/internal/graph"
 	"repro/internal/obs"
-	"repro/internal/sql"
+	"repro/internal/wire"
 )
 
 // Response is the wire shape of one optimized statement. It is the single
@@ -83,105 +80,25 @@ const (
 	CodeInternal         = "internal"
 )
 
+// The wire form of a query lives in the leaf package internal/wire so the
+// cluster's socket transport can ship the identical serialization without
+// an import cycle; the aliases below keep this package's public names.
+
 // WireRelation is one base relation of a structured wire query.
-type WireRelation struct {
-	Name string  `json:"name"`
-	Rows float64 `json:"rows"`
-	// Pages, when zero, is derived from Rows and Width the same way the
-	// catalog does for SQL-bound queries.
-	Pages   float64 `json:"pages,omitempty"`
-	Width   int     `json:"width,omitempty"`
-	PKIndex bool    `json:"pk_index,omitempty"`
-}
+type WireRelation = wire.Relation
 
 // WireEdge is one join predicate of a structured wire query.
-type WireEdge struct {
-	A   int     `json:"a"`
-	B   int     `json:"b"`
-	Sel float64 `json:"sel"`
-}
+type WireEdge = wire.Edge
 
 // WireQuery is the JSON request body of the /v1 optimization endpoints:
 // either a SQL statement in the internal dialect (bound against the
 // server's schema) or an explicit catalog + join graph, which lets SDK
 // clients ship programmatically built queries with exact statistics.
-type WireQuery struct {
-	SQL       string         `json:"sql,omitempty"`
-	Relations []WireRelation `json:"relations,omitempty"`
-	Edges     []WireEdge     `json:"edges,omitempty"`
-}
-
-// ToQuery materializes the wire query against schema.
-func (wq *WireQuery) ToQuery(schema sql.Schema) (*cost.Query, error) {
-	if wq.SQL != "" {
-		if len(wq.Relations) > 0 || len(wq.Edges) > 0 {
-			return nil, fmt.Errorf("wire query carries both sql and relations")
-		}
-		bound, err := sql.Compile(wq.SQL, schema)
-		if err != nil {
-			return nil, err
-		}
-		return bound.Query, nil
-	}
-	n := len(wq.Relations)
-	if n == 0 {
-		return nil, fmt.Errorf("wire query has no sql and no relations")
-	}
-	var cat catalog.Catalog
-	for i, r := range wq.Relations {
-		if r.Name == "" {
-			return nil, fmt.Errorf("relation %d has no name", i)
-		}
-		if r.Rows < 0 {
-			return nil, fmt.Errorf("relation %q has negative rows", r.Name)
-		}
-		rel := catalog.Relation{
-			Name: r.Name, Rows: r.Rows, Pages: r.Pages, Width: r.Width,
-			HasPKIndex: r.PKIndex,
-		}
-		if rel.Pages == 0 {
-			width := rel.Width
-			if width == 0 {
-				width = 100
-			}
-			derived := catalog.NewRelation(r.Name, r.Rows, width)
-			derived.HasPKIndex = r.PKIndex
-			rel = derived
-			rel.Width = r.Width
-		}
-		cat.Add(rel)
-	}
-	g := graph.New(n)
-	for _, e := range wq.Edges {
-		if e.A < 0 || e.A >= n || e.B < 0 || e.B >= n || e.A == e.B {
-			return nil, fmt.Errorf("edge (%d,%d) out of range for %d relations", e.A, e.B, n)
-		}
-		if e.Sel <= 0 {
-			return nil, fmt.Errorf("edge (%d,%d) has non-positive selectivity %g", e.A, e.B, e.Sel)
-		}
-		g.AddEdge(e.A, e.B, e.Sel)
-	}
-	return &cost.Query{Cat: cat, G: g}, nil
-}
+type WireQuery = wire.Query
 
 // FromQuery serializes a query into wire form (the SDK's Remote driver
 // uses this to ship builder-made queries).
-func FromQuery(q *cost.Query) *WireQuery {
-	wq := &WireQuery{
-		Relations: make([]WireRelation, q.N()),
-		Edges:     make([]WireEdge, 0, len(q.G.Edges)),
-	}
-	for i, r := range q.Cat.Rels {
-		wq.Relations[i] = WireRelation{
-			Name: r.Name, Rows: r.Rows, Pages: r.Pages, Width: r.Width,
-			PKIndex: r.HasPKIndex,
-		}
-	}
-	for _, e := range q.G.Edges {
-		wq.Edges = append(wq.Edges, WireEdge{A: e.A, B: e.B, Sel: e.Sel})
-	}
-	return wq
-}
+func FromQuery(q *cost.Query) *WireQuery { return wire.FromQuery(q) }
 
 // BatchRequest is the body of POST /v1/batch: a set of statements and/or
 // structured queries optimized concurrently, which lets the GPU backend's

@@ -132,6 +132,64 @@ func (h *Histogram) CountBelowBoundary(v int64) uint64 {
 	return total
 }
 
+// HistogramSnapshot is a histogram's serializable form: the non-empty
+// buckets as a sparse index→count map plus the scalar tallies. Because the
+// bucket layout is fixed and shared, a snapshot merges into any live
+// Histogram as losslessly as Merge — it is how node-mode peers ship their
+// latency distributions to the coordinator's cluster-wide rollup.
+type HistogramSnapshot struct {
+	Buckets map[int]uint64 `json:"buckets,omitempty"`
+	Count   uint64         `json:"count"`
+	Sum     uint64         `json:"sum"`
+	MaxNS   int64          `json:"max_ns"`
+}
+
+// Export copies the histogram into its serializable form. Like Merge, a
+// concurrent snapshot is consistent-enough for monitoring, not one cut.
+func (h *Histogram) Export() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		MaxNS: h.max.Load(),
+	}
+	for i := 0; i < histBuckets; i++ {
+		if c := h.counts[i].Load(); c > 0 {
+			if s.Buckets == nil {
+				s.Buckets = make(map[int]uint64)
+			}
+			s.Buckets[i] = c
+		}
+	}
+	return s
+}
+
+// MergeSnapshot adds a snapshot's observations into h, bucket by bucket.
+// Out-of-range bucket indexes (a peer from a future layout) clamp into the
+// top bucket rather than being dropped, so counts still reconcile.
+func (h *Histogram) MergeSnapshot(s HistogramSnapshot) {
+	for i, c := range s.Buckets {
+		if c == 0 {
+			continue
+		}
+		if i < 0 {
+			i = 0
+		}
+		if i >= histBuckets {
+			i = histBuckets - 1
+		}
+		h.counts[i].Add(c)
+	}
+	h.count.Add(s.Count)
+	h.sum.Add(s.Sum)
+	v := s.MaxNS
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
 // Quantile returns the latency at quantile q in [0,1]: the upper bound of
 // the bucket holding the q-th observation (conservative — a reported p99
 // is never below the true p99 by more than the 6.25% bucket width). The

@@ -33,6 +33,67 @@ func (l *LatencySet) Merge(other *LatencySet) {
 	l.QueueWait.Merge(&other.QueueWait)
 }
 
+// Export renders the set's non-empty histograms in serializable form,
+// keyed like Quantiles ("hit:<backend>", "miss:<backend>", "shed",
+// "queue_wait") — how a node-mode peer ships its distributions to the
+// coordinator.
+func (l *LatencySet) Export() map[string]obs.HistogramSnapshot {
+	out := make(map[string]obs.HistogramSnapshot)
+	for i, id := range backend.IDs() {
+		if i >= numBackends {
+			break
+		}
+		if l.Hit[i].Count() > 0 {
+			out["hit:"+string(id)] = l.Hit[i].Export()
+		}
+		if l.Miss[i].Count() > 0 {
+			out["miss:"+string(id)] = l.Miss[i].Export()
+		}
+	}
+	if l.Shed.Count() > 0 {
+		out["shed"] = l.Shed.Export()
+	}
+	if l.QueueWait.Count() > 0 {
+		out["queue_wait"] = l.QueueWait.Export()
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// MergeExport folds an exported set back into l, bucket-wise and lossless.
+// Unknown keys (a peer with a newer backend registry) are dropped.
+func (l *LatencySet) MergeExport(m map[string]obs.HistogramSnapshot) {
+	for key, snap := range m {
+		if h := l.histFor(key); h != nil {
+			h.MergeSnapshot(snap)
+		}
+	}
+}
+
+// histFor resolves an export key to its histogram, nil when unknown.
+func (l *LatencySet) histFor(key string) *obs.Histogram {
+	switch key {
+	case "shed":
+		return &l.Shed
+	case "queue_wait":
+		return &l.QueueWait
+	}
+	for i, id := range backend.IDs() {
+		if i >= numBackends {
+			break
+		}
+		switch key {
+		case "hit:" + string(id):
+			return &l.Hit[i]
+		case "miss:" + string(id):
+			return &l.Miss[i]
+		}
+	}
+	return nil
+}
+
 // Quantiles is the JSON rendering of one latency distribution.
 type Quantiles struct {
 	Count  uint64  `json:"count"`

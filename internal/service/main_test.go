@@ -1,0 +1,14 @@
+package service
+
+import (
+	"testing"
+
+	"repro/internal/leaktest"
+)
+
+// TestMain installs the shared goroutine-leak guard on the service suite:
+// worker pools, coalescing waiters and queue timers must all be gone when
+// the suite ends.
+func TestMain(m *testing.M) {
+	leaktest.Main(m)
+}

@@ -199,6 +199,10 @@ func (c *Counters) Snapshot() Snapshot {
 // cluster coordinator's rollup primitive.
 func (c *Counters) MergeLatencies(dst *LatencySet) { dst.Merge(&c.lat) }
 
+// ExportLatencies renders the latency histograms in serializable form, for
+// node-mode peers answering the coordinator's stats RPC.
+func (c *Counters) ExportLatencies() map[string]obs.HistogramSnapshot { return c.lat.Export() }
+
 // String renders the snapshot as JSON; it makes Counters an expvar.Var.
 func (c *Counters) String() string {
 	b, err := json.Marshal(c.Snapshot())
