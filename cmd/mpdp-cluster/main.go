@@ -18,6 +18,15 @@
 //	curl -X POST "localhost:8080/cluster/revive?node=node-1" # bring it back
 //	curl -X POST localhost:8080/cluster/add                  # grow the ring
 //	curl -X POST localhost:8080/cluster/flush                # invalidate all plans
+//	curl localhost:8080/v1/cache                             # ring-wide cache summary
+//	curl -X POST -d '{"relations":[{"name":"release","rows":21000000}]}' \
+//	  -H 'Content-Type: application/json' localhost:8080/v1/catalog/stats
+//
+// The /v1/cache & /v1/catalog control surface (API.md) acts on every
+// alive node: DELETE /v1/cache/{fingerprint} drops the plan and its
+// subplans wherever replicated, /v1/cache/flush is what /cluster/flush
+// aliases, and a stats update bumps the epoch ring-wide so stale plans
+// re-cost lazily on whichever node serves them next.
 //
 // Transports: by default the coordinator calls its nodes in-process
 // (-transport=local). With -transport=http every node gets a real loopback

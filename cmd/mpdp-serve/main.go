@@ -13,6 +13,12 @@
 //	curl -d '{"statements":["SELECT ..."]}' -H 'Content-Type: application/json' localhost:8080/v1/batch
 //	curl localhost:8080/v1/stats
 //	curl localhost:8080/v1/healthz
+//	curl localhost:8080/v1/cache                  # cache summary + hottest entries
+//	curl -X DELETE localhost:8080/v1/cache/$FP    # drop one plan + its subplans
+//	curl -X POST localhost:8080/v1/cache/flush
+//	curl -X POST -H 'Content-Type: application/json' \
+//	  -d '{"relations":[{"name":"release","rows":21000000}]}' \
+//	  localhost:8080/v1/catalog/stats             # bump stats epoch, no flush
 //
 // The pre-versioning endpoints (/optimize, /stats, /healthz) remain as
 // aliases of the same handlers. In stdin mode, lines starting with # are
@@ -203,7 +209,7 @@ func main() {
 	httpSrv := &http.Server{Addr: *httpAddr, Handler: api.Mux()}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("mpdp-serve: listening on %s (POST /v1/optimize /v1/batch, GET /v1/stats /v1/healthz /metrics /v1/debug/slow; legacy aliases kept)", *httpAddr)
+	log.Printf("mpdp-serve: listening on %s (POST /v1/optimize /v1/batch /v1/cache/flush /v1/catalog/stats, GET /v1/stats /v1/healthz /v1/cache /metrics /v1/debug/slow, DELETE /v1/cache/{fp}; legacy aliases kept)", *httpAddr)
 	select {
 	case err := <-errc:
 		log.Fatal(err)

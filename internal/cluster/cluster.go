@@ -541,7 +541,9 @@ func (c *Cluster) replicate(key, from string, owners []string) {
 	if err != nil || len(resp.Entries) == 0 {
 		return
 	}
-	req := Request{Kind: ReqImport, Entries: resp.Entries}
+	// Sub-entries harvested from the plan ride along, so replica owners can
+	// warm-start overlapping queries too, not just serve exact hits.
+	req := Request{Kind: ReqImport, Entries: resp.Entries, SubEntries: resp.SubEntries}
 	for _, id := range owners {
 		if id == from {
 			continue
@@ -657,7 +659,7 @@ func (c *Cluster) RemoveNode(id string) error {
 		c.rebalanceMu.Lock()
 		ctx, cancel := c.maintCtx()
 		if resp, err := c.transport.Call(ctx, id, Request{Kind: ReqExport}); err == nil {
-			c.pushEntries(resp.Entries, id)
+			c.pushEntries(resp.Entries, resp.SubEntries, id)
 		}
 		cancel()
 		c.rebalanceMu.Unlock()
@@ -836,46 +838,162 @@ func (c *Cluster) rebalance() {
 		if err != nil {
 			continue
 		}
-		c.pushEntries(resp.Entries, id)
+		c.pushEntries(resp.Entries, resp.SubEntries, id)
 	}
 }
 
 // pushEntries imports entries into their current owners, batching one
 // ReqImport per destination node. Entries already held by holder are not
-// re-sent to it.
-func (c *Cluster) pushEntries(entries []service.Entry, holder string) {
+// re-sent to it. Sub-entries follow their origin entry's owners, so a node
+// that inherits a plan inherits the subplans harvested from it.
+func (c *Cluster) pushEntries(entries []service.Entry, subs []service.SubEntry, holder string) {
 	if len(entries) == 0 {
 		return
 	}
+	subsOf := make(map[string][]service.SubEntry)
+	for _, se := range subs {
+		subsOf[se.Origin] = append(subsOf[se.Origin], se)
+	}
 	batches := make(map[string][]service.Entry)
+	subBatches := make(map[string][]service.SubEntry)
 	for _, e := range entries {
 		for _, owner := range c.Owners(e.Key) {
 			if owner != holder {
 				batches[owner] = append(batches[owner], e)
+				subBatches[owner] = append(subBatches[owner], subsOf[e.Key]...)
 			}
 		}
 	}
 	for id, batch := range batches {
 		ctx, cancel := c.maintCtx()
-		if _, err := c.transport.Call(ctx, id, Request{Kind: ReqImport, Entries: batch}); err == nil {
+		req := Request{Kind: ReqImport, Entries: batch, SubEntries: subBatches[id]}
+		if _, err := c.transport.Call(ctx, id, req); err == nil {
 			c.counters.rebalanced.add(uint64(len(batch)))
 		}
 		cancel()
 	}
 }
 
-// FlushAll drops every member's plan cache — the cluster-wide invalidation
-// hook for statistics or catalog changes. It targets all known members,
-// not just ring members, so a node that is dead-but-revivable does not
-// carry pre-flush entries back on rejoin; a node that is partitioned at
-// flush time still misses the call (see CLUSTER.md's limits — a real
-// deployment would version entries with a catalog epoch).
+// FlushAll drops every member's plan cache and subgraph memo. It targets
+// all known members, not just ring members, so a node that is
+// dead-but-revivable does not carry pre-flush entries back on rejoin; a
+// node that is partitioned at flush time still misses the call. Prefer
+// BumpStatsEpochAll when the trigger is a statistics change: the epoch
+// machinery re-validates cached plans lazily instead of discarding them.
 func (c *Cluster) FlushAll() {
 	for _, id := range c.memberIDs() {
 		ctx, cancel := c.maintCtx()
 		c.transport.Call(ctx, id, Request{Kind: ReqFlush})
 		cancel()
 	}
+}
+
+// BumpStatsEpochAll advances the catalog stats epoch on every known member
+// and returns the lowest old epoch and highest new epoch observed. Entries
+// cached under older epochs are lazily re-costed on their next probe
+// rather than flushed (see service.BumpStatsEpoch). A member unreachable
+// at bump time keeps its old epoch until the next bump reaches it — the
+// same partition caveat FlushAll has, but with a bounded cost: a missed
+// bump means one lazy re-cost more, never a wrong plan.
+func (c *Cluster) BumpStatsEpochAll() (old, cur uint64) {
+	for _, id := range c.memberIDs() {
+		ctx, cancel := c.maintCtx()
+		resp, err := c.transport.Call(ctx, id, Request{Kind: ReqBumpEpoch})
+		cancel()
+		if err != nil {
+			continue
+		}
+		if old == 0 || resp.OldEpoch < old {
+			old = resp.OldEpoch
+		}
+		if resp.NewEpoch > cur {
+			cur = resp.NewEpoch
+		}
+	}
+	return old, cur
+}
+
+// CacheInfo aggregates the plan-cache summaries of every alive node:
+// capacities and plan counts sum (replicated entries count once per
+// holder), the stats epoch is the highest observed, and the entry listing
+// merges per-node listings by fingerprint — hits and sub-entry counts sum
+// across holders — truncated to the topN hottest.
+func (c *Cluster) CacheInfo(topN int) service.CacheInfo {
+	agg := service.CacheInfo{Entries: []service.CacheEntryInfo{}}
+	byKey := make(map[string]service.CacheEntryInfo)
+	for _, id := range c.AliveNodes() {
+		ctx, cancel := c.maintCtx()
+		resp, err := c.transport.Call(ctx, id, Request{Kind: ReqCacheInfo, TopN: topN})
+		cancel()
+		if err != nil || resp.Info == nil {
+			continue
+		}
+		info := resp.Info
+		agg.Plans += info.Plans
+		agg.Capacity += info.Capacity
+		agg.Shards += info.Shards
+		agg.SubPlans += info.SubPlans
+		agg.SubCapacity += info.SubCapacity
+		if info.StatsEpoch > agg.StatsEpoch {
+			agg.StatsEpoch = info.StatsEpoch
+		}
+		for _, e := range info.Entries {
+			m, ok := byKey[e.Key]
+			if !ok {
+				byKey[e.Key] = e
+				continue
+			}
+			m.Hits += e.Hits
+			m.SubEntries += e.SubEntries
+			if e.Epoch > m.Epoch {
+				m.Epoch = e.Epoch
+			}
+			byKey[e.Key] = m
+		}
+	}
+	for _, e := range byKey {
+		agg.Entries = append(agg.Entries, e)
+	}
+	sort.SliceStable(agg.Entries, func(i, j int) bool {
+		if agg.Entries[i].Hits != agg.Entries[j].Hits {
+			return agg.Entries[i].Hits > agg.Entries[j].Hits
+		}
+		return agg.Entries[i].Key < agg.Entries[j].Key
+	})
+	if topN >= 0 && len(agg.Entries) > topN {
+		agg.Entries = agg.Entries[:topN]
+	}
+	return agg
+}
+
+// Invalidate drops the entry under the given canonical fingerprint (plus
+// the sub-entries harvested from it) on every known member, reporting
+// whether any member held it and how many sub-entries were dropped in
+// total.
+func (c *Cluster) Invalidate(key string) (found bool, subsDropped int) {
+	for _, id := range c.memberIDs() {
+		ctx, cancel := c.maintCtx()
+		resp, err := c.transport.Call(ctx, id, Request{Kind: ReqInvalidate, Key: key})
+		cancel()
+		if err != nil {
+			continue
+		}
+		found = found || resp.Found
+		subsDropped += resp.SubsDropped
+	}
+	return found, subsDropped
+}
+
+// StatsEpoch returns the highest catalog stats epoch any alive node
+// reports (nodes that missed a bump lag until the next one reaches them).
+func (c *Cluster) StatsEpoch() uint64 {
+	var epoch uint64
+	for _, id := range c.AliveNodes() {
+		if st, err := c.statsOf(id); err == nil && st.Snapshot.StatsEpoch > epoch {
+			epoch = st.Snapshot.StatsEpoch
+		}
+	}
+	return epoch
 }
 
 // statsOf fetches a remote member's stats over the transport.
@@ -995,8 +1113,11 @@ func (c *Cluster) collectStats() (Snapshot, *service.LatencySet) {
 	var hitUS, missUS float64
 	merged := &service.LatencySet{}
 	s.Backends = make(map[string]service.BackendCounts)
-	fold := func(id string, snap service.Snapshot, cacheLen int, dead bool) {
-		s.PerNode[id] = NodeSnapshot{Snapshot: snap, CacheLen: cacheLen, Dead: dead}
+	fold := func(id string, snap service.Snapshot, cacheLen, subLen int, dead bool) {
+		s.PerNode[id] = NodeSnapshot{Snapshot: snap, CacheLen: cacheLen, SubLen: subLen, Dead: dead}
+		if snap.StatsEpoch > s.StatsEpoch {
+			s.StatsEpoch = snap.StatsEpoch
+		}
 		served += snap.Hits + snap.Misses + snap.Coalesced
 		warm += snap.Hits + snap.Coalesced
 		hits += snap.Hits
@@ -1017,7 +1138,7 @@ func (c *Cluster) collectStats() (Snapshot, *service.LatencySet) {
 		}
 	}
 	for id, ref := range refs {
-		fold(id, ref.n.svc.Counters().Snapshot(), ref.n.svc.CacheLen(), ref.dead)
+		fold(id, ref.n.svc.Counters().Snapshot(), ref.n.svc.CacheLen(), ref.n.svc.SubCacheLen(), ref.dead)
 		ref.n.svc.Counters().MergeLatencies(merged)
 	}
 	for _, r := range remotes {
@@ -1028,7 +1149,7 @@ func (c *Cluster) collectStats() (Snapshot, *service.LatencySet) {
 			s.PerNode[r.id] = NodeSnapshot{Dead: r.dead}
 			continue
 		}
-		fold(r.id, st.Snapshot, st.CacheLen, r.dead)
+		fold(r.id, st.Snapshot, st.CacheLen, st.SubLen, r.dead)
 		merged.MergeExport(st.Latencies)
 	}
 	if served > 0 {
@@ -1105,6 +1226,8 @@ func (c *Cluster) WriteMetrics(w io.Writer) error {
 	// dashboards read either binary.
 	var requests, hits, misses, coalesced, fallbacks, errs, canceled uint64
 	var rDPCCP, rMPDP, rGPU, rIDP2, rUnion uint64
+	var warmRuns, warmSeeded, staleProbes, recosted, recostWins, epochBumps uint64
+	cacheSubs := 0
 	for _, ns := range s.PerNode {
 		requests += ns.Requests
 		hits += ns.Hits
@@ -1118,6 +1241,13 @@ func (c *Cluster) WriteMetrics(w io.Writer) error {
 		rGPU += ns.RouteMPDPGPU
 		rIDP2 += ns.RouteIDP2
 		rUnion += ns.RouteUnionDP
+		warmRuns += ns.WarmStartRuns
+		warmSeeded += ns.WarmStartSeeded
+		staleProbes += ns.StaleProbes
+		recosted += ns.Recosted
+		recostWins += ns.RecostWins
+		epochBumps += ns.EpochBumps
+		cacheSubs += ns.SubLen
 	}
 	mw.Counter("mpdp_requests_total", "Optimize calls accepted for processing (all nodes).", nil, requests)
 	mw.Counter("mpdp_cache_hits_total", "Requests served from a plan cache (all nodes).", nil, hits)
@@ -1131,6 +1261,14 @@ func (c *Cluster) WriteMetrics(w io.Writer) error {
 	mw.Gauge("mpdp_queue_depth", "Worker-queue slots occupied (all nodes).", nil, float64(s.QueueDepth))
 	mw.Gauge("mpdp_inflight", "Node-side requests in progress (all nodes).", nil, float64(s.InFlight))
 	mw.Gauge("mpdp_cache_plans", "Cached plans summed over all nodes.", nil, float64(cachePlans))
+	mw.Gauge("mpdp_cache_sub_entries", "Subgraph-memo entries summed over all nodes.", nil, float64(cacheSubs))
+	mw.Counter("mpdp_cache_warm_start_runs_total", "Optimizations offered a warm start from a subgraph memo (all nodes).", nil, warmRuns)
+	mw.Counter("mpdp_cache_warm_start_seeded_total", "Connected sets seeded from subgraph memos before enumeration (all nodes).", nil, warmSeeded)
+	mw.Counter("mpdp_cache_stale_probes_total", "Cache misses that located a structural twin from an older stats epoch (all nodes).", nil, staleProbes)
+	mw.Counter("mpdp_cache_recost_total", "Stale twin plans re-costed under current statistics (all nodes).", nil, recosted)
+	mw.Counter("mpdp_cache_recost_wins_total", "Re-costed stale plans that matched the freshly enumerated optimum (all nodes).", nil, recostWins)
+	mw.Counter("mpdp_stats_epoch_bumps_total", "Catalog stats epoch advances (all nodes).", nil, epochBumps)
+	mw.Gauge("mpdp_stats_epoch", "Highest catalog stats epoch any node reports.", nil, float64(s.StatsEpoch))
 	const routeHelp = "Routing decisions by algorithm (all nodes)."
 	mw.Counter("mpdp_route_total", routeHelp, obs.Labels{"algorithm": "dpccp"}, rDPCCP)
 	mw.Counter("mpdp_route_total", routeHelp, obs.Labels{"algorithm": "mpdp_cpu"}, rMPDP)

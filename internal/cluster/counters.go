@@ -50,8 +50,10 @@ type counters struct {
 // (node-mode) peer's instrumentation reaches the coordinator's /v1/stats
 // rollup and /metrics exposition.
 type NodeStats struct {
-	Snapshot  service.Snapshot                 `json:"snapshot"`
-	CacheLen  int                              `json:"cache_len"`
+	Snapshot service.Snapshot `json:"snapshot"`
+	CacheLen int              `json:"cache_len"`
+	// SubLen is the node's subgraph-memo entry count.
+	SubLen    int                              `json:"sub_len,omitempty"`
 	Latencies map[string]obs.HistogramSnapshot `json:"latencies,omitempty"`
 }
 
@@ -60,6 +62,7 @@ type NodeStats struct {
 type NodeSnapshot struct {
 	service.Snapshot
 	CacheLen int  `json:"cache_len"`
+	SubLen   int  `json:"sub_len"`
 	Dead     bool `json:"dead"`
 }
 
@@ -108,6 +111,10 @@ type Snapshot struct {
 	Queued     uint64 `json:"queued"`
 	QueueDepth int64  `json:"queue_depth"`
 	InFlight   int64  `json:"in_flight"`
+
+	// StatsEpoch is the highest catalog stats epoch any node reports; a
+	// node lagging behind re-costs its stale entries lazily.
+	StatsEpoch uint64 `json:"stats_epoch"`
 
 	Replicas   int      `json:"replicas"`
 	AliveNodes []string `json:"alive_nodes"`

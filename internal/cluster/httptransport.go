@@ -25,18 +25,26 @@ const RPCPath = "/cluster/rpc"
 // marshal their native structs — both sides are this repository, there is
 // no cross-version skew to defend against.
 type wireRequest struct {
-	Kind    ReqKind         `json:"kind"`
-	Query   *wire.Query     `json:"query,omitempty"`
-	Key     string          `json:"key,omitempty"`
-	Entries []service.Entry `json:"entries,omitempty"`
+	Kind       ReqKind            `json:"kind"`
+	Query      *wire.Query        `json:"query,omitempty"`
+	Key        string             `json:"key,omitempty"`
+	Entries    []service.Entry    `json:"entries,omitempty"`
+	SubEntries []service.SubEntry `json:"sub_entries,omitempty"`
+	TopN       int                `json:"top_n,omitempty"`
 }
 
 // wireResponse is the JSON form of a Response or a node-side error.
 type wireResponse struct {
-	Result  *service.Result `json:"result,omitempty"`
-	Entries []service.Entry `json:"entries,omitempty"`
-	Stats   *NodeStats      `json:"stats,omitempty"`
-	Err     *wireErr        `json:"err,omitempty"`
+	Result      *service.Result    `json:"result,omitempty"`
+	Entries     []service.Entry    `json:"entries,omitempty"`
+	SubEntries  []service.SubEntry `json:"sub_entries,omitempty"`
+	Stats       *NodeStats         `json:"stats,omitempty"`
+	Info        *service.CacheInfo `json:"info,omitempty"`
+	OldEpoch    uint64             `json:"old_epoch,omitempty"`
+	NewEpoch    uint64             `json:"new_epoch,omitempty"`
+	Found       bool               `json:"found,omitempty"`
+	SubsDropped int                `json:"subs_dropped,omitempty"`
+	Err         *wireErr           `json:"err,omitempty"`
 }
 
 // wireErr carries a node-side error across the socket with enough class
@@ -107,7 +115,13 @@ func nodeRPCHandler(h handler) http.Handler {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		req := Request{Kind: wreq.Kind, Key: wreq.Key, Entries: wreq.Entries}
+		req := Request{
+			Kind:       wreq.Kind,
+			Key:        wreq.Key,
+			Entries:    wreq.Entries,
+			SubEntries: wreq.SubEntries,
+			TopN:       wreq.TopN,
+		}
 		if wreq.Query != nil {
 			q, err := wreq.Query.ToQuery(nil)
 			if err != nil {
@@ -121,7 +135,17 @@ func nodeRPCHandler(h handler) http.Handler {
 			writeWireResponse(w, &wireResponse{Err: encodeErr(err)})
 			return
 		}
-		writeWireResponse(w, &wireResponse{Result: resp.Result, Entries: resp.Entries, Stats: resp.Stats})
+		writeWireResponse(w, &wireResponse{
+			Result:      resp.Result,
+			Entries:     resp.Entries,
+			SubEntries:  resp.SubEntries,
+			Stats:       resp.Stats,
+			Info:        resp.Info,
+			OldEpoch:    resp.OldEpoch,
+			NewEpoch:    resp.NewEpoch,
+			Found:       resp.Found,
+			SubsDropped: resp.SubsDropped,
+		})
 	})
 }
 
@@ -277,7 +301,13 @@ func (t *HTTPTransport) Call(ctx context.Context, to string, req Request) (*Resp
 		return nil, fmt.Errorf("%w: %s (%s)", ErrUnreachable, to, req.Kind)
 	}
 
-	wreq := wireRequest{Kind: req.Kind, Key: req.Key, Entries: req.Entries}
+	wreq := wireRequest{
+		Kind:       req.Kind,
+		Key:        req.Key,
+		Entries:    req.Entries,
+		SubEntries: req.SubEntries,
+		TopN:       req.TopN,
+	}
 	if req.Query != nil {
 		wreq.Query = wire.FromQuery(req.Query)
 	}
@@ -328,7 +358,17 @@ func (t *HTTPTransport) Call(ctx context.Context, to string, req Request) (*Resp
 	if wresp.Err != nil {
 		return nil, wresp.Err.decode()
 	}
-	return &Response{Result: wresp.Result, Entries: wresp.Entries, Stats: wresp.Stats}, nil
+	return &Response{
+		Result:      wresp.Result,
+		Entries:     wresp.Entries,
+		SubEntries:  wresp.SubEntries,
+		Stats:       wresp.Stats,
+		Info:        wresp.Info,
+		OldEpoch:    wresp.OldEpoch,
+		NewEpoch:    wresp.NewEpoch,
+		Found:       wresp.Found,
+		SubsDropped: wresp.SubsDropped,
+	}, nil
 }
 
 // NodeServer hosts one optimizer node behind the cluster RPC protocol —

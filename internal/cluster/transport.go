@@ -30,6 +30,15 @@ const (
 	// histograms — how the coordinator folds remote (node-mode) peers into
 	// its cluster-wide snapshot and /metrics rollup.
 	ReqStats
+	// ReqBumpEpoch advances the node's catalog stats epoch; cached entries
+	// stamped with older epochs are lazily re-costed, not flushed.
+	ReqBumpEpoch
+	// ReqCacheInfo returns the node's plan-cache summary with its TopN
+	// hottest entries.
+	ReqCacheInfo
+	// ReqInvalidate drops the entry under Key plus every subgraph-memo
+	// entry harvested from it.
+	ReqInvalidate
 )
 
 func (k ReqKind) String() string {
@@ -46,24 +55,52 @@ func (k ReqKind) String() string {
 		return "flush"
 	case ReqStats:
 		return "stats"
+	case ReqBumpEpoch:
+		return "bump-epoch"
+	case ReqCacheInfo:
+		return "cache-info"
+	case ReqInvalidate:
+		return "invalidate"
 	}
 	return fmt.Sprintf("reqkind(%d)", int(k))
 }
 
 // Request is one message from the coordinator to a node.
+//
+// Every field here must also appear in the HTTP transport's wireRequest
+// (httptransport.go) — the wire-parity test in transport_test.go fails the
+// build when a field is added on one side only, which is how sub-entries
+// and epochs are kept from silently vanishing on the socket path.
 type Request struct {
 	Kind    ReqKind
 	Query   *cost.Query
 	Key     string
 	Entries []service.Entry
+	// SubEntries travel with Entries on import/replication so a peer that
+	// inherits a plan can also warm-start overlapping queries.
+	SubEntries []service.SubEntry
+	// TopN bounds the entry listing of ReqCacheInfo.
+	TopN int
 }
 
-// Response is a node's answer.
+// Response is a node's answer. Like Request, its fields are mirrored by
+// wireResponse and pinned by the wire-parity test.
 type Response struct {
 	Result  *service.Result
 	Entries []service.Entry
+	// SubEntries answers ReqExport alongside Entries.
+	SubEntries []service.SubEntry
 	// Stats answers ReqStats.
 	Stats *NodeStats
+	// Info answers ReqCacheInfo.
+	Info *service.CacheInfo
+	// OldEpoch and NewEpoch answer ReqBumpEpoch.
+	OldEpoch uint64
+	NewEpoch uint64
+	// Found and SubsDropped answer ReqInvalidate: whether the whole-query
+	// entry existed and how many sub-entries went with it.
+	Found       bool
+	SubsDropped int
 }
 
 // ErrUnreachable is the transport-level failure: the node is partitioned,

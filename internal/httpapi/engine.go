@@ -44,6 +44,21 @@ type Engine interface {
 	WriteMetrics(w io.Writer) error
 	// SlowLog returns the engine's ring of slowest requests (never nil).
 	SlowLog() *obs.SlowLog
+	// CacheInfo summarizes the engine's plan cache(s), listing the topN
+	// hottest entries. Cluster engines aggregate over alive nodes.
+	CacheInfo(topN int) service.CacheInfo
+	// Invalidate drops the entry under the canonical fingerprint plus the
+	// sub-entries harvested from it, reporting whether it existed and how
+	// many sub-entries went with it.
+	Invalidate(key string) (found bool, subsDropped int)
+	// FlushCache drops every cached plan and subgraph-memo entry.
+	FlushCache()
+	// StatsEpoch returns the current catalog stats epoch.
+	StatsEpoch() uint64
+	// BumpStatsEpoch advances the catalog stats epoch, returning the epoch
+	// before and after. Cached plans from older epochs are re-costed lazily
+	// on their next probe, not flushed.
+	BumpStatsEpoch() (old, cur uint64)
 }
 
 // serviceEngine adapts service.Service.
@@ -70,6 +85,16 @@ func (e serviceEngine) WriteMetrics(w io.Writer) error { return e.svc.WriteMetri
 
 func (e serviceEngine) SlowLog() *obs.SlowLog { return e.svc.SlowLog() }
 
+func (e serviceEngine) CacheInfo(topN int) service.CacheInfo { return e.svc.CacheInfo(topN) }
+
+func (e serviceEngine) Invalidate(key string) (bool, int) { return e.svc.Invalidate(key) }
+
+func (e serviceEngine) FlushCache() { e.svc.Flush() }
+
+func (e serviceEngine) StatsEpoch() uint64 { return e.svc.StatsEpoch() }
+
+func (e serviceEngine) BumpStatsEpoch() (uint64, uint64) { return e.svc.BumpStatsEpoch() }
+
 // clusterEngine adapts cluster.Cluster.
 type clusterEngine struct{ c *cluster.Cluster }
 
@@ -89,6 +114,16 @@ func (e clusterEngine) StatsJSON() string { return e.c.Snapshot().String() }
 func (e clusterEngine) WriteMetrics(w io.Writer) error { return e.c.WriteMetrics(w) }
 
 func (e clusterEngine) SlowLog() *obs.SlowLog { return e.c.SlowLog() }
+
+func (e clusterEngine) CacheInfo(topN int) service.CacheInfo { return e.c.CacheInfo(topN) }
+
+func (e clusterEngine) Invalidate(key string) (bool, int) { return e.c.Invalidate(key) }
+
+func (e clusterEngine) FlushCache() { e.c.FlushAll() }
+
+func (e clusterEngine) StatsEpoch() uint64 { return e.c.StatsEpoch() }
+
+func (e clusterEngine) BumpStatsEpoch() (uint64, uint64) { return e.c.BumpStatsEpochAll() }
 
 func (e clusterEngine) Health() Health {
 	alive := len(e.c.AliveNodes())

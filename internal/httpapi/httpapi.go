@@ -81,12 +81,18 @@ type API struct {
 	mux    *http.ServeMux
 	ridSeq atomic.Uint64
 	ridPfx string
+	// schema is the live SQL-binding schema; POST /v1/catalog/stats swaps
+	// in an updated copy (copy-on-write) under schemaMu, so concurrent
+	// binds always read an immutable snapshot.
+	schemaMu sync.RWMutex
+	schema   sql.Schema
 }
 
 // New builds the API and its mux with the /v1 endpoints and the legacy
 // aliases registered.
 func New(engine Engine, opts Options) *API {
 	a := &API{engine: engine, opts: opts.withDefaults(), mux: http.NewServeMux()}
+	a.schema = a.opts.Schema
 	a.quota = newQuotas(a.opts.Quota)
 	var b [3]byte
 	if _, err := crand.Read(b[:]); err == nil {
@@ -99,6 +105,10 @@ func New(engine Engine, opts Options) *API {
 	a.mux.HandleFunc("/v1/batch", a.handleBatch)
 	a.mux.HandleFunc("/v1/fingerprint", a.handleFingerprint)
 	a.mux.HandleFunc("/v1/stats", a.handleStats)
+	a.mux.HandleFunc("/v1/cache", a.handleCache)
+	a.mux.HandleFunc("/v1/cache/flush", a.handleCacheFlush)
+	a.mux.HandleFunc("/v1/cache/{fingerprint}", a.handleCacheEntry)
+	a.mux.HandleFunc("/v1/catalog/stats", a.handleCatalogStats)
 	a.mux.HandleFunc("/v1/healthz", a.handleHealthz)
 	a.mux.HandleFunc("/v1/metrics", a.handleMetrics)
 	a.mux.HandleFunc("/v1/debug/slow", a.handleSlow)
@@ -118,6 +128,13 @@ func (a *API) Mux() *http.ServeMux { return a.mux }
 // Handle registers an extra, binary-specific route (the cluster's admin
 // surface) on the shared mux.
 func (a *API) Handle(pattern string, h http.Handler) { a.mux.Handle(pattern, h) }
+
+// currentSchema returns the live binding-schema snapshot.
+func (a *API) currentSchema() sql.Schema {
+	a.schemaMu.RLock()
+	defer a.schemaMu.RUnlock()
+	return a.schema
+}
 
 // requestID returns the inbound X-Request-Id or mints one.
 func (a *API) requestID(r *http.Request) string {
@@ -185,7 +202,7 @@ func (a *API) readQuery(r *http.Request, rid string) (*WireQuery, *Error, int) {
 func (a *API) optimizeOne(ctx context.Context, wq *WireQuery, explain bool, rid string) (*Response, *Error, int) {
 	tr := obs.FromContext(ctx)
 	compileDone := tr.StartSpan(obs.PhaseCompile)
-	q, err := wq.ToQuery(a.opts.Schema)
+	q, err := wq.ToQuery(a.currentSchema())
 	compileDone()
 	if err != nil {
 		return nil, &Error{Code: CodeInvalidQuery, Message: "invalid query", Detail: err.Error(), RequestID: rid}, http.StatusUnprocessableEntity
@@ -211,6 +228,19 @@ func (a *API) optimizeOne(ctx context.Context, wq *WireQuery, explain bool, rid 
 		Fingerprint: res.Key,
 		Node:        ans.Node,
 		Failover:    ans.Failover,
+	}
+	resp.StatsEpoch = res.Epoch
+	// Warm-start fields describe this request's own enumeration, so they
+	// stay zero on cache hits (whose stored stats describe the original
+	// run). ConnectedSets counts the n base sets plus every enumerated
+	// interior set; seeded sets were skipped, so the fraction is the share
+	// of the walked lattice the memo covered.
+	if !res.CacheHit && !res.Coalesced && res.Stats.WarmSeeded > 0 {
+		resp.WarmStartSeeded = res.Stats.WarmSeeded
+		interior := res.Stats.ConnectedSets - uint64(q.N())
+		if total := res.Stats.WarmSeeded + interior; total > 0 {
+			resp.WarmStartFraction = float64(res.Stats.WarmSeeded) / float64(total)
+		}
 	}
 	if res.GPU != nil {
 		resp.GPUDevices = res.GPU.Devices
@@ -288,6 +318,21 @@ func (a *API) serveOptimize(w http.ResponseWriter, r *http.Request, explain bool
 	if e := a.checkQuota(r, rid, 1); e != nil {
 		a.failEnv(w, http.StatusTooManyRequests, e)
 		return
+	}
+	// ?epoch= asserts the catalog stats epoch the caller planned against;
+	// a moved epoch rejects the request instead of answering with plans
+	// costed under statistics the caller has not seen.
+	if s := r.URL.Query().Get("epoch"); s != "" {
+		want, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			a.fail(w, rid, http.StatusBadRequest, CodeBadRequest, "epoch must be an unsigned integer", err)
+			return
+		}
+		if cur := a.engine.StatsEpoch(); cur != want {
+			a.fail(w, rid, http.StatusConflict, CodeStaleEpoch,
+				fmt.Sprintf("server stats epoch is %d, caller asserted %d", cur, want), nil)
+			return
+		}
 	}
 	wq, e, status := a.readQuery(r, rid)
 	if e != nil {
@@ -399,7 +444,7 @@ func (a *API) handleFingerprint(w http.ResponseWriter, r *http.Request) {
 		a.failEnv(w, status, e)
 		return
 	}
-	q, err := wq.ToQuery(a.opts.Schema)
+	q, err := wq.ToQuery(a.currentSchema())
 	if err != nil {
 		a.fail(w, rid, http.StatusUnprocessableEntity, CodeInvalidQuery, "invalid query", err)
 		return

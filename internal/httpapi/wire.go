@@ -32,6 +32,15 @@ type Response struct {
 	// Fingerprint is the canonical join-graph fingerprint the plan is
 	// cached under: isomorphic queries with identical statistics share it.
 	Fingerprint string `json:"fingerprint,omitempty"`
+	// WarmStartSeeded counts the connected sets seeded from the subgraph
+	// memo before enumeration; WarmStartFraction is the fraction of the
+	// walked connected-set lattice those seeds covered (the enumeration
+	// skipped them). Both are zero on cache hits and cold runs.
+	WarmStartSeeded   uint64  `json:"warm_start_seeded,omitempty"`
+	WarmStartFraction float64 `json:"warm_start_fraction,omitempty"`
+	// StatsEpoch is the catalog stats epoch the served plan was produced
+	// under (see POST /v1/catalog/stats).
+	StatsEpoch uint64 `json:"stats_epoch,omitempty"`
 	// GPUDevices/GPUSimMS carry the device work model when the GPU backend
 	// produced the plan.
 	GPUDevices int     `json:"gpu_devices,omitempty"`
@@ -78,6 +87,8 @@ const (
 	CodeQuotaExceeded    = "quota_exceeded"     // 429, per-tenant quota
 	CodeCanceled         = "client_closed_request"
 	CodeInternal         = "internal"
+	CodeNotFound         = "not_found"   // 404, e.g. DELETE of an uncached fingerprint
+	CodeStaleEpoch       = "stale_epoch" // 409, ?epoch= assertion failed
 )
 
 // The wire form of a query lives in the leaf package internal/wire so the
@@ -133,6 +144,55 @@ type FingerprintResponse struct {
 	Relations   int    `json:"relations"`
 	Edges       int    `json:"edges"`
 	Shape       string `json:"shape"`
+}
+
+// InvalidateResponse is the body of a successful
+// DELETE /v1/cache/{fingerprint}.
+type InvalidateResponse struct {
+	Fingerprint string `json:"fingerprint"`
+	// SubEntriesDropped counts the subgraph-memo entries that were
+	// harvested from the invalidated plan and went with it.
+	SubEntriesDropped int `json:"sub_entries_dropped"`
+}
+
+// FlushResponse is the body of POST /v1/cache/flush: what the flush
+// dropped.
+type FlushResponse struct {
+	PlansDropped    int `json:"plans_dropped"`
+	SubPlansDropped int `json:"sub_plans_dropped"`
+}
+
+// CatalogRelStats is one relation's updated statistics in a
+// POST /v1/catalog/stats body. Absent optional fields keep the schema
+// entry's previous value; Distinct merges per column.
+type CatalogRelStats struct {
+	Name string `json:"name"`
+	// Rows is the new estimated tuple count (required, positive).
+	Rows float64 `json:"rows"`
+	// Width is the average tuple width in bytes (0: keep, or 100 for new
+	// relations). Pages overrides the derived page count when positive.
+	Width int     `json:"width,omitempty"`
+	Pages float64 `json:"pages,omitempty"`
+	// PKIndex marks a usable primary-key index.
+	PKIndex *bool `json:"pk_index,omitempty"`
+	// Distinct updates per-column distinct counts, which drive the SQL
+	// binder's join selectivities (1/max(distinct sides)).
+	Distinct map[string]float64 `json:"distinct,omitempty"`
+}
+
+// CatalogStatsRequest is the body of POST /v1/catalog/stats.
+type CatalogStatsRequest struct {
+	Relations []CatalogRelStats `json:"relations"`
+}
+
+// CatalogStatsResponse reports the epoch transition a stats update caused.
+// Cached plans stamped with epochs before NewEpoch are lazily re-costed on
+// their next probe — never flushed.
+type CatalogStatsResponse struct {
+	OldEpoch uint64 `json:"old_epoch"`
+	NewEpoch uint64 `json:"new_epoch"`
+	// Updated counts the schema relations the request changed or created.
+	Updated int `json:"updated"`
 }
 
 func mustJSON(v any) []byte {

@@ -141,6 +141,12 @@ func levelParallel(in dp.Input, evaluate dp.SetEvaluator) (*plan.Node, dp.Stats,
 	}
 	tab := prep.Seed(dp.BucketCount(buckets))
 	stats.ConnectedSets = uint64(in.Q.N())
+	if in.Warm != nil {
+		// Warm-start runs before any worker starts: the seeded winners are
+		// plain table writes, published to the workers by the goroutine
+		// creation below (same happens-before edge the base seeds use).
+		stats.WarmSeeded = uint64(in.Warm(tab, buckets))
+	}
 
 	maxLevel := 0
 	for _, b := range buckets {
@@ -182,6 +188,9 @@ func levelParallel(in dp.Input, evaluate dp.SetEvaluator) (*plan.Node, dp.Stats,
 					if i >= len(sets) {
 						return
 					}
+					if stats.WarmSeeded > 0 && tab.Has(sets[i]) {
+						continue // seeded by the warm-start hook
+					}
 					win, st, err := evaluate(in, tab, sets[i], dl, sc)
 					evalCtr.Add(st.Evaluated)
 					ccpCtr.Add(st.CCP)
@@ -212,7 +221,11 @@ func levelParallel(in dp.Input, evaluate dp.SetEvaluator) (*plan.Node, dp.Stats,
 	stats.Evaluated = evalCtr.Load()
 	stats.CCP = ccpCtr.Load()
 	stats.ConnectedSets += setCtr.Load()
-	return dp.Finish(in, tab, prep.Leaves, &stats)
+	best, st, err := dp.Finish(in, tab, prep.Leaves, &stats)
+	if err == nil && in.Harvest != nil {
+		in.Harvest(tab)
+	}
+	return best, st, err
 }
 
 // DPSubParallel is the CPU-parallel DPSub, provided for completeness (the

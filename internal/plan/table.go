@@ -284,6 +284,27 @@ func (t *Table) grow() {
 	}
 }
 
+// Range calls f for every interior (joined) set stored in the table, by
+// value. Base (singleton) entries are skipped: they carry no split worth
+// sharing. Iteration order is the table's slot order; f must not mutate
+// the table while ranging.
+func (t *Table) Range(f func(s bitset.Mask, w Winner)) {
+	for i, k := range t.keys {
+		if k == 0 || t.left[i] == 0 {
+			continue
+		}
+		v := &t.vals[i]
+		f(k, Winner{
+			Left:  t.left[i],
+			Right: t.right[i],
+			Rows:  v.rows,
+			Cost:  v.cost,
+			Op:    Op(v.meta & metaOp >> 8),
+			Found: true,
+		})
+	}
+}
+
 // Build materializes the plan tree recorded for set s: interior nodes come
 // from the arena, base entries resolve to the prepared per-relation plans
 // (leaves[i] is the plan of singleton set {i}). It returns nil when s is

@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"hash/fnv"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/backend"
 	"repro/internal/core"
@@ -14,8 +15,8 @@ import (
 
 // cached is one plan-cache entry. The plan is stored in canonical index
 // space (see Fingerprint) and must be remapped through a query's
-// permutation before being handed out; entries are therefore immutable and
-// safe to share across shards' readers.
+// permutation before being handed out; entries are therefore immutable
+// (except the atomic hit counter) and safe to share across shards' readers.
 type cached struct {
 	key      string
 	plan     *plan.Node
@@ -25,6 +26,22 @@ type cached struct {
 	shape    Shape
 	gpu      *gpusim.MultiStats // device work model when backend == gpu
 	fellBack bool
+
+	// epoch is the catalog stats epoch when the entry was produced. Exact-
+	// key hits are sound at any epoch (the key embeds the statistics); the
+	// epoch exists so the stale-twin path can tell "produced under the
+	// current catalog" from "produced before a stats update", and for the
+	// /v1/cache introspection surface.
+	epoch uint64
+	// structKey is the stats-blind structural fingerprint of the entry's
+	// query, and structOf maps structural-canonical indices to the entry's
+	// exact-canonical indices (structOf[structCanon] = exactCanon). Together
+	// they let a probing query with updated statistics transplant this
+	// entry's join order into its own index space for lazy re-costing.
+	structKey string
+	structOf  []int
+	// hits counts exact-key cache hits served from this entry.
+	hits atomic.Uint64
 }
 
 // cacheShard is one LRU segment: a mutex, the recency list and the index.
@@ -101,6 +118,20 @@ func (c *Cache) Put(e *cached) {
 		s.ll.Remove(back)
 		delete(s.items, back.Value.(*cached).key)
 	}
+}
+
+// Delete removes the entry for key, reporting whether it was present.
+func (c *Cache) Delete(key string) bool {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
+	if !ok {
+		return false
+	}
+	s.ll.Remove(el)
+	delete(s.items, key)
+	return true
 }
 
 // Flush drops every entry from every shard.

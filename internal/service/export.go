@@ -31,13 +31,47 @@ type Entry struct {
 	Shape    Shape
 	GPU      *gpusim.MultiStats // device work model when Backend == gpu
 	FellBack bool
+	// Epoch is the catalog stats epoch the plan was produced under, Hits
+	// the exact-key hit count served so far; both travel with the entry so
+	// replication preserves staleness provenance and popularity.
+	Epoch uint64
+	Hits  uint64
+	// StructKey and StructOf are the stats-blind structural identity (see
+	// StructuralFingerprint and cached.structOf); they travel with the
+	// entry so a peer that imports it can serve the stale-twin re-cost
+	// path for the same queries the origin node could.
+	StructKey string
+	StructOf  []int
 }
 
-// Flush drops every plan-cache entry. Use it when the statistics or catalog
-// behind cached plans change: a stale plan is still a valid join tree, but
-// its costs no longer describe the database.
+// Flush drops every plan-cache entry, the subgraph memo and the structural
+// index. Prefer BumpStatsEpoch when the statistics behind the cached plans
+// change: a stale plan is still a valid join tree and the epoch machinery
+// re-validates it lazily instead of discarding the work.
 func (s *Service) Flush() {
 	s.cache.Flush()
+	s.submemo.Flush()
+	s.structMu.Lock()
+	s.structIdx = make(map[string]string)
+	s.structMu.Unlock()
+}
+
+// Invalidate removes the entry cached under the given canonical key along
+// with every subgraph-memo entry harvested from it. It reports whether the
+// whole-query entry existed and how many sub-entries were dropped.
+func (s *Service) Invalidate(key string) (bool, int) {
+	found := false
+	if e, ok := s.cache.Get(key); ok {
+		found = s.cache.Delete(key)
+		if e.structKey != "" {
+			s.structMu.Lock()
+			if s.structIdx[e.structKey] == key {
+				delete(s.structIdx, e.structKey)
+			}
+			s.structMu.Unlock()
+		}
+	}
+	return found, s.submemo.DeleteOrigin(key)
 }
 
 // ExportEntry returns the cached entry for a canonical key, if present.
@@ -62,6 +96,27 @@ func (s *Service) Export() []Entry {
 	return out
 }
 
+// ExportSubs returns every subgraph-memo entry in insertion order, for
+// replication alongside Export.
+func (s *Service) ExportSubs() []SubEntry { return s.submemo.Export() }
+
+// ExportSubsOf returns the subgraph-memo entries harvested from the given
+// whole-query fingerprint, so per-key replication can carry a plan's
+// subplans with it.
+func (s *Service) ExportSubsOf(origin string) []SubEntry { return s.submemo.ExportOrigin(origin) }
+
+// ImportSubs installs exported subgraph-memo entries; entries with an empty
+// key are rejected.
+func (s *Service) ImportSubs(entries []SubEntry) error {
+	for _, e := range entries {
+		if e.Key == "" {
+			return fmt.Errorf("service: import sub-entry with empty key")
+		}
+		s.submemo.Put(e)
+	}
+	return nil
+}
+
 // Import installs an exported entry into the plan cache, overwriting any
 // entry already cached under the same key. Subsequent Optimize calls for
 // queries with that fingerprint are cache hits.
@@ -72,16 +127,29 @@ func (s *Service) Import(e Entry) error {
 	if e.Plan == nil {
 		return fmt.Errorf("service: import entry %q with nil plan", e.Key)
 	}
-	s.cache.Put(&cached{
-		key:      e.Key,
-		plan:     e.Plan,
-		stats:    e.Stats,
-		alg:      e.Algorithm,
-		backend:  e.Backend,
-		shape:    e.Shape,
-		gpu:      e.GPU,
-		fellBack: e.FellBack,
-	})
+	c := &cached{
+		key:       e.Key,
+		plan:      e.Plan,
+		stats:     e.Stats,
+		alg:       e.Algorithm,
+		backend:   e.Backend,
+		shape:     e.Shape,
+		gpu:       e.GPU,
+		fellBack:  e.FellBack,
+		epoch:     e.Epoch,
+		structKey: e.StructKey,
+		structOf:  e.StructOf,
+	}
+	if c.epoch == 0 {
+		c.epoch = s.StatsEpoch()
+	}
+	c.hits.Store(e.Hits)
+	s.cache.Put(c)
+	if c.structKey != "" {
+		s.structMu.Lock()
+		s.structIdx[c.structKey] = c.key
+		s.structMu.Unlock()
+	}
 	return nil
 }
 
@@ -95,5 +163,9 @@ func exportEntry(e *cached) Entry {
 		Shape:     e.shape,
 		GPU:       e.gpu,
 		FellBack:  e.fellBack,
+		Epoch:     e.epoch,
+		Hits:      e.hits.Load(),
+		StructKey: e.structKey,
+		StructOf:  e.structOf,
 	}
 }

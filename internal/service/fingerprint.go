@@ -8,7 +8,6 @@
 package service
 
 import (
-	"hash/fnv"
 	"math"
 	"sort"
 	"strconv"
@@ -53,59 +52,65 @@ func FingerprintQuery(q *cost.Query) Fingerprint {
 	}
 
 	colors := make([]uint64, n)
+	sels := make([]uint64, 0, n)
 	for v := 0; v < n; v++ {
 		nb := g.Neighbors(v)
-		sels := make([]uint64, len(nb))
-		for i, w := range nb {
-			sels[i] = selBits(v, w)
+		sels = sels[:0]
+		for _, w := range nb {
+			sels = append(sels, selBits(v, w))
 		}
-		sort.Slice(sels, func(i, j int) bool { return sels[i] < sels[j] })
-		h := fnv.New64a()
+		sortU64(sels)
+		h := fnvU64(fnvOffset64, uint64(len(nb)))
 		for _, s := range relStats(q, v) {
-			writeU64(h, s)
+			h = fnvU64(h, s)
 		}
-		writeU64(h, uint64(len(nb)))
 		for _, s := range sels {
-			writeU64(h, s)
+			h = fnvU64(h, s)
 		}
-		colors[v] = h.Sum64()
+		colors[v] = h
 	}
 
-	// refine runs colour refinement until stable (bounded rounds; the bound
-	// only trades canonicalization quality for time, never correctness).
+	// countClasses counts distinct colours; the partition can only split
+	// from round to round (a cross-class hash collision, ~2^-64, would
+	// merely coarsen the canonical order, never corrupt the key — the key
+	// serializes the query itself, not the colours).
+	seen := make(map[uint64]struct{}, n)
+	countClasses := func() int {
+		clear(seen)
+		for _, c := range colors {
+			seen[c] = struct{}{}
+		}
+		return len(seen)
+	}
+
+	// refine runs colour refinement until the partition stops splitting or
+	// becomes discrete. This is the canonicalization hot loop — it runs per
+	// harvested set and per warm-start region probe, so it hashes inline and
+	// sorts without reflection.
+	next := make([]uint64, n)
 	sig := make([][2]uint64, 0, n)
+	classes := countClasses()
 	refine := func() {
-		for round := 0; round < 16; round++ {
-			next := make([]uint64, n)
-			changed := false
+		for classes < n {
 			for v := 0; v < n; v++ {
 				sig = sig[:0]
 				for _, w := range g.Neighbors(v) {
 					sig = append(sig, [2]uint64{selBits(v, w), colors[w]})
 				}
-				sort.Slice(sig, func(i, j int) bool {
-					if sig[i][0] != sig[j][0] {
-						return sig[i][0] < sig[j][0]
-					}
-					return sig[i][1] < sig[j][1]
-				})
-				h := fnv.New64a()
-				writeU64(h, colors[v])
+				sortSig(sig)
+				h := fnvU64(fnvOffset64, colors[v])
 				for _, s := range sig {
-					writeU64(h, s[0])
-					writeU64(h, s[1])
+					h = fnvU64(h, s[0])
+					h = fnvU64(h, s[1])
 				}
-				if nc := h.Sum64(); nc != colors[v] {
-					next[v] = nc
-					changed = true
-				} else {
-					next[v] = colors[v]
-				}
+				next[v] = h
 			}
 			copy(colors, next)
-			if !changed {
+			nc := countClasses()
+			if nc == classes {
 				return
 			}
+			classes = nc
 		}
 	}
 	refine()
@@ -135,11 +140,9 @@ func FingerprintQuery(q *cost.Query) Fingerprint {
 		placed[best] = true
 		// A fresh unique colour pins the vertex; tie-broken classes need a
 		// re-refine so the choice propagates.
-		h := fnv.New64a()
-		writeU64(h, uint64(pos))
-		h.Write([]byte("individualized"))
-		colors[best] = h.Sum64()
+		colors[best] = fnvU64(fnvU64(fnvOffset64, uint64(pos)), individualizedTag)
 		if classSize > 1 {
+			classes = countClasses()
 			refine()
 		}
 	}
@@ -216,12 +219,47 @@ func floatBits(f float64) uint64 {
 	return math.Float64bits(f)
 }
 
-type u64Writer interface{ Write([]byte) (int, error) }
+// FNV-1a over uint64 words, inlined: the canonicalizer hashes per vertex
+// per refinement round, so the hash must not allocate or call through an
+// interface. Colour values never leave the process (keys serialize the
+// query itself), so the exact function is an implementation detail.
+const (
+	fnvOffset64       = 14695981039346656037
+	fnvPrime64        = 1099511628211
+	individualizedTag = 0x696e646976 // pins individualized vertices
+)
 
-func writeU64(w u64Writer, v uint64) {
-	var buf [8]byte
+func fnvU64(h, v uint64) uint64 {
 	for i := 0; i < 8; i++ {
-		buf[i] = byte(v >> (8 * i))
+		h ^= v & 0xff
+		h *= fnvPrime64
+		v >>= 8
 	}
-	w.Write(buf[:])
+	return h
+}
+
+// sortU64 and sortSig are insertion sorts: neighbour lists are tiny (at
+// most n-1, usually 2-3), where sort.Slice's reflection swapper costs more
+// than the sort itself.
+func sortU64(s []uint64) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func sortSig(s [][2]uint64) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && sigLess(s[j], s[j-1]); j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func sigLess(a, b [2]uint64) bool {
+	if a[0] != b[0] {
+		return a[0] < b[0]
+	}
+	return a[1] < b[1]
 }

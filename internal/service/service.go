@@ -29,6 +29,12 @@ type Config struct {
 	CacheShards int
 	// CacheCapacity is the total number of cached plans (0: 4096).
 	CacheCapacity int
+	// SubCacheCapacity bounds the subgraph memo: the number of cached
+	// connected-subquery winners harvested from completed DP tables and
+	// used to warm-start later enumerations (0: 4096). DP tables with more
+	// interior sets than the capacity are not harvested — they would only
+	// churn the memo.
+	SubCacheCapacity int
 	// Workers is the optimization worker-pool size (0: GOMAXPROCS).
 	Workers int
 	// QueueDepth bounds the pending-request queue; enqueueing blocks when
@@ -80,6 +86,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheCapacity == 0 {
 		c.CacheCapacity = 4096
+	}
+	if c.SubCacheCapacity == 0 {
+		c.SubCacheCapacity = 4096
 	}
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
@@ -142,6 +151,11 @@ type Result struct {
 	Elapsed  time.Duration
 	// Key is the canonical fingerprint the request was cached under.
 	Key string
+	// Epoch is the catalog stats epoch the served plan was produced under;
+	// Stats.WarmSeeded and Stats.ConnectedSets describe the warm start (how
+	// many connected sets the subgraph memo seeded vs how many the
+	// enumeration still walked).
+	Epoch uint64
 }
 
 // ErrClosed is returned by Optimize after Close.
@@ -180,6 +194,13 @@ type request struct {
 	fp Fingerprint
 	fl *flight
 
+	// sfp is the stats-blind structural fingerprint (computed once by the
+	// initiating caller on the miss path); stale, when non-nil, is the plan
+	// of a structural twin from an older stats epoch, already transplanted
+	// into this query's index space and awaiting lazy re-costing.
+	sfp   Fingerprint
+	stale *plan.Node
+
 	tr         *obs.Trace
 	arrived    time.Time
 	enqueuedAt time.Time
@@ -192,13 +213,30 @@ type Service struct {
 	xover    backend.Crossover
 	backends *backend.Set
 	cache    *Cache
+	submemo  *SubMemo
 	counters Counters
 	slog     *obs.SlowLog
 	// limiter is the node-level admission rate cap (nil: uncapped).
 	limiter *TokenBucket
 
+	// structIdx maps stats-blind structural fingerprints to the exact key
+	// of the most recent entry with that structure — the secondary index
+	// the stale-twin re-cost path probes after a stats-epoch bump.
+	structMu  sync.Mutex
+	structIdx map[string]string
+
 	mu       sync.Mutex
 	inflight map[string]*flight
+
+	// harvestCh feeds completed DP tables to the background harvester that
+	// fingerprints their connected sets into the subgraph memo; pending and
+	// harvestCond let tests and benchmarks wait for quiescence.
+	harvestCh      chan harvestJob
+	harvestOnce    sync.Once
+	harvestWG      sync.WaitGroup
+	harvestMu      sync.Mutex
+	harvestCond    *sync.Cond
+	harvestPending int
 
 	reqs chan request
 	quit chan struct{}
@@ -206,22 +244,39 @@ type Service struct {
 	once sync.Once
 }
 
+// harvestJob is one completed DP table queued for memo harvest. The query
+// is a private deep copy (the caller's query must not be retained) and the
+// table's ownership transfers to the harvester.
+type harvestJob struct {
+	q      *cost.Query
+	tab    *plan.Table
+	origin string
+	epoch  uint64
+}
+
 // New starts a service, its execution backends and its worker pool.
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	s := &Service{
-		cfg:      cfg,
-		xover:    cfg.crossover(),
-		backends: backend.NewSet(cfg.GPU),
-		cache:    NewCache(cfg.CacheShards, cfg.CacheCapacity),
-		slog:     obs.NewSlowLog(cfg.Slow),
-		inflight: make(map[string]*flight),
-		reqs:     make(chan request, cfg.QueueDepth),
-		quit:     make(chan struct{}),
+		cfg:       cfg,
+		xover:     cfg.crossover(),
+		backends:  backend.NewSet(cfg.GPU),
+		cache:     NewCache(cfg.CacheShards, cfg.CacheCapacity),
+		submemo:   NewSubMemo(cfg.SubCacheCapacity),
+		slog:      obs.NewSlowLog(cfg.Slow),
+		structIdx: make(map[string]string),
+		inflight:  make(map[string]*flight),
+		harvestCh: make(chan harvestJob, 16),
+		reqs:      make(chan request, cfg.QueueDepth),
+		quit:      make(chan struct{}),
 	}
+	s.counters.statsEpoch.Store(1)
+	s.harvestCond = sync.NewCond(&s.harvestMu)
 	if cfg.Admission.RatePerSec > 0 {
 		s.limiter = NewTokenBucket(cfg.Admission.RatePerSec, cfg.Admission.Burst)
 	}
+	s.harvestWG.Add(1)
+	go s.harvester()
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
@@ -237,6 +292,10 @@ func New(cfg Config) *Service {
 func (s *Service) Close() {
 	s.once.Do(func() { close(s.quit) })
 	s.wg.Wait()
+	// The workers are done, so no further harvests can be enqueued: drain
+	// the harvester before the backends go away.
+	s.harvestOnce.Do(func() { close(s.harvestCh) })
+	s.harvestWG.Wait()
 	s.backends.Close()
 }
 
@@ -249,11 +308,31 @@ func (s *Service) WriteMetrics(w io.Writer) error {
 	mw := obs.NewMetricsWriter(w)
 	s.counters.writeMetrics(mw)
 	mw.Gauge("mpdp_cache_plans", "Plans resident in the cache.", nil, float64(s.cache.Len()))
+	mw.Gauge("mpdp_cache_sub_entries", "Connected-subquery winners resident in the subgraph memo.", nil, float64(s.submemo.Len()))
 	return mw.Flush()
 }
 
 // CacheLen returns the number of cached plans.
 func (s *Service) CacheLen() int { return s.cache.Len() }
+
+// SubCacheLen returns the number of subgraph-memo entries.
+func (s *Service) SubCacheLen() int { return s.submemo.Len() }
+
+// StatsEpoch returns the current catalog stats epoch (starts at 1).
+func (s *Service) StatsEpoch() uint64 { return s.counters.statsEpoch.Load() }
+
+// BumpStatsEpoch advances the catalog stats epoch and returns the old and
+// new values. Nothing is flushed: cached entries keep serving exact-key
+// hits (their keys embed the statistics they were costed under, so such
+// hits remain sound), while queries carrying the *new* statistics miss the
+// exact key, locate their structural twin through the stats-blind index,
+// and lazily re-cost its join order against a fresh enumeration. Call it
+// whenever relation statistics or selectivities change.
+func (s *Service) BumpStatsEpoch() (old, cur uint64) {
+	cur = s.counters.statsEpoch.Add(1)
+	s.counters.epochBumps.Add(1)
+	return cur - 1, cur
+}
 
 // Route reports which (algorithm, backend) pair the adaptive router would
 // pick for q, given its size, detected shape and edge density.
@@ -391,6 +470,7 @@ func (s *Service) optimize(ctx context.Context, q *cost.Query, start time.Time) 
 			probed = true
 		}
 		if ok {
+			e.hits.Add(1)
 			done := tr.StartSpan(obs.PhaseMaterialize)
 			res := resultFrom(e, inv, 0, true, false)
 			done()
@@ -430,7 +510,13 @@ func (s *Service) optimize(ctx context.Context, q *cost.Query, start time.Time) 
 	}
 
 	if !joined {
-		if err := s.enqueue(ctx, request{q: q, fp: fp, fl: fl, tr: tr, arrived: start}); err != nil {
+		// The initiator pays for the structural probe: on a miss after a
+		// stats-epoch bump, the stats-blind index can locate a structural
+		// twin whose join order is worth re-validating under the new
+		// statistics alongside the fresh (warm-started) enumeration.
+		sfp := StructuralFingerprint(q)
+		stale := s.staleCandidate(q, fp, sfp)
+		if err := s.enqueue(ctx, request{q: q, fp: fp, sfp: sfp, stale: stale, fl: fl, tr: tr, arrived: start}); err != nil {
 			return nil, err
 		}
 	}
@@ -598,7 +684,35 @@ func resultFrom(e *cached, inv []int, elapsed time.Duration, hit, coalesced bool
 		FellBack:  e.fellBack,
 		Elapsed:   elapsed,
 		Key:       e.key,
+		Epoch:     e.epoch,
 	}
+}
+
+// staleCandidate probes the structural index for a twin of q cached under
+// an older stats epoch and, when found, transplants its join order into q's
+// index space through the composed structural-canonical correspondence.
+// The returned plan still carries the twin's costs — the serve path re-costs
+// it under current statistics before comparing it with the enumeration.
+func (s *Service) staleCandidate(q *cost.Query, fp, sfp Fingerprint) *plan.Node {
+	s.structMu.Lock()
+	twinKey, ok := s.structIdx[sfp.Key]
+	s.structMu.Unlock()
+	if !ok || twinKey == fp.Key {
+		return nil
+	}
+	e, hit := s.cache.Get(twinKey)
+	if !hit || e.epoch == s.StatsEpoch() || len(e.structOf) != q.N() {
+		return nil
+	}
+	s.counters.staleProbes.Add(1)
+	// Compose: query vertex v → structural canonical sfp.Perm[v] → twin's
+	// exact canonical e.structOf[...]; invert to remap the twin's
+	// canonical-space plan directly into q's index space.
+	m := make([]int, q.N())
+	for v := 0; v < q.N(); v++ {
+		m[e.structOf[sfp.Perm[v]]] = v
+	}
+	return remapPlan(e.plan, m)
 }
 
 func (s *Service) worker() {
@@ -651,31 +765,67 @@ func (s *Service) serve(r request, arena *plan.Arena) {
 
 	arena.Reset()
 	enumDone := r.tr.StartSpan(obs.PhaseEnumerate)
-	res, usedAlg, usedBid, err := s.optimizeWithFallback(r.fl.ctx, r.q, alg, bid, shape, arena)
+	res, usedAlg, usedBid, err := s.optimizeWithFallback(r.fl.ctx, r.q, r.fp.Key, alg, bid, shape, arena)
 	enumDone()
 	if err == nil {
 		s.counters.observeServed(usedBid)
+		if r.stale != nil {
+			// Lazy re-validation of the structural twin found on the probe:
+			// re-cost its join order under current statistics and keep it
+			// when it matches or beats what the optimizer produced (it can
+			// genuinely win over a heuristic fallback).
+			s.counters.recosted.Add(1)
+			if cand := recostPlan(r.q, s.cfg.Model, r.stale); cand.Cost <= res.Plan.Cost || costClose(cand.Cost, res.Plan.Cost) {
+				s.counters.recostWins.Add(1)
+				res.Plan = cand
+			}
+		}
 		// The GPU's modeled device time decomposes into Sim spans: launch,
 		// transfer, per-kernel cycles, memory — the paper's per-level cost
 		// breakdown, per request.
 		res.GPU.TraceInto(r.tr, s.cfg.GPU.DeviceModel())
 		matDone := r.tr.StartSpan(obs.PhaseMaterialize)
+		n := r.q.N()
+		structOf := make([]int, n)
+		for v := 0; v < n; v++ {
+			structOf[r.sfp.Perm[v]] = r.fp.Perm[v]
+		}
 		r.fl.entry = &cached{
-			key:      r.fp.Key,
-			plan:     remapPlan(res.Plan, r.fp.Perm),
-			stats:    res.Stats,
-			alg:      usedAlg,
-			backend:  usedBid,
-			shape:    shape,
-			gpu:      res.GPU,
-			fellBack: usedAlg != alg,
+			key:       r.fp.Key,
+			plan:      remapPlan(res.Plan, r.fp.Perm),
+			stats:     res.Stats,
+			alg:       usedAlg,
+			backend:   usedBid,
+			shape:     shape,
+			gpu:       res.GPU,
+			fellBack:  usedAlg != alg,
+			epoch:     s.StatsEpoch(),
+			structKey: r.sfp.Key,
+			structOf:  structOf,
 		}
 		s.cache.Put(r.fl.entry)
+		s.structMu.Lock()
+		s.structIdx[r.sfp.Key] = r.fp.Key
+		s.structMu.Unlock()
 		matDone()
 	} else {
 		r.fl.err = err
 	}
 	s.finishFlight(r)
+}
+
+// costClose reports whether two plan costs agree to relative 1e-9 (the
+// tie tolerance the equivalence suite uses).
+func costClose(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	scale := a
+	if b > a {
+		scale = b
+	}
+	return d <= 1e-9*scale
 }
 
 // finishFlight publishes the flight's outcome and wakes every waiter.
@@ -693,13 +843,16 @@ func (s *Service) finishFlight(r request) {
 // budget is the contract). The fallback is charged to the backend that
 // timed out. Caller cancellation (ctx) aborts outright — a caller that
 // walked away gets no heuristic retry.
-func (s *Service) optimizeWithFallback(ctx context.Context, q *cost.Query, alg core.Algorithm, bid backend.ID, shape Shape, arena *plan.Arena) (*backend.Result, core.Algorithm, backend.ID, error) {
+func (s *Service) optimizeWithFallback(ctx context.Context, q *cost.Query, fpKey string, alg core.Algorithm, bid backend.ID, shape Shape, arena *plan.Arena) (*backend.Result, core.Algorithm, backend.ID, error) {
+	warm, harvest := s.memoHooks(q, fpKey)
 	opts := backend.Options{
 		Model:   s.cfg.Model,
 		Timeout: s.cfg.Timeout,
 		Threads: s.cfg.Threads,
 		K:       s.cfg.K,
 		Arena:   arena,
+		Warm:    warm,
+		Harvest: harvest,
 	}
 	res, err := s.backends.Get(bid).Optimize(ctx, q, alg, opts)
 	if err == nil || !errors.Is(err, dp.ErrTimeout) || !alg.IsExact() {

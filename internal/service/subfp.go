@@ -1,0 +1,144 @@
+package service
+
+import (
+	"math/bits"
+
+	"repro/internal/bitset"
+	"repro/internal/catalog"
+	"repro/internal/cost"
+	"repro/internal/graph"
+	"repro/internal/plan"
+)
+
+// This file extends the canonical fingerprinting of fingerprint.go to the
+// subgraph memo: canonical fingerprints of induced connected subqueries (the
+// memo's keys), a stats-blind structural fingerprint (the secondary index
+// that finds a query's stale twin after a statistics change), and a cheap
+// order-invariant subset hash that filters warm-start probes before the full
+// canonicalization runs.
+
+// FingerprintInduced computes the canonical fingerprint of the subquery
+// induced by the vertex set s: the relations of s with their statistics and
+// every edge with both endpoints in s. It returns the fingerprint together
+// with the local→global vertex mapping (ids[localIndex] = queryIndex, in
+// ascending query-index order); the fingerprint's Perm maps local indices to
+// canonical indices, exactly as FingerprintQuery does for whole queries.
+//
+// Soundness rests on the DP optimality substructure: the optimal join of a
+// connected set depends only on the induced subquery (base statistics of its
+// relations plus internal edge selectivities), so a winner cached under an
+// induced fingerprint is valid for any query in which some connected subset
+// canonicalizes to the same key.
+func FingerprintInduced(q *cost.Query, s bitset.Mask) (Fingerprint, []int) {
+	ids := maskBits(s)
+	sub, _ := q.G.Subgraph(ids)
+	cat := catalog.Catalog{Rels: make([]catalog.Relation, len(ids))}
+	for li, gi := range ids {
+		cat.Rels[li] = q.Cat.Rels[gi]
+	}
+	return FingerprintQuery(&cost.Query{Cat: cat, G: sub}), ids
+}
+
+// StructuralFingerprint computes the stats-blind canonical fingerprint of q:
+// the same 1-WL + individualization canonicalization run on a copy of the
+// query whose relations all carry identical statistics and whose edges all
+// have selectivity 1. Two queries that differ only in statistics — the
+// before/after of a catalog stats update — share the structural key, which
+// is how a probe locates its stale twin for lazy re-costing. Structural
+// entries are never served directly: the plan they lead to is transplanted
+// and re-costed under the probing query's statistics, then validated against
+// a fresh enumeration.
+func StructuralFingerprint(q *cost.Query) Fingerprint {
+	n := q.N()
+	cat := catalog.Catalog{Rels: make([]catalog.Relation, n)}
+	for i := range cat.Rels {
+		cat.Rels[i] = catalog.Relation{Rows: 1, Pages: 1, Width: 1}
+	}
+	g := graph.New(n)
+	for _, e := range q.G.Edges {
+		g.AddEdge(e.A, e.B, 1)
+	}
+	fp := FingerprintQuery(&cost.Query{Cat: cat, G: g})
+	fp.Key = "s|" + fp.Key
+	return fp
+}
+
+// maskBits returns the set bits of s in ascending order.
+func maskBits(s bitset.Mask) []int {
+	ids := make([]int, 0, s.Count())
+	for m := uint64(s); m != 0; m &= m - 1 {
+		ids = append(ids, bits.TrailingZeros64(m))
+	}
+	return ids
+}
+
+// invariantHasher computes a cheap, label-invariant hash of induced
+// subqueries: a commutative sum of precomputed per-vertex statistic hashes,
+// so isomorphic subsets with identical statistics hash equal regardless of
+// vertex numbering. The warm-start path computes one invariant per
+// connected set and probes the memo's invariant multiset before paying for
+// a full canonicalization, so the per-set cost must stay at a few bit
+// operations — which is why edges are deliberately excluded: subsets with
+// equal vertex-statistic multisets but different internal edges collide,
+// costing at most one wasted canonicalization, and the memo lookup itself
+// uses the exact canonical key, so collisions can never seed a wrong plan.
+type invariantHasher struct {
+	vert []uint64
+}
+
+func newInvariantHasher(q *cost.Query) *invariantHasher {
+	vert := make([]uint64, q.N())
+	for v := range vert {
+		h := uint64(fnvOffset64)
+		for _, s := range relStats(q, v) {
+			h = fnvU64(h, s)
+		}
+		vert[v] = mix64(h)
+	}
+	return &invariantHasher{vert: vert}
+}
+
+func (ih *invariantHasher) invariant(s bitset.Mask) uint64 {
+	var sum uint64
+	for m := uint64(s); m != 0; m &= m - 1 {
+		sum += ih.vert[bits.TrailingZeros64(m)]
+	}
+	return mix64(sum ^ uint64(s.Count())<<32)
+}
+
+// mix64 is the splitmix64 finalizer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// translateMask rewrites an origin-space mask into the probing query's
+// index space through the origin→query vertex correspondence co — the
+// warm path's entire per-set cost once a region has matched.
+func translateMask(m bitset.Mask, co *[64]int) bitset.Mask {
+	var out bitset.Mask
+	for x := uint64(m); x != 0; x &= x - 1 {
+		out = out.Add(co[bits.TrailingZeros64(x)])
+	}
+	return out
+}
+
+// recostPlan rebuilds p bottom-up under q's current statistics: scans are
+// re-derived from the catalog and every join is re-costed (and its physical
+// operator re-chosen) by the model. The join order — the tree shape and
+// leaf assignment — is preserved; only cardinalities, costs and operators
+// change. This is the lazy re-validation step for structurally-matched
+// stale cache entries.
+func recostPlan(q *cost.Query, m *cost.Model, p *plan.Node) *plan.Node {
+	if p == nil {
+		return nil
+	}
+	if p.IsLeaf() {
+		return m.Scan(q, p.RelID)
+	}
+	return m.Join(q, recostPlan(q, m, p.Left), recostPlan(q, m, p.Right))
+}

@@ -1,0 +1,262 @@
+package service
+
+import (
+	"sync"
+
+	"repro/internal/bitset"
+	"repro/internal/plan"
+)
+
+// SubEntry is one subgraph-memo entry in exportable form: the winning top
+// split of a connected subquery, keyed by the canonical fingerprint of the
+// induced subgraph (statistics included, so a key hit is always sound).
+//
+// Masks are stored in origin-query index space, with Verts bridging them to
+// the canonical form: a prober that canonicalizes a matching set composes
+// its own permutation with Verts into an origin→prober vertex
+// correspondence, which translates Set/Left/Right — and, crucially, the
+// Set of every other entry from the same Origin contained in Set — with
+// cheap bit arithmetic. That containment property is what lets the warm
+// path canonicalize one maximal shared region and then bulk-seed all of its
+// cached subsets without further canonicalization.
+type SubEntry struct {
+	// Key is the canonical induced fingerprint (see FingerprintInduced).
+	Key string
+	// Origin is the whole-query fingerprint whose DP table this entry was
+	// harvested from; targeted invalidation of that fingerprint removes the
+	// entry.
+	Origin string
+	// Set is the harvested connected set, Left and Right its winning split;
+	// all three in origin-query index space. Both split sides are connected
+	// in the induced subgraph (csg-cmp invariant).
+	Set         bitset.Mask
+	Left, Right bitset.Mask
+	Rows, Cost  float64
+	Op          plan.Op
+	// Verts maps canonical indices to origin-query vertices:
+	// Verts[canonicalIndex] = originVertex.
+	Verts []int
+	// Epoch is the catalog stats epoch at harvest time (informational: the
+	// key embeds exact statistics, so a hit is valid at any epoch).
+	Epoch uint64
+	// Inv is the order-invariant subset hash (see invariantHasher), carried
+	// with the entry because it cannot be recomputed without the origin
+	// query.
+	Inv uint64
+}
+
+// SubMemo is the subplan memo: a bounded FIFO map from canonical induced
+// fingerprints to winning top splits, plus a multiset of the entries'
+// invariant hashes so warm-start probes can reject absent subsets without
+// computing a full canonicalization. One mutex guards it all — entries are
+// small and the memo is touched once per optimization (bulk harvest, bulk
+// warm scan), not once per lattice set.
+type SubMemo struct {
+	mu    sync.Mutex
+	items map[string]SubEntry
+	order []string // insertion order; head indexes the oldest live key
+	head  int
+	cap   int
+	invs  map[uint64]int
+	// byOrigin indexes live keys by their Origin fingerprint, so the warm
+	// path's bulk-seed scan and targeted invalidation touch one origin's
+	// entries instead of the whole memo.
+	byOrigin map[string]map[string]struct{}
+}
+
+// NewSubMemo builds a memo bounded to capacity entries (minimum 1).
+func NewSubMemo(capacity int) *SubMemo {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SubMemo{
+		items:    make(map[string]SubEntry),
+		invs:     make(map[uint64]int),
+		byOrigin: make(map[string]map[string]struct{}),
+		cap:      capacity,
+	}
+}
+
+// Cap returns the memo's capacity.
+func (m *SubMemo) Cap() int { return m.cap }
+
+// Len returns the number of live entries.
+func (m *SubMemo) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.items)
+}
+
+// Put inserts e, evicting the oldest entry when full. An existing key is
+// refreshed in place (its FIFO position is kept — the memo optimizes for
+// churn resistance, not recency).
+func (m *SubMemo) Put(e SubEntry) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if old, ok := m.items[e.Key]; ok {
+		m.dropInv(old.Inv)
+		if old.Origin != e.Origin {
+			m.dropOrigin(old.Origin, e.Key)
+			m.addOrigin(e.Origin, e.Key)
+		}
+		m.items[e.Key] = e
+		m.invs[e.Inv]++
+		return
+	}
+	for len(m.items) >= m.cap {
+		m.evictOldest()
+	}
+	m.items[e.Key] = e
+	m.invs[e.Inv]++
+	m.addOrigin(e.Origin, e.Key)
+	m.order = append(m.order, e.Key)
+	m.compact()
+}
+
+// Get returns the entry for the exact canonical key.
+func (m *SubMemo) Get(key string) (SubEntry, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.items[key]
+	return e, ok
+}
+
+// MayContain reports whether some entry carries the given invariant hash —
+// the warm path's cheap pre-filter. False is definitive; true may be a
+// collision, which the exact-key Get resolves.
+func (m *SubMemo) MayContain(inv uint64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.invs[inv] > 0
+}
+
+// DeleteOrigin removes every entry harvested from the given whole-query
+// fingerprint and returns how many were dropped.
+func (m *SubMemo) DeleteOrigin(origin string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for k := range m.byOrigin[origin] {
+		if e, ok := m.items[k]; ok {
+			m.dropInv(e.Inv)
+			delete(m.items, k)
+			n++
+		}
+	}
+	delete(m.byOrigin, origin)
+	return n
+}
+
+// CountOrigin returns how many entries were harvested from the given
+// whole-query fingerprint.
+func (m *SubMemo) CountOrigin(origin string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.byOrigin[origin])
+}
+
+// WithinOrigin returns the live entries of the given origin whose Set is
+// contained in the given origin-space region — the bulk-seed scan behind a
+// warm-start hit (see warmTable).
+func (m *SubMemo) WithinOrigin(origin string, region bitset.Mask) []SubEntry {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []SubEntry
+	for k := range m.byOrigin[origin] {
+		if e, ok := m.items[k]; ok && e.Set&region == e.Set {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Flush drops every entry.
+func (m *SubMemo) Flush() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.items = make(map[string]SubEntry)
+	m.invs = make(map[uint64]int)
+	m.byOrigin = make(map[string]map[string]struct{})
+	m.order = nil
+	m.head = 0
+}
+
+// Export returns every live entry in insertion order, so replaying the
+// slice through Put on another memo reproduces the source's eviction order.
+func (m *SubMemo) Export() []SubEntry {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]SubEntry, 0, len(m.items))
+	for _, k := range m.order[m.head:] {
+		if e, ok := m.items[k]; ok {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ExportOrigin returns the live entries harvested from the given
+// whole-query fingerprint, in insertion order.
+func (m *SubMemo) ExportOrigin(origin string) []SubEntry {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []SubEntry
+	for _, k := range m.order[m.head:] {
+		if e, ok := m.items[k]; ok && e.Origin == origin {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// evictOldest removes the oldest live entry; callers hold the mutex.
+func (m *SubMemo) evictOldest() {
+	for m.head < len(m.order) {
+		k := m.order[m.head]
+		m.head++
+		if e, ok := m.items[k]; ok {
+			m.dropInv(e.Inv)
+			m.dropOrigin(e.Origin, k)
+			delete(m.items, k)
+			return
+		}
+	}
+	// order exhausted: resynchronize (only reachable if every queued key
+	// was already deleted out of band).
+	m.order = m.order[:0]
+	m.head = 0
+}
+
+// compact reclaims the dead prefix of the order queue once it dominates.
+func (m *SubMemo) compact() {
+	if m.head > len(m.order)/2 && m.head > 64 {
+		m.order = append(m.order[:0], m.order[m.head:]...)
+		m.head = 0
+	}
+}
+
+func (m *SubMemo) addOrigin(origin, key string) {
+	set, ok := m.byOrigin[origin]
+	if !ok {
+		set = make(map[string]struct{})
+		m.byOrigin[origin] = set
+	}
+	set[key] = struct{}{}
+}
+
+func (m *SubMemo) dropOrigin(origin, key string) {
+	if set, ok := m.byOrigin[origin]; ok {
+		delete(set, key)
+		if len(set) == 0 {
+			delete(m.byOrigin, origin)
+		}
+	}
+}
+
+func (m *SubMemo) dropInv(inv uint64) {
+	if c := m.invs[inv]; c <= 1 {
+		delete(m.invs, inv)
+	} else {
+		m.invs[inv] = c - 1
+	}
+}

@@ -1,0 +1,193 @@
+package service
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/catalog"
+	"repro/internal/cost"
+	"repro/internal/graph"
+	"repro/internal/plan"
+)
+
+// This file owns the subgraph memo's two halves of the optimization path:
+// the warm-start hook that seeds a fresh DP table with cached winners for
+// matching connected subqueries before enumeration, and the background
+// harvester that fingerprints a completed table's connected sets into the
+// memo afterwards. Both are wired into the level drivers through
+// backend.Options (see dp.Input.Warm / dp.Input.Harvest); algorithms that
+// do not run a level driver simply never call them.
+
+// memoHooks builds the per-request warm and harvest closures for q.
+func (s *Service) memoHooks(q *cost.Query, originKey string) (func(*plan.Table, [][]bitset.Mask) int, func(*plan.Table)) {
+	warm := func(tab *plan.Table, buckets [][]bitset.Mask) int {
+		return s.warmTable(q, tab, buckets)
+	}
+	harvest := func(tab *plan.Table) {
+		// The driver hands the table over synchronously at the end of a
+		// successful run; the expensive per-set canonicalization happens on
+		// the harvester goroutine. The query is deep-copied because the
+		// caller owns (and may mutate) the original after Optimize returns.
+		s.enqueueHarvest(harvestJob{
+			q:      cloneQuery(q),
+			tab:    tab,
+			origin: originKey,
+			epoch:  s.StatsEpoch(),
+		})
+	}
+	return warm, harvest
+}
+
+// warmTable seeds tab with memo winners for the connected sets of q that
+// match cached induced fingerprints, returning how many sets it seeded.
+//
+// Probing walks the buckets largest-first and pays a full canonicalization
+// only for the maximal matching regions: a hit yields an origin→query
+// vertex correspondence (the entry's Verts composed with the probe's own
+// permutation), and every memo entry from the same origin whose Set lies
+// inside the matched region is then translated into query space with plain
+// bit arithmetic and seeded — no further canonicalization. Sets covered by
+// an earlier bulk seed are skipped outright, and absent subsets are
+// rejected by the cheap order-invariant hash before any canonical work.
+//
+// A seeded winner is sound verbatim: the induced key embeds the exact
+// statistics and internal selectivities, which fully determine the
+// subquery's optimal cost, the correspondence is a stats-preserving
+// isomorphism (equal canonical keys serialize the exact subgraph), and
+// split sides are connected (csg-cmp invariant), so they are themselves
+// seeded or enumerated at smaller sizes before plan.Table.Build walks them.
+func (s *Service) warmTable(q *cost.Query, tab *plan.Table, buckets [][]bitset.Mask) int {
+	if s.submemo.Len() == 0 {
+		return 0
+	}
+	s.counters.warmRuns.Add(1)
+	ih := newInvariantHasher(q)
+	seeded := 0
+	done := make(map[bitset.Mask]struct{})
+	for size := len(buckets) - 1; size >= 2; size-- {
+		for _, set := range buckets[size] {
+			if _, ok := done[set]; ok {
+				continue
+			}
+			if !s.submemo.MayContain(ih.invariant(set)) {
+				continue
+			}
+			sub, ids := FingerprintInduced(q, set)
+			e, ok := s.submemo.Get(sub.Key)
+			if !ok || len(e.Verts) != len(ids) {
+				continue
+			}
+			// co[originVertex] = queryVertex over the matched region: the
+			// probe maps canonical index c to query vertex ids[invPerm[c]],
+			// the entry maps c to origin vertex Verts[c].
+			var co [64]int // Mask is 64-bit, so 64 bounds the vertex index
+			invPerm := invert(sub.Perm)
+			for c, ov := range e.Verts {
+				co[ov] = ids[invPerm[c]]
+			}
+			for _, sube := range s.submemo.WithinOrigin(e.Origin, e.Set) {
+				qset := translateMask(sube.Set, &co)
+				if _, ok := done[qset]; ok {
+					continue
+				}
+				done[qset] = struct{}{}
+				tab.Put(qset, plan.Winner{
+					Left:  translateMask(sube.Left, &co),
+					Right: translateMask(sube.Right, &co),
+					Rows:  sube.Rows,
+					Cost:  sube.Cost,
+					Op:    sube.Op,
+					Found: true,
+				})
+				seeded++
+			}
+		}
+	}
+	s.counters.warmSeeded.Add(uint64(seeded))
+	return seeded
+}
+
+// enqueueHarvest hands a job to the harvester, dropping it (harvesting is
+// best-effort) when the queue is full.
+func (s *Service) enqueueHarvest(job harvestJob) {
+	s.harvestMu.Lock()
+	s.harvestPending++
+	s.harvestMu.Unlock()
+	select {
+	case s.harvestCh <- job:
+	default:
+		s.harvestDone()
+	}
+}
+
+func (s *Service) harvestDone() {
+	s.harvestMu.Lock()
+	s.harvestPending--
+	if s.harvestPending == 0 {
+		s.harvestCond.Broadcast()
+	}
+	s.harvestMu.Unlock()
+}
+
+// WaitHarvest blocks until every harvest enqueued so far has been absorbed
+// into (or dropped from) the subgraph memo. Tests and benchmarks use it to
+// make the asynchronous harvest deterministic.
+func (s *Service) WaitHarvest() {
+	s.harvestMu.Lock()
+	for s.harvestPending > 0 {
+		s.harvestCond.Wait()
+	}
+	s.harvestMu.Unlock()
+}
+
+// harvester drains completed DP tables into the subgraph memo until Close
+// closes the channel.
+func (s *Service) harvester() {
+	defer s.harvestWG.Done()
+	for job := range s.harvestCh {
+		s.harvestTable(job)
+		s.harvestDone()
+	}
+}
+
+// harvestTable fingerprints every interior (joined) connected set of the
+// table and stores its winning split under the canonical induced key.
+// Tables with more interior sets than the memo's capacity are skipped
+// whole: they would evict everything else and then mostly evict themselves.
+func (s *Service) harvestTable(job harvestJob) {
+	interior := 0
+	job.tab.Range(func(bitset.Mask, plan.Winner) { interior++ })
+	if interior == 0 || interior > s.submemo.Cap() {
+		return
+	}
+	ih := newInvariantHasher(job.q)
+	job.tab.Range(func(set bitset.Mask, w plan.Winner) {
+		sub, ids := FingerprintInduced(job.q, set)
+		verts := make([]int, len(ids))
+		for li, gi := range ids {
+			verts[sub.Perm[li]] = gi
+		}
+		s.submemo.Put(SubEntry{
+			Key:    sub.Key,
+			Origin: job.origin,
+			Set:    set,
+			Left:   w.Left,
+			Right:  w.Right,
+			Rows:   w.Rows,
+			Cost:   w.Cost,
+			Op:     w.Op,
+			Verts:  verts,
+			Epoch:  job.epoch,
+			Inv:    ih.invariant(set),
+		})
+	})
+}
+
+// cloneQuery deep-copies a query's catalog and join graph so the harvester
+// can outlive the Optimize call that produced it.
+func cloneQuery(q *cost.Query) *cost.Query {
+	cat := catalog.Catalog{Rels: append([]catalog.Relation(nil), q.Cat.Rels...)}
+	g := graph.New(q.G.N)
+	for _, e := range q.G.Edges {
+		g.AddEdge(e.A, e.B, e.Sel)
+	}
+	return &cost.Query{Cat: cat, G: g}
+}

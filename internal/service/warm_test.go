@@ -1,0 +1,186 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/cost"
+	"repro/internal/graph"
+)
+
+// chainUniverse is a deterministic pool of relation statistics and chain
+// selectivities: window(lo, hi) cuts the induced subchain joining relations
+// lo..hi-1, so two overlapping windows share induced subgraphs with
+// identical statistics — the situation the subgraph memo exists for.
+type chainUniverse struct {
+	rows []float64
+	sels []float64
+}
+
+func newChainUniverse(n int, seed int64) *chainUniverse {
+	rng := rand.New(rand.NewSource(seed))
+	u := &chainUniverse{rows: make([]float64, n), sels: make([]float64, n-1)}
+	for i := range u.rows {
+		u.rows[i] = float64(1000 + rng.Intn(2_000_000))
+	}
+	for i := range u.sels {
+		u.sels[i] = 1e-6 * float64(1+rng.Intn(999_999))
+	}
+	return u
+}
+
+func (u *chainUniverse) window(lo, hi int) *cost.Query {
+	var cat catalog.Catalog
+	for i := lo; i < hi; i++ {
+		cat.Add(catalog.NewRelation(fmt.Sprintf("r%d", i), u.rows[i], 100))
+	}
+	g := graph.New(hi - lo)
+	for i := lo; i < hi-1; i++ {
+		g.AddEdge(i-lo, i+1-lo, u.sels[i])
+	}
+	return &cost.Query{Cat: cat, G: g}
+}
+
+// TestWarmStartEquivalence is the correctness half of the subgraph memo: a
+// warm-started enumeration must return plans cost-identical to a cold one,
+// across randomized statistics, while actually seeding sets (an empty warm
+// start would pass vacuously).
+func TestWarmStartEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			u := newChainUniverse(30, seed)
+
+			warm := New(Config{Workers: 2})
+			defer warm.Close()
+			cold := New(Config{Workers: 2})
+			defer cold.Close()
+
+			// Warm the memo with the first window, then optimize an
+			// overlapping one on the warm service and the identical query on
+			// a cold service.
+			if _, err := warm.Optimize(context.Background(), u.window(0, 20)); err != nil {
+				t.Fatal(err)
+			}
+			warm.WaitHarvest()
+
+			q := u.window(5, 25)
+			wres, err := warm.Optimize(context.Background(), q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cres, err := cold.Optimize(context.Background(), u.window(5, 25))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if wres.Stats.WarmSeeded == 0 {
+				t.Fatal("overlapping window seeded nothing: the equivalence check below would be vacuous")
+			}
+			if !relEq(wres.Plan.Cost, cres.Plan.Cost) {
+				t.Errorf("warm cost %g != cold cost %g", wres.Plan.Cost, cres.Plan.Cost)
+			}
+			if want := dpccpCost(t, q); !relEq(wres.Plan.Cost, want) {
+				t.Errorf("warm cost %g != DPCCP ground truth %g", wres.Plan.Cost, want)
+			}
+			if err := wres.Plan.Validate(identity(q.N())); err != nil {
+				t.Errorf("warm-started plan invalid: %v", err)
+			}
+			// Seeded sets are skipped, not re-walked: the warm enumeration
+			// must touch fewer connected sets than the cold one.
+			if wres.Stats.ConnectedSets >= cres.Stats.ConnectedSets {
+				t.Errorf("warm run walked %d connected sets, cold walked %d — seeding skipped nothing",
+					wres.Stats.ConnectedSets, cres.Stats.ConnectedSets)
+			}
+			snap := warm.Counters().Snapshot()
+			if snap.WarmStartRuns == 0 || snap.WarmStartSeeded != wres.Stats.WarmSeeded {
+				t.Errorf("counters (runs %d, seeded %d) disagree with result (seeded %d)",
+					snap.WarmStartRuns, snap.WarmStartSeeded, wres.Stats.WarmSeeded)
+			}
+		})
+	}
+}
+
+// TestStaleEpochRecost pins the invalidation contract: a stats change bumps
+// the epoch and flushes nothing; the changed query then misses the exact
+// cache, finds its structural twin from the old epoch, and the twin's join
+// order is re-costed under the new statistics — never served at its stale
+// cost — so the result matches a from-scratch optimization bit for bit.
+func TestStaleEpochRecost(t *testing.T) {
+	u := newChainUniverse(16, 7)
+	s := New(Config{Workers: 2})
+	defer s.Close()
+
+	q1 := u.window(0, 16)
+	res1, err := s.Optimize(context.Background(), q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Epoch != 1 {
+		t.Fatalf("fresh service produced epoch %d, want 1", res1.Epoch)
+	}
+	s.WaitHarvest()
+	plansBefore, subsBefore := s.CacheInfo(0).Plans, s.SubCacheLen()
+	if plansBefore == 0 || subsBefore == 0 {
+		t.Fatalf("expected a cached plan and harvested sub-entries, got %d/%d", plansBefore, subsBefore)
+	}
+
+	if old, cur := s.BumpStatsEpoch(); old != 1 || cur != 2 {
+		t.Fatalf("BumpStatsEpoch = (%d, %d), want (1, 2)", old, cur)
+	}
+	if got := s.CacheInfo(0); got.Plans != plansBefore || s.SubCacheLen() != subsBefore {
+		t.Fatalf("epoch bump flushed the cache: %d->%d plans, %d->%d sub-entries",
+			plansBefore, got.Plans, subsBefore, s.SubCacheLen())
+	}
+
+	// The statistics change: every relation grows. Same structure, new
+	// stats — an exact-fingerprint miss with a structural twin from epoch 1.
+	for i := range u.rows {
+		u.rows[i] *= 10
+	}
+	q2 := u.window(0, 16)
+	res2, err := s.Optimize(context.Background(), q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.CacheHit {
+		t.Fatal("changed statistics produced a cache hit: the fingerprint failed to embed them")
+	}
+	if res2.Epoch != 2 {
+		t.Errorf("post-bump result epoch = %d, want 2", res2.Epoch)
+	}
+	if want := dpccpCost(t, q2); !relEq(res2.Plan.Cost, want) {
+		t.Errorf("post-bump cost %g != fresh ground truth %g — a stale plan was served", res2.Plan.Cost, want)
+	}
+	if relEq(res2.Plan.Cost, res1.Plan.Cost) {
+		t.Errorf("cost unchanged (%g) after all row counts grew 10x — suspicious", res2.Plan.Cost)
+	}
+
+	snap := s.Counters().Snapshot()
+	if snap.StaleProbes == 0 {
+		t.Error("no stale probe recorded: the structural index never found the epoch-1 twin")
+	}
+	if snap.Recosted == 0 {
+		t.Error("no re-cost recorded: the stale twin was never re-validated")
+	}
+	if snap.StatsEpoch != 2 || snap.EpochBumps != 1 {
+		t.Errorf("epoch counters = (epoch %d, bumps %d), want (2, 1)", snap.StatsEpoch, snap.EpochBumps)
+	}
+
+	// The exact original query remains sound at any epoch — its fingerprint
+	// embeds the statistics it was planned under — so it still hits.
+	u2 := newChainUniverse(16, 7)
+	res3, err := s.Optimize(context.Background(), u2.window(0, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res3.CacheHit {
+		t.Error("original-statistics query no longer hits after the bump")
+	}
+	if !relEq(res3.Plan.Cost, res1.Plan.Cost) {
+		t.Errorf("original entry's cost drifted: %g vs %g", res3.Plan.Cost, res1.Plan.Cost)
+	}
+}

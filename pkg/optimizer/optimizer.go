@@ -118,6 +118,14 @@ type Result struct {
 	// GPU backend produced the plan.
 	GPUDevices int
 	GPUSimMS   float64
+	// WarmStartSeeded counts the connected subsets seeded from the serving
+	// layer's subgraph memo before enumeration, and WarmStartFraction the
+	// share of the walked connected-set lattice those seeds covered; both
+	// are zero on cache hits and cold runs. StatsEpoch is the catalog
+	// stats epoch the plan was produced under (serving drivers only).
+	WarmStartSeeded   uint64
+	WarmStartFraction float64
+	StatsEpoch        uint64
 	// Node and Failover are set when a Remote driver talked to a cluster.
 	Node     string
 	Failover bool
@@ -181,6 +189,7 @@ type callOptions struct {
 	explain   bool
 	gpuDev    int
 	trace     bool
+	epoch     uint64
 }
 
 // Option configures one Optimize call.
@@ -211,6 +220,14 @@ func WithExplain() Option { return func(o *callOptions) { o.explain = true } }
 // WithGPUDevices sets the simulated device count for the *-gpu algorithms
 // (InProcess driver only; 0 keeps the default).
 func WithGPUDevices(n int) Option { return func(o *callOptions) { o.gpuDev = n } }
+
+// WithStatsEpoch asserts the catalog stats epoch the caller planned
+// against (as returned by CacheInfo or UpdateStats; epochs start at 1).
+// The serving drivers reject the optimization with ErrStaleEpoch when the
+// server's epoch has moved — statistics changed under the caller — which
+// makes read-then-optimize sequences deterministic in tests. InProcess has
+// no epoch and ignores it.
+func WithStatsEpoch(epoch uint64) Option { return func(o *callOptions) { o.epoch = epoch } }
 
 // WithTrace asks the serving drivers for the request's phase breakdown in
 // Result.Trace: Served records it in-process, Remote forwards ?trace=1 so

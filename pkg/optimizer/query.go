@@ -77,6 +77,21 @@ func (c *Catalog) Relation(name string, stats RelStats) Rel {
 // Len returns the number of registered relations.
 func (c *Catalog) Len() int { return c.cat.Len() }
 
+// UpdateStats replaces a relation's statistics in place. Queries already
+// built keep the statistics they were built with (builders copy relations
+// out of the catalog); only queries built afterwards see the update —
+// which is exactly the staleness boundary the servers' stats epoch tracks.
+// Pair it with CacheController.UpdateStats to tell a serving driver the
+// statistics moved.
+func (c *Catalog) UpdateStats(r Rel, stats RelStats) error {
+	if int(r) < 0 || int(r) >= c.cat.Len() {
+		return fmt.Errorf("optimizer: unknown relation handle %d", r)
+	}
+	name := c.cat.Rel(int(r)).Name
+	c.cat.Rels[r] = stats.toRelation(name)
+	return nil
+}
+
 // Query starts a builder joining relations of this catalog. Only the
 // relations actually referenced by AddRelation appear in the query, in
 // call order.

@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -87,7 +89,8 @@ func (e *RemoteError) Error() string {
 func (e *RemoteError) terminal() bool {
 	switch e.Status {
 	case http.StatusBadRequest, http.StatusMethodNotAllowed,
-		http.StatusRequestEntityTooLarge, http.StatusUnprocessableEntity:
+		http.StatusRequestEntityTooLarge, http.StatusUnprocessableEntity,
+		http.StatusNotFound, http.StatusConflict:
 		return true
 	}
 	return false
@@ -114,33 +117,47 @@ func (r *remote) Optimize(ctx context.Context, q *Query, opts ...Option) (*Resul
 	if o.explain {
 		path = "/v1/explain"
 	}
+	params := url.Values{}
 	if o.trace {
-		path += "?trace=1"
+		params.Set("trace", "1")
+	}
+	if o.epoch != 0 {
+		params.Set("epoch", strconv.FormatUint(o.epoch, 10))
+	}
+	if len(params) > 0 {
+		path += "?" + params.Encode()
 	}
 
 	start := time.Now()
 	resp, err := r.hedged(ctx, path, body)
 	if err != nil {
+		var re *RemoteError
+		if errors.As(err, &re) && re.Code == httpapi.CodeStaleEpoch {
+			return nil, fmt.Errorf("%w (%s)", ErrStaleEpoch, re.Message)
+		}
 		return nil, err
 	}
 	out := &Result{
-		Cost:        resp.Cost,
-		Rows:        resp.Rows,
-		Algorithm:   Algorithm(resp.Algorithm),
-		Backend:     resp.Backend,
-		Shape:       resp.Shape,
-		Fingerprint: resp.Fingerprint,
-		CacheHit:    resp.CacheHit,
-		Coalesced:   resp.Coalesced,
-		FellBack:    resp.FellBack,
-		Elapsed:     time.Since(start),
-		Explain:     resp.Plan,
-		GPUDevices:  resp.GPUDevices,
-		GPUSimMS:    resp.GPUSimMS,
-		Node:        resp.Node,
-		Failover:    resp.Failover,
-		Trace:       traceSpans(resp.Trace),
-		TraceWallUS: resp.TraceWallUS,
+		Cost:              resp.Cost,
+		Rows:              resp.Rows,
+		Algorithm:         Algorithm(resp.Algorithm),
+		Backend:           resp.Backend,
+		Shape:             resp.Shape,
+		Fingerprint:       resp.Fingerprint,
+		CacheHit:          resp.CacheHit,
+		Coalesced:         resp.Coalesced,
+		FellBack:          resp.FellBack,
+		Elapsed:           time.Since(start),
+		Explain:           resp.Plan,
+		GPUDevices:        resp.GPUDevices,
+		GPUSimMS:          resp.GPUSimMS,
+		Node:              resp.Node,
+		Failover:          resp.Failover,
+		WarmStartSeeded:   resp.WarmStartSeeded,
+		WarmStartFraction: resp.WarmStartFraction,
+		StatsEpoch:        resp.StatsEpoch,
+		Trace:             traceSpans(resp.Trace),
+		TraceWallUS:       resp.TraceWallUS,
 	}
 	return out, nil
 }

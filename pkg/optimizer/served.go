@@ -2,6 +2,7 @@ package optimizer
 
 import (
 	"context"
+	"fmt"
 	"time"
 
 	"repro/internal/backend"
@@ -66,6 +67,11 @@ func (s *served) Optimize(ctx context.Context, q *Query, opts ...Option) (*Resul
 	if o.algorithm != "" {
 		return nil, ErrServerRouted
 	}
+	if o.epoch != 0 {
+		if cur := s.svc.StatsEpoch(); cur != o.epoch {
+			return nil, fmt.Errorf("%w (server %d, asserted %d)", ErrStaleEpoch, cur, o.epoch)
+		}
+	}
 	var tr *obs.Trace
 	if o.trace {
 		if ctx == nil {
@@ -91,6 +97,14 @@ func (s *served) Optimize(ctx context.Context, q *Query, opts ...Option) (*Resul
 		Elapsed:     res.Elapsed,
 		Evaluated:   res.Stats.Evaluated,
 		CCPPairs:    res.Stats.CCP,
+		StatsEpoch:  res.Epoch,
+	}
+	if !res.CacheHit && !res.Coalesced && res.Stats.WarmSeeded > 0 {
+		out.WarmStartSeeded = res.Stats.WarmSeeded
+		interior := res.Stats.ConnectedSets - uint64(q.q.N())
+		if total := res.Stats.WarmSeeded + interior; total > 0 {
+			out.WarmStartFraction = float64(res.Stats.WarmSeeded) / float64(total)
+		}
 	}
 	if res.GPU != nil {
 		out.GPUDevices = res.GPU.Devices
