@@ -11,6 +11,7 @@
 package repro
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"strconv"
@@ -94,7 +95,7 @@ func BenchmarkChaos(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			rows = rows[:0]
 			for _, sched := range schedules {
-				rep := chaos.Run(cfg, sched)
+				rep := chaos.Run(context.Background(), cfg, sched)
 				row := chaosRow(rep)
 				if sched.Name == "control" {
 					baselineWarm = rep.WarmHealthyP99

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -21,7 +22,7 @@ import (
 
 var registry = []struct {
 	name string
-	run  func(w io.Writer, cfg experiments.Config) error
+	run  func(ctx context.Context, w io.Writer, cfg experiments.Config) error
 }{
 	{"fig2", experiments.Fig2},
 	{"fig4", experiments.Fig4},
@@ -64,7 +65,7 @@ func main() {
 		}
 		ran = true
 		fmt.Printf("=== %s ===\n", e.name)
-		if err := e.run(os.Stdout, cfg); err != nil {
+		if err := e.run(context.Background(), os.Stdout, cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "mpdp-bench: %s: %v\n", e.name, err)
 			os.Exit(1)
 		}

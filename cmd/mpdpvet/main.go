@@ -1,0 +1,104 @@
+// Command mpdpvet runs the project's static-analysis suite: six
+// zero-dependency analyzers (internal/analysis) that machine-enforce the
+// invariants STATIC_ANALYSIS.md catalogues — context threading, the
+// allocation-free DP hot path, open-loop timing honesty, metric-family
+// naming and doc sync, the error-envelope registry, and mutex-guarded
+// field access.
+//
+// Usage:
+//
+//	mpdpvet [-exemptions] [-only name[,name]] [./...]
+//
+// Findings print as file:line:col: [analyzer] message and make the exit
+// status 1; a clean tree exits 0; load or usage failures exit 2.
+// -exemptions additionally prints the //mpdpvet:ignore accounting the
+// nightly build tracks, so exemption growth is visible instead of silent.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	exemptions := flag.Bool("exemptions", false, "print //mpdpvet:ignore accounting after the findings")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: mpdpvet [-exemptions] [-only name[,name]] [./...]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	for _, arg := range flag.Args() {
+		if arg != "./..." {
+			fmt.Fprintf(os.Stderr, "mpdpvet: only the ./... pattern is supported, got %q\n", arg)
+			os.Exit(2)
+		}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, module, err := analysis.ModuleRoot(wd)
+	if err != nil {
+		fatal(err)
+	}
+
+	analyzers := analysis.Analyzers()
+	if *only != "" {
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*only, ",") {
+			a := analysis.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "mpdpvet: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	loader := analysis.NewLoader(root, module)
+	pkgs, err := loader.LoadTree()
+	if err != nil {
+		fatal(err)
+	}
+	res, err := analysis.Run(pkgs, loader.Fset, root, analyzers)
+	if err != nil {
+		fatal(err)
+	}
+	for _, f := range res.Findings {
+		if rel, rerr := filepath.Rel(root, f.Pos.Filename); rerr == nil && !strings.HasPrefix(rel, "..") {
+			f.Pos.Filename = rel
+		}
+		fmt.Println(f)
+	}
+	if *exemptions {
+		total := 0
+		names := make([]string, 0, len(res.Suppressed))
+		for name, n := range res.Suppressed {
+			names = append(names, name)
+			total += n
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Printf("mpdpvet: exemptions[%s]: %d\n", name, res.Suppressed[name])
+		}
+		fmt.Printf("mpdpvet: exemptions total: %d (directives: %d)\n", total, res.Directives)
+	}
+	if len(res.Findings) > 0 {
+		fmt.Fprintf(os.Stderr, "mpdpvet: %d finding(s)\n", len(res.Findings))
+		os.Exit(1)
+	}
+	fmt.Printf("mpdpvet: ok (%d packages, %d analyzers)\n", len(pkgs), len(analyzers))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mpdpvet:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,258 @@
+// Package analysis is mpdpvet's zero-dependency analyzer driver: it loads
+// every package of the module with go/parser and go/types (no
+// golang.org/x/tools) and runs the project-specific analyzers that machine-
+// enforce invariants this codebase used to keep only in prose — see
+// STATIC_ANALYSIS.md for the catalogue.
+//
+// A finding can be suppressed at its line (or the line above) with
+//
+//	//mpdpvet:ignore <analyzer> <reason>
+//
+// The reason is mandatory; the driver counts suppressions so the nightly
+// build can watch exemption growth.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer report, printable as file:line:col: [name] msg.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Pass hands one package to one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	Fset     *token.FileSet
+	// RepoRoot is the directory holding the repo-level documents some
+	// analyzers cross-check (API.md, OBSERVABILITY.md).
+	RepoRoot string
+
+	result *Result
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.result.add(Finding{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ModulePass hands the whole loaded module to an analyzer, for checks
+// that need the union of every package (doc cross-sync).
+type ModulePass struct {
+	Analyzer *Analyzer
+	Packages []*Package
+	Fset     *token.FileSet
+	RepoRoot string
+
+	result *Result
+}
+
+// Reportf records a finding at a source position.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	p.result.add(Finding{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ReportDoc records a finding against a non-Go file (a Markdown document).
+func (p *ModulePass) ReportDoc(file string, line int, format string, args ...any) {
+	p.result.add(Finding{
+		Pos:      token.Position{Filename: file, Line: line, Column: 1},
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one named check. Run (per package) and RunModule (once, over
+// everything) are both optional, but at least one must be set.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+	// RunModule runs after every per-package pass, over the whole module.
+	RunModule func(*ModulePass) error
+}
+
+// Analyzers returns the full suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		CtxFirst,
+		HotPath,
+		OpenLoop,
+		MetricNames,
+		ErrEnvelope,
+		GuardedBy,
+	}
+}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Result is one driver run's outcome: findings that survived suppression,
+// plus the exemption accounting the nightly build reports on.
+type Result struct {
+	Findings []Finding
+	// Suppressed counts findings silenced by an ignore directive, per
+	// analyzer name.
+	Suppressed map[string]int
+	// Directives is the number of well-formed //mpdpvet:ignore directives
+	// in the analyzed tree (used and unused alike).
+	Directives int
+
+	directives map[string]map[int][]directive // file → line → directives
+}
+
+func (r *Result) add(f Finding) {
+	if r.suppressed(f) {
+		if r.Suppressed == nil {
+			r.Suppressed = make(map[string]int)
+		}
+		r.Suppressed[f.Analyzer]++
+		return
+	}
+	r.Findings = append(r.Findings, f)
+}
+
+// suppressed reports whether a directive at the finding's line or the
+// line above names its analyzer.
+func (r *Result) suppressed(f Finding) bool {
+	lines := r.directives[f.Pos.Filename]
+	for _, l := range []int{f.Pos.Line, f.Pos.Line - 1} {
+		for _, d := range lines[l] {
+			if d.analyzer == f.Analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+type directive struct {
+	analyzer string
+	reason   string
+}
+
+var directiveRE = regexp.MustCompile(`^//mpdpvet:ignore\s+(\S+)\s*(.*)$`)
+
+// collectDirectives scans every comment of every file for ignore
+// directives. A directive without a reason is itself a finding — silent
+// exemptions are how hand-kept invariants rotted in the first place.
+func collectDirectives(pkgs []*Package, fset *token.FileSet, res *Result) {
+	res.directives = make(map[string]map[int][]directive)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := directiveRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					if strings.TrimSpace(m[2]) == "" {
+						res.Findings = append(res.Findings, Finding{
+							Pos:      pos,
+							Analyzer: "mpdpvet",
+							Message:  fmt.Sprintf("ignore directive for %q needs a reason: //mpdpvet:ignore %s <why>", m[1], m[1]),
+						})
+						continue
+					}
+					byLine := res.directives[pos.Filename]
+					if byLine == nil {
+						byLine = make(map[int][]directive)
+						res.directives[pos.Filename] = byLine
+					}
+					byLine[pos.Line] = append(byLine[pos.Line], directive{analyzer: m[1], reason: m[2]})
+					res.Directives++
+				}
+			}
+		}
+	}
+}
+
+// Run executes the analyzers over the loaded packages and returns the
+// surviving findings sorted by position.
+func Run(pkgs []*Package, fset *token.FileSet, repoRoot string, analyzers []*Analyzer) (*Result, error) {
+	res := &Result{}
+	collectDirectives(pkgs, fset, res)
+	for _, a := range analyzers {
+		if a.Run != nil {
+			for _, pkg := range pkgs {
+				if err := a.Run(&Pass{Analyzer: a, Pkg: pkg, Fset: fset, RepoRoot: repoRoot, result: res}); err != nil {
+					return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+				}
+			}
+		}
+		if a.RunModule != nil {
+			if err := a.RunModule(&ModulePass{Analyzer: a, Packages: pkgs, Fset: fset, RepoRoot: repoRoot, result: res}); err != nil {
+				return nil, fmt.Errorf("%s: %w", a.Name, err)
+			}
+		}
+	}
+	sort.Slice(res.Findings, func(i, j int) bool {
+		a, b := res.Findings[i], res.Findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+	return res, nil
+}
+
+// walkWithStack visits every node of f, handing the visitor its ancestor
+// chain (outermost first). The stdlib ast.Inspect has no parent access;
+// several analyzers need it (enclosing if, enclosing function literal).
+func walkWithStack(f *ast.File, visit func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		visit(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// pathHasSegment reports whether an import path contains seg as a whole
+// path element ("repro/cmd/mpdpvet" has "cmd").
+func pathHasSegment(path, seg string) bool {
+	for _, s := range strings.Split(path, "/") {
+		if s == seg {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,200 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CtxFirst enforces the context discipline PR 5 threaded through the
+// tree: library code never mints its own root context, and a function
+// that takes a context takes it first.
+//
+//   - context.Background() / context.TODO() are banned outside cmd/*,
+//     examples/* and tests. One carve-out: normalizing a nil caller
+//     context (inside `if ctx == nil { ... }`) is the documented API
+//     contract of the core entry points and stays legal.
+//   - Any function with a context.Context parameter must take it as the
+//     first parameter.
+//   - An exported function that blocks on channel operations (send,
+//     receive, select without default) must take a context — otherwise
+//     its callers cannot cancel it.
+var CtxFirst = &Analyzer{
+	Name: "ctxfirst",
+	Doc:  "library code must thread caller contexts, ctx parameters come first",
+	Run:  runCtxFirst,
+}
+
+func runCtxFirst(p *Pass) error {
+	exempt := pathHasSegment(p.Pkg.Path, "cmd") || pathHasSegment(p.Pkg.Path, "examples")
+	for _, f := range p.Pkg.Files {
+		walkWithStack(f, func(n ast.Node, stack []ast.Node) {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if exempt {
+					return
+				}
+				name, ok := contextRootCall(p.Pkg.Info, n)
+				if !ok || nilCtxGuarded(p.Pkg.Info, stack) {
+					return
+				}
+				p.Reportf(n.Pos(), "context.%s() in library code: thread the caller's ctx instead", name)
+			case *ast.FuncDecl:
+				checkCtxPosition(p, n.Type)
+				if !exempt && n.Name.IsExported() && n.Body != nil {
+					checkExportedBlocks(p, n)
+				}
+			case *ast.FuncLit:
+				checkCtxPosition(p, n.Type)
+			}
+		})
+	}
+	return nil
+}
+
+// contextRootCall matches context.Background() and context.TODO().
+func contextRootCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Background" && sel.Sel.Name != "TODO") {
+		return "", false
+	}
+	return sel.Sel.Name, isPkgIdent(info, sel.X, "context")
+}
+
+// isPkgIdent reports whether e is an identifier naming the import of the
+// package with the given path.
+func isPkgIdent(info *types.Info, e ast.Expr, path string) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == path
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// nilCtxGuarded reports whether the ancestor chain passes through an
+// if-statement of the shape `if ctx == nil` (or `nil == ctx`) for a
+// context-typed ctx: the nil-normalization idiom the core APIs document.
+func nilCtxGuarded(info *types.Info, stack []ast.Node) bool {
+	for _, n := range stack {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		if cmp, ok := ifs.Cond.(*ast.BinaryExpr); ok && cmp.Op.String() == "==" {
+			for _, pair := range [2][2]ast.Expr{{cmp.X, cmp.Y}, {cmp.Y, cmp.X}} {
+				v, null := pair[0], pair[1]
+				if id, ok := null.(*ast.Ident); !ok || id.Name != "nil" {
+					continue
+				}
+				if t := info.TypeOf(v); t != nil && isContextType(t) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// checkCtxPosition reports a context.Context parameter that is not first.
+func checkCtxPosition(p *Pass, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	pos := 0
+	for _, field := range ft.Params.List {
+		t := p.Pkg.Info.TypeOf(field.Type)
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if t != nil && isContextType(t) && pos > 0 {
+			p.Reportf(field.Pos(), "context.Context must be the first parameter")
+			return
+		}
+		pos += n
+	}
+}
+
+// checkExportedBlocks flags an exported function that performs blocking
+// channel operations with no context parameter.
+func checkExportedBlocks(p *Pass, fd *ast.FuncDecl) {
+	if ft := fd.Type; ft.Params != nil {
+		for _, field := range ft.Params.List {
+			if t := p.Pkg.Info.TypeOf(field.Type); t != nil && isContextType(t) {
+				return
+			}
+		}
+	}
+	if blocking := firstBlockingOp(fd.Body); blocking != nil {
+		p.Reportf(blocking.Pos(), "exported %s blocks on channel operations but has no context.Context parameter", fd.Name.Name)
+	}
+}
+
+// firstBlockingOp finds a channel operation in body that blocks the
+// calling goroutine: a send, a naked receive, or a select without a
+// default clause. Receives that are a select clause's comm statement are
+// judged as part of the select (a select with default never blocks), and
+// code delegated to other goroutines (go statements, function literals)
+// does not block this function's caller.
+func firstBlockingOp(body ast.Node) ast.Node {
+	var blocking ast.Node
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		if n == nil || blocking != nil {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return
+		case *ast.SendStmt:
+			blocking = n
+			return
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				blocking = n
+				return
+			}
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault {
+				blocking = n
+				return
+			}
+			// Non-blocking select: the comm receives/sends cannot block,
+			// but the clause bodies still run on this goroutine.
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					for _, stmt := range cc.Body {
+						walk(stmt)
+					}
+				}
+			}
+			return
+		}
+		ast.Inspect(n, func(child ast.Node) bool {
+			if child == nil || child == n || blocking != nil {
+				return child == n
+			}
+			walk(child)
+			return false
+		})
+	}
+	walk(body)
+	return blocking
+}

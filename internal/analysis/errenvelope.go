@@ -1,0 +1,232 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// ErrEnvelope pins the error-code registry of the /v1 wire surface to
+// its documentation: every Code* constant in the httpapi package must be
+// a code API.md's status table names, every documented code must exist,
+// and every call site that pairs a code with an HTTP status must use a
+// pairing the table allows. The envelope is declared stable in API.md —
+// an undocumented code or a mismatched status is a wire-contract break,
+// not a style issue.
+var ErrEnvelope = &Analyzer{
+	Name:      "errenvelope",
+	Doc:       "httpapi error codes and their HTTP statuses match API.md's table",
+	RunModule: runErrEnvelope,
+}
+
+// apiTableRowRE matches one status-table row: | 400 | `bad_request` ... .
+var apiTableRowRE = regexp.MustCompile("^\\|\\s*(\\d{3})\\s*\\|\\s*`([a-z_]+)`")
+
+// docPairs parses API.md's status table into code → allowed statuses.
+func docPairs(doc string) (map[string]map[int]bool, map[string]int) {
+	pairs := make(map[string]map[int]bool)
+	lines := make(map[string]int)
+	for i, line := range strings.Split(doc, "\n") {
+		m := apiTableRowRE.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		status := 0
+		for _, c := range m[1] {
+			status = status*10 + int(c-'0')
+		}
+		code := m[2]
+		if pairs[code] == nil {
+			pairs[code] = make(map[int]bool)
+			lines[code] = i + 1
+		}
+		pairs[code][status] = true
+	}
+	return pairs, lines
+}
+
+func runErrEnvelope(p *ModulePass) error {
+	var apiPkgs []*Package
+	for _, pkg := range p.Packages {
+		if pkg.Name == "httpapi" {
+			apiPkgs = append(apiPkgs, pkg)
+		}
+	}
+	if len(apiPkgs) == 0 {
+		return nil
+	}
+	docPath := filepath.Join(p.RepoRoot, "API.md")
+	b, err := os.ReadFile(docPath)
+	if err != nil {
+		p.ReportDoc(docPath, 1, "cannot read error-code registry: %v", err)
+		return nil
+	}
+	pairs, docLines := docPairs(string(b))
+
+	// The registry: Code* string constants and where they are declared.
+	consts := make(map[string]token.Pos) // code value → pos
+	for _, pkg := range apiPkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			c, ok := scope.Lookup(name).(*types.Const)
+			if !ok || !strings.HasPrefix(name, "Code") || c.Val().Kind() != constant.String {
+				continue
+			}
+			code := constant.StringVal(c.Val())
+			consts[code] = c.Pos()
+			if _, ok := pairs[code]; !ok {
+				p.Reportf(c.Pos(), "error code %q (%s) is not in API.md's status table", code, name)
+			}
+		}
+	}
+	docCodes := make([]string, 0, len(pairs))
+	for code := range pairs {
+		docCodes = append(docCodes, code)
+	}
+	sort.Strings(docCodes)
+	for _, code := range docCodes {
+		if _, ok := consts[code]; !ok {
+			p.ReportDoc(docPath, docLines[code], "API.md documents error code %q, which httpapi does not define", code)
+		}
+	}
+
+	for _, pkg := range apiPkgs {
+		checkEnvelopeSites(p, pkg, pairs)
+	}
+	return nil
+}
+
+// checkEnvelopeSites verifies (status, code) pairings at the sites where
+// both are visible in one statement: fail(w, rid, status, code, ...)
+// calls, and return statements carrying an &Error{Code: ...} composite
+// literal next to a constant status.
+func checkEnvelopeSites(p *ModulePass, pkg *Package, pairs map[string]map[int]bool) {
+	info := pkg.Info
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				sel, ok := n.Fun.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "fail" || len(n.Args) < 4 {
+					return true
+				}
+				status, okS := constInt(info, n.Args[2])
+				code, okC := constString(info, n.Args[3])
+				if okS && okC {
+					checkPair(p, n.Args[3].Pos(), pairs, code, status)
+				}
+			case *ast.ReturnStmt:
+				var code string
+				var codePos token.Pos
+				var haveCode bool
+				status, haveStatus := 0, false
+				for _, res := range n.Results {
+					if lit := errorCompositeLit(info, res); lit != nil {
+						if c, ok := compositeCodeField(info, lit); ok {
+							code, codePos, haveCode = c, lit.Pos(), true
+						}
+					} else if v, ok := constInt(info, res); ok && v >= 100 && v < 600 {
+						status, haveStatus = v, true
+					}
+				}
+				if haveCode && haveStatus {
+					checkPair(p, codePos, pairs, code, status)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func checkPair(p *ModulePass, pos token.Pos, pairs map[string]map[int]bool, code string, status int) {
+	allowed, ok := pairs[code]
+	if !ok {
+		p.Reportf(pos, "error code %q is not in API.md's status table", code)
+		return
+	}
+	if !allowed[status] {
+		p.Reportf(pos, "error code %q paired with HTTP %d; API.md allows %s", code, status, statusList(allowed))
+	}
+}
+
+func statusList(set map[int]bool) string {
+	var xs []int
+	for s := range set {
+		xs = append(xs, s)
+	}
+	sort.Ints(xs)
+	parts := make([]string, len(xs))
+	for i, s := range xs {
+		parts[i] = itoa(s)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+// errorCompositeLit unwraps &Error{...} / Error{...} composite literals.
+func errorCompositeLit(info *types.Info, e ast.Expr) *ast.CompositeLit {
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		e = u.X
+	}
+	lit, ok := e.(*ast.CompositeLit)
+	if !ok {
+		return nil
+	}
+	named, ok := info.TypeOf(lit).(*types.Named)
+	if !ok || named.Obj().Name() != "Error" {
+		return nil
+	}
+	return lit
+}
+
+// compositeCodeField returns the constant value of the literal's Code
+// field, when present and constant.
+func compositeCodeField(info *types.Info, lit *ast.CompositeLit) (string, bool) {
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if key, ok := kv.Key.(*ast.Ident); !ok || key.Name != "Code" {
+			continue
+		}
+		return constString(info, kv.Value)
+	}
+	return "", false
+}
+
+func constInt(info *types.Info, e ast.Expr) (int, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	v, ok := constant.Int64Val(tv.Value)
+	return int(v), ok
+}
+
+func constString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

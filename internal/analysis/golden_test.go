@@ -1,0 +1,225 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The golden suites: each analyzer runs over testdata/<tree>, and every
+// finding must match a `// want` comment on its line — backtick-quoted
+// regular expressions, several per comment when a line reports more than
+// once:
+//
+//	time.Sleep(d) // want `naked time\.Sleep`
+//
+// Findings against non-Go files (the Markdown fixtures of the doc-sync
+// analyzers) have nowhere to carry a want comment; runGolden returns them
+// for explicit assertions.
+
+var wantPatternRE = regexp.MustCompile("`([^`]*)`")
+
+// collectWants scans the tree's .go files for want comments, keyed by
+// absolute file path and line.
+func collectWants(t *testing.T, root string) map[string]map[int][]string {
+	t.Helper()
+	wants := make(map[string]map[int][]string)
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		b, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return rerr
+		}
+		abs, aerr := filepath.Abs(path)
+		if aerr != nil {
+			return aerr
+		}
+		for i, line := range strings.Split(string(b), "\n") {
+			_, rest, ok := strings.Cut(line, "// want ")
+			if !ok {
+				continue
+			}
+			var pats []string
+			for _, m := range wantPatternRE.FindAllStringSubmatch(rest, -1) {
+				pats = append(pats, m[1])
+			}
+			if len(pats) == 0 {
+				t.Errorf("%s:%d: want comment with no backtick-quoted pattern", path, i+1)
+				continue
+			}
+			if wants[abs] == nil {
+				wants[abs] = make(map[int][]string)
+			}
+			wants[abs][i+1] = pats
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("collecting want comments: %v", err)
+	}
+	return wants
+}
+
+// runGolden runs one analyzer over testdata/<tree>, verifies its Go-file
+// findings against the tree's want comments, and returns the full result
+// plus the findings that hit non-Go files.
+func runGolden(t *testing.T, tree, analyzer string) (*Result, []Finding) {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", tree))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := ByName(analyzer)
+	if a == nil {
+		t.Fatalf("unknown analyzer %q", analyzer)
+	}
+	loader := NewLoader(root, "")
+	pkgs, err := loader.LoadTree()
+	if err != nil {
+		t.Fatalf("loading %s: %v", root, err)
+	}
+	res, err := Run(pkgs, loader.Fset, root, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", analyzer, err)
+	}
+
+	wants := collectWants(t, root)
+	matched := make(map[string]map[int][]bool) // mirrors wants
+	for f, lines := range wants {
+		matched[f] = make(map[int][]bool)
+		for l, pats := range lines {
+			matched[f][l] = make([]bool, len(pats))
+		}
+	}
+	var docFindings []Finding
+	for _, f := range res.Findings {
+		if !strings.HasSuffix(f.Pos.Filename, ".go") {
+			docFindings = append(docFindings, f)
+			continue
+		}
+		if f.Analyzer != analyzer {
+			continue // directive-hygiene findings are asserted explicitly
+		}
+		pats := wants[f.Pos.Filename][f.Pos.Line]
+		ok := false
+		for i, pat := range pats {
+			if matched[f.Pos.Filename][f.Pos.Line][i] {
+				continue
+			}
+			re, rerr := regexp.Compile(pat)
+			if rerr != nil {
+				t.Fatalf("%s:%d: bad want pattern %q: %v", f.Pos.Filename, f.Pos.Line, pat, rerr)
+			}
+			if re.MatchString(f.Message) {
+				matched[f.Pos.Filename][f.Pos.Line][i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected finding %s", f)
+		}
+	}
+	for file, lines := range wants {
+		for line, pats := range lines {
+			for i, pat := range pats {
+				if !matched[file][line][i] {
+					t.Errorf("%s:%d: want %q matched no finding", file, line, pat)
+				}
+			}
+		}
+	}
+	return res, docFindings
+}
+
+func TestCtxFirstGolden(t *testing.T) {
+	t.Parallel()
+	_, doc := runGolden(t, "ctxfirst", "ctxfirst")
+	if len(doc) != 0 {
+		t.Errorf("unexpected doc findings: %v", doc)
+	}
+}
+
+func TestHotPathGolden(t *testing.T) {
+	t.Parallel()
+	_, doc := runGolden(t, "hotpath", "hotpath")
+	if len(doc) != 0 {
+		t.Errorf("unexpected doc findings: %v", doc)
+	}
+}
+
+func TestOpenLoopGolden(t *testing.T) {
+	t.Parallel()
+	_, doc := runGolden(t, "openloop", "openloop")
+	if len(doc) != 0 {
+		t.Errorf("unexpected doc findings: %v", doc)
+	}
+}
+
+func TestGuardedByGolden(t *testing.T) {
+	t.Parallel()
+	_, doc := runGolden(t, "guardedby", "guardedby")
+	if len(doc) != 0 {
+		t.Errorf("unexpected doc findings: %v", doc)
+	}
+}
+
+func TestMetricNamesGolden(t *testing.T) {
+	t.Parallel()
+	_, doc := runGolden(t, "metricnames", "metricnames")
+	if len(doc) != 1 {
+		t.Fatalf("doc findings = %v, want exactly one", doc)
+	}
+	f := doc[0]
+	if !strings.HasSuffix(f.Pos.Filename, "OBSERVABILITY.md") ||
+		!strings.Contains(f.Message, "mpdp_doc_only_total") ||
+		!strings.Contains(f.Message, "no code registers") {
+		t.Errorf("doc finding = %s", f)
+	}
+}
+
+func TestErrEnvelopeGolden(t *testing.T) {
+	t.Parallel()
+	_, doc := runGolden(t, "errenvelope", "errenvelope")
+	if len(doc) != 1 {
+		t.Fatalf("doc findings = %v, want exactly one", doc)
+	}
+	f := doc[0]
+	if !strings.HasSuffix(f.Pos.Filename, "API.md") ||
+		!strings.Contains(f.Message, `"teapot"`) ||
+		!strings.Contains(f.Message, "does not define") {
+		t.Errorf("doc finding = %s", f)
+	}
+}
+
+func TestSuppressionGolden(t *testing.T) {
+	t.Parallel()
+	res, doc := runGolden(t, "suppress", "openloop")
+	if len(doc) != 0 {
+		t.Errorf("unexpected doc findings: %v", doc)
+	}
+	if got := res.Suppressed["openloop"]; got != 1 {
+		t.Errorf("Suppressed[openloop] = %d, want 1 (Quiet's reasoned directive)", got)
+	}
+	// Quiet's directive and WrongAnalyzer's are well-formed; Missing's
+	// reason-less one is not counted.
+	if res.Directives != 2 {
+		t.Errorf("Directives = %d, want 2", res.Directives)
+	}
+	hygiene := 0
+	for _, f := range res.Findings {
+		if f.Analyzer == "mpdpvet" {
+			hygiene++
+			if !strings.Contains(f.Message, "needs a reason") {
+				t.Errorf("hygiene finding = %s", f)
+			}
+		}
+	}
+	if hygiene != 1 {
+		t.Errorf("directive-hygiene findings = %d, want 1 (Missing's reason-less directive)", hygiene)
+	}
+}

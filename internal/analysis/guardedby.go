@@ -1,0 +1,194 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// GuardedBy machine-checks the `// guarded by mu` field annotations that
+// previously bound only reviewers: a field annotated
+//
+//	waiters int // guarded by mu
+//	waiters int // guarded by Service.mu
+//
+// may be read or written only inside functions that also acquire that
+// mutex (a call to .Lock or .RLock on a field with the annotated name,
+// qualified by the owning type when the annotation names one), or inside
+// functions whose name ends in "Locked" — the repo's convention for
+// helpers that document a held-lock precondition. The check is
+// function-granular by design: it cannot see lock ordering, but it
+// catches the common regression of a new accessor that forgets the mutex
+// entirely.
+var GuardedBy = &Analyzer{
+	Name: "guardedby",
+	Doc:  "fields annotated `guarded by mu` are only touched with the mutex held",
+	Run:  runGuardedBy,
+}
+
+var guardedByRE = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*(?:\.[A-Za-z_][A-Za-z0-9_]*)?)`)
+
+// guardSpec names the protecting mutex: a field name, optionally
+// qualified by the struct type that owns it.
+type guardSpec struct {
+	typeName string // "" when unqualified
+	field    string
+}
+
+func parseGuard(s string) guardSpec {
+	if i := strings.IndexByte(s, '.'); i >= 0 {
+		return guardSpec{typeName: s[:i], field: s[i+1:]}
+	}
+	return guardSpec{field: s}
+}
+
+func runGuardedBy(p *Pass) error {
+	info := p.Pkg.Info
+	// Collect annotated fields: *types.Var of the field → its guard.
+	guards := make(map[*types.Var]guardSpec)
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				spec, ok := fieldGuard(field)
+				if !ok {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := info.Defs[name].(*types.Var); ok {
+						guards[v] = spec
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(guards) == 0 {
+		return nil
+	}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkGuardedFunc(p, fd, guards)
+		}
+	}
+	return nil
+}
+
+// fieldGuard reads a guard annotation from the field's trailing comment
+// or doc comment.
+func fieldGuard(field *ast.Field) (guardSpec, bool) {
+	for _, cg := range []*ast.CommentGroup{field.Comment, field.Doc} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRE.FindStringSubmatch(cg.Text()); m != nil {
+			return parseGuard(m[1]), true
+		}
+	}
+	return guardSpec{}, false
+}
+
+func checkGuardedFunc(p *Pass, fd *ast.FuncDecl, guards map[*types.Var]guardSpec) {
+	if strings.HasSuffix(fd.Name.Name, "Locked") {
+		return
+	}
+	info := p.Pkg.Info
+	// Which guards does this function hold at some point? Function-level:
+	// any .Lock()/.RLock() on a matching mutex field counts.
+	held := make(map[guardSpec]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		mutexSel, ok := sel.X.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		mv, ok := selectedField(info, mutexSel)
+		if !ok {
+			return true
+		}
+		held[guardSpec{field: mv.Name()}] = true
+		if owner := fieldOwnerName(info, mutexSel); owner != "" {
+			held[guardSpec{typeName: owner, field: mv.Name()}] = true
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.KeyValueExpr:
+			// Composite-literal initialization happens before the value is
+			// shared; keys are field references but not guarded accesses.
+			if _, ok := n.Key.(*ast.Ident); ok {
+				ast.Inspect(n.Value, func(m ast.Node) bool {
+					if s, ok := m.(*ast.SelectorExpr); ok {
+						checkGuardedSel(p, fd, s, guards, held)
+					}
+					return true
+				})
+				return false
+			}
+		case *ast.SelectorExpr:
+			checkGuardedSel(p, fd, n, guards, held)
+		}
+		return true
+	})
+}
+
+func checkGuardedSel(p *Pass, fd *ast.FuncDecl, sel *ast.SelectorExpr, guards map[*types.Var]guardSpec, held map[guardSpec]bool) {
+	v, ok := selectedField(p.Pkg.Info, sel)
+	if !ok {
+		return
+	}
+	spec, ok := guards[v]
+	if !ok || held[spec] {
+		return
+	}
+	p.Reportf(sel.Sel.Pos(), "%s.%s (guarded by %s) accessed in %s without %s.Lock/RLock held in the same function",
+		fieldOwnerName(p.Pkg.Info, sel), v.Name(), specString(spec), fd.Name.Name, specString(spec))
+}
+
+func specString(s guardSpec) string {
+	if s.typeName != "" {
+		return s.typeName + "." + s.field
+	}
+	return s.field
+}
+
+// selectedField resolves a selector to the struct field it names.
+func selectedField(info *types.Info, sel *ast.SelectorExpr) (*types.Var, bool) {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil, false
+	}
+	v, ok := s.Obj().(*types.Var)
+	return v, ok
+}
+
+// fieldOwnerName names the struct type a field selection goes through.
+func fieldOwnerName(info *types.Info, sel *ast.SelectorExpr) string {
+	t := info.TypeOf(sel.X)
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}

@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotPath polices the allocation-free DP core PR 3 bought: a function
+// whose doc comment carries the line
+//
+//	//mpdp:hotpath
+//
+// may not allocate through the constructs that historically crept back
+// in: fmt.* calls, sort.Slice/SliceStable (their closure escapes),
+// map/slice composite literals, variable-capturing closures, and
+// interface boxing (a concrete value passed into an interface-typed
+// parameter or conversion).
+var HotPath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "//mpdp:hotpath functions must not allocate",
+	Run:  runHotPath,
+}
+
+// hotPathDirective marks a function as allocation-free.
+const hotPathDirective = "//mpdp:hotpath"
+
+func runHotPath(p *Pass) error {
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotPath(fd) {
+				continue
+			}
+			checkHotFunc(p, fd)
+		}
+	}
+	return nil
+}
+
+func isHotPath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(c.Text, hotPathDirective) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkHotFunc(p *Pass, fd *ast.FuncDecl) {
+	info := p.Pkg.Info
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkHotCall(p, info, name, n)
+		case *ast.CompositeLit:
+			switch info.TypeOf(n).Underlying().(type) {
+			case *types.Map:
+				p.Reportf(n.Pos(), "map literal allocates in hot path %s", name)
+			case *types.Slice:
+				p.Reportf(n.Pos(), "slice literal allocates in hot path %s", name)
+			}
+		case *ast.FuncLit:
+			if capt := captured(info, n, fd); capt != "" {
+				p.Reportf(n.Pos(), "closure captures %s and allocates in hot path %s", capt, name)
+			}
+		}
+		return true
+	})
+}
+
+func checkHotCall(p *Pass, info *types.Info, hot string, call *ast.CallExpr) {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		switch {
+		case isPkgIdent(info, sel.X, "fmt"):
+			p.Reportf(call.Pos(), "fmt.%s allocates in hot path %s", sel.Sel.Name, hot)
+			return
+		case isPkgIdent(info, sel.X, "sort") && (sel.Sel.Name == "Slice" || sel.Sel.Name == "SliceStable"):
+			p.Reportf(call.Pos(), "sort.%s allocates its closure in hot path %s", sel.Sel.Name, hot)
+			return
+		}
+	}
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	if tv.IsType() {
+		// Conversion T(x): boxing when T is an interface and x is not.
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 {
+			if at := info.TypeOf(call.Args[0]); at != nil && !types.IsInterface(at) && !isUntypedNil(at) {
+				p.Reportf(call.Pos(), "conversion to interface boxes its operand in hot path %s", hot)
+			}
+		}
+		return
+	}
+	if tv.IsBuiltin() {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos && i == params.Len()-1 {
+				pt = params.At(params.Len() - 1).Type() // s... passes the slice itself
+			} else {
+				pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		at := info.TypeOf(arg)
+		if at == nil || types.IsInterface(at) || isUntypedNil(at) {
+			continue
+		}
+		p.Reportf(arg.Pos(), "argument boxes a concrete value into an interface parameter in hot path %s", hot)
+	}
+}
+
+func isUntypedNil(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+// captured returns the name of a variable the literal captures from its
+// enclosing function, or "". Captures force the closure (and often the
+// variable) to escape; package-level objects and the literal's own
+// declarations do not count.
+func captured(info *types.Info, lit *ast.FuncLit, encl *ast.FuncDecl) string {
+	var capt string
+	ast.Inspect(lit, func(n ast.Node) bool {
+		if capt != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := info.Uses[id].(*types.Var)
+		if !ok || obj.IsField() {
+			return true
+		}
+		if obj.Parent() == nil || obj.Parent() == types.Universe {
+			return true
+		}
+		// Declared inside the literal: not a capture.
+		if obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End() {
+			return true
+		}
+		// Declared inside the enclosing function (params included): capture.
+		if obj.Pos() >= encl.Pos() && obj.Pos() <= encl.End() {
+			capt = obj.Name()
+			return false
+		}
+		return true
+	})
+	return capt
+}

@@ -1,0 +1,242 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package of the analyzed tree.
+type Package struct {
+	// Path is the package's import path ("repro/internal/dp").
+	Path string
+	// Dir is the directory its files live in.
+	Dir string
+	// Name is the package name from the source ("dp", "main").
+	Name string
+	// Files are the parsed non-test source files, comments attached.
+	Files []*ast.File
+	// Types and Info carry the go/types results for the package.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader loads and type-checks packages with nothing but the standard
+// library: module-local import paths map to directories under the tree
+// root, everything else (the standard library) is type-checked from
+// $GOROOT/src by go/importer's source importer. Test files are skipped —
+// the analyzers police shipped code, and the ctxfirst policy exempts
+// tests anyway.
+type Loader struct {
+	// Fset positions every loaded file, module and stdlib alike.
+	Fset *token.FileSet
+
+	root   string // directory the tree's import paths are anchored at
+	module string // module path prefix; "" maps paths directly under root
+	std    types.ImporterFrom
+	pkgs   map[string]*Package
+}
+
+// NewLoader returns a loader for the tree rooted at root. A non-empty
+// module path anchors imports the Go-module way ("repro/internal/dp" →
+// root/internal/dp); an empty one maps paths directly ("dp" → root/dp),
+// which is what the golden testdata trees use.
+func NewLoader(root, module string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:   fset,
+		root:   root,
+		module: module,
+		std:    importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		pkgs:   make(map[string]*Package),
+	}
+}
+
+// dirFor maps an import path to a directory inside the tree, or "" when
+// the path is not tree-local.
+func (l *Loader) dirFor(path string) string {
+	switch {
+	case l.module != "" && path == l.module:
+		return l.root
+	case l.module != "" && strings.HasPrefix(path, l.module+"/"):
+		return filepath.Join(l.root, filepath.FromSlash(strings.TrimPrefix(path, l.module+"/")))
+	case l.module == "":
+		d := filepath.Join(l.root, filepath.FromSlash(path))
+		if st, err := os.Stat(d); err == nil && st.IsDir() {
+			return d
+		}
+	}
+	return ""
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom: tree-local paths load through
+// the loader (so their ASTs and Info are retained), anything else goes to
+// the stdlib source importer.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if d := l.dirFor(path); d != "" {
+		p, err := l.load(path, d)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.ImportFrom(path, dir, 0)
+}
+
+// load parses and type-checks the package in dir, memoized by import path.
+func (l *Loader) load(path, dir string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, filepath.Join(dir, n))
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	for _, fn := range names {
+		f, err := parser.ParseFile(l.Fset, fn, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var typeErrs []error
+	cfg := types.Config{
+		Importer: l,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := cfg.Check(path, l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v", path, typeErrs[0])
+	}
+	p := &Package{
+		Path:  path,
+		Dir:   dir,
+		Name:  files[0].Name.Name,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// LoadTree loads every package under the loader's root (the "./..."
+// pattern): any directory holding at least one non-test .go file, with
+// testdata trees and dot-directories skipped. Packages come back sorted
+// by import path.
+func (l *Loader) LoadTree() ([]*Package, error) {
+	var pkgs []*Package
+	err := filepath.WalkDir(l.root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			n := d.Name()
+			if path != l.root && (strings.HasPrefix(n, ".") || n == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".go") || strings.HasSuffix(d.Name(), "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		ip, perr := l.importPath(dir)
+		if perr != nil {
+			return perr
+		}
+		if _, ok := l.pkgs[ip]; ok {
+			return nil
+		}
+		if _, lerr := l.load(ip, dir); lerr != nil {
+			return lerr
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range l.pkgs {
+		pkgs = append(pkgs, p)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// importPath derives the import path of a directory under the root.
+func (l *Loader) importPath(dir string) (string, error) {
+	rel, err := filepath.Rel(l.root, dir)
+	if err != nil {
+		return "", err
+	}
+	rel = filepath.ToSlash(rel)
+	switch {
+	case rel == ".":
+		if l.module != "" {
+			return l.module, nil
+		}
+		return "", fmt.Errorf("analysis: package at tree root needs a module path")
+	case l.module != "":
+		return l.module + "/" + rel, nil
+	default:
+		return rel, nil
+	}
+}
+
+// ModuleRoot walks up from dir to the directory holding go.mod and
+// returns it with the declared module path.
+func ModuleRoot(dir string) (root, module string, err error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		b, rerr := os.ReadFile(filepath.Join(d, "go.mod"))
+		if rerr == nil {
+			for _, line := range strings.Split(string(b), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: %s/go.mod has no module line", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("analysis: no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}

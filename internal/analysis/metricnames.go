@@ -1,0 +1,241 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// MetricNames kills the three-way hand-sync between the metric families
+// registered in code, the required-families gate in cmd/metricscheck,
+// and the inventory in OBSERVABILITY.md (PR 7/9 kept all three aligned
+// by review memory alone):
+//
+//   - every family passed to obs.MetricsWriter Counter/Gauge/Histogram
+//     must be a string literal matching the project naming convention
+//     (mpdp_ prefix, lower_snake, Prometheus-valid);
+//   - every registered family must appear in OBSERVABILITY.md, and every
+//     mpdp_* family OBSERVABILITY.md names must exist in code;
+//   - cmd/metricscheck derives its required list from the same extraction
+//     (ExtractMetricFamilies), so code and gate cannot drift by
+//     construction.
+var MetricNames = &Analyzer{
+	Name:      "metricnames",
+	Doc:       "metric families are literal, well-named, and in sync with OBSERVABILITY.md",
+	Run:       runMetricNames,
+	RunModule: runMetricNamesModule,
+}
+
+// familyRE is the project naming convention: the shared mpdp_ prefix and
+// lower-snake words. It is strictly narrower than Prometheus's own
+// [a-zA-Z_:][a-zA-Z0-9_:]* rule.
+var familyRE = regexp.MustCompile(`^mpdp_[a-z][a-z0-9_]*[a-z0-9]$`)
+
+// metricWriterCall matches a call to a Counter/Gauge/Histogram method and
+// returns its first argument. Purely syntactic so the parse-only
+// extractor can share it; typed callers additionally check the receiver.
+func metricWriterCall(call *ast.CallExpr) (method string, nameArg ast.Expr, ok bool) {
+	sel, selOK := call.Fun.(*ast.SelectorExpr)
+	if !selOK || len(call.Args) < 1 {
+		return "", nil, false
+	}
+	switch sel.Sel.Name {
+	case "Counter", "Gauge", "Histogram":
+		return sel.Sel.Name, call.Args[0], true
+	}
+	return "", nil, false
+}
+
+// isMetricsWriter reports whether e's type is (a pointer to) a named type
+// called MetricsWriter.
+func isMetricsWriter(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "MetricsWriter"
+}
+
+func runMetricNames(p *Pass) error {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			method, nameArg, ok := metricWriterCall(call)
+			if !ok || !isMetricsWriter(p.Pkg.Info, call.Fun.(*ast.SelectorExpr).X) {
+				return true
+			}
+			lit, ok := nameArg.(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				p.Reportf(nameArg.Pos(), "%s family name must be a string literal so the gate and docs can extract it", method)
+				return true
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err != nil || !familyRE.MatchString(name) {
+				p.Reportf(nameArg.Pos(), "metric family %s does not match the naming convention %s", lit.Value, familyRE)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// moduleFamilies collects every literal family registered anywhere in the
+// loaded module, with the position of its first registration.
+func moduleFamilies(pkgs []*Package) map[string]token.Pos {
+	fams := make(map[string]token.Pos)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				_, nameArg, ok := metricWriterCall(call)
+				if !ok || !isMetricsWriter(pkg.Info, call.Fun.(*ast.SelectorExpr).X) {
+					return true
+				}
+				if lit, ok := nameArg.(*ast.BasicLit); ok && lit.Kind == token.STRING {
+					if name, err := strconv.Unquote(lit.Value); err == nil {
+						if _, seen := fams[name]; !seen {
+							fams[name] = lit.Pos()
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return fams
+}
+
+// docFamilyRE matches family mentions in Markdown. Tokens ending in an
+// underscore (`mpdp_cluster_…` prefix prose) are not family names.
+var docFamilyRE = regexp.MustCompile(`mpdp_[a-z0-9_]*[a-z0-9]`)
+
+// docFamilies extracts the family names a document mentions, keyed to
+// their first line number.
+func docFamilies(doc string) map[string]int {
+	out := make(map[string]int)
+	for i, line := range strings.Split(doc, "\n") {
+		for _, m := range docFamilyRE.FindAllString(line, -1) {
+			if _, ok := out[m]; !ok {
+				out[m] = i + 1
+			}
+		}
+	}
+	return out
+}
+
+func runMetricNamesModule(p *ModulePass) error {
+	code := moduleFamilies(p.Packages)
+	if len(code) == 0 {
+		return nil
+	}
+	docPath := filepath.Join(p.RepoRoot, "OBSERVABILITY.md")
+	b, err := os.ReadFile(docPath)
+	if err != nil {
+		p.ReportDoc(docPath, 1, "cannot read metric inventory: %v", err)
+		return nil
+	}
+	doc := docFamilies(string(b))
+	names := make([]string, 0, len(code))
+	for name := range code {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, ok := doc[name]; !ok {
+			p.Reportf(code[name], "metric family %s is registered in code but missing from OBSERVABILITY.md", name)
+		}
+	}
+	docNames := make([]string, 0, len(doc))
+	for name := range doc {
+		docNames = append(docNames, name)
+	}
+	sort.Strings(docNames)
+	for _, name := range docNames {
+		if _, ok := code[name]; !ok {
+			p.ReportDoc(docPath, doc[name], "OBSERVABILITY.md documents metric family %s, which no code registers", name)
+		}
+	}
+	return nil
+}
+
+// MetricFamily is one extracted metric-family registration.
+type MetricFamily struct {
+	Name string
+	// Package is the import-path-relative directory the registration
+	// lives in ("internal/service").
+	Package string
+}
+
+// ExtractMetricFamilies is the parse-only extraction cmd/metricscheck
+// derives its required-families list from: it scans the named directories
+// (relative to root) for Counter/Gauge/Histogram registrations with
+// literal mpdp_* names. No type checking — the naming convention makes
+// the literals unambiguous, and the typed metricnames analyzer verifies
+// that convention in CI, so the cheap scan and the enforced invariant
+// cannot disagree.
+func ExtractMetricFamilies(root string, dirs ...string) ([]MetricFamily, error) {
+	fset := token.NewFileSet()
+	seen := make(map[string]bool)
+	var out []MetricFamily
+	for _, dir := range dirs {
+		abs := filepath.Join(root, filepath.FromSlash(dir))
+		entries, err := os.ReadDir(abs)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			n := e.Name()
+			if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(abs, n), nil, 0)
+			if err != nil {
+				return nil, err
+			}
+			ast.Inspect(f, func(node ast.Node) bool {
+				call, ok := node.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				_, nameArg, ok := metricWriterCall(call)
+				if !ok {
+					return true
+				}
+				lit, ok := nameArg.(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					return true
+				}
+				name, err := strconv.Unquote(lit.Value)
+				if err != nil || !strings.HasPrefix(name, "mpdp_") || seen[name] {
+					return true
+				}
+				seen[name] = true
+				out = append(out, MetricFamily{Name: name, Package: dir})
+				return true
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	if len(out) == 0 {
+		return nil, fmt.Errorf("analysis: no metric families found under %s in %s", root, strings.Join(dirs, ", "))
+	}
+	return out, nil
+}

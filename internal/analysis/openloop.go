@@ -1,0 +1,46 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// OpenLoop protects PR 6's timing honesty. The load generator measures
+// from scheduled send times, so its scheduling paths may not consult the
+// wall clock: time.Now() is banned in internal/loadgen (the single run
+// anchor carries an explicit exemption). The chaos and cluster retry
+// loops must sleep through their ctx-aware helpers, so a naked
+// time.Sleep is banned there — a bare sleep ignores cancellation and
+// stretches shutdown by its full duration.
+var OpenLoop = &Analyzer{
+	Name: "openloop",
+	Doc:  "loadgen derives time from the schedule; chaos/cluster sleeps are ctx-aware",
+	Run:  runOpenLoop,
+}
+
+func runOpenLoop(p *Pass) error {
+	banNow := pathHasSegment(p.Pkg.Path, "loadgen")
+	banSleep := pathHasSegment(p.Pkg.Path, "chaos") || pathHasSegment(p.Pkg.Path, "cluster")
+	if !banNow && !banSleep {
+		return nil
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !isPkgIdent(p.Pkg.Info, sel.X, "time") {
+				return true
+			}
+			switch {
+			case banNow && sel.Sel.Name == "Now":
+				p.Reportf(call.Pos(), "time.Now() in loadgen: derive instants from the run's anchored schedule")
+			case banSleep && sel.Sel.Name == "Sleep":
+				p.Reportf(call.Pos(), "naked time.Sleep: use the ctx-aware sleep helper so cancellation interrupts the wait")
+			}
+			return true
+		})
+	}
+	return nil
+}

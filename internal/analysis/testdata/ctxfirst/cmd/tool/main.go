@@ -1,0 +1,13 @@
+// Command tool is the ctxfirst clean fixture: cmd/* may mint root
+// contexts and block freely.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = ctx
+	ch := make(chan int, 1)
+	ch <- 1
+	<-ch
+}

@@ -1,0 +1,84 @@
+// Package lib is the ctxfirst true-positive fixture: library code that
+// mints root contexts, misplaces ctx parameters and blocks without one.
+package lib
+
+import "context"
+
+// Mint mints a root context in library code.
+func Mint() context.Context {
+	return context.Background() // want `context\.Background\(\) in library code`
+}
+
+// Todo does the same with TODO.
+func Todo() context.Context {
+	return context.TODO() // want `context\.TODO\(\) in library code`
+}
+
+// Misplaced takes its context second.
+func Misplaced(n int, ctx context.Context) int { // want `context\.Context must be the first parameter`
+	_ = ctx
+	return n
+}
+
+// Recv blocks on a receive with no way to cancel.
+func Recv(ch chan int) int {
+	return <-ch // want `exported Recv blocks on channel operations`
+}
+
+// Send blocks on a send with no way to cancel.
+func Send(ch chan int, v int) {
+	ch <- v // want `exported Send blocks on channel operations`
+}
+
+// Wait blocks in a select with no default.
+func Wait(a, b chan int) int {
+	select { // want `exported Wait blocks on channel operations`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// --- clean cases ---
+
+// Normalize uses the documented nil-normalization carve-out.
+func Normalize(ctx context.Context) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return ctx
+}
+
+// First takes its context first: fine.
+func First(ctx context.Context, n int) int {
+	_ = ctx
+	return n
+}
+
+// Poll uses a select with a default: non-blocking, no ctx needed.
+func Poll(ch chan int) (int, bool) {
+	select {
+	case v := <-ch:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+// Cancellable blocks but takes a context: fine.
+func Cancellable(ctx context.Context, ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// Spawn only blocks inside a goroutine it starts: the caller never waits.
+func Spawn(ch chan int) {
+	go func() {
+		ch <- 1
+	}()
+}

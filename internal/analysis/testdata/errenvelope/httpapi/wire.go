@@ -1,0 +1,36 @@
+// Package httpapi is the errenvelope fixture: an error-code registry with
+// documented, undocumented and mispaired codes.
+package httpapi
+
+// The registry: CodeBadRequest and CodeOverloaded are documented;
+// CodeGhost is not.
+const (
+	CodeBadRequest = "bad_request"
+	CodeOverloaded = "overloaded"
+	CodeGhost      = "ghost_code" // want `error code "ghost_code" \(CodeGhost\) is not in API\.md's status table`
+)
+
+// Error is the wire envelope.
+type Error struct {
+	Code    string
+	Message string
+}
+
+type api struct{}
+
+func (a *api) fail(w, rid string, status int, code, msg string) {}
+
+// Handlers pair codes with statuses at fail call sites.
+func (a *api) handlers() {
+	a.fail("w", "rid", 400, CodeBadRequest, "ok")
+	a.fail("w", "rid", 500, CodeBadRequest, "mispaired") // want `error code "bad_request" paired with HTTP 500; API\.md allows 400`
+	a.fail("w", "rid", 503, CodeOverloaded, "ok")
+}
+
+// classify pairs a code with a status in one return statement.
+func classify(bad bool) (*Error, int) {
+	if bad {
+		return &Error{Code: CodeOverloaded}, 404 // want `error code "overloaded" paired with HTTP 404; API\.md allows 503`
+	}
+	return &Error{Code: CodeBadRequest}, 400
+}

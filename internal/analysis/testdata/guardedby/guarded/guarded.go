@@ -1,0 +1,44 @@
+// Package guarded is the guardedby fixture: annotated fields read with
+// and without their mutex.
+package guarded
+
+import "sync"
+
+// Counter guards n with an unqualified annotation.
+type Counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+// Bad reads n without the lock.
+func (c *Counter) Bad() int {
+	return c.n // want `Counter\.n \(guarded by mu\) accessed in Bad without mu\.Lock/RLock held`
+}
+
+// Good locks before reading.
+func (c *Counter) Good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// readLocked documents a held-lock precondition via the naming convention.
+func (c *Counter) readLocked() int { return c.n }
+
+// Registry guards items with a type-qualified annotation.
+type Registry struct {
+	mu    sync.RWMutex
+	items int // guarded by Registry.mu
+}
+
+// Size takes the read lock: clean.
+func (r *Registry) Size() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.items
+}
+
+// Leak reads without any lock.
+func (r *Registry) Leak() int {
+	return r.items // want `Registry\.items \(guarded by Registry\.mu\) accessed in Leak`
+}

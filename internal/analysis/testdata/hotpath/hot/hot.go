@@ -1,0 +1,68 @@
+// Package hot is the hotpath fixture: annotated functions that allocate
+// through each banned construct, and annotated functions that stay clean.
+package hot
+
+import (
+	"fmt"
+	"sort"
+)
+
+func sink(v interface{}) { _ = v }
+
+//mpdp:hotpath
+func Formats(n int) string {
+	return fmt.Sprintf("%d", n) // want `fmt\.Sprintf allocates in hot path Formats`
+}
+
+//mpdp:hotpath
+func Sorts(xs []int) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] }) // want `sort\.Slice allocates its closure in hot path Sorts` `closure captures xs`
+}
+
+//mpdp:hotpath
+func MapLit() int {
+	m := map[int]int{1: 2} // want `map literal allocates in hot path MapLit`
+	return m[1]
+}
+
+//mpdp:hotpath
+func SliceLit() int {
+	xs := []int{1, 2, 3} // want `slice literal allocates in hot path SliceLit`
+	return xs[0]
+}
+
+//mpdp:hotpath
+func Captures(n int) func() int {
+	return func() int { return n } // want `closure captures n and allocates in hot path Captures`
+}
+
+//mpdp:hotpath
+func Boxes(n int) {
+	sink(n) // want `argument boxes a concrete value into an interface parameter in hot path Boxes`
+}
+
+//mpdp:hotpath
+func Converts(n int) interface{} {
+	return interface{}(n) // want `conversion to interface boxes its operand in hot path Converts`
+}
+
+// --- clean cases ---
+
+//mpdp:hotpath
+func Clean(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+//mpdp:hotpath
+func PassesInterface(v interface{}) {
+	sink(v) // already an interface: no boxing
+}
+
+// Unannotated may allocate freely.
+func Unannotated(n int) string {
+	return fmt.Sprintf("%d", n)
+}

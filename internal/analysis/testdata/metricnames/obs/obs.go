@@ -1,0 +1,20 @@
+// Package obs is the metricnames fixture: a MetricsWriter with literal,
+// non-literal, misnamed, documented and undocumented family registrations.
+package obs
+
+// MetricsWriter mimics the real exposition writer's registration surface.
+type MetricsWriter struct{}
+
+// Counter registers a counter sample.
+func (w *MetricsWriter) Counter(name, help string, labels []string, v float64) {}
+
+// Gauge registers a gauge sample.
+func (w *MetricsWriter) Gauge(name, help string, labels []string, v float64) {}
+
+// Emit registers every fixture family.
+func Emit(w *MetricsWriter, dynamic string) {
+	w.Counter("mpdp_good_total", "documented and well-named", nil, 1)
+	w.Counter(dynamic, "not extractable", nil, 1)                        // want `family name must be a string literal`
+	w.Gauge("mpdp_Bad_Name", "breaks the convention", nil, 1)            // want `does not match the naming convention` `registered in code but missing from OBSERVABILITY\.md`
+	w.Counter("mpdp_undocumented_total", "missing from the doc", nil, 1) // want `registered in code but missing from OBSERVABILITY\.md`
+}

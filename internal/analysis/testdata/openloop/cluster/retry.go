@@ -1,0 +1,24 @@
+// Package cluster is the openloop fixture for the naked-sleep ban.
+package cluster
+
+import (
+	"context"
+	"time"
+)
+
+// Backoff sleeps ignoring cancellation.
+func Backoff(d time.Duration) {
+	time.Sleep(d) // want `naked time\.Sleep`
+}
+
+// BackoffCtx waits through a timer and the context: clean.
+func BackoffCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

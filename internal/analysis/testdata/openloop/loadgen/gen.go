@@ -1,0 +1,14 @@
+// Package loadgen is the openloop fixture for the time.Now ban.
+package loadgen
+
+import "time"
+
+// Arrival consults the wall clock where the schedule should rule.
+func Arrival() time.Time {
+	return time.Now() // want `time\.Now\(\) in loadgen`
+}
+
+// Elapsed derives a duration without touching the clock: clean.
+func Elapsed(start, now time.Time) time.Duration {
+	return now.Sub(start)
+}

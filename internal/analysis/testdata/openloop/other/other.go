@@ -1,0 +1,10 @@
+// Package other is outside the openloop scopes: both calls are clean here.
+package other
+
+import "time"
+
+// Free may consult the clock and sleep.
+func Free(d time.Duration) time.Time {
+	time.Sleep(d)
+	return time.Now()
+}

@@ -1,0 +1,24 @@
+// Package cluster is the suppression fixture: one properly exempted
+// finding, one reason-less directive that suppresses nothing.
+package cluster
+
+import "time"
+
+// Quiet is exempted with a reasoned directive: no finding, one suppression.
+func Quiet(d time.Duration) {
+	//mpdpvet:ignore openloop fixture exercises the suppression plumbing
+	time.Sleep(d)
+}
+
+// Missing carries a reason-less directive: the directive itself is the
+// finding, and the sleep still reports.
+func Missing(d time.Duration) {
+	//mpdpvet:ignore openloop
+	time.Sleep(d) // want `naked time\.Sleep`
+}
+
+// WrongAnalyzer names a different analyzer: the sleep still reports.
+func WrongAnalyzer(d time.Duration) {
+	//mpdpvet:ignore hotpath reasons do not transfer across analyzers
+	time.Sleep(d) // want `naked time\.Sleep`
+}

@@ -28,9 +28,13 @@ func MaskOf(indices ...int) Mask {
 }
 
 // Single returns the singleton set {i}.
+//
+//mpdp:hotpath
 func Single(i int) Mask { return 1 << uint(i) }
 
 // Full returns the set {0, 1, ..., n-1}.
+//
+//mpdp:hotpath
 func Full(n int) Mask {
 	if n >= 64 {
 		return ^Mask(0)
@@ -39,45 +43,71 @@ func Full(n int) Mask {
 }
 
 // Has reports whether relation i is in the set.
+//
+//mpdp:hotpath
 func (m Mask) Has(i int) bool { return m&(1<<uint(i)) != 0 }
 
 // Add returns m ∪ {i}.
+//
+//mpdp:hotpath
 func (m Mask) Add(i int) Mask { return m | 1<<uint(i) }
 
 // Remove returns m \ {i}.
+//
+//mpdp:hotpath
 func (m Mask) Remove(i int) Mask { return m &^ (1 << uint(i)) }
 
 // Union returns m ∪ o.
+//
+//mpdp:hotpath
 func (m Mask) Union(o Mask) Mask { return m | o }
 
 // Intersect returns m ∩ o.
+//
+//mpdp:hotpath
 func (m Mask) Intersect(o Mask) Mask { return m & o }
 
 // Diff returns m \ o.
+//
+//mpdp:hotpath
 func (m Mask) Diff(o Mask) Mask { return m &^ o }
 
 // Empty reports whether the set is empty.
+//
+//mpdp:hotpath
 func (m Mask) Empty() bool { return m == 0 }
 
 // Count returns the cardinality |m|.
+//
+//mpdp:hotpath
 func (m Mask) Count() int { return bits.OnesCount64(uint64(m)) }
 
 // Lowest returns the smallest relation index in m.
 // It must not be called on the empty set.
+//
+//mpdp:hotpath
 func (m Mask) Lowest() int { return bits.TrailingZeros64(uint64(m)) }
 
 // LowestBit returns the singleton set containing the smallest element of m,
 // or the empty set if m is empty.
+//
+//mpdp:hotpath
 func (m Mask) LowestBit() Mask { return m & -m }
 
 // Highest returns the largest relation index in m.
 // It must not be called on the empty set.
+//
+//mpdp:hotpath
 func (m Mask) Highest() int { return 63 - bits.LeadingZeros64(uint64(m)) }
 
 // Disjoint reports whether m ∩ o = ∅.
+//
+//mpdp:hotpath
 func (m Mask) Disjoint(o Mask) bool { return m&o == 0 }
 
 // SubsetOf reports whether m ⊆ o.
+//
+//mpdp:hotpath
 func (m Mask) SubsetOf(o Mask) bool { return m&^o == 0 }
 
 // Elements returns the relation indices in m in increasing order.
@@ -90,6 +120,8 @@ func (m Mask) Elements() []int {
 }
 
 // ForEach calls f for every relation index in m in increasing order.
+//
+//mpdp:hotpath
 func (m Mask) ForEach(f func(i int)) {
 	for s := m; s != 0; s &= s - 1 {
 		f(s.Lowest())
@@ -104,6 +136,8 @@ func (m Mask) ForEach(f func(i int)) {
 // yields every non-empty subset of super exactly once and returns 0 after the
 // last one. This is the standard (sub - super) & super trick used by the
 // subset-precedence enumeration of DPSub.
+//
+//mpdp:hotpath
 func (m Mask) NextSubset(super Mask) Mask {
 	return (m - super) & super
 }
@@ -128,6 +162,8 @@ func (m Mask) String() string {
 // scattered, in order, to the positions of the set bits of mask. It is the
 // software equivalent of the x86 BMI2 PDEP instruction the paper uses to
 // expand a dense local subset rank into a sparse relation mask (§2.2.1).
+//
+//mpdp:hotpath
 func Deposit(src uint64, mask Mask) Mask {
 	var out Mask
 	bit := uint64(1)
@@ -143,6 +179,8 @@ func Deposit(src uint64, mask Mask) Mask {
 // Extract implements PEXT (parallel bit extract), the inverse of Deposit:
 // the bits of src at the positions selected by mask are gathered into the
 // low bits of the result.
+//
+//mpdp:hotpath
 func Extract(src, mask Mask) uint64 {
 	var out uint64
 	bit := uint64(1)

@@ -50,15 +50,23 @@ func (s Set) Clone() Set {
 }
 
 // Add inserts index i.
+//
+//mpdp:hotpath
 func (s Set) Add(i int) { s.words[i/64] |= 1 << uint(i%64) }
 
 // Remove deletes index i.
+//
+//mpdp:hotpath
 func (s Set) Remove(i int) { s.words[i/64] &^= 1 << uint(i%64) }
 
 // Has reports whether i is in the set.
+//
+//mpdp:hotpath
 func (s Set) Has(i int) bool { return s.words[i/64]&(1<<uint(i%64)) != 0 }
 
 // Empty reports whether the set has no elements.
+//
+//mpdp:hotpath
 func (s Set) Empty() bool {
 	for _, w := range s.words {
 		if w != 0 {
@@ -69,6 +77,8 @@ func (s Set) Empty() bool {
 }
 
 // Count returns the cardinality.
+//
+//mpdp:hotpath
 func (s Set) Count() int {
 	n := 0
 	for _, w := range s.words {
@@ -78,6 +88,8 @@ func (s Set) Count() int {
 }
 
 // UnionWith adds every element of o to s in place.
+//
+//mpdp:hotpath
 func (s Set) UnionWith(o Set) {
 	for i, w := range o.words {
 		s.words[i] |= w
@@ -85,6 +97,8 @@ func (s Set) UnionWith(o Set) {
 }
 
 // IntersectWith removes from s every element not in o, in place.
+//
+//mpdp:hotpath
 func (s Set) IntersectWith(o Set) {
 	for i, w := range o.words {
 		s.words[i] &= w
@@ -92,6 +106,8 @@ func (s Set) IntersectWith(o Set) {
 }
 
 // DiffWith removes every element of o from s in place.
+//
+//mpdp:hotpath
 func (s Set) DiffWith(o Set) {
 	for i, w := range o.words {
 		s.words[i] &^= w
@@ -120,6 +136,8 @@ func (s Set) Diff(o Set) Set {
 }
 
 // Disjoint reports whether s ∩ o = ∅.
+//
+//mpdp:hotpath
 func (s Set) Disjoint(o Set) bool {
 	for i, w := range o.words {
 		if s.words[i]&w != 0 {
@@ -130,9 +148,13 @@ func (s Set) Disjoint(o Set) bool {
 }
 
 // Intersects reports whether s ∩ o ≠ ∅.
+//
+//mpdp:hotpath
 func (s Set) Intersects(o Set) bool { return !s.Disjoint(o) }
 
 // SubsetOf reports whether s ⊆ o.
+//
+//mpdp:hotpath
 func (s Set) SubsetOf(o Set) bool {
 	for i, w := range s.words {
 		if w&^o.words[i] != 0 {
@@ -143,6 +165,8 @@ func (s Set) SubsetOf(o Set) bool {
 }
 
 // Equal reports whether s and o contain the same elements.
+//
+//mpdp:hotpath
 func (s Set) Equal(o Set) bool {
 	for i, w := range s.words {
 		if w != o.words[i] {
@@ -153,6 +177,8 @@ func (s Set) Equal(o Set) bool {
 }
 
 // Lowest returns the smallest element, or -1 if the set is empty.
+//
+//mpdp:hotpath
 func (s Set) Lowest() int {
 	for i, w := range s.words {
 		if w != 0 {
@@ -170,6 +196,8 @@ func (s Set) Elements() []int {
 }
 
 // ForEach calls f for every element in increasing order.
+//
+//mpdp:hotpath
 func (s Set) ForEach(f func(i int)) {
 	for wi, w := range s.words {
 		for ; w != 0; w &= w - 1 {

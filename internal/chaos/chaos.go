@@ -288,8 +288,12 @@ func (r *Report) Violations() []string {
 // Run replays sched against a fresh cluster under open-loop load and
 // returns the full report. It is synchronous and self-contained: it builds
 // the cluster, plays the schedule, heals, measures recovery and tears
-// everything down.
-func Run(cfg Config, sched Schedule) *Report {
+// everything down. Cancelling ctx cuts the load phases short; a nil ctx
+// is normalized to context.Background().
+func Run(ctx context.Context, cfg Config, sched Schedule) *Report {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	cfg = cfg.withDefaults()
 	rep := &Report{Schedule: sched.Name, Seed: sched.Seed}
 	for _, e := range sched.Events {
@@ -308,7 +312,7 @@ func Run(cfg Config, sched Schedule) *Report {
 	refCost := make(map[string]float64, len(pool))
 	ref := service.New(service.Config{Workers: 2})
 	for _, q := range pool {
-		res, err := ref.Optimize(context.Background(), q)
+		res, err := ref.Optimize(ctx, q)
 		if err != nil {
 			ref.Close()
 			panic("chaos: reference optimize failed: " + err.Error())
@@ -397,7 +401,7 @@ func Run(cfg Config, sched Schedule) *Report {
 	// Warm the working set before the storm: replicate every pool entry
 	// so failover has warm replicas to land on.
 	for _, q := range pool {
-		if _, err := c.Optimize(context.Background(), q); err != nil {
+		if _, err := c.Optimize(ctx, q); err != nil {
 			misErrored.Add(1)
 		}
 	}
@@ -447,7 +451,7 @@ func Run(cfg Config, sched Schedule) *Report {
 		}
 	}()
 
-	storm := loadgen.Run(context.Background(), target, loadgen.Config{
+	storm := loadgen.Run(ctx, target, loadgen.Config{
 		Rate:     cfg.Rate,
 		Duration: cfg.Phase,
 		Pool:     pool,
@@ -466,11 +470,13 @@ func Run(cfg Config, sched Schedule) *Report {
 	}
 	healDeadline := time.Now().Add(5 * time.Second)
 	for len(c.AliveNodes()) < len(nodes) && time.Now().Before(healDeadline) {
-		time.Sleep(cfg.HealthEvery)
+		if !sleepCtx(ctx, cfg.HealthEvery) {
+			break
+		}
 		c.CheckHealth()
 	}
 
-	healed := loadgen.Run(context.Background(), target, loadgen.Config{
+	healed := loadgen.Run(ctx, target, loadgen.Config{
 		Rate:     cfg.Rate,
 		Duration: cfg.Phase / 2,
 		Pool:     pool,
@@ -490,7 +496,9 @@ func Run(cfg Config, sched Schedule) *Report {
 	settleDeadline := time.Now().Add(5 * time.Second)
 	rep.GoroutinesAfter = leaktest.Count()
 	for rep.GoroutinesAfter > rep.GoroutinesBefore && time.Now().Before(settleDeadline) {
-		time.Sleep(10 * time.Millisecond)
+		if !sleepCtx(ctx, 10*time.Millisecond) {
+			break
+		}
 		rep.GoroutinesAfter = leaktest.Count()
 	}
 
@@ -508,4 +516,18 @@ func Run(cfg Config, sched Schedule) *Report {
 	rep.HealedP99 = healed.Hist.Quantile(0.99)
 	rep.WarmHealthyP99 = warmHealthy.Quantile(0.99)
 	return rep
+}
+
+// sleepCtx waits for d or until ctx is done, reporting whether the full
+// duration elapsed. The poll loops above use it so a cancelled harness
+// stops promptly instead of sleeping through its own shutdown.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
 }

@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"context"
 	"reflect"
 	"testing"
 	"time"
@@ -27,7 +28,7 @@ var testCfg = Config{Rate: 150, Phase: 800 * time.Millisecond}
 // interleaving, which is the point.
 func runAndCheck(t *testing.T, sched Schedule) *Report {
 	t.Helper()
-	rep := Run(testCfg, sched)
+	rep := Run(context.Background(), testCfg, sched)
 	for _, v := range rep.Violations() {
 		t.Error(v)
 	}

@@ -311,6 +311,7 @@ func (c *Cluster) Transport() Transport { return c.transport }
 // pings, drains): maintenance must not hang on a wedged socket, and it has
 // no caller deadline of its own to inherit.
 func (c *Cluster) maintCtx() (context.Context, context.CancelFunc) {
+	//mpdpvet:ignore ctxfirst background maintenance has no caller context to inherit
 	return context.WithTimeout(context.Background(), c.retry.AttemptTimeout)
 }
 

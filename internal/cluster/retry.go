@@ -173,13 +173,13 @@ type breaker struct {
 	mu  sync.Mutex
 	cfg BreakerConfig
 
-	state       BreakerState
-	fails       int
-	windowStart time.Time
-	openedUntil time.Time
-	probing     bool
+	state       BreakerState // guarded by mu
+	fails       int          // guarded by mu
+	windowStart time.Time    // guarded by mu
+	openedUntil time.Time    // guarded by mu
+	probing     bool         // guarded by mu
 
-	opens uint64 // cumulative closed/half-open → open transitions
+	opens uint64 // cumulative closed/half-open → open transitions; guarded by mu
 }
 
 func newBreaker(cfg BreakerConfig) *breaker {
@@ -223,7 +223,7 @@ func (b *breaker) record(ok bool, now time.Time) {
 		return
 	}
 	if b.state == BreakerHalfOpen {
-		b.trip(now)
+		b.tripLocked(now)
 		return
 	}
 	if b.state == BreakerOpen {
@@ -235,12 +235,12 @@ func (b *breaker) record(ok bool, now time.Time) {
 	}
 	b.fails++
 	if b.fails >= b.cfg.Threshold {
-		b.trip(now)
+		b.tripLocked(now)
 	}
 }
 
-// trip opens the breaker; callers hold b.mu.
-func (b *breaker) trip(now time.Time) {
+// tripLocked opens the breaker; callers hold b.mu.
+func (b *breaker) tripLocked(now time.Time) {
 	b.state = BreakerOpen
 	b.openedUntil = now.Add(b.cfg.OpenFor)
 	b.fails = 0

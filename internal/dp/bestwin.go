@@ -15,6 +15,8 @@ type bestWin struct {
 }
 
 // offer records the candidate split if it beats the current winner.
+//
+//mpdp:hotpath
 func (b *bestWin) offer(l, r bitset.Mask, op plan.Op, rows, cost float64) {
 	if !b.Found || cost < b.Cost {
 		b.Left, b.Right, b.Op, b.Rows, b.Cost, b.Found = l, r, op, rows, cost, true
@@ -29,6 +31,8 @@ func (b *bestWin) offer(l, r bitset.Mask, op plan.Op, rows, cost float64) {
 // remaining cost terms are non-negative (cardinalities and cost constants
 // are non-negative), and ties never replace the incumbent, so pruning at
 // bound >= best leaves the winning plan bit-identical.
+//
+//mpdp:hotpath
 func (b *bestWin) hopeless(l, r plan.Entry) bool {
 	if !b.Found {
 		return false

@@ -18,6 +18,8 @@ import (
 // use. Enumeration follows EnumerateCsg/EnumerateCsgRec of [24]: subsets
 // are seeded from each vertex v (excluding all smaller-numbered vertices)
 // and grown through the neighbourhood.
+//
+//mpdp:hotpath
 func enumerateCsg(g *graph.Graph, emit func(s bitset.Mask) bool) {
 	n := g.N
 	for v := n - 1; v >= 0; v-- {
@@ -34,6 +36,8 @@ func enumerateCsg(g *graph.Graph, emit func(s bitset.Mask) bool) {
 // enumerateCsgRec grows s by every non-empty subset of its neighbourhood
 // outside the exclusion set x, emitting each grown set and recursing. It
 // returns false as soon as emit does, unwinding the whole recursion.
+//
+//mpdp:hotpath
 func enumerateCsgRec(g *graph.Graph, s, x bitset.Mask, emit func(bitset.Mask) bool) bool {
 	nb := g.NeighborhoodOf(s).Diff(x)
 	if nb.Empty() {
@@ -86,6 +90,8 @@ const maxConnectedSets = 64 << 20
 // disjoint from s1, connected to s1, with the canonical ordering of [24]
 // guaranteeing each unordered csg-cmp pair is produced exactly once across
 // the full EnumerateCsg × EnumerateCmp sweep.
+//
+//mpdp:hotpath
 func enumerateCmp(g *graph.Graph, s1 bitset.Mask, emit func(s2 bitset.Mask) bool) bool {
 	x := bitset.Full(s1.Lowest() + 1).Union(s1)
 	nb := g.NeighborhoodOf(s1).Diff(x)

@@ -88,6 +88,8 @@ func runLevels(in Input, evaluate SetEvaluator) (*plan.Node, Stats, error) {
 // block discovery, block-level CCP enumeration, grow-based expansion and
 // join costing. It is shared by the sequential, CPU-parallel and GPU-model
 // variants so their plans and counters agree exactly.
+//
+//mpdp:hotpath
 func EvaluateSetMPDP(in Input, tab *plan.Table, s bitset.Mask, dl *Deadline, sc *Scratch) (Winner, Stats, error) {
 	var stats Stats
 	g := in.Q.G
@@ -142,6 +144,8 @@ func EvaluateSetMPDP(in Input, tab *plan.Table, s bitset.Mask, dl *Deadline, sc 
 
 // EvaluateSetMPDPTree performs the per-set body of Algorithm 2: one join
 // pair per edge of the tree induced by S, costed in both orientations.
+//
+//mpdp:hotpath
 func EvaluateSetMPDPTree(in Input, tab *plan.Table, s bitset.Mask, dl *Deadline, _ *Scratch) (Winner, Stats, error) {
 	var stats Stats
 	g := in.Q.G

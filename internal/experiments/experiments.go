@@ -105,8 +105,8 @@ type suiteEntry struct {
 // measure runs one optimization and returns the reported time in
 // milliseconds (simulated device time for GPU algorithms, wall time
 // otherwise) and whether it finished within the timeout.
-func measure(q *cost.Query, alg core.Algorithm, threads int, timeout time.Duration) (float64, bool) {
-	res, err := core.Optimize(context.Background(), q, core.Options{
+func measure(ctx context.Context, q *cost.Query, alg core.Algorithm, threads int, timeout time.Duration) (float64, bool) {
+	res, err := core.Optimize(ctx, q, core.Options{
 		Algorithm: alg,
 		Timeout:   timeout,
 		Threads:   threads,
@@ -123,7 +123,7 @@ func measure(q *cost.Query, alg core.Algorithm, threads int, timeout time.Durati
 // runTimingFigure drives one optimization-time figure: all suite algorithms
 // across the given sizes, averaging cfg.Queries queries per size. A curve
 // stops (like in the paper's plots) once its algorithm times out at a size.
-func runTimingFigure(w io.Writer, cfg Config, title string, sizes []int,
+func runTimingFigure(ctx context.Context, w io.Writer, cfg Config, title string, sizes []int,
 	gen func(n int, rng *rand.Rand) *cost.Query) error {
 
 	sizes = cfg.cap(sizes)
@@ -152,7 +152,7 @@ func runTimingFigure(w io.Writer, cfg Config, title string, sizes []int,
 			for qi := 0; qi < cfg.queries() && ok; qi++ {
 				rng := rand.New(rand.NewSource(cfg.Seed + int64(qi)*7919 + int64(n)))
 				q := gen(n, rng)
-				ms, done := measure(q, s.alg, s.threads, cfg.timeout())
+				ms, done := measure(ctx, q, s.alg, s.threads, cfg.timeout())
 				if !done || ms > float64(cfg.timeout().Milliseconds()) {
 					ok = false
 					break

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"io"
 	"strings"
 	"testing"
@@ -21,7 +22,7 @@ func smallConfig() Config {
 func TestEveryExperimentProducesOutput(t *testing.T) {
 	experiments := []struct {
 		name string
-		run  func(w io.Writer, cfg Config) error
+		run  func(ctx context.Context, w io.Writer, cfg Config) error
 		want string
 	}{
 		{"fig2", Fig2, "parallelizability"},
@@ -43,7 +44,7 @@ func TestEveryExperimentProducesOutput(t *testing.T) {
 		t.Run(e.name, func(t *testing.T) {
 			t.Parallel()
 			var sb strings.Builder
-			if err := e.run(&sb, smallConfig()); err != nil {
+			if err := e.run(context.Background(), &sb, smallConfig()); err != nil {
 				t.Fatalf("%s: %v", e.name, err)
 			}
 			out := sb.String()

@@ -19,7 +19,7 @@ import (
 // Fig2 reproduces Figure 2: the number of join pairs each technique
 // evaluates on a 20-relation MusicBrainz query, normalized to the query's
 // CCP-Counter, against the technique's parallelizability class.
-func Fig2(w io.Writer, cfg Config) error {
+func Fig2(ctx context.Context, w io.Writer, cfg Config) error {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	n := 20
 	if cfg.MaxRels > 0 && cfg.MaxRels < n {
@@ -49,7 +49,7 @@ func Fig2(w io.Writer, cfg Config) error {
 
 // Fig4 reproduces Figure 4: EvaluatedCounter vs CCP-Counter of DPSub on
 // star queries of 2..25 relations.
-func Fig4(w io.Writer, cfg Config) error {
+func Fig4(ctx context.Context, w io.Writer, cfg Config) error {
 	maxN := 25
 	if cfg.MaxRels > 0 && cfg.MaxRels < maxN {
 		maxN = cfg.MaxRels
@@ -73,30 +73,30 @@ func Fig4(w io.Writer, cfg Config) error {
 }
 
 // Fig6 reproduces Figure 6: optimization times on star join graphs.
-func Fig6(w io.Writer, cfg Config) error {
-	return runTimingFigure(w, cfg, "Figure 6: optimization times on star graph",
+func Fig6(ctx context.Context, w io.Writer, cfg Config) error {
+	return runTimingFigure(ctx, w, cfg, "Figure 6: optimization times on star graph",
 		[]int{4, 6, 8, 10, 12, 14, 16, 18, 20, 21, 22, 23, 24, 25, 26, 28, 30},
 		func(n int, rng *rand.Rand) *cost.Query { return workload.Star(n, rng) })
 }
 
 // Fig7 reproduces Figure 7: optimization times on snowflake join graphs.
-func Fig7(w io.Writer, cfg Config) error {
-	return runTimingFigure(w, cfg, "Figure 7: optimization times on snowflake graph",
+func Fig7(ctx context.Context, w io.Writer, cfg Config) error {
+	return runTimingFigure(ctx, w, cfg, "Figure 7: optimization times on snowflake graph",
 		[]int{4, 6, 8, 10, 12, 14, 16, 18, 20, 22, 24, 26, 28, 30, 32, 35},
 		func(n int, rng *rand.Rand) *cost.Query { return workload.Snowflake(n, rng) })
 }
 
 // Fig8 reproduces Figure 8: optimization times on clique join graphs.
-func Fig8(w io.Writer, cfg Config) error {
-	return runTimingFigure(w, cfg, "Figure 8: optimization times on clique graph",
+func Fig8(ctx context.Context, w io.Writer, cfg Config) error {
+	return runTimingFigure(ctx, w, cfg, "Figure 8: optimization times on clique graph",
 		[]int{4, 6, 8, 10, 12, 14, 15, 16, 17, 18, 19, 20},
 		func(n int, rng *rand.Rand) *cost.Query { return workload.Clique(n, rng) })
 }
 
 // Fig9 reproduces Figure 9: optimization times on MusicBrainz random-walk
 // queries.
-func Fig9(w io.Writer, cfg Config) error {
-	return runTimingFigure(w, cfg, "Figure 9: optimization times on MusicBrainz queries",
+func Fig9(ctx context.Context, w io.Writer, cfg Config) error {
+	return runTimingFigure(ctx, w, cfg, "Figure 9: optimization times on MusicBrainz queries",
 		[]int{4, 6, 8, 10, 12, 14, 16, 18, 20, 22, 24, 26, 28, 30}, mbGen)
 }
 
@@ -104,7 +104,7 @@ func Fig9(w io.Writer, cfg Config) error {
 // optimization time on MusicBrainz queries, for the PostgreSQL optimizer
 // (DPSize, 1 CPU) and MPDP (GPU). Execution time is the cost model's
 // estimate for the produced plan (see EXPERIMENTS.md for this substitution).
-func Fig10(w io.Writer, cfg Config) error {
+func Fig10(ctx context.Context, w io.Writer, cfg Config) error {
 	sizes := cfg.cap([]int{5, 8, 10, 12, 14, 16, 18, 20, 22, 25})
 	for _, part := range []struct {
 		title string
@@ -124,7 +124,7 @@ func Fig10(w io.Writer, cfg Config) error {
 				rng := rand.New(rand.NewSource(cfg.Seed + int64(qi)*131 + int64(n)))
 				q := part.gen(n, rng)
 				// MPDP (GPU): optimal plan, simulated optimization time.
-				res, err := core.Optimize(context.Background(), q, core.Options{
+				res, err := core.Optimize(ctx, q, core.Options{
 					Algorithm: core.AlgMPDPGPU, Timeout: cfg.timeout(),
 				})
 				if err != nil {
@@ -133,7 +133,7 @@ func Fig10(w io.Writer, cfg Config) error {
 				exec := cost.EstimatedExecTimeMS(res.Plan.Cost)
 				gpuR = append(gpuR, exec/res.GPU.SimTimeMS)
 				if !pgDead {
-					pg, err := core.Optimize(context.Background(), q, core.Options{
+					pg, err := core.Optimize(ctx, q, core.Options{
 						Algorithm: core.AlgDPSize, Timeout: cfg.timeout(), Threads: 1,
 					})
 					if err != nil {
@@ -159,7 +159,7 @@ func Fig10(w io.Writer, cfg Config) error {
 
 // Fig11 reproduces Figure 11: optimization times on the (JOB-shaped) Join
 // Order Benchmark queries, grouped by relation count.
-func Fig11(w io.Writer, cfg Config) error {
+func Fig11(ctx context.Context, w io.Writer, cfg Config) error {
 	queries := workload.JOBQueries(cfg.Seed)
 	bySize := map[int][]*cost.Query{}
 	for _, jq := range queries {
@@ -188,7 +188,7 @@ func Fig11(w io.Writer, cfg Config) error {
 			count := 0
 			ok := true
 			for _, q := range bySize[n] {
-				ms, done := measure(q, s.alg, s.threads, cfg.timeout())
+				ms, done := measure(ctx, q, s.alg, s.threads, cfg.timeout())
 				if !done {
 					ok = false
 					break
@@ -209,7 +209,7 @@ func Fig11(w io.Writer, cfg Config) error {
 
 // Fig12 reproduces Figure 12: CPU scalability of MPDP vs DPE on a
 // 20-relation MusicBrainz query, speedup over single-thread execution.
-func Fig12(w io.Writer, cfg Config) error {
+func Fig12(ctx context.Context, w io.Writer, cfg Config) error {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	n := 20
 	if cfg.MaxRels > 0 && cfg.MaxRels < n {
@@ -271,7 +271,7 @@ type awsInstance struct {
 // Fig13 reproduces Figure 13: the monetary cost of optimizing one star
 // query on AWS, obtained by multiplying measured (or simulated-device)
 // optimization time by the instance's per-hour price.
-func Fig13(w io.Writer, cfg Config) error {
+func Fig13(ctx context.Context, w io.Writer, cfg Config) error {
 	t4 := gpusim.Config{Device: gpusim.TeslaT4(), FusedPrune: true, CCC: true}
 	suite := []awsInstance{
 		{"Postgres (1CPU)", core.AlgDPSize, 1, "c5.large", 8.5, nil},
@@ -303,7 +303,7 @@ func Fig13(w io.Writer, cfg Config) error {
 			}
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(n)))
 			q := workload.Star(n, rng)
-			res, err := core.Optimize(context.Background(), q, core.Options{
+			res, err := core.Optimize(ctx, q, core.Options{
 				Algorithm: s.alg, Timeout: cfg.timeout(), Threads: s.threads, GPU: s.gpu,
 			})
 			if err != nil {

@@ -42,7 +42,7 @@ func kFor(label string) int {
 // each plan's cost is normalized by the best plan found by any of them for
 // that query, and the mean and 95th percentile of the normalized cost are
 // reported. '-' marks heuristics that exceeded the timeout at that size.
-func runQualityTable(w io.Writer, cfg Config, title string, sizes []int,
+func runQualityTable(ctx context.Context, w io.Writer, cfg Config, title string, sizes []int,
 	gen func(n int, rng *rand.Rand) *cost.Query) error {
 
 	sizes = cfg.cap(sizes)
@@ -78,7 +78,7 @@ func runQualityTable(w io.Writer, cfg Config, title string, sizes []int,
 					dead[si][ni] = true
 					continue
 				}
-				res, err := core.Optimize(context.Background(), q, core.Options{
+				res, err := core.Optimize(ctx, q, core.Options{
 					Algorithm: s.alg,
 					Timeout:   cfg.timeout(),
 					Threads:   cfg.Threads,
@@ -119,8 +119,8 @@ func runQualityTable(w io.Writer, cfg Config, title string, sizes []int,
 
 // Table1 reproduces Table 1: heuristic plan quality on snowflake queries of
 // 30 to 1000 relations.
-func Table1(w io.Writer, cfg Config) error {
-	return runQualityTable(w, cfg,
+func Table1(ctx context.Context, w io.Writer, cfg Config) error {
+	return runQualityTable(ctx, w, cfg,
 		"Table 1: heuristic cost comparison, snowflake schema",
 		[]int{30, 40, 50, 60, 80, 100, 200, 400, 500, 600, 800, 1000},
 		func(n int, rng *rand.Rand) *cost.Query { return workload.Snowflake(n, rng) })
@@ -128,8 +128,8 @@ func Table1(w io.Writer, cfg Config) error {
 
 // Table2 reproduces Table 2: heuristic plan quality on star queries of 30
 // to 600 relations.
-func Table2(w io.Writer, cfg Config) error {
-	return runQualityTable(w, cfg,
+func Table2(ctx context.Context, w io.Writer, cfg Config) error {
+	return runQualityTable(ctx, w, cfg,
 		"Table 2: heuristic cost comparison, star schema",
 		[]int{30, 40, 50, 60, 80, 100, 200, 300, 400, 500, 600},
 		func(n int, rng *rand.Rand) *cost.Query { return workload.Star(n, rng) })
@@ -138,7 +138,7 @@ func Table2(w io.Writer, cfg Config) error {
 // Ablation reproduces §7.2.5: the impact of the two GPU implementation
 // enhancements (kernel-fused pruning and Collaborative Context Collection)
 // on the modeled device time of MPDP-GPU and DPSub-GPU.
-func Ablation(w io.Writer, cfg Config) error {
+func Ablation(ctx context.Context, w io.Writer, cfg Config) error {
 	type variant struct {
 		label string
 		cfg   gpusim.Config

@@ -85,14 +85,14 @@ type API struct {
 	// in an updated copy (copy-on-write) under schemaMu, so concurrent
 	// binds always read an immutable snapshot.
 	schemaMu sync.RWMutex
-	schema   sql.Schema
+	schema   sql.Schema // guarded by schemaMu
 }
 
 // New builds the API and its mux with the /v1 endpoints and the legacy
 // aliases registered.
 func New(engine Engine, opts Options) *API {
-	a := &API{engine: engine, opts: opts.withDefaults(), mux: http.NewServeMux()}
-	a.schema = a.opts.Schema
+	opts = opts.withDefaults()
+	a := &API{engine: engine, opts: opts, schema: opts.Schema, mux: http.NewServeMux()}
 	a.quota = newQuotas(a.opts.Quota)
 	var b [3]byte
 	if _, err := crand.Read(b[:]); err == nil {

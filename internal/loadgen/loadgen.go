@@ -126,6 +126,7 @@ func Run(ctx context.Context, target Target, cfg Config) *Result {
 	var wg sync.WaitGroup
 	inflight := make(chan struct{}, cfg.MaxInFlight)
 
+	//mpdpvet:ignore openloop the one schedule anchor: all arrival times are offsets from it
 	start := time.Now()
 	deadline := start.Add(cfg.Duration)
 	scheduled := start

@@ -70,6 +70,8 @@ const (
 // packCost maps a non-negative cost to monotone bits, truncated to the
 // packed word's cost field. Plan costs are finite and non-negative, where
 // IEEE-754 bit patterns order like the floats themselves.
+//
+//mpdp:hotpath
 func packCost(cost float64) uint64 {
 	return math.Float64bits(cost) & slotCostMask
 }
@@ -89,6 +91,8 @@ func newWinnerSlots(capacity int) *winnerSlots {
 }
 
 // reset prepares n slots for the next level.
+//
+//mpdp:hotpath
 func (ws *winnerSlots) reset(n int) {
 	for i := 0; i < n; i++ {
 		ws.packed[i].Store(slotEmpty)
@@ -98,6 +102,8 @@ func (ws *winnerSlots) reset(n int) {
 
 // offer merges w into slot i: allocate a ticket, publish the payload, then
 // CAS the packed (cost, ticket) word down to the minimum.
+//
+//mpdp:hotpath
 func (ws *winnerSlots) offer(i int, w dp.Winner) {
 	t := ws.next.Add(1) - 1
 	ws.cands[t] = w
@@ -114,6 +120,8 @@ func (ws *winnerSlots) offer(i int, w dp.Winner) {
 }
 
 // take returns slot i's winning candidate, if any.
+//
+//mpdp:hotpath
 func (ws *winnerSlots) take(i int) (dp.Winner, bool) {
 	cur := ws.packed[i].Load()
 	if cur == slotEmpty {

@@ -29,6 +29,8 @@ const arenaChunk = 512
 func NewArena() *Arena { return &Arena{} }
 
 // New returns a pointer to a zeroed node from the arena.
+//
+//mpdp:hotpath
 func (a *Arena) New() *Node {
 	for {
 		if a.ci == len(a.chunks) {
@@ -48,6 +50,8 @@ func (a *Arena) New() *Node {
 }
 
 // NewNode returns an arena node initialized as an inner join node.
+//
+//mpdp:hotpath
 func (a *Arena) NewNode(set bitset.Mask, left, right *Node, op Op, rows, cost float64) *Node {
 	n := a.New()
 	n.Set = set
@@ -61,6 +65,8 @@ func (a *Arena) NewNode(set bitset.Mask, left, right *Node, op Op, rows, cost fl
 
 // Reset rewinds the arena, invalidating every node it has handed out while
 // keeping the underlying chunks for reuse by the next query.
+//
+//mpdp:hotpath
 func (a *Arena) Reset() {
 	for i := range a.chunks {
 		a.chunks[i] = a.chunks[i][:0]

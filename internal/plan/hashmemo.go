@@ -33,6 +33,8 @@ func NewHashMemo(hint int) *HashMemo {
 }
 
 // Murmur3Fmix64 is the 64-bit finalizer of MurmurHash3.
+//
+//mpdp:hotpath
 func Murmur3Fmix64(k uint64) uint64 {
 	k ^= k >> 33
 	k *= 0xff51afd7ed558ccd

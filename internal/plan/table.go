@@ -113,6 +113,8 @@ func (t *Table) Len() int { return t.used }
 
 // slot returns the open-addressing slot of s: either the slot holding s or
 // the empty slot where s would be inserted.
+//
+//mpdp:hotpath
 func (t *Table) slot(s bitset.Mask) int {
 	i := Murmur3Fmix64(uint64(s)) & t.mask
 	for {
@@ -125,6 +127,8 @@ func (t *Table) slot(s bitset.Mask) int {
 }
 
 // Get returns the full entry stored for s by value, split masks included.
+//
+//mpdp:hotpath
 func (t *Table) Get(s bitset.Mask) (Entry, bool) {
 	if s == 0 {
 		return Entry{}, false
@@ -151,6 +155,8 @@ func (t *Table) Get(s bitset.Mask) (Entry, bool) {
 // View returns the costing view of s: like Get but without the split
 // masks, so a candidate-pair probe touches only the key array and the
 // entry's payload line (the split is only needed when materializing).
+//
+//mpdp:hotpath
 func (t *Table) View(s bitset.Mask) (Entry, bool) {
 	if s == 0 {
 		return Entry{}, false
@@ -176,6 +182,8 @@ func (t *Table) View(s bitset.Mask) (Entry, bool) {
 // smaller connected set is stored before a level is evaluated): a miss is a
 // broken enumerator, and failing loudly here beats silently costing against
 // a zero entry.
+//
+//mpdp:hotpath
 func (t *Table) MustView(s bitset.Mask) Entry {
 	e, ok := t.View(s)
 	if !ok {
@@ -187,11 +195,15 @@ func (t *Table) MustView(s bitset.Mask) Entry {
 // Has reports whether s is stored. For subsets of a connected set below the
 // current DP level this doubles as the connectivity test: every connected
 // set of a smaller size is already in the table.
+//
+//mpdp:hotpath
 func (t *Table) Has(s bitset.Mask) bool {
 	return s != 0 && t.keys[t.slot(s)] != 0
 }
 
 // Cost returns the stored cost of s, or found = false.
+//
+//mpdp:hotpath
 func (t *Table) Cost(s bitset.Mask) (float64, bool) {
 	if s == 0 {
 		return 0, false
@@ -206,6 +218,8 @@ func (t *Table) Cost(s bitset.Mask) (float64, bool) {
 // PutBase seeds the table entry of singleton set s from its prepared base
 // plan (a relation scan, or a composite plan the heuristic layer passes as
 // a leaf).
+//
+//mpdp:hotpath
 func (t *Table) PutBase(s bitset.Mask, n *Node) {
 	m := uint16(n.RelID) & metaRelID
 	m |= uint16(n.Op) << 8 & metaOp
@@ -216,12 +230,16 @@ func (t *Table) PutBase(s bitset.Mask, n *Node) {
 }
 
 // Put unconditionally records w as the plan for set s.
+//
+//mpdp:hotpath
 func (t *Table) Put(s bitset.Mask, w Winner) {
 	t.put(s, w.Left, w.Right, w.Rows, w.Cost, uint16(w.Op)<<8&metaOp)
 }
 
 // Improve records w for s if it beats the current best; it returns true
 // when w was installed. Ties keep the incumbent, like Memo.Improve.
+//
+//mpdp:hotpath
 func (t *Table) Improve(s bitset.Mask, w Winner) bool {
 	if s == 0 {
 		panic("plan: Table cannot store the empty set")
@@ -240,6 +258,7 @@ func (t *Table) Improve(s bitset.Mask, w Winner) bool {
 	return true
 }
 
+//mpdp:hotpath
 func (t *Table) put(s, left, right bitset.Mask, rows, cost float64, meta uint16) {
 	if s == 0 {
 		panic("plan: Table cannot store the empty set")
@@ -255,6 +274,7 @@ func (t *Table) put(s, left, right bitset.Mask, rows, cost float64, meta uint16)
 	t.setAt(i, left, right, rows, cost, meta)
 }
 
+//mpdp:hotpath
 func (t *Table) setAt(i int, left, right bitset.Mask, rows, cost float64, meta uint16) {
 	t.left[i] = left
 	t.right[i] = right

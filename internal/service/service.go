@@ -501,6 +501,7 @@ func (s *Service) optimize(ctx context.Context, q *cost.Query, start time.Time) 
 			// The flight's context is rooted at Background, not at this
 			// caller's ctx: coalesced followers must be able to keep the run
 			// alive after the initiating caller walks away.
+			//mpdpvet:ignore ctxfirst flight detach: coalesced followers outlive the initiating caller
 			fl.ctx, fl.cancel = context.WithCancelCause(context.Background())
 			s.inflight[fp.Key] = fl
 		}
@@ -525,7 +526,7 @@ func (s *Service) optimize(ctx context.Context, q *cost.Query, start time.Time) 
 	select {
 	case <-fl.done:
 	case <-ctx.Done():
-		s.leave(fl, ctx)
+		s.leave(ctx, fl)
 		s.counters.canceled.Add(1)
 		return nil, context.Cause(ctx)
 	case <-s.quit:
@@ -637,7 +638,7 @@ func (s *Service) enqueue(ctx context.Context, r request) error {
 				s.finishFlight(r)
 			}
 		}(r)
-		s.leave(r.fl, ctx)
+		s.leave(ctx, r.fl)
 		s.counters.canceled.Add(1)
 		return context.Cause(ctx)
 	case <-s.quit:
@@ -651,7 +652,7 @@ func (s *Service) enqueue(ctx context.Context, r request) error {
 // under s.mu — the same lock the join path holds while checking
 // context.Cause(fl.ctx) — so a joiner can never slip in between "waiters
 // hit zero" and "flight cancelled" and inherit a stranger's cancellation.
-func (s *Service) leave(fl *flight, ctx context.Context) {
+func (s *Service) leave(ctx context.Context, fl *flight) {
 	s.mu.Lock()
 	fl.waiters--
 	if fl.waiters == 0 {

@@ -29,7 +29,17 @@ func newRemoteOverService(t *testing.T) Optimizer {
 
 func newRemoteOverCluster(t *testing.T) Optimizer {
 	t.Helper()
-	c := cluster.New(cluster.Config{Nodes: 2, Replicas: 2, Service: service.Config{Workers: 2}})
+	// A generous attempt timeout: under -race a cold 20-relation optimize
+	// can outlive the default 2s budget, and the reclassified timeout then
+	// cascades — the failure detector quarantines healthy nodes and the
+	// round-trip comes back 503. The test exercises correctness, not
+	// latency SLOs.
+	c := cluster.New(cluster.Config{
+		Nodes:    2,
+		Replicas: 2,
+		Service:  service.Config{Workers: 2},
+		Retry:    cluster.RetryPolicy{AttemptTimeout: 2 * time.Minute},
+	})
 	t.Cleanup(c.Close)
 	ts := httptest.NewServer(httpapi.New(httpapi.ClusterEngine(c), httpapi.Options{}).Mux())
 	t.Cleanup(ts.Close)
